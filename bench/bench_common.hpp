@@ -1,0 +1,60 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared setup for the figure-reproduction benches.
+///
+/// Every fig*_ binary reproduces one table/figure from the paper's
+/// section 4 on the same Grid3-like scenario: site failures and
+/// background load enabled, 5-minute monitoring with 30 s reporting
+/// latency, the section 4.2 workload (10-job random DAGs, 2-3 inputs,
+/// 60 s compute).  Absolute numbers differ from the paper (its testbed
+/// was the live Grid3); the *shape* of each figure is the target.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace sphinx::bench {
+
+/// The defaults every figure uses.
+[[nodiscard]] inline exp::ExperimentConfig paper_config(int dag_count,
+                                                        std::uint64_t seed = 20050404) {
+  exp::ExperimentConfig config;
+  config.scenario.seed = seed;
+  config.scenario.site_failures = true;
+  config.scenario.background_load = true;
+  // Era-faithful monitoring: infrequent query jobs, slow reporting
+  // pipeline, noticeable inaccuracy (paper section 2: "stale information
+  // or lack of accuracy or details necessary for effective scheduling").
+  config.scenario.monitor.poll_period = minutes(20);
+  config.scenario.monitor.report_latency = minutes(2);
+  config.scenario.monitor.noise = 0.5;
+  config.dag_count = dag_count;
+  config.horizon = hours(48);
+  return config;
+}
+
+inline void print_header(const std::string& figure, const std::string& what) {
+  std::printf("=============================================================\n");
+  std::printf("%s -- %s\n", figure.c_str(), what.c_str());
+  std::printf("=============================================================\n");
+}
+
+inline void print_results(const std::string& figure,
+                          const std::vector<exp::TenantResult>& results,
+                          bool with_exec_idle) {
+  std::printf("%s", exp::render_dag_completion(
+                        "\nAverage DAG completion time (s):", results)
+                        .c_str());
+  if (with_exec_idle) {
+    std::printf("\n%s", exp::render_exec_idle(
+                            "Average job execution and idle time (s):", results)
+                            .c_str());
+  }
+  std::printf("\nRun summary:\n%s\n", exp::render_summary(results).c_str());
+  (void)figure;
+}
+
+}  // namespace sphinx::bench

@@ -1,0 +1,51 @@
+/// Figure 2: effect of utilizing feedback information.
+///
+/// Paper: average DAG completion time for round-robin and
+/// number-of-CPUs scheduling, each with and without feedback, on 30 DAGs
+/// x 10 jobs.  Expected shape: the with-feedback variants finish DAGs
+/// ~20-29 % faster, because without feedback the scheduler keeps
+/// submitting to unreliable sites and pays the timeout every time.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sphinx;
+  using namespace sphinx::bench;
+
+  print_header("Figure 2",
+               "feedback vs no feedback (30 dags x 10 jobs/dag)");
+
+  std::vector<exp::TenantSpec> specs;
+  exp::TenantOptions options;
+  options.algorithm = core::Algorithm::kRoundRobin;
+  options.use_feedback = true;
+  specs.push_back({"round-robin", options});
+  options.use_feedback = false;
+  specs.push_back({"round-robin w/o feedback", options});
+  options.algorithm = core::Algorithm::kNumCpus;
+  options.use_feedback = true;
+  specs.push_back({"num-cpus", options});
+  options.use_feedback = false;
+  specs.push_back({"num-cpus w/o feedback", options});
+
+  exp::Experiment experiment(paper_config(30));
+  const auto results = experiment.run(specs);
+  print_results("fig2", results, false);
+
+  // Shape check against the paper's claim.
+  const auto find = [&](const std::string& label) -> const exp::TenantResult& {
+    for (const auto& r : results) {
+      if (r.label == label) return r;
+    }
+    throw AssertionError("missing tenant " + label);
+  };
+  const double rr = find("round-robin").avg_dag_completion;
+  const double rr_nofb = find("round-robin w/o feedback").avg_dag_completion;
+  const double nc = find("num-cpus").avg_dag_completion;
+  const double nc_nofb = find("num-cpus w/o feedback").avg_dag_completion;
+  std::printf("feedback improvement: round-robin %.1f%%, num-cpus %.1f%%\n",
+              100.0 * (rr_nofb - rr) / rr_nofb,
+              100.0 * (nc_nofb - nc) / nc_nofb);
+  std::printf("paper reports ~20-29%% improvement from feedback\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// Figure 3: the four scheduling algorithms (with feedback) on 30 DAGs x
+/// 10 jobs, no policy constraints.
+///
+/// (a) average DAG completion time -- paper: completion-time-based
+/// scheduling wins by ~17 %.
+/// (b) average job execution time and idle (queuing) time -- paper:
+/// completion-time jobs execute faster and wait much less.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sphinx;
+  using namespace sphinx::bench;
+
+  print_header("Figure 3", "four algorithms (30 dags x 10 jobs/dag)");
+  exp::Experiment experiment(paper_config(30));
+  const auto results = experiment.run(exp::standard_panel());
+  print_results("fig3", results, true);
+
+  const double best = results.front().avg_dag_completion;  // completion-time
+  double others = 0.0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    others += results[i].avg_dag_completion;
+  }
+  others /= static_cast<double>(results.size() - 1);
+  std::printf("completion-time vs mean of others: %.1f%% better "
+              "(paper: ~17%%)\n",
+              100.0 * (others - best) / others);
+  return 0;
+}

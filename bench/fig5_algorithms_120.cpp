@@ -1,0 +1,24 @@
+/// Figure 5: the four scheduling algorithms at 120 DAGs x 10 jobs --
+/// the scalability point.  Paper: "the results follow the trend same as
+/// the 30 and 60 jobs experiments, thus exhibiting scalability".
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sphinx;
+  using namespace sphinx::bench;
+
+  print_header("Figure 5", "four algorithms (120 dags x 10 jobs/dag)");
+  exp::Experiment experiment(paper_config(120));
+  const auto results = experiment.run(exp::standard_panel());
+  print_results("fig5", results, true);
+
+  const double best = results.front().avg_dag_completion;
+  double worst = best;
+  for (const auto& r : results) {
+    worst = std::max(worst, r.avg_dag_completion);
+  }
+  std::printf("completion-time vs worst: %.1f%% better\n",
+              100.0 * (worst - best) / worst);
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// Microbenchmarks for the table store: inserts, indexed lookups, state
+/// updates and journal replay -- the operations the SPHINX control
+/// process performs on every sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "core/warehouse.hpp"
+#include "db/database.hpp"
+
+namespace {
+
+using namespace sphinx;
+using db::Value;
+
+db::Schema job_schema() {
+  return db::Schema{{"job_id", db::ValueType::kInt},
+                    {"state", db::ValueType::kText},
+                    {"site", db::ValueType::kInt},
+                    {"runtime", db::ValueType::kReal}};
+}
+
+void BM_TableInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    db::Table table("jobs", job_schema());
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      table.insert({Value(i), Value("unplanned"), Value(i % 16),
+                    Value(60.0)});
+    }
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableInsert)->Range(256, 4096);
+
+void BM_IndexedFindBy(benchmark::State& state) {
+  db::Table table("jobs", job_schema());
+  table.create_index("state");
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    table.insert({Value(i), Value(i % 7 == 0 ? "ready" : "running"),
+                  Value(i % 16), Value(60.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find_by("state", Value("ready")));
+  }
+}
+BENCHMARK(BM_IndexedFindBy);
+
+void BM_ScanFindBy(benchmark::State& state) {
+  db::Table table("jobs", job_schema());  // no index: full scan
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    table.insert({Value(i), Value(i % 7 == 0 ? "ready" : "running"),
+                  Value(i % 16), Value(60.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find_by("state", Value("ready")));
+  }
+}
+BENCHMARK(BM_ScanFindBy);
+
+void BM_StateUpdate(benchmark::State& state) {
+  db::Table table("jobs", job_schema());
+  table.create_index("state");
+  std::vector<db::RowId> rows;
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    rows.push_back(
+        table.insert({Value(i), Value("a"), Value(i % 16), Value(60.0)}));
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    table.update(rows[k % rows.size()], "state",
+                 Value(k % 2 == 0 ? "b" : "a"));
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StateUpdate);
+
+void BM_JournalReplay(benchmark::State& state) {
+  // Build a realistic warehouse journal, then measure recovery.
+  core::DataWarehouse warehouse;
+  workflow::Dag dag(DagId(1), "bench");
+  for (int i = 1; i <= 64; ++i) {
+    workflow::JobSpec job;
+    job.id = JobId(static_cast<std::uint64_t>(i));
+    job.name = "j" + std::to_string(i);
+    job.output = "lfn://o" + std::to_string(i);
+    dag.add_job(job);
+  }
+  warehouse.insert_dag(dag, "client", UserId(1), 0.0);
+  for (int i = 1; i <= 64; ++i) {
+    warehouse.set_job_planned(JobId(static_cast<std::uint64_t>(i)),
+                              SiteId(1 + i % 15), 1.0);
+    warehouse.set_job_state(JobId(static_cast<std::uint64_t>(i)),
+                            core::JobState::kCompleted);
+    warehouse.record_completion(SiteId(1 + i % 15), 300.0);
+  }
+  for (auto _ : state) {
+    auto recovered = core::DataWarehouse::recover_from(warehouse.journal());
+    benchmark::DoNotOptimize(recovered.has_value());
+  }
+  state.SetLabel(std::to_string(warehouse.journal().size()) + " records");
+}
+BENCHMARK(BM_JournalReplay);
+
+void BM_JournalSerializeParse(benchmark::State& state) {
+  db::Database database;
+  db::Table& table = database.create_table("jobs", job_schema());
+  for (std::int64_t i = 0; i < 512; ++i) {
+    table.insert({Value(i), Value("state-" + std::to_string(i % 5)),
+                  Value(i % 16), Value(60.0 + i)});
+  }
+  for (auto _ : state) {
+    const std::string text = database.journal().serialize();
+    benchmark::DoNotOptimize(db::Journal::parse(text));
+  }
+}
+BENCHMARK(BM_JournalSerializeParse);
+
+}  // namespace

@@ -1,0 +1,73 @@
+/// Microbenchmarks for the scheduling core itself: strategy decision
+/// cost, warehouse sweep building blocks, and full end-to-end simulation
+/// throughput (events per second of one complete experiment).
+
+#include <benchmark/benchmark.h>
+
+#include "core/algorithms.hpp"
+#include "exp/scenario.hpp"
+#include "workflow/generator.hpp"
+
+namespace {
+
+using namespace sphinx;
+
+core::SchedulingContext synthetic_context(int sites) {
+  core::SchedulingContext ctx;
+  Rng rng(7);
+  for (int i = 0; i < sites; ++i) {
+    core::CandidateSite site;
+    site.id = SiteId(static_cast<std::uint64_t>(i + 1));
+    site.cpus = static_cast<int>(rng.uniform_int(8, 256));
+    site.outstanding = rng.uniform_int(0, 40);
+    site.monitored = true;
+    site.mon_queued = static_cast<int>(rng.uniform_int(0, 80));
+    site.mon_running = static_cast<int>(rng.uniform_int(0, 200));
+    site.samples = rng.uniform_int(1, 50);
+    site.completed = site.samples;
+    site.avg_completion = rng.uniform(60.0, 1500.0);
+    ctx.sites.push_back(site);
+  }
+  return ctx;
+}
+
+void BM_StrategyDecision(benchmark::State& state) {
+  const auto algorithm =
+      core::make_algorithm(static_cast<core::Algorithm>(state.range(1)));
+  const auto ctx = synthetic_context(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm->select(ctx));
+  }
+  state.SetLabel(algorithm->name());
+}
+BENCHMARK(BM_StrategyDecision)
+    ->ArgsProduct({{15, 100}, {0, 1, 2, 3}});
+
+void BM_EndToEndExperiment(benchmark::State& state) {
+  // One full single-tenant run: N DAGs x 10 jobs on the quiet grid.
+  const int dags = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    exp::ScenarioConfig config;
+    config.seed = 5;
+    config.site_failures = false;
+    config.background_load = false;
+    exp::Scenario scenario(config);
+    exp::Tenant& tenant = scenario.add_tenant("bench", exp::TenantOptions{});
+    auto generator =
+        scenario.make_generator("bench", workflow::WorkloadConfig{});
+    const auto batch = generator.generate_batch("bench", dags);
+    scenario.start();
+    scenario.engine().schedule_at(1.0, "submit", [&] {
+      for (const auto& dag : batch) tenant.client->submit(dag);
+    });
+    scenario.run(hours(24));
+    benchmark::DoNotOptimize(tenant.client->dags_finished());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(
+                                scenario.engine().events_fired()));
+  }
+  state.SetLabel("items = engine events");
+}
+BENCHMARK(BM_EndToEndExperiment)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace

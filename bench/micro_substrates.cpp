@@ -1,0 +1,128 @@
+/// Microbenchmarks for the data substrates the planner leans on: RLS
+/// lookups (single vs clubbed), replica selection, the GridFTP fluid
+/// model, and XML-RPC wire costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/codec.hpp"
+#include "data/gridftp.hpp"
+#include "data/replication.hpp"
+#include "data/rls.hpp"
+#include "rpc/xmlrpc.hpp"
+#include "workflow/generator.hpp"
+
+namespace {
+
+using namespace sphinx;
+
+data::ReplicaLocationService make_rls(int lfns, int replicas_per) {
+  data::ReplicaLocationService rls;
+  for (int i = 0; i < lfns; ++i) {
+    for (int r = 0; r < replicas_per; ++r) {
+      rls.register_replica("lfn://bench/f" + std::to_string(i),
+                           SiteId(static_cast<std::uint64_t>(1 + (i + r) % 15)),
+                           1e8);
+    }
+  }
+  return rls;
+}
+
+void BM_RlsLocateSingle(benchmark::State& state) {
+  const auto rls = make_rls(10000, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rls.locate("lfn://bench/f" + std::to_string(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_RlsLocateSingle);
+
+void BM_RlsLocateBulk(benchmark::State& state) {
+  // The "clubbed" call SPHINX uses for whole-DAG reduction.
+  const auto rls = make_rls(10000, 2);
+  std::vector<data::Lfn> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back("lfn://bench/f" + std::to_string(i * 97 % 10000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rls.locate_bulk(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RlsLocateBulk);
+
+void BM_ReplicaSelection(benchmark::State& state) {
+  sim::Engine engine;
+  data::TransferService transfers(engine);
+  for (std::uint64_t s = 1; s <= 15; ++s) {
+    transfers.set_link(SiteId(s), {10e6 * static_cast<double>(s), 10e6});
+  }
+  std::vector<data::Replica> replicas;
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    replicas.push_back({"lfn://x", SiteId(s), 1.5e8});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::select_replica(replicas, SiteId(15), transfers));
+  }
+}
+BENCHMARK(BM_ReplicaSelection);
+
+void BM_GridFtpChurn(benchmark::State& state) {
+  // Continuous arrivals/completions exercise the fluid rebalancing.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    data::TransferService transfers(engine);
+    for (std::uint64_t s = 1; s <= 15; ++s) {
+      transfers.set_link(SiteId(s), {20e6, 20e6});
+    }
+    int done = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<double>(i), "xfer", [&, i] {
+        transfers.transfer(SiteId(1 + i % 15), SiteId(1 + (i + 7) % 15), 5e7,
+                           [&done](TransferId, Duration) { ++done; });
+      });
+    }
+    engine.run_until();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridFtpChurn)->Range(64, 1024);
+
+void BM_XmlRpcDagRoundTrip(benchmark::State& state) {
+  workflow::IdSpace ids;
+  data::ReplicaLocationService rls;
+  workflow::WorkloadGenerator generator(workflow::WorkloadConfig{}, Rng(1),
+                                        ids, rls, {SiteId(1), SiteId(2)});
+  const workflow::Dag dag = generator.generate("wire");
+  for (auto _ : state) {
+    rpc::MethodCall call;
+    call.method = "sphinx.submit_dag";
+    call.params = {rpc::XrValue("client"), rpc::XrValue(1),
+                   core::encode_dag(dag)};
+    const std::string wire = call.serialize();
+    const auto parsed = rpc::MethodCall::parse(wire);
+    benchmark::DoNotOptimize(core::decode_dag(parsed->params[2]));
+  }
+}
+BENCHMARK(BM_XmlRpcDagRoundTrip);
+
+void BM_XmlRpcReportRoundTrip(benchmark::State& state) {
+  core::TrackerReport report;
+  report.job = JobId(42);
+  report.kind = core::ReportKind::kCompleted;
+  report.site = SiteId(3);
+  report.completion_time = 321.5;
+  for (auto _ : state) {
+    rpc::MethodCall call;
+    call.method = "sphinx.report";
+    call.params = {core::encode_report(report)};
+    const auto parsed = rpc::MethodCall::parse(call.serialize());
+    benchmark::DoNotOptimize(core::decode_report(parsed->params[0]));
+  }
+}
+BENCHMARK(BM_XmlRpcReportRoundTrip);
+
+}  // namespace

@@ -1,0 +1,64 @@
+/// Robustness sweep: do the Figure 3/5 conclusions survive across seeds?
+///
+/// The paper ran each comparison "multiple number of times"; this bench
+/// replays the four-strategy panel over several independent seeds (on a
+/// thread pool -- simulations share nothing) and reports the mean and
+/// spread of the average DAG completion time, plus how often each
+/// strategy ranked first.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/stats.hpp"
+#include "exp/parallel.hpp"
+
+int main() {
+  using namespace sphinx;
+  using namespace sphinx::bench;
+
+  print_header("Seed sweep",
+               "four algorithms x 6 seeds (30 dags x 10 jobs/dag)");
+
+  const std::vector<std::uint64_t> seeds = {20050404, 7, 42, 1234, 777, 31337};
+  std::vector<std::function<std::vector<exp::TenantResult>()>> tasks;
+  for (const std::uint64_t seed : seeds) {
+    tasks.push_back([seed] {
+      exp::Experiment experiment(paper_config(30, seed));
+      return experiment.run(exp::standard_panel());
+    });
+  }
+  const auto runs = exp::run_parallel(tasks);
+
+  std::map<std::string, RunningStats> completion;
+  std::map<std::string, RunningStats> timeouts;
+  std::map<std::string, int> wins;
+  for (const auto& run : runs) {
+    const exp::TenantResult* best = nullptr;
+    for (const auto& r : run) {
+      completion[r.label].add(r.avg_dag_completion);
+      timeouts[r.label].add(static_cast<double>(r.timeouts));
+      if (best == nullptr || r.avg_dag_completion < best->avg_dag_completion) {
+        best = &r;
+      }
+    }
+    ++wins[best->label];
+  }
+
+  TextTable table;
+  table.set_header({"algorithm", "mean dag (s)", "stddev", "mean timeouts",
+                    "ranked #1"});
+  for (const auto& spec : exp::standard_panel()) {
+    const auto& c = completion.at(spec.label);
+    table.add_row({spec.label, format_double(c.mean(), 1),
+                   format_double(c.stddev(), 1),
+                   format_double(timeouts.at(spec.label).mean(), 1),
+                   std::to_string(wins[spec.label]) + "/" +
+                       std::to_string(seeds.size())});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("round-robin should never rank first; completion-time and the "
+              "informed strategies contend at this scale\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// Fault tolerance end to end: a mid-run site failure, tracker timeouts,
+/// replanning, and a SPHINX server crash with journal recovery.
+///
+/// Timeline:
+///   t=0        submit 6 DAGs; ufloridapg (the best site) is healthy
+///   t=10 min   ufloridapg goes down *silently*, taking its jobs with it
+///   t=12 min   the SPHINX server "crashes"; a new instance is rebuilt
+///              from the database journal and resumes scheduling
+///   ...        tracker timeouts fire for the lost jobs; the server
+///              (recovered!) replans them onto other sites
+///   end        every DAG completes despite losing a site and a server
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "exp/scenario.hpp"
+#include "workflow/generator.hpp"
+
+int main() {
+  using namespace sphinx;
+  using namespace sphinx::exp;
+
+  ScenarioConfig config;
+  config.seed = 3;
+  config.site_failures = false;  // we stage the failure ourselves
+  Scenario scenario(config);
+
+  TenantOptions options;
+  options.algorithm = core::Algorithm::kCompletionTime;
+  options.job_timeout = minutes(10);
+  Tenant& tenant = scenario.add_tenant("prod", options);
+
+  workflow::WorkloadConfig workload;
+  auto generator = scenario.make_generator("ft", workload);
+  const auto dags = generator.generate_batch("ft", 6);
+
+  scenario.start();
+  scenario.engine().schedule_at(1.0, "submit", [&] {
+    for (const auto& dag : dags) tenant.client->submit(dag);
+    std::printf("[t=%5.0fs] submitted %zu dags (%zu jobs)\n",
+                scenario.engine().now(), dags.size(), dags.size() * 10);
+  });
+
+  scenario.engine().schedule_at(minutes(10), "kill-site", [&] {
+    grid::Site* site = scenario.grid().find_site("ufloridapg");
+    std::printf("[t=%5.0fs] ufloridapg goes down (%d CPUs vanish, jobs lost "
+                "silently)\n",
+                scenario.engine().now(), site->config().cpus);
+    site->go_down();
+  });
+
+  std::unique_ptr<core::SphinxServer> recovered;
+  scenario.engine().schedule_at(minutes(12), "crash-server", [&] {
+    std::printf("[t=%5.0fs] SPHINX server crashes; replaying journal (%zu "
+                "records)...\n",
+                scenario.engine().now(),
+                tenant.server->warehouse().journal().size());
+    const db::Journal journal = tenant.server->warehouse().journal();
+    const core::ServerConfig server_config = tenant.server->config();
+    tenant.server.reset();
+    auto result = core::SphinxServer::recover(
+        scenario.bus(), scenario.catalog(), scenario.rls(),
+        scenario.transfers(), &scenario.monitoring(), server_config, journal);
+    if (!result.has_value()) {
+      std::printf("recovery failed: %s\n", result.error().to_string().c_str());
+      return;
+    }
+    recovered = std::move(*result);
+    recovered->start();
+    std::printf("[t=%5.0fs] server recovered: %zu dags, scheduling resumes\n",
+                scenario.engine().now(),
+                recovered->warehouse().all_dags().size());
+  });
+
+  scenario.engine().schedule_at(minutes(40), "repair-site", [&] {
+    std::printf("[t=%5.0fs] ufloridapg repaired\n", scenario.engine().now());
+    scenario.grid().find_site("ufloridapg")->recover();
+  });
+
+  scenario.run(hours(12));
+
+  std::printf("\noutcome after site failure + server crash:\n");
+  std::size_t finished = 0;
+  for (const auto& outcome : tenant.client->dag_outcomes()) {
+    if (outcome.done()) ++finished;
+    std::printf("  %-10s %s\n", outcome.name.c_str(),
+                outcome.done()
+                    ? format_duration(outcome.completion_time()).c_str()
+                    : "(did not finish)");
+  }
+  const auto& tracker = tenant.client->tracker_stats();
+  std::printf("tracker: %zu timeouts, %zu held/failed observations\n",
+              tracker.timeouts, tracker.held_or_failed);
+  if (recovered != nullptr) {
+    std::printf("recovered server: %zu plans sent after recovery\n",
+                recovered->stats().plans_sent);
+  }
+  std::printf("%zu/%zu dags completed -> %s\n", finished,
+              tenant.client->dag_outcomes().size(),
+              finished == dags.size() ? "fault tolerance worked"
+                                      : "SOMETHING IS WRONG");
+  return finished == dags.size() ? 0 : 1;
+}

@@ -1,0 +1,201 @@
+/// sphinx_sim: a command-line driver for custom experiments.
+///
+/// Runs one experiment with the options given on the command line and
+/// prints the figure-style report.  This is the "workbench" entry point
+/// the paper positions SPHINX as ("a modular workbench for CS
+/// researchers"): pick strategies, scale, workload shape, grid pathology
+/// and monitoring quality without recompiling.
+///
+/// Usage:
+///   example_sphinx_sim [--dags N] [--jobs N] [--seed S]
+///                      [--algos ct,ql,nc,rr] [--no-feedback] [--policy]
+///                      [--timeout MIN] [--monitor-poll MIN]
+///                      [--no-failures] [--no-background] [--quiet]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace {
+
+using namespace sphinx;
+
+struct CliOptions {
+  int dags = 30;
+  int jobs = 10;
+  std::uint64_t seed = 20050404;
+  std::vector<std::string> algos = {"ct", "ql", "nc", "rr"};
+  bool feedback = true;
+  bool policy = false;
+  double timeout_minutes = 20;
+  double monitor_poll_minutes = 20;
+  bool failures = true;
+  bool background = true;
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --dags N            DAG count (default 30)\n"
+      "  --jobs N            jobs per DAG (default 10)\n"
+      "  --seed S            master seed (default 20050404)\n"
+      "  --algos LIST        comma list of ct,ql,nc,rr (default all four)\n"
+      "  --no-feedback       disable the reliability feedback filter\n"
+      "  --policy            enable quota policy (20%% per site)\n"
+      "  --timeout MIN       tracker timeout in minutes (default 20)\n"
+      "  --monitor-poll MIN  monitoring poll period (default 20)\n"
+      "  --no-failures       disable site failures\n"
+      "  --no-background     disable background load\n"
+      "  --quiet             print only the completion table\n",
+      argv0);
+}
+
+Expected<CliOptions> parse_cli(int argc, char** argv) {
+  CliOptions options;
+  const auto need_value = [&](int& i) -> Expected<std::string> {
+    if (i + 1 >= argc) {
+      return make_error("cli", std::string(argv[i]) + " needs a value");
+    }
+    return std::string(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dags") {
+      auto v = need_value(i);
+      if (!v) return Unexpected<Error>{v.error()};
+      options.dags = std::atoi(v->c_str());
+    } else if (arg == "--jobs") {
+      auto v = need_value(i);
+      if (!v) return Unexpected<Error>{v.error()};
+      options.jobs = std::atoi(v->c_str());
+    } else if (arg == "--seed") {
+      auto v = need_value(i);
+      if (!v) return Unexpected<Error>{v.error()};
+      options.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (arg == "--algos") {
+      auto v = need_value(i);
+      if (!v) return Unexpected<Error>{v.error()};
+      options.algos = split(*v, ',');
+    } else if (arg == "--no-feedback") {
+      options.feedback = false;
+    } else if (arg == "--policy") {
+      options.policy = true;
+    } else if (arg == "--timeout") {
+      auto v = need_value(i);
+      if (!v) return Unexpected<Error>{v.error()};
+      options.timeout_minutes = std::atof(v->c_str());
+    } else if (arg == "--monitor-poll") {
+      auto v = need_value(i);
+      if (!v) return Unexpected<Error>{v.error()};
+      options.monitor_poll_minutes = std::atof(v->c_str());
+    } else if (arg == "--no-failures") {
+      options.failures = false;
+    } else if (arg == "--no-background") {
+      options.background = false;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return make_error("help", "");
+    } else {
+      return make_error("cli", "unknown option: " + arg);
+    }
+  }
+  if (options.dags < 1 || options.jobs < 1 || options.timeout_minutes <= 0) {
+    return make_error("cli", "counts must be positive");
+  }
+  return options;
+}
+
+Expected<core::Algorithm> algorithm_of(const std::string& code) {
+  if (code == "ct") return core::Algorithm::kCompletionTime;
+  if (code == "ql") return core::Algorithm::kQueueLength;
+  if (code == "nc") return core::Algorithm::kNumCpus;
+  if (code == "rr") return core::Algorithm::kRoundRobin;
+  return make_error("cli", "unknown algorithm code: " + code +
+                               " (want ct, ql, nc or rr)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = parse_cli(argc, argv);
+  if (!options) {
+    if (options.error().code != "help") {
+      std::fprintf(stderr, "error: %s\n", options.error().message.c_str());
+    }
+    usage(argv[0]);
+    return options.error().code == "help" ? 0 : 2;
+  }
+
+  exp::ExperimentConfig config;
+  config.scenario.seed = options->seed;
+  config.scenario.site_failures = options->failures;
+  config.scenario.background_load = options->background;
+  config.scenario.monitor.poll_period = minutes(options->monitor_poll_minutes);
+  config.scenario.monitor.report_latency =
+      std::min(minutes(options->monitor_poll_minutes) / 10.0, minutes(2.0));
+  config.scenario.monitor.noise = 0.5;
+  config.dag_count = options->dags;
+  config.workload.jobs_per_dag = options->jobs;
+  if (options->policy) {
+    config.quota_cpu_fraction = 0.2;
+    config.quota_disk_fraction = 0.2;
+  }
+
+  std::vector<exp::TenantSpec> specs;
+  for (const std::string& code : options->algos) {
+    auto algorithm = algorithm_of(std::string(trim(code)));
+    if (!algorithm) {
+      std::fprintf(stderr, "error: %s\n", algorithm.error().message.c_str());
+      return 2;
+    }
+    exp::TenantOptions tenant;
+    tenant.algorithm = *algorithm;
+    tenant.use_feedback = options->feedback;
+    tenant.use_policy = options->policy;
+    tenant.job_timeout = minutes(options->timeout_minutes);
+    specs.push_back({std::string(core::to_string(*algorithm)), tenant});
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "error: no algorithms selected\n");
+    return 2;
+  }
+
+  if (!options->quiet) {
+    std::printf("sphinx_sim: %d dags x %d jobs, seed %llu, %zu tenant(s), "
+                "feedback %s, policy %s\n",
+                options->dags, options->jobs,
+                static_cast<unsigned long long>(options->seed), specs.size(),
+                options->feedback ? "on" : "off",
+                options->policy ? "on" : "off");
+  }
+
+  exp::Experiment experiment(config);
+  const auto results = experiment.run(specs);
+
+  std::printf("%s", exp::render_dag_completion(
+                        "\nAverage DAG completion time (s):", results)
+                        .c_str());
+  if (!options->quiet) {
+    std::printf("\n%s", exp::render_exec_idle(
+                            "Average job execution and idle time (s):",
+                            results)
+                            .c_str());
+    std::printf("\nRun summary:\n%s", exp::render_summary(results).c_str());
+    std::printf("\nsimulation stopped at t=%s\n",
+                format_duration(experiment.stopped_at()).c_str());
+  }
+
+  // Exit code: nonzero when any tenant failed to finish its workload.
+  for (const auto& r : results) {
+    if (r.dags_finished != r.dags_total) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+#pragma once
+/// \file error.hpp
+/// Lightweight Expected<T, E> for recoverable errors.
+///
+/// The middleware distinguishes programming errors (checked with
+/// SPHINX_ASSERT, which throws) from operational failures (a site being
+/// down, a quota exhausted, a replica missing) which are ordinary data and
+/// travel as Expected values.  C++20 has no std::expected yet, so a small
+/// purpose-built one is provided.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sphinx {
+
+/// Thrown on violated internal invariants.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+#define SPHINX_ASSERT(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::sphinx::AssertionError(std::string("assertion failed: ") + \
+                                     (msg) + " [" #cond "]");           \
+    }                                                                   \
+  } while (false)
+
+/// A simple error payload: machine-readable code plus human text.
+struct Error {
+  std::string code;     ///< stable short identifier, e.g. "quota_exceeded"
+  std::string message;  ///< human-readable details
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+/// Marker wrapper so Expected<T> can be constructed unambiguously from an
+/// error even when T is constructible from Error.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+[[nodiscard]] inline Unexpected<Error> make_error(std::string code,
+                                                  std::string message) {
+  return Unexpected<Error>{Error{std::move(code), std::move(message)}};
+}
+
+/// Either a value or an error.  Accessing the wrong alternative throws
+/// AssertionError -- misuse is a programming bug, not an operational one.
+template <typename T, typename E = Error>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> err)
+      : data_(std::in_place_index<1>, std::move(err.error)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() {
+    SPHINX_ASSERT(has_value(), "Expected::value() on error");
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const {
+    SPHINX_ASSERT(has_value(), "Expected::value() on error");
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const E& error() const {
+    SPHINX_ASSERT(!has_value(), "Expected::error() on value");
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Status-only variant: success or an error.
+template <typename E = Error>
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  ///< success
+  Status(Unexpected<E> err) : error_(std::move(err.error)), ok_(false) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+
+  [[nodiscard]] const E& error() const {
+    SPHINX_ASSERT(!ok_, "Status::error() on success");
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool ok_ = true;
+};
+
+using StatusOr = Status<Error>;
+
+}  // namespace sphinx

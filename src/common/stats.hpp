@@ -1,0 +1,71 @@
+#pragma once
+/// \file stats.hpp
+/// Descriptive statistics used by the prediction module, the monitoring
+/// aggregator and the experiment reports.
+
+#include <cstddef>
+#include <vector>
+
+namespace sphinx {
+
+/// Online accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void clear() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the observations; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially-weighted moving average, used by the prediction module to
+/// track per-site job completion times (recent behaviour matters more on a
+/// dynamic grid).
+class Ewma {
+ public:
+  /// \param alpha weight of the newest observation, in (0, 1].
+  explicit Ewma(double alpha = 0.3) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    if (n_ == 0) {
+      value_ = x;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    ++n_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Current smoothed value; 0 when empty.
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Percentile over a snapshot of samples.  `q` in [0, 1]; linear
+/// interpolation between order statistics.  Returns 0 for empty input.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+}  // namespace sphinx

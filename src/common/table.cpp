@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace sphinx {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  const std::size_t cols =
+      std::max(header_.size(),
+               rows_.empty() ? std::size_t{0}
+                             : std::max_element(rows_.begin(), rows_.end(),
+                                                [](const auto& a, const auto& b) {
+                                                  return a.size() < b.size();
+                                                })
+                                   ->size());
+  std::vector<std::size_t> widths(cols, 0);
+  const auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      line += cell;
+      if (c + 1 < cols) line += std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cols; ++c) total += widths[c] + (c + 1 < cols ? 2 : 0);
+  out += std::string(total, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string bar_line(const std::string& label, double value, double max_value,
+                     int width, const std::string& unit) {
+  const double frac = max_value > 0 ? std::clamp(value / max_value, 0.0, 1.0) : 0.0;
+  const int filled = static_cast<int>(frac * width + 0.5);
+  std::string line = "  ";
+  line += label;
+  if (label.size() < 28) line += std::string(28 - label.size(), ' ');
+  line += " |" + std::string(filled, '#') + std::string(width - filled, ' ') + "| ";
+  line += format_double(value, 1);
+  if (!unit.empty()) line += " " + unit;
+  return line;
+}
+
+}  // namespace sphinx

@@ -1,0 +1,26 @@
+#pragma once
+/// \file time.hpp
+/// Simulation time types.
+///
+/// Simulation time is a double number of seconds since the start of the
+/// simulation.  Durations are also seconds.  Helpers provide readable
+/// literals for the scales that matter in grid scheduling (seconds,
+/// minutes, hours).
+
+#include <limits>
+
+namespace sphinx {
+
+/// Absolute simulation time in seconds since simulation start.
+using SimTime = double;
+/// A duration in seconds.
+using Duration = double;
+
+/// Sentinel for "never" / unset timestamps.
+inline constexpr SimTime kNever = std::numeric_limits<double>::infinity();
+
+[[nodiscard]] constexpr Duration seconds(double s) noexcept { return s; }
+[[nodiscard]] constexpr Duration minutes(double m) noexcept { return m * 60.0; }
+[[nodiscard]] constexpr Duration hours(double h) noexcept { return h * 3600.0; }
+
+}  // namespace sphinx

@@ -1,0 +1,114 @@
+#pragma once
+/// \file algorithms.hpp
+/// The four scheduling strategies evaluated in the paper (section 4.1).
+///
+/// Every strategy sees the same SchedulingContext -- a per-decision view
+/// of the *feasible* sites (policy and reliability filters have already
+/// run) -- and returns the chosen execution site.  The information each
+/// strategy actually uses differs, which is the whole point of the
+/// paper's comparison:
+///
+///   round-robin      uses nothing (cycles the site list)
+///   num-cpus         eq. (1): local accounting / static CPU counts
+///   queue-length     eq. (2): monitored queue data (possibly stale)
+///   completion-time  eq. (3): tracker-fed completion-time EWMAs, with a
+///                    round-robin warm-up for sites lacking data (hybrid)
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "core/state.hpp"
+
+namespace sphinx::core {
+
+/// Everything a strategy may know about one feasible site.
+struct CandidateSite {
+  SiteId id;
+  int cpus = 1;                   ///< static catalog information
+  std::int64_t outstanding = 0;   ///< this server's planned + unfinished jobs
+  // Monitored data (possibly stale or absent):
+  bool monitored = false;
+  int mon_queued = 0;
+  int mon_running = 0;
+  // Feedback data from the tracker:
+  std::int64_t completed = 0;
+  std::int64_t cancelled = 0;
+  double avg_completion = 0.0;    ///< EWMA; meaningless when samples == 0
+  std::int64_t samples = 0;
+};
+
+/// One scheduling decision's input.
+struct SchedulingContext {
+  SimTime now = 0.0;
+  std::vector<CandidateSite> sites;  ///< feasible sites, catalog order
+};
+
+/// Strategy interface.  Implementations keep internal cursors (round
+/// robin position) but no per-job state.
+class SchedulingAlgorithm {
+ public:
+  virtual ~SchedulingAlgorithm() = default;
+
+  /// Picks a site from the context; nullopt when no site is acceptable.
+  [[nodiscard]] virtual std::optional<SiteId> select(
+      const SchedulingContext& context) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory for the paper's strategies.
+[[nodiscard]] std::unique_ptr<SchedulingAlgorithm> make_algorithm(
+    Algorithm algorithm);
+
+/// Round robin: submit jobs in the order of sites in the list.
+class RoundRobinAlgorithm final : public SchedulingAlgorithm {
+ public:
+  [[nodiscard]] std::optional<SiteId> select(
+      const SchedulingContext& context) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+/// Eq. (1): rate_i = (planned_i + unfinished_i) / CPU_i, pick the min.
+class NumCpusAlgorithm final : public SchedulingAlgorithm {
+ public:
+  [[nodiscard]] std::optional<SiteId> select(
+      const SchedulingContext& context) override;
+  [[nodiscard]] std::string name() const override { return "num-cpus"; }
+};
+
+/// Eq. (2): rate_i = (queued_i + running_i + planned_i) / CPU_i using the
+/// monitoring system's (stale) queue data; unmonitored sites fall back to
+/// local accounting only.
+class QueueLengthAlgorithm final : public SchedulingAlgorithm {
+ public:
+  [[nodiscard]] std::optional<SiteId> select(
+      const SchedulingContext& context) override;
+  [[nodiscard]] std::string name() const override { return "queue-length"; }
+};
+
+/// Eq. (3): pick the available site minimizing the normalized average
+/// completion time, scaled by the prediction module's load estimate.
+/// Hybrid warm-up ("schedules jobs on round robin technique until it has
+/// that information for the remote sites"): every site lacking data gets
+/// exactly one probe job; between probes -- and for good -- planning
+/// exploits the sites already measured.
+class CompletionTimeAlgorithm final : public SchedulingAlgorithm {
+ public:
+  [[nodiscard]] std::optional<SiteId> select(
+      const SchedulingContext& context) override;
+  [[nodiscard]] std::string name() const override { return "completion-time"; }
+
+ private:
+  std::uint64_t warmup_cursor_ = 0;
+  std::unordered_set<std::uint64_t> probed_;  ///< sites given a probe job
+};
+
+}  // namespace sphinx::core

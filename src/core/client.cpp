@@ -1,0 +1,269 @@
+#include "core/client.hpp"
+
+namespace sphinx::core {
+
+using rpc::XrValue;
+
+SphinxClient::SphinxClient(rpc::MessageBus& bus, submit::CondorG& gateway,
+                           ClientConfig config, rpc::Proxy proxy)
+    : bus_(bus), gateway_(gateway), config_(std::move(config)) {
+  // The client endpoint only accepts calls from authenticated peers; the
+  // server presents its host proxy (VO "ivdgl").
+  rpc::AuthzPolicy policy;
+  policy.allow_vo("*", "ivdgl");
+  policy.allow_vo("*", config_.vo);
+  service_ = std::make_unique<rpc::ClarensService>(bus_, config_.endpoint,
+                                                   std::move(policy));
+  service_->register_method(
+      "sphinx_client.execute_plan",
+      [this](const std::vector<XrValue>& params, const rpc::Proxy&) {
+        return handle_execute_plan(params);
+      });
+  service_->register_method(
+      "sphinx_client.dag_done",
+      [this](const std::vector<XrValue>& params, const rpc::Proxy&) {
+        return handle_dag_done(params);
+      });
+  rpc_ = std::make_unique<rpc::ClarensClient>(bus_, config_.endpoint + "/out",
+                                              std::move(proxy));
+}
+
+SphinxClient::~SphinxClient() = default;
+
+void SphinxClient::submit(const workflow::Dag& dag, double priority,
+                          SimTime deadline) {
+  DagOutcome outcome;
+  outcome.id = dag.id();
+  outcome.name = dag.name();
+  outcome.submitted_at = bus_.engine().now();
+  outcome.deadline = deadline;
+  outcome_index_[dag.id()] = outcomes_.size();
+  outcomes_.push_back(outcome);
+
+  rpc_->call(config_.server, "sphinx.submit_dag",
+             {XrValue(config_.endpoint), XrValue(config_.user.value()),
+              encode_dag(dag), XrValue(priority), XrValue(deadline)},
+             [this, name = dag.name()](Expected<XrValue> result) {
+               if (!result.has_value()) {
+                 log_.error("dag submission rejected: ",
+                            result.error().to_string());
+               }
+             });
+}
+
+Expected<XrValue> SphinxClient::handle_execute_plan(
+    const std::vector<XrValue>& params) {
+  if (params.size() != 1) return make_error("bad_request", "expected [plan]");
+  auto plan = decode_plan(params[0]);
+  if (!plan) return Unexpected<Error>{plan.error()};
+  ++tracker_.plans_received;
+
+  // Build the submit file from the server's decision.
+  submit::SubmitRequest request;
+  request.job = plan->job;
+  request.name = plan->job_name;
+  request.user = config_.user;
+  request.vo = config_.vo;
+  request.site = plan->site;
+  request.priority = plan->batch_priority;
+  request.compute_time = plan->compute_time;
+  for (const PlannedInput& input : plan->inputs) {
+    request.inputs.push_back(
+        submit::StagedInput{input.lfn, input.source, input.bytes});
+  }
+  request.output = plan->output;
+  request.output_bytes = plan->output_bytes;
+
+  const SimTime now = bus_.engine().now();
+  Tracked tracked;
+  tracked.plan = *plan;
+  tracked.submitted_at = now;
+  const JobId job = plan->job;
+  // (Re)insert: a replanned job replaces its dead predecessor entry.
+  if (const auto it = tracked_.find(job); it != tracked_.end()) {
+    bus_.engine().cancel(it->second.timeout);
+    tracked_.erase(it);
+  }
+  auto& slot = tracked_.emplace(job, std::move(tracked)).first->second;
+  slot.timeout = bus_.engine().schedule_in(
+      config_.job_timeout, config_.endpoint + ":timeout",
+      [this, job] { on_timeout(job); });
+
+  ++tracker_.submissions;
+  const bool accepted = gateway_.submit(
+      request,
+      [this](const submit::GatewayEvent& event) { on_gateway_event(event); });
+  if (accepted) {
+    report(TrackerReport{job, ReportKind::kSubmitted, plan->site, now, 0, 0, 0});
+  }
+  // If not accepted, the kFailed gateway event already ran on_gateway_event
+  // and requested replanning.
+  return XrValue(true);
+}
+
+Expected<XrValue> SphinxClient::handle_dag_done(
+    const std::vector<XrValue>& params) {
+  if (params.size() != 2 || !params[0].is_int()) {
+    return make_error("bad_request", "expected [dag_id, finished_at]");
+  }
+  const DagId dag(static_cast<std::uint64_t>(params[0].as_int()));
+  const auto it = outcome_index_.find(dag);
+  if (it == outcome_index_.end()) {
+    return make_error("unknown_dag", "client never submitted this dag");
+  }
+  outcomes_[it->second].finished_at = bus_.engine().now();
+  return XrValue(true);
+}
+
+void SphinxClient::finish_tracking(Tracked& tracked) {
+  tracked.terminal = true;
+  bus_.engine().cancel(tracked.timeout);
+}
+
+void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
+  const auto it = tracked_.find(event.job);
+  if (it == tracked_.end()) return;
+  Tracked& tracked = it->second;
+  if (tracked.terminal) return;
+  const SimTime now = bus_.engine().now();
+  const SiteId site = tracked.plan.site;
+
+  switch (event.state) {
+    case submit::GatewayJobState::kRunning: {
+      tracked.started_at = now;
+      TrackerReport r{event.job, ReportKind::kRunning, site, now, 0, 0, 0};
+      r.idle_time = now - tracked.submitted_at;
+      report(r);
+      return;
+    }
+    case submit::GatewayJobState::kCompleted: {
+      finish_tracking(tracked);
+      ++tracker_.completions;
+      TrackerReport r{event.job, ReportKind::kCompleted, site, now, 0, 0, 0};
+      r.completion_time = now - tracked.submitted_at;
+      if (tracked.started_at < kNever) {
+        r.execution_time = now - tracked.started_at;
+        r.idle_time = tracked.started_at - tracked.submitted_at;
+      }
+      exec_times_.add(r.execution_time);
+      idle_times_.add(r.idle_time);
+      auto& obs = per_site_[site];
+      ++obs.completed;
+      obs.completion_times.add(r.completion_time);
+      // Planner step 4: archive final outputs to persistent storage.
+      if (tracked.plan.persist_output &&
+          tracked.plan.persistent_site.valid() &&
+          tracked.plan.persistent_site != site) {
+        ++tracker_.persisted_outputs;
+        gateway_.replicate(tracked.plan.output, tracked.plan.persistent_site,
+                           [](bool) {});
+      }
+      report(r);
+      return;
+    }
+    case submit::GatewayJobState::kHeld:
+    case submit::GatewayJobState::kFailed: {
+      // Site-initiated failure: clean up the remote side and request
+      // replanning ("the client also sends the job cancellation message
+      // to the remote sites on which the held jobs are located").
+      finish_tracking(tracked);
+      ++tracker_.held_or_failed;
+      gateway_.cancel(event.job);
+      TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0};
+      r.completion_time = now - tracked.submitted_at;  // censored
+      report(r);
+      return;
+    }
+    case submit::GatewayJobState::kRemoved: {
+      if (!tracked.terminal) {
+        // Removed by someone other than our timeout path: treat as held.
+        finish_tracking(tracked);
+        TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0};
+        r.completion_time = now - tracked.submitted_at;  // censored
+        report(r);
+      }
+      return;
+    }
+    default:
+      return;  // kSubmitted/kIdle/kStaging carry no tracker action
+  }
+}
+
+void SphinxClient::on_timeout(JobId job) {
+  const auto it = tracked_.find(job);
+  if (it == tracked_.end() || it->second.terminal) return;
+  Tracked& tracked = it->second;
+  // Progress check before killing: a job visibly staging or computing on
+  // a responsive site is slow, not lost.  Grant it another period (up to
+  // the configured budget) instead of cancelling and re-staging it
+  // somewhere else.
+  const auto state = gateway_.state_of(job);
+  const bool progressing =
+      state.has_value() && (*state == submit::GatewayJobState::kStaging ||
+                            *state == submit::GatewayJobState::kRunning);
+  if (progressing && gateway_.site_responsive(job) &&
+      tracked.extensions < config_.max_timeout_extensions) {
+    ++tracked.extensions;
+    ++tracker_.extensions;
+    tracked.timeout = bus_.engine().schedule_in(
+        config_.job_timeout, config_.endpoint + ":timeout",
+        [this, job] { on_timeout(job); });
+    return;
+  }
+  finish_tracking(tracked);
+  ++tracker_.timeouts;
+  log_.debug("timeout for job ", job.value(), " on site ",
+             tracked.plan.site.value(), "; cancelling and replanning");
+  gateway_.cancel(job);  // condor_rm (or forced removal if site is dead)
+  TrackerReport r{job, ReportKind::kCancelled, tracked.plan.site,
+                  bus_.engine().now(), 0, 0, 0};
+  // The attempt had been outstanding for the full timeout: report that as
+  // a censored (lower-bound) completion-time observation.
+  r.completion_time = bus_.engine().now() - tracked.submitted_at;
+  report(r);
+}
+
+void SphinxClient::report(const TrackerReport& r) {
+  rpc_->call(config_.server, "sphinx.report", {encode_report(r)},
+             [this](Expected<XrValue> result) {
+               if (!result.has_value()) {
+                 log_.warn("report rejected: ", result.error().to_string());
+               }
+             });
+}
+
+std::size_t SphinxClient::dags_finished() const noexcept {
+  std::size_t n = 0;
+  for (const DagOutcome& outcome : outcomes_) {
+    if (outcome.done()) ++n;
+  }
+  return n;
+}
+
+bool SphinxClient::all_dags_finished() const noexcept {
+  return !outcomes_.empty() && dags_finished() == outcomes_.size();
+}
+
+double SphinxClient::avg_dag_completion() const {
+  RunningStats stats;
+  for (const DagOutcome& outcome : outcomes_) {
+    if (outcome.done()) stats.add(outcome.completion_time());
+  }
+  return stats.mean();
+}
+
+std::pair<std::size_t, std::size_t> SphinxClient::deadline_hits() const {
+  std::size_t met = 0;
+  std::size_t total = 0;
+  for (const DagOutcome& outcome : outcomes_) {
+    if (outcome.deadline >= kNever) continue;
+    ++total;
+    if (outcome.deadline_met()) ++met;
+  }
+  return {met, total};
+}
+
+double SphinxClient::avg_job_execution() const { return exec_times_.mean(); }
+double SphinxClient::avg_job_idle() const { return idle_times_.mean(); }
+
+}  // namespace sphinx::core

@@ -1,0 +1,154 @@
+#pragma once
+/// \file client.hpp
+/// The SPHINX client: lightweight scheduling agent + job tracker.
+///
+/// "The client is a lightweight portable scheduling agent that represents
+/// the server for processing scheduling requests" (paper section 3.1).
+/// It submits abstract DAGs to the server, receives per-job execution
+/// plans, turns them into Condor-G submissions, and runs the *job
+/// tracker*: watching execution status, reporting completion times back
+/// to the server, cancelling jobs that exceed their timeout and
+/// requesting replanning -- the mechanism behind every fault-tolerance
+/// result in the paper (Figures 2 and 8).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "core/codec.hpp"
+#include "rpc/clarens.hpp"
+#include "submit/condor_g.hpp"
+#include "workflow/dag.hpp"
+
+namespace sphinx::core {
+
+struct ClientConfig {
+  std::string endpoint = "sphinx-client";
+  std::string server = "sphinx-server";
+  UserId user = UserId(1);
+  std::string vo = "uscms";
+  /// Tracker timeout: a job that has made no visible progress this long
+  /// after submission is cancelled and replanning is requested.  A job
+  /// observed staging or computing on a responsive site is granted up to
+  /// `max_timeout_extensions` further periods before the hard kill --
+  /// slow is not dead, and cancelling a half-staged job only to restage
+  /// it elsewhere makes congestion worse.
+  Duration job_timeout = minutes(30);
+  int max_timeout_extensions = 3;
+};
+
+/// Completion record for one DAG (client-side timing).
+struct DagOutcome {
+  DagId id;
+  std::string name;
+  SimTime submitted_at = 0.0;
+  SimTime finished_at = kNever;
+  SimTime deadline = kNever;  ///< QoS deadline; kNever = best effort
+  [[nodiscard]] bool done() const noexcept { return finished_at < kNever; }
+  [[nodiscard]] Duration completion_time() const noexcept {
+    return finished_at - submitted_at;
+  }
+  /// True when a QoS deadline existed and was met.
+  [[nodiscard]] bool deadline_met() const noexcept {
+    return deadline < kNever && done() && finished_at <= deadline;
+  }
+};
+
+/// Tracker counters (Figure 8's timeout counts come from here).
+struct TrackerStats {
+  std::size_t plans_received = 0;
+  std::size_t submissions = 0;
+  std::size_t timeouts = 0;          ///< tracker-initiated cancellations
+  std::size_t extensions = 0;        ///< timeouts deferred due to progress
+  std::size_t held_or_failed = 0;    ///< site-initiated failures observed
+  std::size_t completions = 0;
+  std::size_t persisted_outputs = 0; ///< final outputs sent to archive
+};
+
+class SphinxClient {
+ public:
+  SphinxClient(rpc::MessageBus& bus, submit::CondorG& gateway,
+               ClientConfig config, rpc::Proxy proxy);
+  ~SphinxClient();
+
+  SphinxClient(const SphinxClient&) = delete;
+  SphinxClient& operator=(const SphinxClient&) = delete;
+
+  /// Sends an abstract DAG to the server for scheduling.  Higher
+  /// `priority` requests are planned first when resources are contended;
+  /// a finite `deadline` (absolute sim time) requests QoS: among equal
+  /// priorities the server plans earliest-deadline DAGs first.
+  void submit(const workflow::Dag& dag, double priority = 0.0,
+              SimTime deadline = kNever);
+
+  /// DAGs with a deadline that finished on time / in total.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> deadline_hits() const;
+
+  // --- observability ----------------------------------------------------
+  [[nodiscard]] const std::vector<DagOutcome>& dag_outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] std::size_t dags_finished() const noexcept;
+  [[nodiscard]] bool all_dags_finished() const noexcept;
+  /// Average DAG completion time over finished DAGs (Figures 2-5a, 7a).
+  [[nodiscard]] double avg_dag_completion() const;
+  /// Average job execution time over completed attempts (Figures 3-5b).
+  [[nodiscard]] double avg_job_execution() const;
+  /// Average idle (queuing) time over completed attempts (Figures 3-5b).
+  [[nodiscard]] double avg_job_idle() const;
+  [[nodiscard]] const TrackerStats& tracker_stats() const noexcept {
+    return tracker_;
+  }
+  /// Per-site completed-job counts and mean completion times as this
+  /// client observed them (Figure 6).
+  struct SiteObservation {
+    std::size_t completed = 0;
+    RunningStats completion_times;
+  };
+  [[nodiscard]] const std::unordered_map<SiteId, SiteObservation>&
+  site_observations() const noexcept {
+    return per_site_;
+  }
+
+  [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Tracked {
+    ExecutionPlan plan;
+    SimTime submitted_at = 0.0;
+    SimTime started_at = kNever;
+    sim::EventHandle timeout;
+    int extensions = 0;
+    bool terminal = false;
+  };
+
+  Expected<rpc::XrValue> handle_execute_plan(
+      const std::vector<rpc::XrValue>& params);
+  Expected<rpc::XrValue> handle_dag_done(
+      const std::vector<rpc::XrValue>& params);
+  void on_gateway_event(const submit::GatewayEvent& event);
+  void on_timeout(JobId job);
+  void report(const TrackerReport& report);
+  void finish_tracking(Tracked& tracked);
+
+  rpc::MessageBus& bus_;
+  submit::CondorG& gateway_;
+  ClientConfig config_;
+  std::unique_ptr<rpc::ClarensService> service_;
+  std::unique_ptr<rpc::ClarensClient> rpc_;
+  std::unordered_map<JobId, Tracked> tracked_;
+  std::unordered_map<DagId, std::size_t> outcome_index_;
+  std::vector<DagOutcome> outcomes_;
+  TrackerStats tracker_;
+  RunningStats exec_times_;
+  RunningStats idle_times_;
+  std::unordered_map<SiteId, SiteObservation> per_site_;
+  Logger log_{"sphinx-client"};
+};
+
+}  // namespace sphinx::core

@@ -1,0 +1,423 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+
+#include "data/replication.hpp"
+
+namespace sphinx::core {
+
+using rpc::XrValue;
+
+SphinxServer::SphinxServer(rpc::MessageBus& bus,
+                           std::vector<CatalogSite> catalog,
+                           data::ReplicaLocationService& rls,
+                           data::TransferService& transfers,
+                           const monitor::MonitoringService* monitoring,
+                           ServerConfig config)
+    : SphinxServer(bus, std::move(catalog), rls, transfers, monitoring,
+                   std::move(config), std::make_unique<DataWarehouse>()) {}
+
+SphinxServer::SphinxServer(rpc::MessageBus& bus,
+                           std::vector<CatalogSite> catalog,
+                           data::ReplicaLocationService& rls,
+                           data::TransferService& transfers,
+                           const monitor::MonitoringService* monitoring,
+                           ServerConfig config,
+                           std::unique_ptr<DataWarehouse> warehouse)
+    : bus_(bus),
+      catalog_(std::move(catalog)),
+      rls_(rls),
+      transfers_(transfers),
+      monitoring_(monitoring),
+      config_(std::move(config)),
+      warehouse_(std::move(warehouse)),
+      algorithm_(make_algorithm(config_.algorithm)) {
+  SPHINX_ASSERT(!catalog_.empty(), "server needs a non-empty site catalog");
+
+  rpc::AuthzPolicy policy;
+  for (const std::string& vo : config_.allowed_vos) policy.allow_vo("*", vo);
+  service_ = std::make_unique<rpc::ClarensService>(bus_, config_.endpoint,
+                                                   std::move(policy));
+  // The server's own outgoing identity (host certificate proxy).
+  const rpc::Proxy host_proxy(
+      rpc::Identity{"/CN=" + config_.endpoint, "/CN=iGOC CA"}, "ivdgl", {},
+      bus_.engine().now(), hours(24 * 365));
+  out_ = std::make_unique<rpc::ClarensClient>(bus_, config_.endpoint + "/out",
+                                              host_proxy);
+  register_methods();
+
+  control_ = std::make_unique<sim::PeriodicProcess>(
+      bus_.engine(), config_.endpoint + ":control", config_.sweep_period,
+      [this] { sweep(); });
+}
+
+Expected<std::unique_ptr<SphinxServer>> SphinxServer::recover(
+    rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
+    data::ReplicaLocationService& rls, data::TransferService& transfers,
+    const monitor::MonitoringService* monitoring, ServerConfig config,
+    const db::Journal& journal) {
+  auto warehouse = DataWarehouse::recover_from(journal);
+  if (!warehouse) return Unexpected<Error>{warehouse.error()};
+  auto server = std::unique_ptr<SphinxServer>(new SphinxServer(
+      bus, std::move(catalog), rls, transfers, monitoring, std::move(config),
+      std::move(*warehouse)));
+  // Rebuild the in-memory DAG -> client routing from the dags table.
+  for (const DagRecord& dag : server->warehouse_->all_dags()) {
+    server->dag_client_[dag.id] = dag.client;
+    server->dag_user_[dag.id] = dag.user;
+  }
+  // In-flight plans were already sent; jobs stuck in kPlanned will be
+  // re-reported by the client tracker (or time out and be replanned), so
+  // no plan is lost permanently.
+  return server;
+}
+
+SphinxServer::~SphinxServer() = default;
+
+void SphinxServer::start() { control_->start(); }
+void SphinxServer::stop() { control_->stop(); }
+
+void SphinxServer::register_methods() {
+  service_->register_method(
+      "sphinx.submit_dag",
+      [this](const std::vector<XrValue>& params, const rpc::Proxy& proxy) {
+        return handle_submit_dag(params, proxy);
+      });
+  service_->register_method(
+      "sphinx.report",
+      [this](const std::vector<XrValue>& params, const rpc::Proxy& proxy) {
+        return handle_report(params, proxy);
+      });
+  service_->register_method(
+      "sphinx.set_quota",
+      [this](const std::vector<XrValue>& params, const rpc::Proxy& proxy) {
+        return handle_set_quota(params, proxy);
+      });
+}
+
+Expected<XrValue> SphinxServer::handle_submit_dag(
+    const std::vector<XrValue>& params, const rpc::Proxy& proxy) {
+  if (params.size() < 3 || params.size() > 5 || !params[0].is_string() ||
+      !params[1].is_int()) {
+    return make_error(
+        "bad_request",
+        "expected [client_endpoint, user_id, dag, priority?, deadline?]");
+  }
+  auto dag = decode_dag(params[2]);
+  if (!dag) return Unexpected<Error>{dag.error()};
+  const std::string& client = params[0].as_string();
+  const UserId user(static_cast<std::uint64_t>(params[1].as_int()));
+  double priority = 0.0;
+  if (params.size() >= 4) {
+    if (!params[3].is_double() && !params[3].is_int()) {
+      return make_error("bad_request", "priority must be numeric");
+    }
+    priority = params[3].as_double();
+  }
+  SimTime deadline = kNever;
+  if (params.size() == 5) {
+    if (!params[4].is_double() && !params[4].is_int()) {
+      return make_error("bad_request", "deadline must be numeric");
+    }
+    deadline = params[4].as_double();
+  }
+
+  warehouse_->insert_dag(*dag, client, user, bus_.engine().now(), priority,
+                         deadline);
+  dag_client_[dag->id()] = client;
+  dag_user_[dag->id()] = user;
+  ++stats_.dags_received;
+  log_.debug("received dag ", dag->name(), " (", dag->size(), " jobs) from ",
+             client, " [", proxy.principal(), "]");
+  return XrValue(dag->id().value());
+}
+
+Expected<XrValue> SphinxServer::handle_report(
+    const std::vector<XrValue>& params, const rpc::Proxy&) {
+  if (params.size() != 1) {
+    return make_error("bad_request", "expected [report]");
+  }
+  auto report = decode_report(params[0]);
+  if (!report) return Unexpected<Error>{report.error()};
+  ++stats_.reports_processed;
+
+  const auto job = warehouse_->job(report->job);
+  if (!job.has_value()) {
+    return make_error("unknown_job",
+                      "no job " + std::to_string(report->job.value()));
+  }
+
+  switch (report->kind) {
+    case ReportKind::kSubmitted:
+      if (job->state == JobState::kPlanned) {
+        warehouse_->set_job_state(job->id, JobState::kSubmitted);
+      }
+      break;
+    case ReportKind::kRunning:
+      if (job->state == JobState::kSubmitted ||
+          job->state == JobState::kPlanned) {
+        warehouse_->set_job_state(job->id, JobState::kRunning);
+      }
+      break;
+    case ReportKind::kCompleted: {
+      warehouse_->set_job_state(job->id, JobState::kCompleted);
+      // Feedback: fold the completion time into the site's EWMA (the
+      // prediction module's knowledge base, eq. 3).
+      warehouse_->record_completion(report->site, report->completion_time);
+      maybe_finish_dag(job->dag);
+      break;
+    }
+    case ReportKind::kCancelled:
+    case ReportKind::kHeld: {
+      // The tracker killed or observed the death of this attempt.  Return
+      // the reserved quota and queue the job for replanning.
+      warehouse_->set_job_state(job->id, report->kind == ReportKind::kHeld
+                                             ? JobState::kHeld
+                                             : JobState::kCancelled);
+      warehouse_->record_cancellation(report->site,
+                                      report->completion_time);
+      if (config_.use_policy) {
+        const auto user = dag_user_.find(job->dag);
+        if (user != dag_user_.end()) {
+          warehouse_->refund_quota(user->second, report->site, "cpu_seconds",
+                                   job->compute_time);
+          warehouse_->refund_quota(user->second, report->site, "disk_bytes",
+                                   job->output_bytes);
+        }
+      }
+      // Back to the planner on the next sweep.
+      warehouse_->set_job_state(job->id, JobState::kUnplanned);
+      break;
+    }
+  }
+  return XrValue(true);
+}
+
+Expected<XrValue> SphinxServer::handle_set_quota(
+    const std::vector<XrValue>& params, const rpc::Proxy&) {
+  if (params.size() != 4 || !params[0].is_int() || !params[1].is_int() ||
+      !params[2].is_string()) {
+    return make_error("bad_request",
+                      "expected [user, site, resource, limit]");
+  }
+  set_quota(UserId(static_cast<std::uint64_t>(params[0].as_int())),
+            SiteId(static_cast<std::uint64_t>(params[1].as_int())),
+            params[2].as_string(), params[3].as_double());
+  return XrValue(true);
+}
+
+void SphinxServer::set_quota(UserId user, SiteId site,
+                             const std::string& resource, double limit) {
+  warehouse_->set_quota(user, site, resource, limit);
+}
+
+void SphinxServer::sweep() {
+  // Per-sweep snapshot of the eq. 1/2 "planned + unfinished" terms; kept
+  // current as this sweep plans jobs.  No other event can interleave
+  // while a sweep runs, so the snapshot stays consistent.
+  sweep_outstanding_ = warehouse_->outstanding_by_site();
+  // Control process: wake the module responsible for each state.
+  for (const DagRecord& dag : warehouse_->dags_in_state(DagState::kReceived)) {
+    reduce_dag(dag);
+  }
+  for (const DagRecord& dag : warehouse_->dags_in_state(DagState::kReduced)) {
+    warehouse_->set_dag_state(dag.id, DagState::kPlanning);
+  }
+  // Requests are planned by priority, then submission order -- the
+  // server "provides functionality for scheduling jobs from multiple
+  // users concurrently based on the policy and priorities of these jobs"
+  // (paper section 5).
+  auto planning = warehouse_->dags_in_state(DagState::kPlanning);
+  if (config_.use_qos_ordering) {
+    // Priority first, then earliest deadline first among equals.
+    std::stable_sort(planning.begin(), planning.end(),
+                     [](const DagRecord& a, const DagRecord& b) {
+                       if (a.priority != b.priority) {
+                         return a.priority > b.priority;
+                       }
+                       return a.deadline < b.deadline;
+                     });
+  }
+  for (const DagRecord& dag : planning) {
+    plan_dag(dag);
+  }
+}
+
+void SphinxServer::reduce_dag(const DagRecord& dag) {
+  // "The DAG reducer simply checks for the existence of the output files
+  // of each job, and if they all exist, the job ... can be deleted."  One
+  // clubbed RLS call covers the whole DAG.
+  const auto jobs = warehouse_->jobs_of_dag(dag.id);
+  std::vector<data::Lfn> outputs;
+  outputs.reserve(jobs.size());
+  for (const JobRecord& job : jobs) outputs.push_back(job.output);
+  const auto replicas = rls_.locate_bulk(outputs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!replicas[i].empty()) {
+      warehouse_->set_job_state(jobs[i].id, JobState::kCompleted);
+      ++stats_.jobs_reduced;
+    }
+  }
+  warehouse_->set_dag_state(dag.id, DagState::kReduced);
+  maybe_finish_dag(dag.id);
+}
+
+void SphinxServer::plan_dag(const DagRecord& dag) {
+  const auto completed = warehouse_->completed_jobs(dag.id);
+  for (const JobRecord& job : warehouse_->jobs_of_dag(dag.id)) {
+    if (job.state != JobState::kUnplanned) continue;
+    const auto parents = warehouse_->job_parents(job.id);
+    const bool ready =
+        std::all_of(parents.begin(), parents.end(),
+                    [&](JobId p) { return completed.contains(p); });
+    if (!ready) continue;
+    plan_job(dag, job);
+  }
+}
+
+std::vector<CandidateSite> SphinxServer::feasible_sites(const DagRecord& dag,
+                                                        const JobRecord& job) {
+  std::vector<CandidateSite> reliable;
+  std::vector<CandidateSite> unreliable;  // kept for the starvation fallback
+  bool policy_rejected_any = false;
+  for (const CatalogSite& entry : catalog_) {
+    // Policy filter (eq. 4): quota_i^s >= required_i^s for every resource.
+    if (config_.use_policy) {
+      const double cpu_quota =
+          warehouse_->quota_remaining(dag.user, entry.id, "cpu_seconds");
+      const double disk_quota =
+          warehouse_->quota_remaining(dag.user, entry.id, "disk_bytes");
+      if (cpu_quota < job.compute_time || disk_quota < job.output_bytes) {
+        policy_rejected_any = true;
+        continue;
+      }
+    }
+    const SiteStats stats = warehouse_->site_stats(entry.id);
+
+    CandidateSite site;
+    site.id = entry.id;
+    site.cpus = entry.cpus;
+    if (const auto it = sweep_outstanding_.find(entry.id);
+        it != sweep_outstanding_.end()) {
+      site.outstanding = it->second;
+    }
+    site.completed = stats.completed;
+    site.cancelled = stats.cancelled;
+    site.avg_completion = stats.avg_completion;
+    site.samples = stats.samples;
+    if (monitoring_ != nullptr) {
+      if (const auto snap = monitoring_->snapshot(entry.id); snap.has_value()) {
+        site.monitored = true;
+        site.mon_queued = snap->queued;
+        site.mon_running = snap->running;
+      }
+    }
+    // Feedback filter: "sites having more number of cancelled jobs than
+    // completed jobs are marked unreliable".
+    if (config_.use_feedback && stats.cancelled > stats.completed) {
+      unreliable.push_back(site);
+    } else {
+      reliable.push_back(site);
+    }
+  }
+  if (policy_rejected_any) ++stats_.policy_rejections;
+  // Starvation guard: if feedback flagged every policy-feasible site,
+  // fall back to the full list rather than deadlock the DAG.
+  if (reliable.empty()) return unreliable;
+  return reliable;
+}
+
+bool SphinxServer::plan_job(const DagRecord& dag, const JobRecord& job) {
+  // Input availability: every input must have at least one replica.
+  const auto inputs = warehouse_->job_inputs(job.id);
+  const auto located = rls_.locate_bulk(inputs);
+  for (const auto& replicas : located) {
+    if (replicas.empty()) return false;  // inputs not available yet
+  }
+
+  SchedulingContext context;
+  context.now = bus_.engine().now();
+  context.sites = feasible_sites(dag, job);
+  const auto site = algorithm_->select(context);
+  if (!site.has_value()) return false;  // no feasible site right now
+
+  // Choose the optimal transfer source for each input (planner step 3).
+  ExecutionPlan plan;
+  plan.job = job.id;
+  plan.dag = dag.id;
+  plan.job_name = job.name;
+  plan.site = *site;
+  plan.compute_time = job.compute_time;
+  plan.output = job.output;
+  plan.output_bytes = job.output_bytes;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto choice = data::select_replica(located[i], *site, transfers_);
+    SPHINX_ASSERT(choice.has_value(), "located input lost its replicas");
+    plan.inputs.push_back(PlannedInput{inputs[i], choice->replica.site,
+                                       choice->replica.size_bytes});
+  }
+
+  // QoS: deadline requests jump within-VO batch queues; explicit request
+  // priority adds a smaller bounded nudge.
+  if (config_.use_qos_ordering) {
+    plan.batch_priority = std::clamp(dag.priority / 10.0, -0.4, 0.4) +
+                          (dag.deadline < kNever ? 0.5 : 0.0);
+  }
+
+  // Planner step 4: final outputs (no consumer within the DAG) go to
+  // persistent storage; intermediates stay on their execution site.
+  if (config_.persistent_site.valid() &&
+      warehouse_->job_children(job.id).empty()) {
+    plan.persist_output = true;
+    plan.persistent_site = config_.persistent_site;
+  }
+
+  warehouse_->set_job_planned(job.id, *site, context.now);
+  ++sweep_outstanding_[*site];
+  plan.attempt = job.attempt + 1;
+  if (config_.use_policy) {
+    warehouse_->consume_quota(dag.user, *site, "cpu_seconds",
+                              job.compute_time);
+    warehouse_->consume_quota(dag.user, *site, "disk_bytes",
+                              job.output_bytes);
+  }
+  ++stats_.plans_sent;
+  if (plan.attempt > 1) ++stats_.replans;
+  send_plan(dag, plan);
+  return true;
+}
+
+void SphinxServer::send_plan(const DagRecord& dag, const ExecutionPlan& plan) {
+  const auto client = dag_client_.find(dag.id);
+  SPHINX_ASSERT(client != dag_client_.end(), "dag without a client route");
+  out_->call(client->second, "sphinx_client.execute_plan",
+             {encode_plan(plan)}, [this, job = plan.job](auto result) {
+               if (!result.has_value()) {
+                 // Client unreachable: the job stays kPlanned; the
+                 // client's tracker (or its absence) will eventually
+                 // surface as a cancellation and a replan.
+                 log_.warn("plan delivery failed for job ", job.value(), ": ",
+                           result.error().to_string());
+               }
+             });
+}
+
+void SphinxServer::maybe_finish_dag(DagId dag_id) {
+  const auto dag = warehouse_->dag(dag_id);
+  if (!dag.has_value() || dag->state == DagState::kFinished) return;
+  const auto jobs = warehouse_->jobs_of_dag(dag_id);
+  const bool all_done =
+      std::all_of(jobs.begin(), jobs.end(), [](const JobRecord& job) {
+        return job.state == JobState::kCompleted;
+      });
+  if (!all_done) return;
+  const SimTime now = bus_.engine().now();
+  warehouse_->set_dag_finished(dag_id, now);
+  const auto client = dag_client_.find(dag_id);
+  if (client != dag_client_.end()) {
+    out_->call(client->second, "sphinx_client.dag_done",
+               {XrValue(dag_id.value()), XrValue(now)}, [](auto) {});
+  }
+}
+
+}  // namespace sphinx::core

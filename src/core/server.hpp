@@ -1,0 +1,168 @@
+#pragma once
+/// \file server.hpp
+/// The SPHINX server: control process + scheduling modules.
+///
+/// The server hosts a Clarens endpoint with two methods -- a client
+/// submits abstract DAGs via `sphinx.submit_dag` and streams tracker
+/// reports via `sphinx.report` -- and runs a periodic *control process*
+/// that moves DAGs and jobs through the scheduling automaton:
+///
+///   DAG:  received --reducer--> planning --all jobs done--> finished
+///   job:  unplanned --planner--> planned --client reports--> submitted
+///         --> running --> completed | cancelled/held --> unplanned again
+///
+/// The planner filters candidate sites by policy quotas (eq. 4) and the
+/// feedback reliability rule, then delegates the choice to the configured
+/// strategy, then resolves input replicas through the RLS ("clubbing all
+/// its requests in a single call") and picks optimal transfer sources.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/log.hpp"
+#include "core/algorithms.hpp"
+#include "core/codec.hpp"
+#include "core/state.hpp"
+#include "core/warehouse.hpp"
+#include "data/gridftp.hpp"
+#include "data/rls.hpp"
+#include "monitor/service.hpp"
+#include "rpc/clarens.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::core {
+
+/// Static catalog entry the server knows about each site (the Grid3
+/// catalog: always available, unlike monitoring data).
+struct CatalogSite {
+  SiteId id;
+  std::string name;
+  int cpus = 1;
+};
+
+/// Server configuration.
+struct ServerConfig {
+  std::string endpoint = "sphinx-server";
+  Algorithm algorithm = Algorithm::kCompletionTime;
+  bool use_feedback = true;   ///< apply the reliability filter
+  bool use_policy = false;    ///< apply quota constraints (eq. 4)
+  /// QoS: order planning by priority then earliest deadline first.  Off,
+  /// requests are planned in pure submission order (priority ignored).
+  bool use_qos_ordering = true;
+  Duration sweep_period = 5.0;
+  /// Planner step 4: when set, final outputs (outputs no other job in the
+  /// DAG consumes) are copied to this site's persistent storage after the
+  /// producing job completes.
+  SiteId persistent_site;
+  /// VOs authorized to talk to this server (GSI ACL).
+  std::vector<std::string> allowed_vos = {"uscms", "atlas", "ivdgl"};
+};
+
+/// Counters for experiments and diagnostics.
+struct ServerStats {
+  std::size_t dags_received = 0;
+  std::size_t plans_sent = 0;
+  std::size_t replans = 0;         ///< plans for attempt > 1
+  std::size_t reports_processed = 0;
+  std::size_t jobs_reduced = 0;    ///< jobs eliminated by the DAG reducer
+  std::size_t policy_rejections = 0;  ///< site filtered by quota at least once
+};
+
+class SphinxServer {
+ public:
+  SphinxServer(rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
+               data::ReplicaLocationService& rls,
+               data::TransferService& transfers,
+               const monitor::MonitoringService* monitoring,
+               ServerConfig config);
+
+  /// Reconstructs a server from a crashed instance's journal (paper:
+  /// "easily recoverable from internal component failures").  In-flight
+  /// client connections resume transparently because all state that
+  /// matters lives in the warehouse.
+  static Expected<std::unique_ptr<SphinxServer>> recover(
+      rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
+      data::ReplicaLocationService& rls, data::TransferService& transfers,
+      const monitor::MonitoringService* monitoring, ServerConfig config,
+      const db::Journal& journal);
+
+  ~SphinxServer();
+  SphinxServer(const SphinxServer&) = delete;
+  SphinxServer& operator=(const SphinxServer&) = delete;
+
+  /// Starts the control process.
+  void start();
+  /// Stops the control process (simulating an internal failure).
+  void stop();
+
+  /// One control-process sweep (also callable directly from tests).
+  void sweep();
+
+  [[nodiscard]] DataWarehouse& warehouse() noexcept { return *warehouse_; }
+  [[nodiscard]] const DataWarehouse& warehouse() const noexcept {
+    return *warehouse_;
+  }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return config_.endpoint;
+  }
+
+  /// Sets a usage quota (administrative interface; also reachable over
+  /// RPC via `sphinx.set_quota`).
+  void set_quota(UserId user, SiteId site, const std::string& resource,
+                 double limit);
+
+ private:
+  SphinxServer(rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
+               data::ReplicaLocationService& rls,
+               data::TransferService& transfers,
+               const monitor::MonitoringService* monitoring,
+               ServerConfig config, std::unique_ptr<DataWarehouse> warehouse);
+
+  void register_methods();
+  /// Message-handling module: stores an incoming DAG.
+  Expected<rpc::XrValue> handle_submit_dag(const std::vector<rpc::XrValue>& params,
+                                           const rpc::Proxy& proxy);
+  /// Message-handling module: folds in one tracker report.
+  Expected<rpc::XrValue> handle_report(const std::vector<rpc::XrValue>& params,
+                                       const rpc::Proxy& proxy);
+  Expected<rpc::XrValue> handle_set_quota(const std::vector<rpc::XrValue>& params,
+                                          const rpc::Proxy& proxy);
+
+  /// DAG reducer module (paper section 3.2).
+  void reduce_dag(const DagRecord& dag);
+  /// Planner module: plans every ready job of a planning-state DAG.
+  void plan_dag(const DagRecord& dag);
+  /// Plans one job; returns false when no feasible site exists right now.
+  bool plan_job(const DagRecord& dag, const JobRecord& job);
+  /// Builds the strategy's view of the feasible sites.
+  [[nodiscard]] std::vector<CandidateSite> feasible_sites(
+      const DagRecord& dag, const JobRecord& job);
+  void maybe_finish_dag(DagId dag_id);
+  void send_plan(const DagRecord& dag, const ExecutionPlan& plan);
+
+  rpc::MessageBus& bus_;
+  std::vector<CatalogSite> catalog_;
+  data::ReplicaLocationService& rls_;
+  data::TransferService& transfers_;
+  const monitor::MonitoringService* monitoring_;  ///< may be null
+  ServerConfig config_;
+  std::unique_ptr<DataWarehouse> warehouse_;
+  std::unique_ptr<SchedulingAlgorithm> algorithm_;
+  std::unique_ptr<rpc::ClarensService> service_;
+  std::unique_ptr<rpc::ClarensClient> out_;  ///< for server -> client calls
+  std::unique_ptr<sim::PeriodicProcess> control_;
+  // Client endpoint and user for each DAG (rebuilt from the dags table on
+  // recovery, so plan delivery resumes).
+  std::unordered_map<DagId, std::string> dag_client_;
+  std::unordered_map<DagId, UserId> dag_user_;
+  std::unordered_map<SiteId, std::int64_t> sweep_outstanding_;
+  ServerStats stats_;
+  Logger log_{"sphinx-server"};
+};
+
+}  // namespace sphinx::core

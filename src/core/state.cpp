@@ -1,0 +1,59 @@
+#include "core/state.hpp"
+
+#include "common/error.hpp"
+
+namespace sphinx::core {
+
+const char* to_string(DagState state) noexcept {
+  switch (state) {
+    case DagState::kReceived: return "received";
+    case DagState::kReduced: return "reduced";
+    case DagState::kPlanning: return "planning";
+    case DagState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kUnplanned: return "unplanned";
+    case JobState::kPlanned: return "planned";
+    case JobState::kSubmitted: return "submitted";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kHeld: return "held";
+  }
+  return "?";
+}
+
+DagState dag_state_from(std::string_view text) {
+  if (text == "received") return DagState::kReceived;
+  if (text == "reduced") return DagState::kReduced;
+  if (text == "planning") return DagState::kPlanning;
+  if (text == "finished") return DagState::kFinished;
+  throw AssertionError("unknown dag state: " + std::string(text));
+}
+
+JobState job_state_from(std::string_view text) {
+  if (text == "unplanned") return JobState::kUnplanned;
+  if (text == "planned") return JobState::kPlanned;
+  if (text == "submitted") return JobState::kSubmitted;
+  if (text == "running") return JobState::kRunning;
+  if (text == "completed") return JobState::kCompleted;
+  if (text == "cancelled") return JobState::kCancelled;
+  if (text == "held") return JobState::kHeld;
+  throw AssertionError("unknown job state: " + std::string(text));
+}
+
+const char* to_string(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kRoundRobin: return "round-robin";
+    case Algorithm::kNumCpus: return "num-cpus";
+    case Algorithm::kQueueLength: return "queue-length";
+    case Algorithm::kCompletionTime: return "completion-time";
+  }
+  return "?";
+}
+
+}  // namespace sphinx::core

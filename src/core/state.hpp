@@ -1,0 +1,58 @@
+#pragma once
+/// \file state.hpp
+/// The scheduling automaton's states.
+///
+/// "SPHINX adapts finite automaton for scheduling status management.  The
+/// scheduler moves a DAG through predefined states to complete resource
+/// allocation to the jobs in the DAG" (paper section 3.2).  Each state is
+/// owned by exactly one server module; the control process wakes the
+/// module responsible for whatever states it finds in the warehouse.
+
+#include <string_view>
+
+namespace sphinx::core {
+
+/// Server-side DAG states.
+enum class DagState {
+  kReceived,  ///< stored by the message handler; awaiting reduction
+  kReduced,   ///< DAG reducer removed already-materialized jobs
+  kPlanning,  ///< planner is allocating resources job by job
+  kFinished,  ///< every job completed
+};
+
+/// Server-side job states.
+enum class JobState {
+  kUnplanned,  ///< waiting for dependencies/inputs or a feasible site
+  kPlanned,    ///< site chosen; plan sent to the client
+  kSubmitted,  ///< client confirmed submission to the site
+  kRunning,    ///< client reported execution start
+  kCompleted,  ///< done (terminal)
+  kCancelled,  ///< cancelled (tracker timeout or user); will be replanned
+  kHeld,       ///< held at the site; will be replanned
+};
+
+[[nodiscard]] const char* to_string(DagState state) noexcept;
+[[nodiscard]] const char* to_string(JobState state) noexcept;
+
+/// Parses the to_string() form back (used when reading warehouse rows).
+[[nodiscard]] DagState dag_state_from(std::string_view text);
+[[nodiscard]] JobState job_state_from(std::string_view text);
+
+/// Job states that count as "outstanding on a site" for the load-rate
+/// formulas (planned_jobs + unfinished_jobs in eq. 1 and 2).
+[[nodiscard]] constexpr bool is_outstanding(JobState s) noexcept {
+  return s == JobState::kPlanned || s == JobState::kSubmitted ||
+         s == JobState::kRunning;
+}
+
+/// Scheduling strategies evaluated in the paper (section 4.1).
+enum class Algorithm {
+  kRoundRobin,
+  kNumCpus,         ///< eq. (1): (planned + unfinished) / CPUs
+  kQueueLength,     ///< eq. (2): monitored (queued + running + planned) / CPUs
+  kCompletionTime,  ///< eq. (3): min normalized avg completion time, hybrid
+};
+
+[[nodiscard]] const char* to_string(Algorithm algorithm) noexcept;
+
+}  // namespace sphinx::core

@@ -1,0 +1,425 @@
+#include "core/warehouse.hpp"
+
+#include <limits>
+
+namespace sphinx::core {
+
+using db::Value;
+
+namespace {
+// EWMA weight for completion-time tracking: recent behaviour dominates on
+// a dynamic grid, but not so sharply that one outlier flips the ranking.
+constexpr double kEwmaAlpha = 0.3;
+}  // namespace
+
+DataWarehouse::DataWarehouse() : DataWarehouse(true) {}
+
+DataWarehouse::DataWarehouse(bool with_schema) {
+  if (with_schema) create_schema();
+}
+
+void DataWarehouse::create_schema() {
+  using db::ValueType;
+  db_.create_table("dags", db::Schema{{"dag_id", ValueType::kInt},
+                                      {"name", ValueType::kText},
+                                      {"client", ValueType::kText},
+                                      {"user", ValueType::kInt},
+                                      {"state", ValueType::kText},
+                                      {"received_at", ValueType::kReal},
+                                      {"finished_at", ValueType::kReal},
+                                      {"total_jobs", ValueType::kInt},
+                                      {"priority", ValueType::kReal},
+                                      {"deadline", ValueType::kReal}});
+  db_.create_table("jobs", db::Schema{{"job_id", ValueType::kInt},
+                                      {"dag_id", ValueType::kInt},
+                                      {"name", ValueType::kText},
+                                      {"state", ValueType::kText},
+                                      {"site", ValueType::kInt},
+                                      {"compute_time", ValueType::kReal},
+                                      {"output", ValueType::kText},
+                                      {"output_bytes", ValueType::kReal},
+                                      {"attempt", ValueType::kInt},
+                                      {"planned_at", ValueType::kReal}});
+  db_.create_table("job_inputs", db::Schema{{"job_id", ValueType::kInt},
+                                            {"lfn", ValueType::kText}});
+  db_.create_table("job_deps", db::Schema{{"job_id", ValueType::kInt},
+                                          {"parent", ValueType::kInt}});
+  db_.create_table("site_stats", db::Schema{{"site_id", ValueType::kInt},
+                                            {"completed", ValueType::kInt},
+                                            {"cancelled", ValueType::kInt},
+                                            {"avg_completion", ValueType::kReal},
+                                            {"samples", ValueType::kInt}});
+  db_.create_table("quotas", db::Schema{{"user", ValueType::kInt},
+                                        {"site", ValueType::kInt},
+                                        {"resource", ValueType::kText},
+                                        {"limit", ValueType::kReal},
+                                        {"used", ValueType::kReal}});
+  db_.table("dags").create_index("dag_id");
+  db_.table("dags").create_index("state");
+  db_.table("jobs").create_index("job_id");
+  db_.table("jobs").create_index("dag_id");
+  db_.table("jobs").create_index("state");
+  db_.table("job_inputs").create_index("job_id");
+  db_.table("job_deps").create_index("job_id");
+  db_.table("job_deps").create_index("parent");
+  db_.table("site_stats").create_index("site_id");
+}
+
+Expected<std::unique_ptr<DataWarehouse>> DataWarehouse::recover_from(
+    const db::Journal& journal) {
+  // Construct without a schema: the journal replays table creation.
+  auto warehouse =
+      std::unique_ptr<DataWarehouse>(new DataWarehouse(false));
+  if (const auto status = warehouse->db_.recover(journal); !status.ok()) {
+    return Unexpected<Error>{status.error()};
+  }
+  // Indexes are not journaled; recreate them.
+  warehouse->db_.table("dags").create_index("dag_id");
+  warehouse->db_.table("dags").create_index("state");
+  warehouse->db_.table("jobs").create_index("job_id");
+  warehouse->db_.table("jobs").create_index("dag_id");
+  warehouse->db_.table("jobs").create_index("state");
+  warehouse->db_.table("job_inputs").create_index("job_id");
+  warehouse->db_.table("job_deps").create_index("job_id");
+  warehouse->db_.table("job_deps").create_index("parent");
+  warehouse->db_.table("site_stats").create_index("site_id");
+  return warehouse;
+}
+
+// --- DAGs ---------------------------------------------------------------
+
+void DataWarehouse::insert_dag(const workflow::Dag& dag,
+                               const std::string& client, UserId user,
+                               SimTime now, double priority,
+                               SimTime deadline) {
+  db_.table("dags").insert({Value(dag.id().value()), Value(dag.name()),
+                            Value(client), Value(user.value()),
+                            Value(to_string(DagState::kReceived)), Value(now),
+                            Value(kNever),
+                            Value(static_cast<std::int64_t>(dag.size())),
+                            Value(priority), Value(deadline)});
+  db::Table& jobs = db_.table("jobs");
+  db::Table& inputs = db_.table("job_inputs");
+  db::Table& deps = db_.table("job_deps");
+  for (const workflow::JobSpec& job : dag.jobs()) {
+    jobs.insert({Value(job.id.value()), Value(dag.id().value()),
+                 Value(job.name), Value(to_string(JobState::kUnplanned)),
+                 Value(std::int64_t{0}), Value(job.compute_time),
+                 Value(job.output), Value(job.output_bytes),
+                 Value(std::int64_t{0}), Value(kNever)});
+    for (const data::Lfn& lfn : job.inputs) {
+      inputs.insert({Value(job.id.value()), Value(lfn)});
+    }
+    for (const JobId parent : dag.parents(job.id)) {
+      deps.insert({Value(job.id.value()), Value(parent.value())});
+    }
+  }
+}
+
+DagRecord DataWarehouse::dag_from_row(const db::Row& row) {
+  DagRecord rec;
+  rec.id = DagId(static_cast<std::uint64_t>(row.cells[0].as_int()));
+  rec.name = row.cells[1].as_text();
+  rec.client = row.cells[2].as_text();
+  rec.user = UserId(static_cast<std::uint64_t>(row.cells[3].as_int()));
+  rec.state = dag_state_from(row.cells[4].as_text());
+  rec.received_at = row.cells[5].as_real();
+  rec.finished_at = row.cells[6].as_real();
+  rec.total_jobs = row.cells[7].as_int();
+  rec.priority = row.cells[8].as_real();
+  rec.deadline = row.cells[9].as_real();
+  return rec;
+}
+
+std::vector<DagRecord> DataWarehouse::dags_in_state(DagState state) const {
+  const db::Table& dags = db_.table("dags");
+  std::vector<DagRecord> out;
+  for (const db::RowId id : dags.find_by("state", Value(to_string(state)))) {
+    out.push_back(dag_from_row(*dags.find(id)));
+  }
+  return out;
+}
+
+std::optional<DagRecord> DataWarehouse::dag(DagId id) const {
+  const db::Table& dags = db_.table("dags");
+  const auto rows = dags.find_by("dag_id", Value(id.value()));
+  if (rows.empty()) return std::nullopt;
+  return dag_from_row(*dags.find(rows.front()));
+}
+
+void DataWarehouse::set_dag_state(DagId id, DagState state) {
+  db::Table& dags = db_.table("dags");
+  const auto rows = dags.find_by("dag_id", Value(id.value()));
+  SPHINX_ASSERT(!rows.empty(), "set_dag_state: unknown dag");
+  dags.update(rows.front(), "state", Value(to_string(state)));
+}
+
+void DataWarehouse::set_dag_finished(DagId id, SimTime at) {
+  db::Table& dags = db_.table("dags");
+  const auto rows = dags.find_by("dag_id", Value(id.value()));
+  SPHINX_ASSERT(!rows.empty(), "set_dag_finished: unknown dag");
+  dags.update(rows.front(), "state", Value(to_string(DagState::kFinished)));
+  dags.update(rows.front(), "finished_at", Value(at));
+}
+
+std::vector<DagRecord> DataWarehouse::all_dags() const {
+  std::vector<DagRecord> out;
+  db_.table("dags").for_each(
+      [&out](const db::Row& row) { out.push_back(dag_from_row(row)); });
+  return out;
+}
+
+// --- jobs ---------------------------------------------------------------
+
+JobRecord DataWarehouse::job_from_row(const db::Row& row) {
+  JobRecord rec;
+  rec.id = JobId(static_cast<std::uint64_t>(row.cells[0].as_int()));
+  rec.dag = DagId(static_cast<std::uint64_t>(row.cells[1].as_int()));
+  rec.name = row.cells[2].as_text();
+  rec.state = job_state_from(row.cells[3].as_text());
+  rec.site = SiteId(static_cast<std::uint64_t>(row.cells[4].as_int()));
+  rec.compute_time = row.cells[5].as_real();
+  rec.output = row.cells[6].as_text();
+  rec.output_bytes = row.cells[7].as_real();
+  rec.attempt = static_cast<int>(row.cells[8].as_int());
+  return rec;
+}
+
+std::optional<JobRecord> DataWarehouse::job(JobId id) const {
+  const db::Table& jobs = db_.table("jobs");
+  const auto rows = jobs.find_by("job_id", Value(id.value()));
+  if (rows.empty()) return std::nullopt;
+  return job_from_row(*jobs.find(rows.front()));
+}
+
+std::vector<JobRecord> DataWarehouse::jobs_of_dag(DagId id) const {
+  const db::Table& jobs = db_.table("jobs");
+  std::vector<JobRecord> out;
+  for (const db::RowId row : jobs.find_by("dag_id", Value(id.value()))) {
+    out.push_back(job_from_row(*jobs.find(row)));
+  }
+  return out;
+}
+
+std::vector<JobRecord> DataWarehouse::jobs_in_state(JobState state) const {
+  const db::Table& jobs = db_.table("jobs");
+  std::vector<JobRecord> out;
+  for (const db::RowId row : jobs.find_by("state", Value(to_string(state)))) {
+    out.push_back(job_from_row(*jobs.find(row)));
+  }
+  return out;
+}
+
+void DataWarehouse::set_job_state(JobId id, JobState state) {
+  db::Table& jobs = db_.table("jobs");
+  const auto rows = jobs.find_by("job_id", Value(id.value()));
+  SPHINX_ASSERT(!rows.empty(), "set_job_state: unknown job");
+  jobs.update(rows.front(), "state", Value(to_string(state)));
+}
+
+void DataWarehouse::set_job_planned(JobId id, SiteId site, SimTime at) {
+  db::Table& jobs = db_.table("jobs");
+  const auto rows = jobs.find_by("job_id", Value(id.value()));
+  SPHINX_ASSERT(!rows.empty(), "set_job_planned: unknown job");
+  const db::RowId row = rows.front();
+  const std::int64_t attempt = jobs.get(row, "attempt").as_int() + 1;
+  jobs.update(row, "state", Value(to_string(JobState::kPlanned)));
+  jobs.update(row, "site", Value(site.value()));
+  jobs.update(row, "attempt", Value(attempt));
+  jobs.update(row, "planned_at", Value(at));
+}
+
+std::vector<data::Lfn> DataWarehouse::job_inputs(JobId id) const {
+  const db::Table& inputs = db_.table("job_inputs");
+  std::vector<data::Lfn> out;
+  for (const db::RowId row : inputs.find_by("job_id", Value(id.value()))) {
+    out.push_back(inputs.find(row)->cells[1].as_text());
+  }
+  return out;
+}
+
+std::vector<JobId> DataWarehouse::job_parents(JobId id) const {
+  const db::Table& deps = db_.table("job_deps");
+  std::vector<JobId> out;
+  for (const db::RowId row : deps.find_by("job_id", Value(id.value()))) {
+    out.emplace_back(
+        static_cast<std::uint64_t>(deps.find(row)->cells[1].as_int()));
+  }
+  return out;
+}
+
+std::vector<JobId> DataWarehouse::job_children(JobId id) const {
+  const db::Table& deps = db_.table("job_deps");
+  std::vector<JobId> out;
+  for (const db::RowId row : deps.find_by("parent", Value(id.value()))) {
+    out.emplace_back(
+        static_cast<std::uint64_t>(deps.find(row)->cells[0].as_int()));
+  }
+  return out;
+}
+
+std::unordered_set<JobId> DataWarehouse::completed_jobs(DagId dag) const {
+  std::unordered_set<JobId> out;
+  for (const JobRecord& job : jobs_of_dag(dag)) {
+    if (job.state == JobState::kCompleted) out.insert(job.id);
+  }
+  return out;
+}
+
+std::int64_t DataWarehouse::outstanding_on_site(SiteId site) const {
+  const db::Table& jobs = db_.table("jobs");
+  std::int64_t count = 0;
+  const std::size_t state_col = jobs.schema().index_of("state");
+  const std::size_t site_col = jobs.schema().index_of("site");
+  jobs.for_each([&](const db::Row& row) {
+    if (static_cast<std::uint64_t>(row.cells[site_col].as_int()) !=
+        site.value()) {
+      return;
+    }
+    if (is_outstanding(job_state_from(row.cells[state_col].as_text()))) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+std::unordered_map<SiteId, std::int64_t> DataWarehouse::outstanding_by_site()
+    const {
+  const db::Table& jobs = db_.table("jobs");
+  const std::size_t state_col = jobs.schema().index_of("state");
+  const std::size_t site_col = jobs.schema().index_of("site");
+  std::unordered_map<SiteId, std::int64_t> out;
+  jobs.for_each([&](const db::Row& row) {
+    if (is_outstanding(job_state_from(row.cells[state_col].as_text()))) {
+      ++out[SiteId(static_cast<std::uint64_t>(row.cells[site_col].as_int()))];
+    }
+  });
+  return out;
+}
+
+// --- site stats -----------------------------------------------------------
+
+db::RowId DataWarehouse::site_stats_row(SiteId site) const {
+  const db::Table& stats = db_.table("site_stats");
+  const auto rows = stats.find_by("site_id", Value(site.value()));
+  return rows.empty() ? db::kInvalidRow : rows.front();
+}
+
+SiteStats DataWarehouse::site_stats(SiteId site) const {
+  SiteStats out;
+  out.site = site;
+  const db::RowId row = site_stats_row(site);
+  if (row == db::kInvalidRow) return out;
+  const db::Table& stats = db_.table("site_stats");
+  out.completed = stats.get(row, "completed").as_int();
+  out.cancelled = stats.get(row, "cancelled").as_int();
+  out.avg_completion = stats.get(row, "avg_completion").as_real();
+  out.samples = stats.get(row, "samples").as_int();
+  return out;
+}
+
+void DataWarehouse::record_completion(SiteId site, Duration completion_time) {
+  db::Table& stats = db_.table("site_stats");
+  db::RowId row = site_stats_row(site);
+  if (row == db::kInvalidRow) {
+    stats.insert({Value(site.value()), Value(std::int64_t{1}),
+                  Value(std::int64_t{0}), Value(completion_time),
+                  Value(std::int64_t{1})});
+    return;
+  }
+  const std::int64_t completed = stats.get(row, "completed").as_int() + 1;
+  const std::int64_t samples = stats.get(row, "samples").as_int() + 1;
+  const double prev = stats.get(row, "avg_completion").as_real();
+  const double next = samples == 1
+                          ? completion_time
+                          : kEwmaAlpha * completion_time +
+                                (1.0 - kEwmaAlpha) * prev;
+  stats.update(row, "completed", Value(completed));
+  stats.update(row, "samples", Value(samples));
+  stats.update(row, "avg_completion", Value(next));
+}
+
+void DataWarehouse::record_cancellation(SiteId site,
+                                        Duration censored_duration) {
+  db::Table& stats = db_.table("site_stats");
+  db::RowId row = site_stats_row(site);
+  if (row == db::kInvalidRow) {
+    stats.insert({Value(site.value()), Value(std::int64_t{0}),
+                  Value(std::int64_t{1}), Value(censored_duration),
+                  Value(censored_duration > 0 ? std::int64_t{1}
+                                              : std::int64_t{0})});
+    return;
+  }
+  stats.update(row, "cancelled",
+               Value(stats.get(row, "cancelled").as_int() + 1));
+  if (censored_duration > 0) {
+    const std::int64_t samples = stats.get(row, "samples").as_int() + 1;
+    const double prev = stats.get(row, "avg_completion").as_real();
+    const double next = samples == 1 ? censored_duration
+                                     : kEwmaAlpha * censored_duration +
+                                           (1.0 - kEwmaAlpha) * prev;
+    stats.update(row, "samples", Value(samples));
+    stats.update(row, "avg_completion", Value(next));
+  }
+}
+
+bool DataWarehouse::site_available(SiteId site) const {
+  const SiteStats stats = site_stats(site);
+  return stats.cancelled <= stats.completed;
+}
+
+// --- quotas -----------------------------------------------------------------
+
+db::RowId DataWarehouse::quota_row(UserId user, SiteId site,
+                                   const std::string& resource) const {
+  const db::Table& quotas = db_.table("quotas");
+  const auto rows = quotas.select([&](const db::Row& row) {
+    return static_cast<std::uint64_t>(row.cells[0].as_int()) == user.value() &&
+           static_cast<std::uint64_t>(row.cells[1].as_int()) == site.value() &&
+           row.cells[2].as_text() == resource;
+  });
+  return rows.empty() ? db::kInvalidRow : rows.front();
+}
+
+void DataWarehouse::set_quota(UserId user, SiteId site,
+                              const std::string& resource, double limit) {
+  db::Table& quotas = db_.table("quotas");
+  const db::RowId row = quota_row(user, site, resource);
+  if (row == db::kInvalidRow) {
+    quotas.insert({Value(user.value()), Value(site.value()), Value(resource),
+                   Value(limit), Value(0.0)});
+  } else {
+    quotas.update(row, "limit", Value(limit));
+  }
+}
+
+double DataWarehouse::quota_remaining(UserId user, SiteId site,
+                                      const std::string& resource) const {
+  const db::RowId row = quota_row(user, site, resource);
+  if (row == db::kInvalidRow) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const db::Table& quotas = db_.table("quotas");
+  return quotas.get(row, "limit").as_real() -
+         quotas.get(row, "used").as_real();
+}
+
+void DataWarehouse::consume_quota(UserId user, SiteId site,
+                                  const std::string& resource, double amount) {
+  const db::RowId row = quota_row(user, site, resource);
+  if (row == db::kInvalidRow) return;
+  db::Table& quotas = db_.table("quotas");
+  quotas.update(row, "used",
+                Value(quotas.get(row, "used").as_real() + amount));
+}
+
+void DataWarehouse::refund_quota(UserId user, SiteId site,
+                                 const std::string& resource, double amount) {
+  const db::RowId row = quota_row(user, site, resource);
+  if (row == db::kInvalidRow) return;
+  db::Table& quotas = db_.table("quotas");
+  const double used = quotas.get(row, "used").as_real() - amount;
+  quotas.update(row, "used", Value(used < 0 ? 0.0 : used));
+}
+
+}  // namespace sphinx::core

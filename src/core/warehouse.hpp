@@ -1,0 +1,149 @@
+#pragma once
+/// \file warehouse.hpp
+/// The SPHINX data warehouse: typed access to the server's database.
+///
+/// "The SPHINX server adopts database infrastructure to manage scheduling
+/// procedure.  Database tables support inter-process communication among
+/// scheduling modules ... It also supports fault tolerance by making the
+/// system easily recoverable from internal component failures" (paper
+/// section 3.1).  All server state -- DAGs, jobs, dependencies, site
+/// statistics, quotas -- lives in db::Database tables; a crashed server
+/// is rebuilt by replaying the journal (see recover_from()).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "core/state.hpp"
+#include "data/lfn.hpp"
+#include "db/database.hpp"
+#include "workflow/dag.hpp"
+
+namespace sphinx::core {
+
+/// Per-site statistics fed by tracker reports (feedback) and planning
+/// decisions.  avg_completion is an EWMA persisted in the table so it
+/// survives recovery.
+struct SiteStats {
+  SiteId site;
+  std::int64_t completed = 0;
+  std::int64_t cancelled = 0;
+  double avg_completion = 0.0;  ///< EWMA of reported completion times
+  std::int64_t samples = 0;     ///< completion reports folded in
+};
+
+/// A job row materialized from the warehouse.
+struct JobRecord {
+  JobId id;
+  DagId dag;
+  std::string name;
+  JobState state = JobState::kUnplanned;
+  SiteId site;                 ///< invalid until planned
+  Duration compute_time = 0.0;
+  data::Lfn output;
+  double output_bytes = 0.0;
+  int attempt = 0;
+};
+
+/// A DAG row materialized from the warehouse.
+struct DagRecord {
+  DagId id;
+  std::string name;
+  std::string client;
+  UserId user;
+  DagState state = DagState::kReceived;
+  SimTime received_at = 0.0;
+  SimTime finished_at = kNever;
+  std::int64_t total_jobs = 0;
+  double priority = 0.0;  ///< request priority; higher is planned first
+  SimTime deadline = kNever;  ///< QoS deadline; kNever = best effort
+};
+
+class DataWarehouse {
+ public:
+  /// Creates the schema in a fresh database.
+  DataWarehouse();
+
+  /// Rebuilds a warehouse from a crashed instance's journal.
+  [[nodiscard]] static Expected<std::unique_ptr<DataWarehouse>> recover_from(
+      const db::Journal& journal);
+
+  /// The journal to persist elsewhere for crash recovery.
+  [[nodiscard]] const db::Journal& journal() const { return db_.journal(); }
+
+  // --- DAG lifecycle --------------------------------------------------
+  void insert_dag(const workflow::Dag& dag, const std::string& client,
+                  UserId user, SimTime now, double priority = 0.0,
+                  SimTime deadline = kNever);
+  [[nodiscard]] std::vector<DagRecord> dags_in_state(DagState state) const;
+  [[nodiscard]] std::optional<DagRecord> dag(DagId id) const;
+  void set_dag_state(DagId id, DagState state);
+  void set_dag_finished(DagId id, SimTime at);
+  [[nodiscard]] std::vector<DagRecord> all_dags() const;
+
+  // --- job lifecycle --------------------------------------------------
+  [[nodiscard]] std::optional<JobRecord> job(JobId id) const;
+  [[nodiscard]] std::vector<JobRecord> jobs_of_dag(DagId id) const;
+  [[nodiscard]] std::vector<JobRecord> jobs_in_state(JobState state) const;
+  void set_job_state(JobId id, JobState state);
+  /// Records a planning decision (state -> planned, attempt++).
+  void set_job_planned(JobId id, SiteId site, SimTime at);
+  [[nodiscard]] std::vector<data::Lfn> job_inputs(JobId id) const;
+  [[nodiscard]] std::vector<JobId> job_parents(JobId id) const;
+  /// Jobs that consume this job's output (dependency children).
+  [[nodiscard]] std::vector<JobId> job_children(JobId id) const;
+  /// Completed jobs of one DAG (for the ready-set computation).
+  [[nodiscard]] std::unordered_set<JobId> completed_jobs(DagId dag) const;
+  /// Jobs outstanding on a site (eq. 1/2's planned + unfinished term).
+  [[nodiscard]] std::int64_t outstanding_on_site(SiteId site) const;
+  /// One-pass version over all sites (the planner calls this once per
+  /// control-process sweep instead of scanning per candidate site).
+  [[nodiscard]] std::unordered_map<SiteId, std::int64_t> outstanding_by_site()
+      const;
+
+  // --- site statistics (feedback) --------------------------------------
+  [[nodiscard]] SiteStats site_stats(SiteId site) const;
+  void record_completion(SiteId site, Duration completion_time);
+  /// Records a tracker-initiated cancellation.  `censored_duration` is
+  /// how long the attempt had been outstanding when it was killed -- a
+  /// lower bound on the site's true turnaround, folded into the EWMA as a
+  /// censored observation so a black hole cannot keep a stale attractive
+  /// average (it only ever "completes" nothing).
+  void record_cancellation(SiteId site, Duration censored_duration = 0.0);
+  /// Reliability rule from the paper: unreliable when more cancelled than
+  /// completed jobs (section 4, "Importance of feedback information").
+  [[nodiscard]] bool site_available(SiteId site) const;
+
+  // --- quotas (policy) --------------------------------------------------
+  void set_quota(UserId user, SiteId site, const std::string& resource,
+                 double limit);
+  /// Remaining quota; +infinity when no quota row exists (unconstrained).
+  [[nodiscard]] double quota_remaining(UserId user, SiteId site,
+                                       const std::string& resource) const;
+  /// Consumes quota; clamps at the limit.  No-op without a quota row.
+  void consume_quota(UserId user, SiteId site, const std::string& resource,
+                     double amount);
+  /// Returns quota (used on replanning after a cancelled attempt).
+  void refund_quota(UserId user, SiteId site, const std::string& resource,
+                    double amount);
+
+  [[nodiscard]] db::Database& database() noexcept { return db_; }
+
+ private:
+  explicit DataWarehouse(bool create_schema);
+  void create_schema();
+  [[nodiscard]] static JobRecord job_from_row(const db::Row& row);
+  [[nodiscard]] static DagRecord dag_from_row(const db::Row& row);
+  [[nodiscard]] db::RowId site_stats_row(SiteId site) const;
+  db::RowId quota_row(UserId user, SiteId site,
+                      const std::string& resource) const;
+
+  db::Database db_;
+};
+
+}  // namespace sphinx::core

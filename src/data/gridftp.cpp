@@ -1,0 +1,145 @@
+#include "data/gridftp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sphinx::data {
+namespace {
+constexpr double kEpsilonBytes = 1e-6;  // snap tiny residues to done
+}
+
+TransferService::TransferService(sim::Engine& engine) : engine_(engine) {}
+
+void TransferService::set_link(SiteId site, LinkConfig link) {
+  SPHINX_ASSERT(link.uplink_bps > 0 && link.downlink_bps > 0,
+                "link capacities must be positive");
+  links_[site] = link;
+}
+
+LinkConfig TransferService::link(SiteId site) const {
+  const auto it = links_.find(site);
+  return it == links_.end() ? LinkConfig{} : it->second;
+}
+
+Duration TransferService::estimate(SiteId src, SiteId dst,
+                                   double bytes) const {
+  if (src == dst || bytes <= 0) return 0.0;
+  const double rate = std::min(link(src).uplink_bps, link(dst).downlink_bps);
+  return bytes / rate;
+}
+
+TransferId TransferService::transfer(SiteId src, SiteId dst, double bytes,
+                                     Callback done) {
+  SPHINX_ASSERT(done != nullptr, "transfer callback must not be null");
+  SPHINX_ASSERT(bytes >= 0, "transfer size must be non-negative");
+  const TransferId id = ids_.next();
+  ++stats_.started;
+
+  if (src == dst || bytes <= 0) {
+    // Local replica: no WAN movement.  Complete on the next tick so the
+    // caller's bookkeeping finishes first.
+    ++stats_.completed;
+    stats_.bytes_moved += bytes;
+    engine_.schedule_in(0.0, "gridftp:local",
+                        [done = std::move(done), id] { done(id, 0.0); });
+    return id;
+  }
+
+  advance_to_now();
+  Active a;
+  a.src = src;
+  a.dst = dst;
+  a.remaining = bytes;
+  a.started_at = engine_.now();
+  a.done = std::move(done);
+  active_.emplace(id, std::move(a));
+  rebalance();
+  return id;
+}
+
+void TransferService::cancel(TransferId id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  advance_to_now();
+  active_.erase(it);
+  ++stats_.cancelled;
+  rebalance();
+}
+
+void TransferService::advance_to_now() {
+  const SimTime now = engine_.now();
+  const Duration dt = now - last_update_;
+  if (dt > 0) {
+    for (auto& [id, a] : active_) {
+      a.remaining = std::max(0.0, a.remaining - a.rate * dt);
+      stats_.bytes_moved += a.rate * dt;
+    }
+  }
+  last_update_ = now;
+}
+
+void TransferService::rebalance() {
+  // Count active flows per uplink and downlink.
+  std::unordered_map<SiteId, int> up_count;
+  std::unordered_map<SiteId, int> down_count;
+  for (const auto& [id, a] : active_) {
+    ++up_count[a.src];
+    ++down_count[a.dst];
+  }
+  for (auto& [id, a] : active_) {
+    const double up_share = link(a.src).uplink_bps / up_count[a.src];
+    const double down_share = link(a.dst).downlink_bps / down_count[a.dst];
+    a.rate = std::min(up_share, down_share);
+  }
+  schedule_next_completion();
+}
+
+void TransferService::schedule_next_completion() {
+  engine_.cancel(next_completion_);
+  next_completion_ = sim::EventHandle{};
+  due_.clear();
+  if (active_.empty()) return;
+
+  Duration soonest = kNever;
+  for (const auto& [id, a] : active_) {
+    if (a.rate <= 0) continue;
+    const Duration eta = a.remaining / a.rate;
+    if (eta < soonest) soonest = eta;
+  }
+  if (soonest == kNever) return;
+  // Transfers whose ETA (numerically) equals the minimum are *due*: they
+  // will be force-completed when the event fires, so floating-point
+  // residue can never strand a transfer in a zero-progress reschedule
+  // loop.  A small relative window also batches near-simultaneous ends.
+  const Duration window = soonest + 1e-9 * (1.0 + soonest);
+  for (const auto& [id, a] : active_) {
+    if (a.rate > 0 && a.remaining / a.rate <= window) due_.push_back(id);
+  }
+
+  next_completion_ = engine_.schedule_in(
+      soonest, "gridftp:complete", [this] {
+        advance_to_now();
+        for (const TransferId id : due_) {
+          const auto it = active_.find(id);
+          if (it != active_.end()) it->second.remaining = 0.0;
+        }
+        // Collect every transfer that has drained (ties complete together).
+        std::vector<std::pair<TransferId, Active>> finished;
+        for (auto it = active_.begin(); it != active_.end();) {
+          if (it->second.remaining <= kEpsilonBytes) {
+            finished.emplace_back(it->first, std::move(it->second));
+            it = active_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        rebalance();
+        for (auto& [id, a] : finished) {
+          ++stats_.completed;
+          a.done(id, engine_.now() - a.started_at);
+        }
+      });
+}
+
+}  // namespace sphinx::data

@@ -1,0 +1,30 @@
+#include "data/replication.hpp"
+
+namespace sphinx::data {
+
+std::optional<ReplicaChoice> select_replica(
+    const std::vector<Replica>& replicas, SiteId destination,
+    const TransferService& transfers) {
+  std::optional<ReplicaChoice> best;
+  for (const Replica& r : replicas) {
+    const Duration cost =
+        transfers.estimate(r.site, destination, r.size_bytes);
+    if (!best.has_value() || cost < best->estimated_cost) {
+      best = ReplicaChoice{r, cost};
+    }
+  }
+  return best;
+}
+
+Duration estimate_stage_in(const std::vector<std::vector<Replica>>& inputs,
+                           SiteId destination,
+                           const TransferService& transfers) {
+  Duration total = 0.0;
+  for (const auto& replicas : inputs) {
+    const auto choice = select_replica(replicas, destination, transfers);
+    if (choice.has_value()) total += choice->estimated_cost;
+  }
+  return total;
+}
+
+}  // namespace sphinx::data

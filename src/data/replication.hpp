@@ -1,0 +1,37 @@
+#pragma once
+/// \file replication.hpp
+/// Replica selection: choosing the best transfer source for an input.
+///
+/// The SPHINX planner decides "the optimal transfer source for the input
+/// files" (paper section 3.2, Planner step 3).  Selection minimizes the
+/// contention-free transfer estimate to the execution site; a replica
+/// already at the execution site always wins with cost zero.
+
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "data/gridftp.hpp"
+#include "data/lfn.hpp"
+
+namespace sphinx::data {
+
+/// A chosen source replica and its estimated stage-in cost.
+struct ReplicaChoice {
+  Replica replica;
+  Duration estimated_cost = 0.0;
+};
+
+/// Picks the cheapest replica to stage to `destination`.  Returns nullopt
+/// when `replicas` is empty.
+[[nodiscard]] std::optional<ReplicaChoice> select_replica(
+    const std::vector<Replica>& replicas, SiteId destination,
+    const TransferService& transfers);
+
+/// Total estimated stage-in time for a set of inputs (sum of per-file
+/// estimates; transfers run sequentially per job in the gateway).
+[[nodiscard]] Duration estimate_stage_in(
+    const std::vector<std::vector<Replica>>& inputs, SiteId destination,
+    const TransferService& transfers);
+
+}  // namespace sphinx::data

@@ -1,0 +1,48 @@
+#include "data/storage.hpp"
+
+namespace sphinx::data {
+
+StorageElement::StorageElement(SiteId site, double capacity_bytes)
+    : site_(site), capacity_(capacity_bytes) {
+  SPHINX_ASSERT(capacity_ > 0, "storage capacity must be positive");
+}
+
+double StorageElement::used_by(UserId user) const noexcept {
+  const auto it = per_user_.find(user);
+  return it == per_user_.end() ? 0.0 : it->second;
+}
+
+StatusOr StorageElement::store(UserId user, const Lfn& lfn, double bytes) {
+  SPHINX_ASSERT(bytes >= 0, "file size must be non-negative");
+  if (files_.contains(lfn)) {
+    return make_error("storage_duplicate", "lfn already stored: " + lfn);
+  }
+  if (used_ + bytes > capacity_) {
+    return make_error("storage_full",
+                      "storage element out of space for " + lfn);
+  }
+  files_.emplace(lfn, StoredFile{user, bytes});
+  used_ += bytes;
+  per_user_[user] += bytes;
+  return {};
+}
+
+bool StorageElement::erase(const Lfn& lfn) {
+  const auto it = files_.find(lfn);
+  if (it == files_.end()) return false;
+  used_ -= it->second.bytes;
+  per_user_[it->second.owner] -= it->second.bytes;
+  files_.erase(it);
+  return true;
+}
+
+StorageElement& StorageFabric::add(SiteId site, double capacity_bytes) {
+  return elements_.try_emplace(site, site, capacity_bytes).first->second;
+}
+
+StorageElement* StorageFabric::find(SiteId site) noexcept {
+  const auto it = elements_.find(site);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sphinx::data

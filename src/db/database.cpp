@@ -1,0 +1,116 @@
+#include "db/database.hpp"
+
+namespace sphinx::db {
+
+Database::Database() = default;
+Database::~Database() = default;
+
+Table& Database::create_table(const std::string& name, Schema schema) {
+  SPHINX_ASSERT(!tables_.contains(name), "table already exists: " + name);
+  if (journaling_) {
+    JournalEntry entry;
+    entry.op = JournalEntry::Op::kCreateTable;
+    entry.table = name;
+    entry.schema = schema.columns();
+    journal_.append(std::move(entry));
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  table->set_observer(this);
+  Table& ref = *table;
+  tables_.emplace(name, std::move(table));
+  creation_order_.push_back(name);
+  return ref;
+}
+
+Table& Database::table(const std::string& name) {
+  const auto it = tables_.find(name);
+  SPHINX_ASSERT(it != tables_.end(), "no such table: " + name);
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  const auto it = tables_.find(name);
+  SPHINX_ASSERT(it != tables_.end(), "no such table: " + name);
+  return *it->second;
+}
+
+bool Database::has_table(const std::string& name) const noexcept {
+  return tables_.contains(name);
+}
+
+std::vector<std::string> Database::table_names() const {
+  return creation_order_;
+}
+
+StatusOr Database::recover(const Journal& journal) {
+  if (!tables_.empty()) {
+    return make_error("recover_nonempty",
+                      "recover() requires an empty database");
+  }
+  for (const JournalEntry& e : journal.entries()) {
+    switch (e.op) {
+      case JournalEntry::Op::kCreateTable: {
+        if (tables_.contains(e.table)) {
+          return make_error("recover_replay", "duplicate table: " + e.table);
+        }
+        create_table(e.table, Schema(e.schema));
+        break;
+      }
+      case JournalEntry::Op::kInsert: {
+        if (!tables_.contains(e.table)) {
+          return make_error("recover_replay", "insert into missing table");
+        }
+        table(e.table).insert_with_id(e.row, e.cells);
+        break;
+      }
+      case JournalEntry::Op::kUpdate: {
+        if (!tables_.contains(e.table) ||
+            !table(e.table).update(e.row, e.column, e.cells.at(0))) {
+          return make_error("recover_replay", "update of missing row");
+        }
+        break;
+      }
+      case JournalEntry::Op::kErase: {
+        if (!tables_.contains(e.table) || !table(e.table).erase(e.row)) {
+          return make_error("recover_replay", "erase of missing row");
+        }
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+void Database::on_insert(const std::string& table, RowId id,
+                         const std::vector<Value>& cells) {
+  if (!journaling_) return;
+  JournalEntry entry;
+  entry.op = JournalEntry::Op::kInsert;
+  entry.table = table;
+  entry.row = id;
+  entry.cells = cells;
+  journal_.append(std::move(entry));
+}
+
+void Database::on_update(const std::string& table, RowId id,
+                         std::size_t column, const Value& value) {
+  if (!journaling_) return;
+  JournalEntry entry;
+  entry.op = JournalEntry::Op::kUpdate;
+  entry.table = table;
+  entry.row = id;
+  entry.column = column;
+  entry.cells = {value};
+  journal_.append(std::move(entry));
+}
+
+void Database::on_erase(const std::string& table, RowId id) {
+  if (!journaling_) return;
+  JournalEntry entry;
+  entry.op = JournalEntry::Op::kErase;
+  entry.table = table;
+  entry.row = id;
+  journal_.append(std::move(entry));
+}
+
+}  // namespace sphinx::db

@@ -1,0 +1,66 @@
+#pragma once
+/// \file database.hpp
+/// The table store: named tables + journaling + recovery.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/journal.hpp"
+#include "db/table.hpp"
+
+namespace sphinx::db {
+
+/// A collection of tables sharing one journal.
+class Database : private TableObserver {
+ public:
+  Database();
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; throws AssertionError if the name already exists.
+  Table& create_table(const std::string& name, Schema schema);
+
+  /// Looks up a table; throws AssertionError if absent (table names are
+  /// compile-time constants in this codebase).
+  [[nodiscard]] Table& table(const std::string& name);
+  [[nodiscard]] const Table& table(const std::string& name) const;
+
+  [[nodiscard]] bool has_table(const std::string& name) const noexcept;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+  [[nodiscard]] std::size_t table_count() const noexcept { return tables_.size(); }
+
+  /// The journal of all mutations since construction (or last checkpoint).
+  [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
+
+  /// Drops the journal prefix (after a successful checkpoint elsewhere).
+  void truncate_journal() noexcept { journal_.clear(); }
+
+  /// Enables/disables journaling (enabled by default).  Replay-into-self
+  /// would double-log, so recover() disables it internally.
+  void set_journaling(bool on) noexcept { journaling_ = on; }
+
+  /// Rebuilds database content by replaying `journal` into this (empty)
+  /// database.  Returns an error if this database already has tables or if
+  /// the journal is inconsistent.  On success the replayed operations are
+  /// re-recorded into this database's own journal so a recovered server
+  /// remains recoverable.
+  [[nodiscard]] StatusOr recover(const Journal& journal);
+
+ private:
+  void on_insert(const std::string& table, RowId id,
+                 const std::vector<Value>& cells) override;
+  void on_update(const std::string& table, RowId id, std::size_t column,
+                 const Value& value) override;
+  void on_erase(const std::string& table, RowId id) override;
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> creation_order_;
+  Journal journal_;
+  bool journaling_ = true;
+};
+
+}  // namespace sphinx::db

@@ -1,0 +1,196 @@
+#include "db/journal.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace sphinx::db {
+namespace {
+
+/// Escapes tabs/newlines/backslashes so records stay line-oriented.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Expected<std::string> unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return make_error("journal_parse", "dangling escape");
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      default: return make_error("journal_parse", "unknown escape");
+    }
+  }
+  return out;
+}
+
+/// Serializes a value as "type:payload".
+std::string encode_value(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return "n:";
+    case ValueType::kInt: return "i:" + std::to_string(v.as_int());
+    case ValueType::kReal: {
+      std::ostringstream oss;
+      oss.precision(17);
+      oss << v.as_real();
+      return "r:" + oss.str();
+    }
+    case ValueType::kText: return "s:" + escape(v.as_text());
+    case ValueType::kBool: return std::string("b:") + (v.as_bool() ? "1" : "0");
+  }
+  return "n:";
+}
+
+Expected<Value> decode_value(const std::string& s) {
+  if (s.size() < 2 || s[1] != ':') {
+    return make_error("journal_parse", "bad value encoding: " + s);
+  }
+  const std::string payload = s.substr(2);
+  switch (s[0]) {
+    case 'n': return Value();
+    case 'i': {
+      try {
+        return Value(static_cast<std::int64_t>(std::stoll(payload)));
+      } catch (const std::exception&) {
+        return make_error("journal_parse", "bad int: " + payload);
+      }
+    }
+    case 'r': {
+      try {
+        return Value(std::stod(payload));
+      } catch (const std::exception&) {
+        return make_error("journal_parse", "bad real: " + payload);
+      }
+    }
+    case 's': {
+      auto text = unescape(payload);
+      if (!text) return Unexpected<Error>{text.error()};
+      return Value(std::move(*text));
+    }
+    case 'b': return Value(payload == "1");
+    default: return make_error("journal_parse", "unknown value tag");
+  }
+}
+
+Expected<ValueType> decode_type(const std::string& s) {
+  if (s == "null") return ValueType::kNull;
+  if (s == "int") return ValueType::kInt;
+  if (s == "real") return ValueType::kReal;
+  if (s == "text") return ValueType::kText;
+  if (s == "bool") return ValueType::kBool;
+  return make_error("journal_parse", "unknown column type: " + s);
+}
+
+}  // namespace
+
+std::string Journal::serialize() const {
+  std::string out;
+  for (const JournalEntry& e : entries_) {
+    std::vector<std::string> fields;
+    switch (e.op) {
+      case JournalEntry::Op::kCreateTable: {
+        fields = {"C", escape(e.table)};
+        for (const Column& col : e.schema) {
+          fields.push_back(escape(col.name) + "=" + to_string(col.type));
+        }
+        break;
+      }
+      case JournalEntry::Op::kInsert: {
+        fields = {"I", escape(e.table), std::to_string(e.row)};
+        for (const Value& v : e.cells) fields.push_back(encode_value(v));
+        break;
+      }
+      case JournalEntry::Op::kUpdate: {
+        fields = {"U", escape(e.table), std::to_string(e.row),
+                  std::to_string(e.column), encode_value(e.cells.at(0))};
+        break;
+      }
+      case JournalEntry::Op::kErase: {
+        fields = {"E", escape(e.table), std::to_string(e.row)};
+        break;
+      }
+    }
+    out += join(fields, "\t");
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<Journal> Journal::parse(const std::string& text) {
+  Journal journal;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() < 2) {
+      return make_error("journal_parse", "short record: " + line);
+    }
+    JournalEntry entry;
+    auto table = unescape(fields[1]);
+    if (!table) return Unexpected<Error>{table.error()};
+    entry.table = std::move(*table);
+
+    const std::string& op = fields[0];
+    if (op == "C") {
+      entry.op = JournalEntry::Op::kCreateTable;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        const auto eq = fields[i].rfind('=');
+        if (eq == std::string::npos) {
+          return make_error("journal_parse", "bad column spec: " + fields[i]);
+        }
+        auto name = unescape(fields[i].substr(0, eq));
+        if (!name) return Unexpected<Error>{name.error()};
+        auto type = decode_type(fields[i].substr(eq + 1));
+        if (!type) return Unexpected<Error>{type.error()};
+        entry.schema.push_back(Column{std::move(*name), *type});
+      }
+    } else if (op == "I") {
+      if (fields.size() < 3) return make_error("journal_parse", "short insert");
+      entry.op = JournalEntry::Op::kInsert;
+      entry.row = std::stoull(fields[2]);
+      for (std::size_t i = 3; i < fields.size(); ++i) {
+        auto v = decode_value(fields[i]);
+        if (!v) return Unexpected<Error>{v.error()};
+        entry.cells.push_back(std::move(*v));
+      }
+    } else if (op == "U") {
+      if (fields.size() != 5) return make_error("journal_parse", "bad update");
+      entry.op = JournalEntry::Op::kUpdate;
+      entry.row = std::stoull(fields[2]);
+      entry.column = std::stoull(fields[3]);
+      auto v = decode_value(fields[4]);
+      if (!v) return Unexpected<Error>{v.error()};
+      entry.cells.push_back(std::move(*v));
+    } else if (op == "E") {
+      if (fields.size() != 3) return make_error("journal_parse", "bad erase");
+      entry.op = JournalEntry::Op::kErase;
+      entry.row = std::stoull(fields[2]);
+    } else {
+      return make_error("journal_parse", "unknown op: " + op);
+    }
+    journal.append(std::move(entry));
+  }
+  return journal;
+}
+
+}  // namespace sphinx::db

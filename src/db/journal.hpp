@@ -1,0 +1,54 @@
+#pragma once
+/// \file journal.hpp
+/// Append-only operation log for crash recovery.
+///
+/// Every committed mutation on every table of a Database is appended here.
+/// A fresh Database replaying the journal reaches the exact pre-crash
+/// state -- this is the mechanism behind the paper's claim that SPHINX is
+/// "easily recoverable from internal component failures" (section 3.1).
+/// The log has a text serialization so it can be persisted and reloaded.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "db/table.hpp"
+
+namespace sphinx::db {
+
+/// One journal record.
+struct JournalEntry {
+  enum class Op { kCreateTable, kInsert, kUpdate, kErase };
+
+  Op op = Op::kInsert;
+  std::string table;
+  RowId row = kInvalidRow;
+  std::size_t column = 0;            ///< kUpdate only
+  std::vector<Value> cells;          ///< kInsert: full row; kUpdate: [value]
+  std::vector<Column> schema;        ///< kCreateTable only
+};
+
+/// The append-only log.
+class Journal {
+ public:
+  void append(JournalEntry entry) { entries_.push_back(std::move(entry)); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const std::vector<JournalEntry>& entries() const noexcept {
+    return entries_;
+  }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Line-oriented text serialization (one record per line, tab-separated,
+  /// values escaped).  Round-trips via parse().
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses a serialized journal.  Returns an error on malformed input.
+  [[nodiscard]] static Expected<Journal> parse(const std::string& text);
+
+ private:
+  std::vector<JournalEntry> entries_;
+};
+
+}  // namespace sphinx::db

@@ -1,0 +1,172 @@
+#include "db/table.hpp"
+
+#include <algorithm>
+
+namespace sphinx::db {
+namespace {
+
+/// Index key: type tag + canonical text, so 1 (int) != "1" (text).
+std::string index_key(const Value& v) {
+  return std::string(to_string(v.type())) + ":" + v.to_string();
+}
+
+}  // namespace
+
+Schema::Schema(std::initializer_list<Column> cols)
+    : Schema(std::vector<Column>(cols.begin(), cols.end())) {}
+
+Schema::Schema(std::vector<Column> cols) : columns_(std::move(cols)) {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, i);
+  }
+  SPHINX_ASSERT(by_name_.size() == columns_.size(),
+                "duplicate column name in schema");
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  SPHINX_ASSERT(it != by_name_.end(), "unknown column: " + name);
+  return it->second;
+}
+
+bool Schema::has(const std::string& name) const noexcept {
+  return by_name_.contains(name);
+}
+
+bool Schema::accepts(const std::vector<Value>& row) const noexcept {
+  if (row.size() != columns_.size()) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (columns_[i].type == ValueType::kNull) continue;  // untyped column
+    if (row[i].is_null()) continue;                      // null always ok
+    if (row[i].type() == ValueType::kInt &&
+        columns_[i].type == ValueType::kReal) {
+      continue;  // ints widen to reals
+    }
+    if (row[i].type() != columns_[i].type) return false;
+  }
+  return true;
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+RowId Table::insert(std::vector<Value> cells) {
+  SPHINX_ASSERT(schema_.accepts(cells),
+                "row does not match schema of table " + name_);
+  const RowId id = next_id_++;
+  const auto [it, ok] = rows_.emplace(id, Row{id, std::move(cells)});
+  SPHINX_ASSERT(ok, "duplicate row id");
+  index_insert(it->second);
+  if (observer_ != nullptr) observer_->on_insert(name_, id, it->second.cells);
+  return id;
+}
+
+void Table::insert_with_id(RowId id, std::vector<Value> cells) {
+  SPHINX_ASSERT(id != kInvalidRow, "invalid row id in replay");
+  SPHINX_ASSERT(schema_.accepts(cells),
+                "row does not match schema of table " + name_);
+  SPHINX_ASSERT(!rows_.contains(id), "row id already present in replay");
+  next_id_ = std::max(next_id_, id + 1);
+  const auto [it, ok] = rows_.emplace(id, Row{id, std::move(cells)});
+  SPHINX_ASSERT(ok, "duplicate row id");
+  index_insert(it->second);
+  if (observer_ != nullptr) observer_->on_insert(name_, id, it->second.cells);
+}
+
+bool Table::update(RowId id, const std::string& column, Value value) {
+  return update(id, schema_.index_of(column), std::move(value));
+}
+
+bool Table::update(RowId id, std::size_t column, Value value) {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) return false;
+  SPHINX_ASSERT(column < schema_.size(), "column index out of range");
+  index_erase(it->second);
+  it->second.cells[column] = std::move(value);
+  index_insert(it->second);
+  if (observer_ != nullptr) {
+    observer_->on_update(name_, id, column, it->second.cells[column]);
+  }
+  return true;
+}
+
+bool Table::erase(RowId id) {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) return false;
+  index_erase(it->second);
+  rows_.erase(it);
+  if (observer_ != nullptr) observer_->on_erase(name_, id);
+  return true;
+}
+
+const Row* Table::find(RowId id) const {
+  const auto it = rows_.find(id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+const Value& Table::get(RowId id, const std::string& column) const {
+  const Row* row = find(id);
+  SPHINX_ASSERT(row != nullptr,
+                "row " + std::to_string(id) + " missing in table " + name_);
+  return row->cells[schema_.index_of(column)];
+}
+
+void Table::create_index(const std::string& column) {
+  const std::size_t col = schema_.index_of(column);
+  if (indexes_.contains(col)) return;
+  auto& index = indexes_[col];
+  for (const auto& [id, row] : rows_) {
+    index[index_key(row.cells[col])].push_back(id);
+  }
+}
+
+std::vector<RowId> Table::find_by(const std::string& column,
+                                  const Value& value) const {
+  const std::size_t col = schema_.index_of(column);
+  if (const auto it = indexes_.find(col); it != indexes_.end()) {
+    const auto bucket = it->second.find(index_key(value));
+    if (bucket == it->second.end()) return {};
+    return bucket->second;  // maintained in insertion order
+  }
+  std::vector<RowId> out;
+  for (const auto& [id, row] : rows_) {
+    if (row.cells[col] == value) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RowId> Table::select(
+    const std::function<bool(const Row&)>& pred) const {
+  std::vector<RowId> out;
+  for (const auto& [id, row] : rows_) {
+    if (pred(row)) out.push_back(id);
+  }
+  return out;
+}
+
+void Table::for_each(const std::function<void(const Row&)>& fn) const {
+  for (const auto& [id, row] : rows_) fn(row);
+}
+
+std::size_t Table::count_by(const std::string& column,
+                            const Value& value) const {
+  return find_by(column, value).size();
+}
+
+void Table::index_insert(const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    index[index_key(row.cells[col])].push_back(row.id);
+  }
+}
+
+void Table::index_erase(const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    const auto it = index.find(index_key(row.cells[col]));
+    if (it == index.end()) continue;
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), row.id), ids.end());
+    if (ids.empty()) index.erase(it);
+  }
+}
+
+}  // namespace sphinx::db

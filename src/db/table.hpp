@@ -1,0 +1,140 @@
+#pragma once
+/// \file table.hpp
+/// Schema'd in-memory tables with secondary indexes.
+///
+/// Tables are the inter-module communication fabric of the SPHINX server:
+/// one module writes a row in a new state, the control process reads rows
+/// by state and wakes the module responsible for that state (paper
+/// section 3.2).  Rows are addressed by a stable RowId so the journal can
+/// replay mutations.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "db/value.hpp"
+
+namespace sphinx::db {
+
+/// Stable identifier of a row within one table.
+using RowId = std::uint64_t;
+inline constexpr RowId kInvalidRow = 0;
+
+/// Column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;  ///< kNull means "any type accepted"
+};
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> cols);
+  explicit Schema(std::vector<Column> cols);
+
+  [[nodiscard]] std::size_t size() const noexcept { return columns_.size(); }
+  [[nodiscard]] const Column& at(std::size_t i) const { return columns_.at(i); }
+  /// Index of a named column; throws AssertionError if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const noexcept;
+  [[nodiscard]] const std::vector<Column>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Checks that `row` matches arity and column types (null always allowed).
+  [[nodiscard]] bool accepts(const std::vector<Value>& row) const noexcept;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+/// A materialized row: id + cells.
+struct Row {
+  RowId id = kInvalidRow;
+  std::vector<Value> cells;
+};
+
+/// Observer invoked on every committed mutation; the journal subscribes.
+struct TableObserver {
+  virtual ~TableObserver() = default;
+  virtual void on_insert(const std::string& table, RowId id,
+                         const std::vector<Value>& cells) = 0;
+  virtual void on_update(const std::string& table, RowId id,
+                         std::size_t column, const Value& value) = 0;
+  virtual void on_erase(const std::string& table, RowId id) = 0;
+};
+
+/// One table.  Insertions get monotonically increasing RowIds; indexes are
+/// hash indexes on a single column maintained incrementally.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Schema& schema() const noexcept { return schema_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+
+  /// Inserts a row; returns its id.  Throws AssertionError on schema
+  /// mismatch (callers construct rows from typed code, not user input).
+  RowId insert(std::vector<Value> cells);
+
+  /// Inserts preserving a specific id -- used only by journal replay.
+  void insert_with_id(RowId id, std::vector<Value> cells);
+
+  /// Updates one cell.  Returns false if the row does not exist.
+  bool update(RowId id, const std::string& column, Value value);
+  bool update(RowId id, std::size_t column, Value value);
+
+  /// Removes a row.  Returns false if absent.
+  bool erase(RowId id);
+
+  /// Row lookup; nullptr if absent.  Pointer invalidated by mutations.
+  [[nodiscard]] const Row* find(RowId id) const;
+
+  /// Reads one cell; throws if the row is missing.
+  [[nodiscard]] const Value& get(RowId id, const std::string& column) const;
+
+  /// Declares a hash index on `column` (idempotent).
+  void create_index(const std::string& column);
+
+  /// All row ids whose `column` equals `value`.  Uses the index when one
+  /// exists, otherwise scans.  Ids are returned in insertion order.
+  [[nodiscard]] std::vector<RowId> find_by(const std::string& column,
+                                           const Value& value) const;
+
+  /// Row ids matching an arbitrary predicate, in insertion order.
+  [[nodiscard]] std::vector<RowId> select(
+      const std::function<bool(const Row&)>& pred) const;
+
+  /// Visits every row in insertion order.
+  void for_each(const std::function<void(const Row&)>& fn) const;
+
+  /// Number of rows whose `column` equals `value`.
+  [[nodiscard]] std::size_t count_by(const std::string& column,
+                                     const Value& value) const;
+
+  void set_observer(TableObserver* observer) noexcept { observer_ = observer; }
+
+ private:
+  void index_insert(const Row& row);
+  void index_erase(const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::map<RowId, Row> rows_;  // ordered: insertion order == id order
+  RowId next_id_ = 1;
+  // column index -> (value text+type key -> row ids)
+  std::unordered_map<std::size_t, std::unordered_map<std::string, std::vector<RowId>>>
+      indexes_;
+  TableObserver* observer_ = nullptr;
+};
+
+}  // namespace sphinx::db

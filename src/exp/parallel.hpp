@@ -1,0 +1,58 @@
+#pragma once
+/// \file parallel.hpp
+/// Thread-pool execution of independent simulations.
+///
+/// One simulation is single-threaded and deterministic (DESIGN.md
+/// section 5); throughput comes from running many simulations -- seed
+/// sweeps, ablation grids -- on a pool.  Tasks must not share mutable
+/// state; each builds its own Scenario.
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sphinx::exp {
+
+/// Runs every task (possibly concurrently) and returns results in input
+/// order.  `max_threads` 0 means hardware concurrency.  Exceptions thrown
+/// by tasks are rethrown (the first one, after all threads join).
+template <typename R>
+[[nodiscard]] std::vector<R> run_parallel(
+    const std::vector<std::function<R()>>& tasks,
+    unsigned max_threads = 0) {
+  if (max_threads == 0) {
+    max_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<R> results(tasks.size());
+  std::vector<std::exception_ptr> errors(tasks.size());
+  std::atomic<std::size_t> next{0};
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= tasks.size()) return;
+      try {
+        results[index] = tasks[index]();
+      } catch (...) {
+        errors[index] = std::current_exception();
+      }
+    }
+  };
+
+  const unsigned n =
+      std::min<unsigned>(max_threads, static_cast<unsigned>(tasks.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned i = 0; i < n; ++i) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace sphinx::exp

@@ -1,0 +1,110 @@
+#include "exp/runner.hpp"
+
+namespace sphinx::exp {
+
+std::vector<TenantSpec> standard_panel() {
+  std::vector<TenantSpec> specs;
+  TenantOptions options;
+  options.use_feedback = true;
+  options.algorithm = core::Algorithm::kCompletionTime;
+  specs.push_back({"completion-time", options});
+  options.algorithm = core::Algorithm::kQueueLength;
+  specs.push_back({"queue-length", options});
+  options.algorithm = core::Algorithm::kNumCpus;
+  specs.push_back({"num-cpus", options});
+  options.algorithm = core::Algorithm::kRoundRobin;
+  specs.push_back({"round-robin", options});
+  return specs;
+}
+
+std::vector<TenantResult> Experiment::run(
+    const std::vector<TenantSpec>& specs) {
+  Scenario scenario(config_.scenario);
+
+  // Create tenants and their (structurally identical) workloads.
+  std::vector<std::vector<workflow::Dag>> workloads;
+  for (const TenantSpec& spec : specs) {
+    Tenant& tenant = scenario.add_tenant(spec.label, spec.options);
+    // Same stream label for every tenant -> identical DAG structures,
+    // compute times and file sizes; only the ids differ.
+    auto generator = scenario.make_generator("shared", config_.workload);
+    workloads.push_back(
+        generator.generate_batch(spec.label, config_.dag_count));
+
+    // Figure 7: install usage quotas sized relative to workload demand.
+    if (spec.options.use_policy &&
+        (config_.quota_cpu_fraction > 0 || config_.quota_disk_fraction > 0)) {
+      double total_cpu_seconds = 0.0;
+      double total_disk_bytes = 0.0;
+      for (const workflow::Dag& dag : workloads.back()) {
+        for (const workflow::JobSpec& job : dag.jobs()) {
+          total_cpu_seconds += job.compute_time;
+          total_disk_bytes += job.output_bytes;
+        }
+      }
+      for (const core::CatalogSite& site : scenario.catalog()) {
+        if (config_.quota_cpu_fraction > 0) {
+          tenant.server->set_quota(tenant.client->config().user, site.id,
+                                   "cpu_seconds",
+                                   total_cpu_seconds *
+                                       config_.quota_cpu_fraction);
+        }
+        if (config_.quota_disk_fraction > 0) {
+          tenant.server->set_quota(tenant.client->config().user, site.id,
+                                   "disk_bytes",
+                                   total_disk_bytes *
+                                       config_.quota_disk_fraction);
+        }
+      }
+    }
+  }
+
+  scenario.start();
+
+  // Submit every tenant's k-th DAG at the same instant (fair start).
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    for (std::size_t k = 0; k < workloads[t].size(); ++k) {
+      const workflow::Dag& dag = workloads[t][k];
+      scenario.engine().schedule_at(
+          10.0 + static_cast<double>(k) * config_.submit_spacing,
+          "submit:" + dag.name(),
+          [&scenario, t, &dag] { scenario.tenants()[t].client->submit(dag); });
+    }
+  }
+
+  stopped_at_ = scenario.run(config_.horizon);
+
+  // Harvest metrics.
+  std::vector<TenantResult> results;
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    const Tenant& tenant = scenario.tenants()[t];
+    TenantResult r;
+    r.label = tenant.label;
+    r.dags_total = tenant.client->dag_outcomes().size();
+    r.dags_finished = tenant.client->dags_finished();
+    r.avg_dag_completion = tenant.client->avg_dag_completion();
+    r.avg_job_execution = tenant.client->avg_job_execution();
+    r.avg_job_idle = tenant.client->avg_job_idle();
+    r.timeouts = tenant.client->tracker_stats().timeouts;
+    r.extensions = tenant.client->tracker_stats().extensions;
+    r.held_or_failed = tenant.client->tracker_stats().held_or_failed;
+    r.plans = tenant.server->stats().plans_sent;
+    r.replans = tenant.server->stats().replans;
+    r.policy_rejections = tenant.server->stats().policy_rejections;
+    for (const core::CatalogSite& site : scenario.catalog()) {
+      const auto& observations = tenant.client->site_observations();
+      const auto it = observations.find(site.id);
+      SiteFigure figure;
+      figure.site = site.name;
+      if (it != observations.end()) {
+        figure.completed = it->second.completed;
+        figure.avg_completion = it->second.completion_times.mean();
+      }
+      r.per_site.push_back(figure);
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace sphinx::exp

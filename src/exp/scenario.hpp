@@ -1,0 +1,120 @@
+#pragma once
+/// \file scenario.hpp
+/// The Grid3-like testbed every experiment runs on.
+///
+/// Section 4.2 of the paper uses Grid3: "more than 25 sites across the US
+/// and Korea that collectively provide more than 2000 CPUs", shared by
+/// "7 different scientific applications".  This scenario builds the
+/// simulated analogue: 15 heterogeneous sites (named after the sites in
+/// the paper's Figure 6), with background load from other VOs, per-site
+/// VO priorities, WAN links, storage elements, a monitoring service, and
+/// the failure behaviours (downtime, black holes, degradation) that the
+/// fault-tolerance results depend on.
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "data/gridftp.hpp"
+#include "data/rls.hpp"
+#include "data/storage.hpp"
+#include "grid/grid.hpp"
+#include "monitor/service.hpp"
+#include "rpc/transport.hpp"
+#include "sim/engine.hpp"
+#include "submit/condor_g.hpp"
+#include "workflow/generator.hpp"
+
+namespace sphinx::exp {
+
+/// Scenario-wide knobs.
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  bool site_failures = true;     ///< intermittent downtime + black holes
+  bool background_load = true;   ///< other VOs' jobs
+  monitor::MonitorConfig monitor;  ///< poll period 5 min by default
+  Duration bus_latency = 0.1;
+  Duration bus_jitter = 0.1;
+};
+
+/// One SPHINX deployment (server + client + gateway) sharing the grid
+/// with the other tenants -- the paper's "multiple instances of SPHINX
+/// servers ... started at the same time so that they can compete for the
+/// same set of grid resources".
+struct Tenant {
+  std::string label;
+  std::unique_ptr<submit::CondorG> gateway;
+  std::unique_ptr<core::SphinxServer> server;
+  std::unique_ptr<core::SphinxClient> client;
+};
+
+/// Per-tenant scheduling options.
+struct TenantOptions {
+  core::Algorithm algorithm = core::Algorithm::kCompletionTime;
+  bool use_feedback = true;
+  bool use_policy = false;
+  bool use_qos_ordering = true;  ///< priority + earliest-deadline planning
+  Duration job_timeout = minutes(20);
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  /// The static site catalog (id, name, CPUs) as SPHINX sees it.
+  [[nodiscard]] std::vector<core::CatalogSite> catalog() const;
+
+  /// Creates one tenant.  Tenants must be created before start().
+  Tenant& add_tenant(const std::string& label, const TenantOptions& options);
+
+  /// Builds a workload generator whose randomness depends only on
+  /// `stream_label`, so two tenants given the same label receive
+  /// structurally identical workloads (fair group-wise comparison).
+  [[nodiscard]] workflow::WorkloadGenerator make_generator(
+      const std::string& stream_label,
+      const workflow::WorkloadConfig& workload);
+
+  /// Starts grid dynamics, monitoring and every tenant's control process.
+  void start();
+
+  /// Runs until `horizon`, stopping early once every tenant's client has
+  /// finished all of its DAGs.  Returns the stop time.
+  SimTime run(SimTime horizon);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] grid::Grid& grid() noexcept { return grid_; }
+  [[nodiscard]] data::ReplicaLocationService& rls() noexcept { return rls_; }
+  [[nodiscard]] data::TransferService& transfers() noexcept { return transfers_; }
+  [[nodiscard]] monitor::MonitoringService& monitoring() noexcept {
+    return monitoring_;
+  }
+  [[nodiscard]] rpc::MessageBus& bus() noexcept { return bus_; }
+  [[nodiscard]] std::deque<Tenant>& tenants() noexcept { return tenants_; }
+  [[nodiscard]] workflow::IdSpace& ids() noexcept { return ids_; }
+  [[nodiscard]] const SeedTree& seeds() const noexcept { return seeds_; }
+
+ private:
+  void build_sites();
+
+  ScenarioConfig config_;
+  sim::Engine engine_;
+  SeedTree seeds_;
+  rpc::MessageBus bus_;
+  grid::Grid grid_;
+  data::TransferService transfers_;
+  data::ReplicaLocationService rls_;
+  data::StorageFabric storage_;
+  monitor::MonitoringService monitoring_;
+  workflow::IdSpace ids_;
+  // deque: references returned by add_tenant stay valid as tenants are
+  // appended (a vector would reallocate and dangle them).
+  std::deque<Tenant> tenants_;
+  IdGenerator<UserId> users_;
+  bool started_ = false;
+};
+
+}  // namespace sphinx::exp

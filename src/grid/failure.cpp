@@ -1,0 +1,92 @@
+#include "grid/failure.hpp"
+
+namespace sphinx::grid {
+
+FailureModel::FailureModel(sim::Engine& engine, Site& site,
+                           FailureConfig config, Rng rng)
+    : engine_(engine), site_(site), config_(config), rng_(std::move(rng)) {}
+
+void FailureModel::start() {
+  if (config_.permanent_black_hole) {
+    site_.become_black_hole();
+    return;
+  }
+  if (config_.enabled) schedule_failure();
+}
+
+void FailureModel::schedule_failure() {
+  const Duration uptime = rng_.exponential(config_.mean_uptime);
+  engine_.schedule_in(uptime, "failure:" + site_.name() + ":fail",
+                      [this] { fail(); });
+}
+
+void FailureModel::fail() {
+  ++outages_;
+  const double total = config_.weight_down + config_.weight_black_hole +
+                       config_.weight_degraded;
+  const double draw = rng_.uniform(0.0, total > 0 ? total : 1.0);
+  if (draw < config_.weight_down) {
+    site_.go_down();
+  } else if (draw < config_.weight_down + config_.weight_black_hole) {
+    site_.become_black_hole();
+  } else {
+    site_.degrade();
+  }
+  const Duration downtime = rng_.exponential(config_.mean_downtime);
+  engine_.schedule_in(downtime, "failure:" + site_.name() + ":repair",
+                      [this] { repair(); });
+}
+
+void FailureModel::repair() {
+  site_.recover();
+  schedule_failure();
+}
+
+BackgroundLoad::BackgroundLoad(sim::Engine& engine, Site& site,
+                               BackgroundLoadConfig config, Rng rng)
+    : engine_(engine), site_(site), config_(config), rng_(std::move(rng)) {}
+
+void BackgroundLoad::start() {
+  if (!config_.enabled) return;
+  for (int i = 0; i < config_.prefill_jobs; ++i) {
+    RemoteJob job;
+    job.vo = config_.vo;
+    job.compute_time = rng_.exponential(config_.mean_duration);
+    if (site_.submit(std::move(job), nullptr).has_value()) ++injected_;
+  }
+  if (config_.burstiness > 0) {
+    heavy_ = rng_.chance(0.5);
+    schedule_phase_flip();
+  }
+  schedule_arrival();
+}
+
+void BackgroundLoad::schedule_phase_flip() {
+  const Duration phase = rng_.exponential(config_.mean_phase);
+  engine_.schedule_in(phase, "bg:" + site_.name() + ":phase", [this] {
+    heavy_ = !heavy_;
+    schedule_phase_flip();
+  });
+}
+
+void BackgroundLoad::schedule_arrival() {
+  // The heavy/light phase scales the arrival *rate*, i.e. divides the
+  // inter-arrival mean.
+  double rate_scale = 1.0;
+  if (config_.burstiness > 0) {
+    rate_scale = heavy_ ? 1.0 + config_.burstiness : 1.0 - config_.burstiness;
+    if (rate_scale <= 0.05) rate_scale = 0.05;
+  }
+  const Duration gap =
+      rng_.exponential(config_.mean_interarrival / rate_scale);
+  engine_.schedule_in(gap, "bg:" + site_.name() + ":arrival", [this] {
+    RemoteJob job;
+    job.vo = config_.vo;
+    job.compute_time = rng_.exponential(config_.mean_duration);
+    // Background jobs do not stage data and nobody watches them.
+    if (site_.submit(std::move(job), nullptr).has_value()) ++injected_;
+    schedule_arrival();
+  });
+}
+
+}  // namespace sphinx::grid

@@ -1,0 +1,101 @@
+#pragma once
+/// \file failure.hpp
+/// Unplanned site downtime -- the "dynamic availability" of the paper.
+///
+/// Each site gets an alternating up/down renewal process: up-times and
+/// repair-times are exponentially distributed, and each outage picks one
+/// of the configured failure modes (fully down, black hole, degraded).
+/// A site can also be configured as a *permanent* black hole -- the
+/// "site that accepts jobs and never completes them" that motivates the
+/// feedback experiments (Figures 2 and 8).
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "grid/site.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::grid {
+
+/// Failure behaviour of one site.
+struct FailureConfig {
+  bool enabled = false;
+  Duration mean_uptime = hours(6);
+  Duration mean_downtime = minutes(30);
+  /// Mode mix for each outage; weights need not sum to 1 (normalized).
+  double weight_down = 1.0;
+  double weight_black_hole = 0.0;
+  double weight_degraded = 0.0;
+  /// If true the site starts and stays a black hole forever.
+  bool permanent_black_hole = false;
+};
+
+/// Drives one site through up/down cycles on the engine.
+class FailureModel {
+ public:
+  FailureModel(sim::Engine& engine, Site& site, FailureConfig config, Rng rng);
+
+  /// Begins the renewal process (applies permanent modes immediately).
+  void start();
+
+  [[nodiscard]] std::size_t outages() const noexcept { return outages_; }
+  [[nodiscard]] const FailureConfig& config() const noexcept { return config_; }
+
+ private:
+  void schedule_failure();
+  void fail();
+  void repair();
+
+  sim::Engine& engine_;
+  Site& site_;
+  FailureConfig config_;
+  Rng rng_;
+  std::size_t outages_ = 0;
+};
+
+/// Poisson background load from other grid users (the site's "dynamic
+/// load").  Jobs arrive with exponential inter-arrival times, occupy CPUs
+/// for exponential durations, and carry a configurable VO whose local
+/// priority the site applies -- this is the traffic a monitoring system
+/// sees in the queue lengths.
+struct BackgroundLoadConfig {
+  bool enabled = false;
+  Duration mean_interarrival = 30.0;  ///< seconds between arrivals
+  Duration mean_duration = minutes(10);
+  std::string vo = "background";
+  /// Jobs injected immediately at start so the site begins in (approx.)
+  /// steady state instead of empty -- remaining times of in-service
+  /// exponential jobs are again exponential, so fresh draws are correct.
+  int prefill_jobs = 0;
+  /// Non-stationarity: arrival rate alternates between (1 + burstiness)
+  /// and (1 - burstiness) times the base rate, switching phase after
+  /// exponential times with mean `mean_phase`.  This is what makes
+  /// point-in-time monitoring data go stale in a way that matters
+  /// (paper section 2: "the dynamic load ... of the resources").
+  double burstiness = 0.0;
+  Duration mean_phase = minutes(25);
+};
+
+class BackgroundLoad {
+ public:
+  BackgroundLoad(sim::Engine& engine, Site& site, BackgroundLoadConfig config,
+                 Rng rng);
+
+  void start();
+  [[nodiscard]] std::size_t jobs_injected() const noexcept { return injected_; }
+  /// True while in the heavy phase (for tests).
+  [[nodiscard]] bool heavy_phase() const noexcept { return heavy_; }
+
+ private:
+  void schedule_arrival();
+  void schedule_phase_flip();
+
+  sim::Engine& engine_;
+  Site& site_;
+  BackgroundLoadConfig config_;
+  Rng rng_;
+  std::size_t injected_ = 0;
+  bool heavy_ = false;
+};
+
+}  // namespace sphinx::grid

@@ -1,0 +1,136 @@
+#pragma once
+/// \file site.hpp
+/// One grid site: CPUs + local batch scheduler + health state.
+///
+/// A site accepts job submissions into a priority queue (VO priority
+/// decides order, FIFO within a priority), dispatches them onto free CPUs,
+/// optionally runs a stage-in hook before computing, and emits condor-like
+/// status events.  Health states model the failure modes the paper's
+/// evaluation depends on: honest sites, sites that are down (unresponsive,
+/// jobs lost), black holes (accept jobs, never run them) and degraded
+/// sites (CPUs slowed).
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "grid/types.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::grid {
+
+/// Site health, driven by the failure model.
+enum class SiteHealth {
+  kHealthy,
+  kDown,       ///< unresponsive: loses jobs, answers no queries
+  kBlackHole,  ///< responsive but never dispatches jobs
+  kDegraded,   ///< responsive, CPUs run slower
+};
+
+[[nodiscard]] const char* to_string(SiteHealth health) noexcept;
+
+/// Static configuration of a site.
+struct SiteConfig {
+  std::string name;
+  int cpus = 16;
+  double cpu_speed = 1.0;      ///< relative speed; runtime = nominal / speed
+  double runtime_noise = 0.1;  ///< lognormal sigma on job runtimes
+  double degraded_speed = 0.3; ///< speed multiplier while kDegraded
+  /// Local batch priority by VO name; unlisted VOs get priority 0.
+  std::map<std::string, double> vo_priority;
+};
+
+/// Cumulative counters for site-level reporting (Figure 6).
+struct SiteCounters {
+  std::size_t submitted = 0;
+  std::size_t dispatched = 0;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  std::size_t lost = 0;  ///< dropped while the site was down
+};
+
+class Site {
+ public:
+  Site(sim::Engine& engine, SiteId id, SiteConfig config, Rng rng);
+
+  [[nodiscard]] SiteId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] const SiteConfig& config() const noexcept { return config_; }
+  [[nodiscard]] SiteHealth health() const noexcept { return health_; }
+  [[nodiscard]] const SiteCounters& counters() const noexcept { return counters_; }
+
+  /// Installs the stage-in hook (typically the GridFTP-backed one from the
+  /// submission layer).  May be null for compute-only workloads.
+  void set_stage_in_hook(StageInHook hook) { stage_in_ = std::move(hook); }
+
+  /// Submits a job.  The site assigns and returns the submission id (ids
+  /// are scoped to this site).  Returns nullopt if the site is down: the
+  /// gatekeeper does not respond and the submission is lost.  The callback
+  /// observes every later state change of this submission.
+  std::optional<SubmissionId> submit(RemoteJob job, JobEventCallback callback);
+
+  /// condor_rm: cancels a queued/staging/running job.  Queued jobs leave
+  /// the queue; running jobs free their CPU.  Emits kCancelled.  Returns
+  /// false if the submission is unknown, already terminal, or the site is
+  /// down (an unresponsive gatekeeper cannot process the remove -- the
+  /// job is already lost anyway).
+  bool cancel(SubmissionId submission);
+
+  /// condor_q: the live queue snapshot, or nullopt if the site is down.
+  [[nodiscard]] std::optional<QueueStatus> query() const;
+
+  /// State of one submission (for gateway polling); nullopt if unknown.
+  [[nodiscard]] std::optional<RemoteJobState> submission_state(
+      SubmissionId submission) const;
+
+  /// --- health transitions (driven by FailureModel) -------------------
+  /// Takes the site down: queued/staging/running jobs are silently lost
+  /// (no events -- an unresponsive site cannot notify anyone).
+  void go_down();
+  /// Turns the site into a black hole: it keeps accepting submissions and
+  /// answering queries but never dispatches.
+  void become_black_hole();
+  /// Degrades CPU speed (running jobs finish at the degraded rate from
+  /// their original schedule; new dispatches use the degraded speed).
+  void degrade();
+  /// Restores a healthy site.
+  void recover();
+
+ private:
+  struct Entry {
+    RemoteJob job;
+    RemoteJobState state = RemoteJobState::kQueued;
+    JobEventCallback callback;
+    SimTime submitted_at = 0.0;
+    sim::EventHandle completion;  ///< pending compute-finish event
+  };
+
+  void emit(Entry& entry, RemoteJobState state);
+  void try_dispatch();
+  void start_job(SubmissionId submission);
+  void begin_compute(SubmissionId submission);
+  [[nodiscard]] double effective_speed() const noexcept;
+
+  sim::Engine& engine_;
+  SiteId id_;
+  SiteConfig config_;
+  Rng rng_;
+  SiteHealth health_ = SiteHealth::kHealthy;
+  StageInHook stage_in_;
+
+  // Queue of waiting submissions ordered by (priority desc, arrival).
+  // Key: (-priority, arrival sequence) for natural map ordering.
+  std::map<std::pair<double, std::uint64_t>, SubmissionId> queue_;
+  std::uint64_t arrival_seq_ = 0;
+  IdGenerator<SubmissionId> submission_ids_;
+  int busy_cpus_ = 0;
+  std::unordered_map<SubmissionId, Entry> entries_;
+  std::unordered_map<SubmissionId, std::pair<double, std::uint64_t>> queue_pos_;
+  SiteCounters counters_;
+};
+
+}  // namespace sphinx::grid

@@ -1,0 +1,76 @@
+#include "monitor/gma.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sphinx::monitor {
+
+void MetricRegistry::publish(Metric metric) {
+  SPHINX_ASSERT(!metric.name.empty(), "metric needs a name");
+  ++published_;
+  auto& bucket = series_[SeriesKey{metric.name, metric.site}];
+  bucket.push_back(metric);
+  while (bucket.size() > history_limit_) bucket.pop_front();
+
+  for (const Subscriber& sub : subscribers_) {
+    if (sub.name != metric.name) continue;
+    if (sub.site.valid() && sub.site != metric.site) continue;
+    sub.callback(metric);
+  }
+}
+
+SubscriptionId MetricRegistry::subscribe(std::string name, Callback callback,
+                                         SiteId site) {
+  SPHINX_ASSERT(callback != nullptr, "subscription callback must not be null");
+  const std::uint64_t id = next_subscription_++;
+  subscribers_.push_back(
+      Subscriber{id, std::move(name), site, std::move(callback)});
+  return SubscriptionId(id);
+}
+
+void MetricRegistry::unsubscribe(SubscriptionId id) {
+  std::erase_if(subscribers_,
+                [&](const Subscriber& sub) { return sub.id == id.id_; });
+}
+
+std::optional<Metric> MetricRegistry::latest(const std::string& name,
+                                             SiteId site) const {
+  const auto it = series_.find(SeriesKey{name, site});
+  if (it == series_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::vector<Metric> MetricRegistry::history(const std::string& name,
+                                            SiteId site, SimTime since) const {
+  std::vector<Metric> out;
+  const auto it = series_.find(SeriesKey{name, site});
+  if (it == series_.end()) return out;
+  for (const Metric& m : it->second) {
+    if (m.timestamp >= since) out.push_back(m);
+  }
+  return out;
+}
+
+std::optional<double> MetricRegistry::mean_since(const std::string& name,
+                                                 SiteId site,
+                                                 SimTime since) const {
+  const auto window = history(name, site, since);
+  if (window.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (const Metric& m : window) sum += m.value;
+  return sum / static_cast<double>(window.size());
+}
+
+std::vector<std::string> MetricRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [key, bucket] : series_) {
+    if (std::find(out.begin(), out.end(), key.name) == out.end()) {
+      out.push_back(key.name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sphinx::monitor

@@ -1,0 +1,123 @@
+#pragma once
+/// \file gma.hpp
+/// Grid Monitoring Architecture (GMA) style metric registry.
+///
+/// The paper's monitoring interface "provides a buffer between external
+/// monitoring services (such as MDS, GEMS, VO-Ganglia, MonALISA, and
+/// Hawkeye) and the SPHINX scheduling system ... developed as an SDK so
+/// that specific implementations are easily constructed" (section 3.4).
+/// The era's standard shape for that buffer is the GGF Grid Monitoring
+/// Architecture: *producers* publish timestamped metrics into a
+/// *registry*; *consumers* subscribe by metric name (and optionally
+/// site) or query the latest/history on demand.
+///
+/// MonitoringService publishes its condor_q-style observations here when
+/// attached; any other producer (GEMS gossip, Hawkeye, a test) can
+/// publish alongside it, and schedulers-to-be can consume without caring
+/// which system measured what.
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace sphinx::monitor {
+
+/// One timestamped observation.
+struct Metric {
+  std::string name;    ///< e.g. "queue.length", "cpu.free", "site.alive"
+  SiteId site;         ///< invalid for grid-wide metrics
+  double value = 0.0;
+  SimTime timestamp = 0.0;
+  std::string producer;  ///< which monitoring system measured it
+};
+
+/// Subscription handle.
+class SubscriptionId {
+ public:
+  constexpr SubscriptionId() noexcept = default;
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+  friend constexpr bool operator==(SubscriptionId, SubscriptionId) noexcept =
+      default;
+
+ private:
+  friend class MetricRegistry;
+  constexpr explicit SubscriptionId(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class MetricRegistry {
+ public:
+  using Callback = std::function<void(const Metric&)>;
+
+  /// \param history_limit observations retained per (name, site) series.
+  explicit MetricRegistry(std::size_t history_limit = 64)
+      : history_limit_(history_limit) {}
+
+  /// Producer API: publishes one observation and fans it out to matching
+  /// subscribers.
+  void publish(Metric metric);
+
+  /// Consumer API: subscribes to every metric named `name`; a valid
+  /// `site` narrows to one site's series.
+  SubscriptionId subscribe(std::string name, Callback callback,
+                           SiteId site = SiteId());
+  /// Cancels a subscription (no-op for unknown ids).
+  void unsubscribe(SubscriptionId id);
+
+  /// Latest observation of a series; nullopt when never published.
+  [[nodiscard]] std::optional<Metric> latest(const std::string& name,
+                                             SiteId site) const;
+
+  /// Observations of a series not older than `since` (oldest first).
+  [[nodiscard]] std::vector<Metric> history(const std::string& name,
+                                            SiteId site,
+                                            SimTime since = 0.0) const;
+
+  /// Mean of the series values not older than `since`; nullopt when the
+  /// window is empty.  (The aggregation consumers like a scheduler SDK
+  /// would otherwise each reimplement.)
+  [[nodiscard]] std::optional<double> mean_since(const std::string& name,
+                                                 SiteId site,
+                                                 SimTime since) const;
+
+  /// Distinct metric names ever published (the registry's "directory").
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t published() const noexcept { return published_; }
+  [[nodiscard]] std::size_t subscriptions() const noexcept {
+    return subscribers_.size();
+  }
+
+ private:
+  struct SeriesKey {
+    std::string name;
+    SiteId site;
+    bool operator==(const SeriesKey&) const = default;
+  };
+  struct SeriesKeyHash {
+    std::size_t operator()(const SeriesKey& key) const noexcept {
+      return std::hash<std::string>{}(key.name) ^
+             (std::hash<std::uint64_t>{}(key.site.value()) << 1);
+    }
+  };
+  struct Subscriber {
+    std::uint64_t id;
+    std::string name;
+    SiteId site;  ///< invalid = all sites
+    Callback callback;
+  };
+
+  std::size_t history_limit_;
+  std::unordered_map<SeriesKey, std::deque<Metric>, SeriesKeyHash> series_;
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t next_subscription_ = 1;
+  std::size_t published_ = 0;
+};
+
+}  // namespace sphinx::monitor

@@ -1,0 +1,91 @@
+#pragma once
+/// \file service.hpp
+/// Grid monitoring infrastructure (MonALISA / condor_q query-job style).
+///
+/// The paper's monitoring interface "uses query jobs submitted to remote
+/// sites to gather information ... typical parameters being monitored
+/// include various job queue lengths" (section 3.4), and its evaluation
+/// hinges on that data being *imperfect*: updated on a poll period,
+/// subject to reporting latency, absent while a site is down, and
+/// optionally noisy.  All four imperfections are modelled explicitly.
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "monitor/gma.hpp"
+#include "common/time.hpp"
+#include "grid/grid.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::monitor {
+
+/// One monitored observation of a site.
+struct SiteSnapshot {
+  SiteId site;
+  int cpus = 0;
+  int queued = 0;
+  int running = 0;
+  int free_cpus = 0;
+  SimTime measured_at = -1.0;  ///< when the query job actually ran
+  SimTime published_at = -1.0; ///< when the value became visible
+};
+
+/// Monitoring behaviour knobs.
+struct MonitorConfig {
+  Duration poll_period = minutes(5);   ///< how often query jobs run
+  Duration report_latency = seconds(30);  ///< delay before data is visible
+  double noise = 0.0;  ///< relative noise on queue counts, e.g. 0.2 = ±20 %
+  bool enabled = true;
+};
+
+/// Polls every site on a period and serves the latest published snapshot.
+class MonitoringService {
+ public:
+  MonitoringService(sim::Engine& engine, grid::Grid& grid,
+                    MonitorConfig config, Rng rng);
+
+  /// Starts the poll loop (staggers the first polls across the period).
+  void start();
+
+  /// Attaches a GMA registry: every successful poll publishes
+  /// queue.length / jobs.running / cpu.free metrics, and every poll
+  /// (success or not) publishes site.alive.  Pass nullptr to detach.
+  void attach_registry(MetricRegistry* registry) noexcept {
+    registry_ = registry;
+  }
+
+  /// The most recent *published* snapshot of a site, or nullopt if no
+  /// query has ever succeeded.  Callers must treat the timestamps as part
+  /// of the data -- this is how staleness reaches schedulers.
+  [[nodiscard]] std::optional<SiteSnapshot> snapshot(SiteId site) const;
+
+  /// Convenience: age of the published data at `now`; kNever if none.
+  [[nodiscard]] Duration age(SiteId site, SimTime now) const;
+
+  /// Static catalog information (always available, like the Grid3
+  /// catalog): CPU count of a site.
+  [[nodiscard]] int catalog_cpus(SiteId site) const;
+
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t polls_attempted() const noexcept { return polls_; }
+  [[nodiscard]] std::size_t polls_failed() const noexcept { return failed_; }
+
+ private:
+  void poll_site(SiteId site);
+  [[nodiscard]] int perturb(int value);
+
+  sim::Engine& engine_;
+  grid::Grid& grid_;
+  MonitorConfig config_;
+  Rng rng_;
+  std::unordered_map<SiteId, SiteSnapshot> published_;
+  std::vector<std::unique_ptr<sim::PeriodicProcess>> pollers_;
+  MetricRegistry* registry_ = nullptr;
+  std::size_t polls_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace sphinx::monitor

@@ -1,0 +1,96 @@
+#include "rpc/clarens.hpp"
+
+namespace sphinx::rpc {
+
+ClarensService::ClarensService(MessageBus& bus, std::string endpoint,
+                               AuthzPolicy policy)
+    : bus_(bus), endpoint_(std::move(endpoint)), policy_(std::move(policy)) {
+  bus_.register_endpoint(endpoint_,
+                         [this](const Envelope& env) { handle(env); });
+}
+
+ClarensService::~ClarensService() { bus_.unregister_endpoint(endpoint_); }
+
+void ClarensService::register_method(const std::string& name, Method method) {
+  SPHINX_ASSERT(method != nullptr, "method handler must not be null");
+  methods_[name] = std::move(method);
+}
+
+void ClarensService::handle(const Envelope& request) {
+  const auto respond = [&](const MethodResponse& response) {
+    bus_.reply(request, response.serialize());
+  };
+
+  auto call = MethodCall::parse(request.payload);
+  if (!call) {
+    respond(MethodResponse::failure(
+        static_cast<std::int64_t>(ClarensFault::kParse), call.error().message));
+    return;
+  }
+
+  const AuthzDecision decision =
+      policy_.check(request.proxy, call->method, bus_.engine().now());
+  if (!decision.allowed) {
+    ++denied_;
+    respond(MethodResponse::failure(
+        static_cast<std::int64_t>(ClarensFault::kDenied), decision.reason));
+    return;
+  }
+
+  const auto it = methods_.find(call->method);
+  if (it == methods_.end()) {
+    respond(MethodResponse::failure(
+        static_cast<std::int64_t>(ClarensFault::kNoSuchMethod),
+        "no such method: " + call->method));
+    return;
+  }
+
+  ++served_;
+  auto result = it->second(call->params, request.proxy);
+  if (!result) {
+    respond(MethodResponse::failure(
+        static_cast<std::int64_t>(ClarensFault::kApplication),
+        result.error().to_string()));
+    return;
+  }
+  respond(MethodResponse::success(std::move(*result)));
+}
+
+ClarensClient::ClarensClient(MessageBus& bus, std::string endpoint, Proxy proxy)
+    : bus_(bus), endpoint_(std::move(endpoint)), proxy_(std::move(proxy)) {
+  bus_.register_endpoint(endpoint_,
+                         [this](const Envelope& env) { handle(env); });
+}
+
+ClarensClient::~ClarensClient() { bus_.unregister_endpoint(endpoint_); }
+
+void ClarensClient::call(const std::string& service, const std::string& method,
+                         std::vector<XrValue> params, Callback callback) {
+  SPHINX_ASSERT(callback != nullptr, "call callback must not be null");
+  MethodCall mc;
+  mc.method = method;
+  mc.params = std::move(params);
+  const MessageId id = bus_.send(endpoint_, service, mc.serialize(), proxy_);
+  pending_.emplace(id, std::move(callback));
+}
+
+void ClarensClient::handle(const Envelope& response) {
+  const auto it = pending_.find(response.in_reply_to);
+  if (it == pending_.end()) return;  // unsolicited or duplicate; ignore
+  Callback callback = std::move(it->second);
+  pending_.erase(it);
+
+  auto parsed = MethodResponse::parse(response.payload);
+  if (!parsed) {
+    callback(Unexpected<Error>{parsed.error()});
+    return;
+  }
+  if (parsed->is_fault) {
+    callback(make_error("fault:" + std::to_string(parsed->fault.code),
+                        parsed->fault.message));
+    return;
+  }
+  callback(std::move(parsed->value));
+}
+
+}  // namespace sphinx::rpc

@@ -1,0 +1,98 @@
+#pragma once
+/// \file clarens.hpp
+/// Clarens-style GSI-authenticated XML-RPC services.
+///
+/// "SPHINX ... uses the communication protocol named Clarens for
+/// incorporating the concept of grid security" (paper section 3.1).  A
+/// ClarensService hosts named methods behind an AuthzPolicy; a
+/// ClarensClient issues calls and correlates asynchronous responses.
+/// Payloads really are serialized and re-parsed XML-RPC, so the wire
+/// format is exercised on every call.
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "rpc/gsi.hpp"
+#include "rpc/transport.hpp"
+#include "rpc/xmlrpc.hpp"
+
+namespace sphinx::rpc {
+
+/// Fault codes used by the service framework itself.
+enum class ClarensFault : std::int64_t {
+  kParse = 1,        ///< request was not a valid methodCall
+  kNoSuchMethod = 2, ///< unknown method name
+  kDenied = 3,       ///< authorization failed
+  kApplication = 100 ///< method handler reported an error
+};
+
+/// Server side: a named endpoint exposing XML-RPC methods.
+class ClarensService {
+ public:
+  /// Handler receives decoded params and the authenticated caller proxy.
+  using Method =
+      std::function<Expected<XrValue>(const std::vector<XrValue>&, const Proxy&)>;
+
+  ClarensService(MessageBus& bus, std::string endpoint, AuthzPolicy policy);
+  ~ClarensService();
+
+  ClarensService(const ClarensService&) = delete;
+  ClarensService& operator=(const ClarensService&) = delete;
+
+  /// Registers a method (replaces an existing one of the same name).
+  void register_method(const std::string& name, Method method);
+
+  [[nodiscard]] const std::string& endpoint() const noexcept { return endpoint_; }
+  [[nodiscard]] std::size_t calls_served() const noexcept { return served_; }
+  [[nodiscard]] std::size_t calls_denied() const noexcept { return denied_; }
+
+  /// Mutable policy access (e.g. to ban a subject at runtime).
+  [[nodiscard]] AuthzPolicy& policy() noexcept { return policy_; }
+
+ private:
+  void handle(const Envelope& request);
+
+  MessageBus& bus_;
+  std::string endpoint_;
+  AuthzPolicy policy_;
+  std::unordered_map<std::string, Method> methods_;
+  std::size_t served_ = 0;
+  std::size_t denied_ = 0;
+};
+
+/// Client side: sends calls, correlates responses, invokes callbacks.
+class ClarensClient {
+ public:
+  /// Callback receives the decoded return value or the fault as an Error
+  /// (code = "fault:<code>").
+  using Callback = std::function<void(Expected<XrValue>)>;
+
+  ClarensClient(MessageBus& bus, std::string endpoint, Proxy proxy);
+  ~ClarensClient();
+
+  ClarensClient(const ClarensClient&) = delete;
+  ClarensClient& operator=(const ClarensClient&) = delete;
+
+  /// Issues an asynchronous call.  The callback fires when the response
+  /// envelope is delivered.
+  void call(const std::string& service, const std::string& method,
+            std::vector<XrValue> params, Callback callback);
+
+  /// Replaces the proxy used for subsequent calls (e.g. after renewal).
+  void set_proxy(Proxy proxy) noexcept { proxy_ = std::move(proxy); }
+  [[nodiscard]] const Proxy& proxy() const noexcept { return proxy_; }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+
+ private:
+  void handle(const Envelope& response);
+
+  MessageBus& bus_;
+  std::string endpoint_;
+  Proxy proxy_;
+  std::unordered_map<MessageId, Callback> pending_;
+};
+
+}  // namespace sphinx::rpc

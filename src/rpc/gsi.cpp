@@ -1,0 +1,71 @@
+#include "rpc/gsi.hpp"
+
+#include <algorithm>
+
+namespace sphinx::rpc {
+
+Proxy::Proxy(Identity identity, std::string vo,
+             std::vector<std::string> groups, SimTime issued_at,
+             Duration lifetime)
+    : identity_(std::move(identity)),
+      vo_(std::move(vo)),
+      groups_(std::move(groups)),
+      expires_at_(issued_at + lifetime) {
+  SPHINX_ASSERT(lifetime > 0, "proxy lifetime must be positive");
+}
+
+Proxy Proxy::delegate(SimTime now, Duration lifetime) const {
+  Proxy child = *this;
+  child.expires_at_ = std::min(expires_at_, now + lifetime);
+  return child;
+}
+
+std::string Proxy::principal() const {
+  std::string p = vo_;
+  for (const std::string& g : groups_) p += ":" + g;
+  return p;
+}
+
+void AuthzPolicy::allow_vo(const std::string& method, const std::string& vo) {
+  acls_[method].vos.insert(vo);
+}
+
+void AuthzPolicy::allow_subject(const std::string& method,
+                                const std::string& subject) {
+  acls_[method].subjects.insert(subject);
+}
+
+void AuthzPolicy::ban_subject(const std::string& subject) {
+  banned_.insert(subject);
+}
+
+bool AuthzPolicy::acl_matches(const MethodAcl& acl, const Proxy& proxy) const {
+  return acl.vos.contains(proxy.vo()) ||
+         acl.subjects.contains(proxy.identity().subject);
+}
+
+AuthzDecision AuthzPolicy::check(const Proxy& proxy, const std::string& method,
+                                 SimTime now) const {
+  if (banned_.contains(proxy.identity().subject)) {
+    return {false, "subject is banned"};
+  }
+  if (!proxy.valid_at(now)) {
+    return {false, "proxy expired or anonymous"};
+  }
+  const auto exact = acls_.find(method);
+  if (exact != acls_.end() && acl_matches(exact->second, proxy)) {
+    return {true, {}};
+  }
+  const auto wildcard = acls_.find("*");
+  if (wildcard != acls_.end() && acl_matches(wildcard->second, proxy)) {
+    return {true, {}};
+  }
+  // With no ACLs configured at all the service is open to any
+  // authenticated caller; once any ACL exists, default is deny.
+  if (acls_.empty()) {
+    return {true, {}};
+  }
+  return {false, "no ACL grants " + proxy.principal() + " access to " + method};
+}
+
+}  // namespace sphinx::rpc

@@ -1,0 +1,99 @@
+#pragma once
+/// \file gsi.hpp
+/// Grid Security Infrastructure model: identities, VO proxies and
+/// authorization.
+///
+/// SPHINX uses "GSI-enabled XML-RPC" through Clarens (paper Figure 1).
+/// The reproduction models the parts that influence scheduling: who a
+/// request is from, which VO (and group) their proxy asserts, whether the
+/// proxy is still valid, and whether a service method authorizes the
+/// caller.  Actual cryptography is out of scope (DESIGN.md section 6).
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace sphinx::rpc {
+
+/// A long-lived identity certificate (maps to an X.509 subject DN).
+struct Identity {
+  std::string subject;  ///< e.g. "/DC=org/DC=griphyn/CN=Jang-uk In"
+  std::string issuer;   ///< CA subject
+
+  friend bool operator==(const Identity&, const Identity&) = default;
+};
+
+/// A short-lived VO proxy derived from an identity (VOMS-style).
+/// The proxy is what actually travels with each scheduling request.
+class Proxy {
+ public:
+  Proxy() = default;
+  Proxy(Identity identity, std::string vo, std::vector<std::string> groups,
+        SimTime issued_at, Duration lifetime);
+
+  [[nodiscard]] const Identity& identity() const noexcept { return identity_; }
+  [[nodiscard]] const std::string& vo() const noexcept { return vo_; }
+  [[nodiscard]] const std::vector<std::string>& groups() const noexcept {
+    return groups_;
+  }
+  [[nodiscard]] SimTime expires_at() const noexcept { return expires_at_; }
+
+  /// True while the proxy has not expired.
+  [[nodiscard]] bool valid_at(SimTime now) const noexcept {
+    return !identity_.subject.empty() && now < expires_at_;
+  }
+
+  /// Delegation: a child proxy with a (possibly shorter) remaining
+  /// lifetime.  Lifetime never extends past the parent's.
+  [[nodiscard]] Proxy delegate(SimTime now, Duration lifetime) const;
+
+  /// The VO-scoped principal string, e.g. "uscms:/uscms/production".
+  [[nodiscard]] std::string principal() const;
+
+ private:
+  Identity identity_;
+  std::string vo_;
+  std::vector<std::string> groups_;
+  SimTime expires_at_ = 0.0;
+};
+
+/// Decision record returned by authorization checks.
+struct AuthzDecision {
+  bool allowed = false;
+  std::string reason;  ///< set when denied
+};
+
+/// Per-service ACL: which subjects and which VOs may invoke which methods.
+/// An empty method entry means "any authenticated caller".
+class AuthzPolicy {
+ public:
+  /// Grants `vo` access to `method` ("*" for all methods).
+  void allow_vo(const std::string& method, const std::string& vo);
+  /// Grants an individual subject access to `method` ("*" for all).
+  void allow_subject(const std::string& method, const std::string& subject);
+  /// Denies a specific subject everywhere (a revocation list entry).
+  void ban_subject(const std::string& subject);
+
+  /// Evaluates a call.  Order: ban list, then proxy validity, then ACLs.
+  [[nodiscard]] AuthzDecision check(const Proxy& proxy,
+                                    const std::string& method,
+                                    SimTime now) const;
+
+ private:
+  struct MethodAcl {
+    std::unordered_set<std::string> vos;
+    std::unordered_set<std::string> subjects;
+  };
+  [[nodiscard]] bool acl_matches(const MethodAcl& acl,
+                                 const Proxy& proxy) const;
+
+  std::unordered_map<std::string, MethodAcl> acls_;  // method or "*"
+  std::unordered_set<std::string> banned_;
+};
+
+}  // namespace sphinx::rpc

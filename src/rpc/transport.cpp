@@ -1,0 +1,70 @@
+#include "rpc/transport.hpp"
+
+#include <utility>
+
+namespace sphinx::rpc {
+
+MessageBus::MessageBus(sim::Engine& engine, Rng rng, Duration base_latency,
+                       Duration jitter)
+    : engine_(engine),
+      rng_(std::move(rng)),
+      base_latency_(base_latency),
+      jitter_(jitter) {
+  SPHINX_ASSERT(base_latency_ >= 0, "latency must be non-negative");
+  SPHINX_ASSERT(jitter_ >= 0, "jitter must be non-negative");
+}
+
+void MessageBus::register_endpoint(const std::string& name, Handler handler) {
+  SPHINX_ASSERT(handler != nullptr, "endpoint handler must not be null");
+  endpoints_[name] = std::move(handler);
+}
+
+void MessageBus::unregister_endpoint(const std::string& name) {
+  endpoints_.erase(name);
+}
+
+bool MessageBus::has_endpoint(const std::string& name) const noexcept {
+  return endpoints_.contains(name);
+}
+
+MessageId MessageBus::send(const std::string& from, const std::string& to,
+                           std::string payload, Proxy proxy) {
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.payload = std::move(payload);
+  env.proxy = std::move(proxy);
+  return post(std::move(env));
+}
+
+MessageId MessageBus::reply(const Envelope& request, std::string payload) {
+  Envelope env;
+  env.from = request.to;
+  env.to = request.from;
+  env.payload = std::move(payload);
+  env.in_reply_to = request.id;
+  return post(std::move(env));
+}
+
+MessageId MessageBus::post(Envelope envelope) {
+  envelope.id = ids_.next();
+  envelope.sent_at = engine_.now();
+  ++stats_.sent;
+  const Duration delay =
+      base_latency_ + (jitter_ > 0 ? rng_.uniform(0.0, jitter_) : 0.0);
+  const MessageId id = envelope.id;
+  engine_.schedule_in(
+      delay, "bus:" + envelope.from + "->" + envelope.to,
+      [this, env = std::move(envelope)]() {
+        const auto it = endpoints_.find(env.to);
+        if (it == endpoints_.end()) {
+          ++stats_.dropped;
+          return;
+        }
+        ++stats_.delivered;
+        it->second(env);
+      });
+  return id;
+}
+
+}  // namespace sphinx::rpc

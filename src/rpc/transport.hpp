@@ -1,0 +1,79 @@
+#pragma once
+/// \file transport.hpp
+/// In-simulation message bus with delivery latency.
+///
+/// All client/server traffic (scheduling requests, planning decisions,
+/// tracker reports) travels as envelopes on this bus.  Delivery is
+/// asynchronous on the simulation engine with configurable latency and
+/// jitter, so message delay is part of every experiment, exactly as WAN
+/// latency was on Grid3.
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "rpc/gsi.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::rpc {
+
+/// One message in flight.
+struct Envelope {
+  MessageId id;
+  std::string from;          ///< sender endpoint name
+  std::string to;            ///< recipient endpoint name
+  std::string payload;       ///< serialized XML-RPC call or response
+  Proxy proxy;               ///< caller credential (GSI)
+  MessageId in_reply_to;     ///< correlation id; invalid for requests
+  SimTime sent_at = 0.0;
+};
+
+/// Bus delivery counters, exposed for tests and diagnostics.
+struct BusStats {
+  std::size_t sent = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;  ///< recipient endpoint missing at delivery time
+};
+
+/// Named-endpoint message bus.
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  /// \param base_latency one-way delivery delay; \param jitter uniform
+  /// extra delay in [0, jitter).
+  MessageBus(sim::Engine& engine, Rng rng, Duration base_latency = 0.05,
+             Duration jitter = 0.05);
+
+  /// Registers (or replaces) an endpoint handler.
+  void register_endpoint(const std::string& name, Handler handler);
+  /// Removes an endpoint; in-flight messages to it will be dropped.
+  void unregister_endpoint(const std::string& name);
+  [[nodiscard]] bool has_endpoint(const std::string& name) const noexcept;
+
+  /// Sends a request envelope.  Returns the message id for correlation.
+  MessageId send(const std::string& from, const std::string& to,
+                 std::string payload, Proxy proxy = {});
+
+  /// Sends a reply correlated with `request`.
+  MessageId reply(const Envelope& request, std::string payload);
+
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+ private:
+  MessageId post(Envelope envelope);
+
+  sim::Engine& engine_;
+  Rng rng_;
+  Duration base_latency_;
+  Duration jitter_;
+  std::unordered_map<std::string, Handler> endpoints_;
+  IdGenerator<MessageId> ids_;
+  BusStats stats_;
+};
+
+}  // namespace sphinx::rpc

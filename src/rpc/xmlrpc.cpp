@@ -1,0 +1,228 @@
+#include "rpc/xmlrpc.hpp"
+
+#include <sstream>
+
+namespace sphinx::rpc {
+
+std::int64_t XrValue::as_int() const {
+  SPHINX_ASSERT(is_int(), "XrValue is not an int");
+  return std::get<std::int64_t>(data_);
+}
+
+double XrValue::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  SPHINX_ASSERT(is_double(), "XrValue is not a double");
+  return std::get<double>(data_);
+}
+
+bool XrValue::as_bool() const {
+  SPHINX_ASSERT(is_bool(), "XrValue is not a bool");
+  return std::get<bool>(data_);
+}
+
+const std::string& XrValue::as_string() const {
+  SPHINX_ASSERT(is_string(), "XrValue is not a string");
+  return std::get<std::string>(data_);
+}
+
+const XrValue::Array& XrValue::as_array() const {
+  SPHINX_ASSERT(is_array(), "XrValue is not an array");
+  return std::get<Array>(data_);
+}
+
+const XrValue::Struct& XrValue::as_struct() const {
+  SPHINX_ASSERT(is_struct(), "XrValue is not a struct");
+  return std::get<Struct>(data_);
+}
+
+const XrValue& XrValue::at(const std::string& key) const {
+  const Struct& s = as_struct();
+  const auto it = s.find(key);
+  SPHINX_ASSERT(it != s.end(), "missing struct member: " + key);
+  return it->second;
+}
+
+bool XrValue::has(const std::string& key) const noexcept {
+  return is_struct() && std::get<Struct>(data_).contains(key);
+}
+
+XmlNode XrValue::to_xml() const {
+  XmlNode value("value");
+  if (is_int()) {
+    value.add_child(XmlNode("i8", std::to_string(as_int())));
+  } else if (is_double()) {
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << as_double();
+    value.add_child(XmlNode("double", oss.str()));
+  } else if (is_bool()) {
+    value.add_child(XmlNode("boolean", as_bool() ? "1" : "0"));
+  } else if (is_string()) {
+    value.add_child(XmlNode("string", as_string()));
+  } else if (is_array()) {
+    XmlNode data("data");
+    for (const XrValue& item : as_array()) data.add_child(item.to_xml());
+    XmlNode array("array");
+    array.add_child(std::move(data));
+    value.add_child(std::move(array));
+  } else {
+    XmlNode strct("struct");
+    for (const auto& [k, v] : as_struct()) {
+      XmlNode member("member");
+      member.add_child(XmlNode("name", k));
+      member.add_child(v.to_xml());
+      strct.add_child(std::move(member));
+    }
+    value.add_child(std::move(strct));
+  }
+  return value;
+}
+
+Expected<XrValue> XrValue::from_xml(const XmlNode& value_node) {
+  if (value_node.name != "value") {
+    return make_error("xmlrpc_parse", "expected <value>, got <" +
+                                          value_node.name + ">");
+  }
+  // Bare text inside <value> is a string per the XML-RPC spec.
+  if (value_node.children.empty()) {
+    return XrValue(value_node.text);
+  }
+  const XmlNode& t = value_node.children.front();
+  if (t.name == "i4" || t.name == "int" || t.name == "i8") {
+    try {
+      return XrValue(static_cast<std::int64_t>(std::stoll(t.text)));
+    } catch (const std::exception&) {
+      return make_error("xmlrpc_parse", "bad int: " + t.text);
+    }
+  }
+  if (t.name == "double") {
+    try {
+      return XrValue(std::stod(t.text));
+    } catch (const std::exception&) {
+      return make_error("xmlrpc_parse", "bad double: " + t.text);
+    }
+  }
+  if (t.name == "boolean") {
+    if (t.text != "0" && t.text != "1") {
+      return make_error("xmlrpc_parse", "bad boolean: " + t.text);
+    }
+    return XrValue(t.text == "1");
+  }
+  if (t.name == "string") {
+    return XrValue(t.text);
+  }
+  if (t.name == "array") {
+    const XmlNode* data = t.child("data");
+    if (data == nullptr) return make_error("xmlrpc_parse", "array without <data>");
+    Array items;
+    for (const XmlNode& c : data->children) {
+      auto item = from_xml(c);
+      if (!item) return item;
+      items.push_back(std::move(*item));
+    }
+    return XrValue(std::move(items));
+  }
+  if (t.name == "struct") {
+    Struct members;
+    for (const XmlNode& member : t.children) {
+      if (member.name != "member") {
+        return make_error("xmlrpc_parse", "struct child is not <member>");
+      }
+      const XmlNode* name = member.child("name");
+      const XmlNode* value = member.child("value");
+      if (name == nullptr || value == nullptr) {
+        return make_error("xmlrpc_parse", "incomplete <member>");
+      }
+      auto v = from_xml(*value);
+      if (!v) return v;
+      members.emplace(name->text, std::move(*v));
+    }
+    return XrValue(std::move(members));
+  }
+  return make_error("xmlrpc_parse", "unknown value type <" + t.name + ">");
+}
+
+std::string MethodCall::serialize() const {
+  XmlNode root("methodCall");
+  root.add_child(XmlNode("methodName", method));
+  XmlNode& params_node = root.add_child(XmlNode("params"));
+  for (const XrValue& p : params) {
+    XmlNode param("param");
+    param.add_child(p.to_xml());
+    params_node.add_child(std::move(param));
+  }
+  return "<?xml version=\"1.0\"?>" + xml_write(root);
+}
+
+Expected<MethodCall> MethodCall::parse(const std::string& xml) {
+  auto doc = xml_parse(xml);
+  if (!doc) return Unexpected<Error>{doc.error()};
+  if (doc->name != "methodCall") {
+    return make_error("xmlrpc_parse", "not a <methodCall>");
+  }
+  const XmlNode* name = doc->child("methodName");
+  if (name == nullptr || name->text.empty()) {
+    return make_error("xmlrpc_parse", "missing <methodName>");
+  }
+  MethodCall call;
+  call.method = name->text;
+  if (const XmlNode* params = doc->child("params"); params != nullptr) {
+    for (const XmlNode& param : params->children) {
+      const XmlNode* value = param.child("value");
+      if (value == nullptr) {
+        return make_error("xmlrpc_parse", "<param> without <value>");
+      }
+      auto v = XrValue::from_xml(*value);
+      if (!v) return Unexpected<Error>{v.error()};
+      call.params.push_back(std::move(*v));
+    }
+  }
+  return call;
+}
+
+std::string MethodResponse::serialize() const {
+  XmlNode root("methodResponse");
+  if (is_fault) {
+    XrValue::Struct f;
+    f.emplace("faultCode", XrValue(fault.code));
+    f.emplace("faultString", XrValue(fault.message));
+    XmlNode& fault_node = root.add_child(XmlNode("fault"));
+    fault_node.add_child(XrValue(std::move(f)).to_xml());
+  } else {
+    XmlNode& params = root.add_child(XmlNode("params"));
+    XmlNode param("param");
+    param.add_child(value.to_xml());
+    params.add_child(std::move(param));
+  }
+  return "<?xml version=\"1.0\"?>" + xml_write(root);
+}
+
+Expected<MethodResponse> MethodResponse::parse(const std::string& xml) {
+  auto doc = xml_parse(xml);
+  if (!doc) return Unexpected<Error>{doc.error()};
+  if (doc->name != "methodResponse") {
+    return make_error("xmlrpc_parse", "not a <methodResponse>");
+  }
+  if (const XmlNode* fault = doc->child("fault"); fault != nullptr) {
+    const XmlNode* value = fault->child("value");
+    if (value == nullptr) return make_error("xmlrpc_parse", "fault without value");
+    auto v = XrValue::from_xml(*value);
+    if (!v) return Unexpected<Error>{v.error()};
+    if (!v->has("faultCode") || !v->has("faultString")) {
+      return make_error("xmlrpc_parse", "fault struct incomplete");
+    }
+    return MethodResponse::failure(v->at("faultCode").as_int(),
+                                   v->at("faultString").as_string());
+  }
+  const XmlNode* params = doc->child("params");
+  if (params == nullptr || params->children.empty()) {
+    return make_error("xmlrpc_parse", "response without params or fault");
+  }
+  const XmlNode* value = params->children.front().child("value");
+  if (value == nullptr) return make_error("xmlrpc_parse", "param without value");
+  auto v = XrValue::from_xml(*value);
+  if (!v) return Unexpected<Error>{v.error()};
+  return MethodResponse::success(std::move(*v));
+}
+
+}  // namespace sphinx::rpc

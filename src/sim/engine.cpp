@@ -1,0 +1,113 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace sphinx::sim {
+
+EventHandle Engine::schedule_at(SimTime t, std::string label, Callback cb) {
+  SPHINX_ASSERT(cb != nullptr, "event callback must not be null");
+  if (t < now_) t = now_;  // late scheduling fires immediately, never rewinds
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(label), std::move(cb)});
+  live_ids_.insert(id);
+  return EventHandle(id);
+}
+
+EventHandle Engine::schedule_in(Duration delay, std::string label, Callback cb) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(label), std::move(cb));
+}
+
+void Engine::cancel(EventHandle handle) {
+  // Cancelling a fired (or never-issued) event is a no-op; only events
+  // still in the queue are marked, so the cancelled set cannot leak.
+  if (handle.valid() && live_ids_.contains(handle.id_)) {
+    cancelled_.insert(handle.id_);
+  }
+}
+
+bool Engine::pending(EventHandle handle) const {
+  return handle.valid() && live_ids_.contains(handle.id_) &&
+         !cancelled_.contains(handle.id_);
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    live_ids_.erase(ev.id);
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++fired_;
+    current_label_ = std::move(ev.label);
+    ev.callback();
+    current_label_.clear();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run_until(SimTime limit) {
+  std::size_t n = 0;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    // Peek: do not fire events beyond the horizon.
+    bool fired = false;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (cancelled_.contains(top.id)) {
+        cancelled_.erase(top.id);
+        live_ids_.erase(top.id);
+        queue_.pop();
+        continue;
+      }
+      if (top.time > limit) {
+        now_ = limit < kNever ? limit : now_;
+        return n;
+      }
+      fired = step();
+      break;
+    }
+    if (!fired) break;
+    ++n;
+  }
+  return n;
+}
+
+PeriodicProcess::PeriodicProcess(Engine& engine, std::string label,
+                                 Duration period, Body body, Duration jitter0)
+    : engine_(engine),
+      label_(std::move(label)),
+      period_(period),
+      body_(std::move(body)),
+      jitter0_(jitter0) {
+  SPHINX_ASSERT(period_ > 0, "periodic process period must be positive");
+  SPHINX_ASSERT(body_ != nullptr, "periodic process body must not be null");
+}
+
+PeriodicProcess::~PeriodicProcess() { stop(); }
+
+void PeriodicProcess::start() {
+  if (running_) return;
+  running_ = true;
+  next_ = engine_.schedule_in(jitter0_, label_, [this] { fire(); });
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(next_);
+  next_ = EventHandle{};
+}
+
+void PeriodicProcess::fire() {
+  if (!running_) return;
+  // Reschedule first so the body may call stop() to terminate the chain.
+  next_ = engine_.schedule_in(period_, label_, [this] { fire(); });
+  body_();
+}
+
+}  // namespace sphinx::sim

@@ -1,0 +1,148 @@
+#pragma once
+/// \file engine.hpp
+/// Discrete-event simulation kernel.
+///
+/// Everything dynamic in the reproduction -- batch queues draining, sites
+/// failing, monitors polling, messages arriving -- is an event on this
+/// engine.  The engine is single-threaded and deterministic: events at
+/// equal timestamps fire in scheduling order (sequence-number tie-break),
+/// so a given seed always produces the same run.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace sphinx::sim {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+class EventHandle {
+ public:
+  constexpr EventHandle() noexcept = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+  friend constexpr bool operator==(EventHandle, EventHandle) noexcept = default;
+
+ private:
+  friend class Engine;
+  constexpr explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// The event queue + clock.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  /// `label` names the event for diagnostics.
+  EventHandle schedule_at(SimTime t, std::string label, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds (clamped to >= 0).
+  EventHandle schedule_in(Duration delay, std::string label, Callback cb);
+
+  /// Cancels a pending event.  Cancelling an already-fired or invalid
+  /// handle is a no-op (common when a job completes before its timeout).
+  void cancel(EventHandle handle);
+
+  /// True if the event is still pending.
+  [[nodiscard]] bool pending(EventHandle handle) const;
+
+  /// Fires the earliest pending event.  Returns false when the queue is
+  /// empty (or only cancelled events remain).
+  bool step();
+
+  /// Runs until the queue drains, `limit` is reached, or stop() is called.
+  /// Returns the number of events fired.
+  std::size_t run_until(SimTime limit = kNever);
+
+  /// Requests run_until() to return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  /// Total events fired so far.
+  [[nodiscard]] std::size_t events_fired() const noexcept { return fired_; }
+  /// Events currently pending (including not-yet-collected cancelled ones).
+  [[nodiscard]] std::size_t events_pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  /// Label of the event currently being dispatched (empty outside dispatch).
+  [[nodiscard]] const std::string& current_label() const noexcept {
+    return current_label_;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    std::string label;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> live_ids_;  // ids currently in queue_
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::size_t fired_ = 0;
+  bool stop_requested_ = false;
+  std::string current_label_;
+};
+
+/// A periodic activity (monitor poll, control-process sweep, background
+/// job arrivals).  Owns its pending event; stops cleanly on destruction.
+class PeriodicProcess {
+ public:
+  using Body = std::function<void()>;
+
+  /// \param jitter0 offset of the first firing after start().
+  PeriodicProcess(Engine& engine, std::string label, Duration period, Body body,
+                  Duration jitter0 = 0.0);
+  ~PeriodicProcess();
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Begins firing; idempotent.
+  void start();
+  /// Stops firing; idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] Duration period() const noexcept { return period_; }
+  /// Changes the period; takes effect at the next firing.
+  void set_period(Duration period) noexcept { period_ = period; }
+
+ private:
+  void fire();
+
+  Engine& engine_;
+  std::string label_;
+  Duration period_;
+  Body body_;
+  Duration jitter0_;
+  EventHandle next_;
+  bool running_ = false;
+};
+
+}  // namespace sphinx::sim

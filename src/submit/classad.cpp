@@ -1,0 +1,156 @@
+#include "submit/classad.hpp"
+
+#include <optional>
+#include <sstream>
+
+namespace sphinx::submit {
+namespace {
+
+/// Three-way comparison across numeric/string/bool alternatives; returns
+/// nullopt for incomparable types.
+std::optional<int> compare(const AdValue& a, const AdValue& b) {
+  const auto as_num = [](const AdValue& v) -> std::optional<double> {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<double>(*i);
+    }
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    return std::nullopt;
+  };
+  if (const auto na = as_num(a), nb = as_num(b); na && nb) {
+    if (*na < *nb) return -1;
+    if (*na > *nb) return 1;
+    return 0;
+  }
+  if (const auto* sa = std::get_if<std::string>(&a)) {
+    if (const auto* sb = std::get_if<std::string>(&b)) {
+      return sa->compare(*sb) < 0 ? -1 : (*sa == *sb ? 0 : 1);
+    }
+  }
+  if (const auto* ba = std::get_if<bool>(&a)) {
+    if (const auto* bb = std::get_if<bool>(&b)) {
+      return static_cast<int>(*ba) - static_cast<int>(*bb);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_string(const AdValue& v) {
+  std::ostringstream oss;
+  std::visit(
+      [&oss](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          oss << (x ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          oss << '"' << x << '"';
+        } else {
+          oss << x;
+        }
+      },
+      v);
+  return oss.str();
+}
+
+const char* to_string(CmpOp op) noexcept {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+void ClassAd::set(const std::string& name, AdValue value) {
+  attributes_[name] = std::move(value);
+}
+
+bool ClassAd::has(const std::string& name) const noexcept {
+  return attributes_.contains(name);
+}
+
+const AdValue& ClassAd::get(const std::string& name) const {
+  const auto it = attributes_.find(name);
+  SPHINX_ASSERT(it != attributes_.end(), "missing ClassAd attribute " + name);
+  return it->second;
+}
+
+std::int64_t ClassAd::get_int(const std::string& name) const {
+  const AdValue& v = get(name);
+  SPHINX_ASSERT(std::holds_alternative<std::int64_t>(v),
+                name + " is not an int");
+  return std::get<std::int64_t>(v);
+}
+
+double ClassAd::get_real(const std::string& name) const {
+  const AdValue& v = get(name);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  SPHINX_ASSERT(std::holds_alternative<double>(v), name + " is not numeric");
+  return std::get<double>(v);
+}
+
+const std::string& ClassAd::get_string(const std::string& name) const {
+  const AdValue& v = get(name);
+  SPHINX_ASSERT(std::holds_alternative<std::string>(v),
+                name + " is not a string");
+  return std::get<std::string>(v);
+}
+
+bool ClassAd::get_bool(const std::string& name) const {
+  const AdValue& v = get(name);
+  SPHINX_ASSERT(std::holds_alternative<bool>(v), name + " is not a bool");
+  return std::get<bool>(v);
+}
+
+bool evaluate(const Requirement& r, const ClassAd& ad) {
+  if (!ad.has(r.attribute)) return false;  // undefined never matches
+  const auto cmp = compare(ad.get(r.attribute), r.literal);
+  if (!cmp.has_value()) return false;  // incomparable types
+  switch (r.op) {
+    case CmpOp::kEq: return *cmp == 0;
+    case CmpOp::kNe: return *cmp != 0;
+    case CmpOp::kLt: return *cmp < 0;
+    case CmpOp::kLe: return *cmp <= 0;
+    case CmpOp::kGt: return *cmp > 0;
+    case CmpOp::kGe: return *cmp >= 0;
+  }
+  return false;
+}
+
+bool ClassAd::matches(const ClassAd& other) const {
+  for (const Requirement& r : requirements_) {
+    if (!evaluate(r, other)) return false;
+  }
+  return true;
+}
+
+bool ClassAd::symmetric_match(const ClassAd& a, const ClassAd& b) {
+  return a.matches(b) && b.matches(a);
+}
+
+std::string ClassAd::render() const {
+  std::ostringstream oss;
+  for (const auto& [name, value] : attributes_) {
+    oss << name << " = " << to_string(value) << '\n';
+  }
+  if (!requirements_.empty()) {
+    oss << "requirements =";
+    for (std::size_t i = 0; i < requirements_.size(); ++i) {
+      if (i != 0) oss << " &&";
+      oss << ' ' << requirements_[i].attribute << ' '
+          << to_string(requirements_[i].op) << ' '
+          << to_string(requirements_[i].literal);
+    }
+    oss << '\n';
+  }
+  oss << "queue\n";
+  return oss.str();
+}
+
+}  // namespace sphinx::submit

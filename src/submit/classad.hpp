@@ -1,0 +1,77 @@
+#pragma once
+/// \file classad.hpp
+/// Condor ClassAds: typed attribute lists with requirement matching.
+///
+/// The SPHINX client "creates an appropriate request submission file
+/// according to the decision" (paper section 3.3).  Submit files and
+/// machine descriptions are ClassAds; matchmaking evaluates one ad's
+/// Requirements against another ad's attributes.  This implements the
+/// subset the middleware needs: scalar attributes, comparison
+/// requirements, conjunction, and a text rendering of submit files.
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sphinx::submit {
+
+/// A ClassAd attribute value.
+using AdValue = std::variant<std::int64_t, double, bool, std::string>;
+
+[[nodiscard]] std::string to_string(const AdValue& v);
+
+/// Comparison operators usable in requirements.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+[[nodiscard]] const char* to_string(CmpOp op) noexcept;
+
+/// One clause: `attribute <op> literal`.  A missing attribute fails the
+/// clause (Condor's undefined semantics, simplified).
+struct Requirement {
+  std::string attribute;
+  CmpOp op = CmpOp::kEq;
+  AdValue literal;
+};
+
+/// An attribute list plus a conjunction of requirements.
+class ClassAd {
+ public:
+  void set(const std::string& name, AdValue value);
+  [[nodiscard]] bool has(const std::string& name) const noexcept;
+  /// Typed read; throws AssertionError when absent (attributes the code
+  /// reads are ones it previously set).
+  [[nodiscard]] const AdValue& get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_real(const std::string& name) const;  ///< int widens
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  void add_requirement(Requirement r) { requirements_.push_back(std::move(r)); }
+  [[nodiscard]] const std::vector<Requirement>& requirements() const noexcept {
+    return requirements_;
+  }
+
+  /// True when every requirement of *this* ad holds against `other`'s
+  /// attributes (one direction of Condor's two-way matchmaking).
+  [[nodiscard]] bool matches(const ClassAd& other) const;
+
+  /// Symmetric match: both ads' requirements hold against each other.
+  [[nodiscard]] static bool symmetric_match(const ClassAd& a, const ClassAd& b);
+
+  /// Submit-file style rendering ("attr = value" lines + requirements).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return attributes_.size(); }
+
+ private:
+  std::map<std::string, AdValue> attributes_;
+  std::vector<Requirement> requirements_;
+};
+
+/// Evaluates a single requirement clause against an ad.
+[[nodiscard]] bool evaluate(const Requirement& r, const ClassAd& ad);
+
+}  // namespace sphinx::submit

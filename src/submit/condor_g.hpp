@@ -1,0 +1,152 @@
+#pragma once
+/// \file condor_g.hpp
+/// Condor-G style grid submission gateway.
+///
+/// One gateway serves one client (user/VO): it turns a planned job into a
+/// ClassAd submit file, submits to the chosen site's gatekeeper, stages
+/// input replicas with GridFTP when the site allocates a CPU, registers
+/// the output in the RLS and storage element on success, and relays the
+/// condor-style state events back to the caller (the SPHINX client's job
+/// tracker).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "data/gridftp.hpp"
+#include "data/rls.hpp"
+#include "data/storage.hpp"
+#include "grid/grid.hpp"
+#include "submit/classad.hpp"
+
+namespace sphinx::submit {
+
+/// One resolved input: where to pull the file from.
+struct StagedInput {
+  data::Lfn lfn;
+  SiteId source;
+  double bytes = 0.0;
+};
+
+/// A fully planned job, ready to submit.
+struct SubmitRequest {
+  JobId job;
+  std::string name;
+  UserId user;
+  std::string vo = "uscms";
+  SiteId site;                      ///< execution site (SPHINX's decision)
+  double priority = 0.0;            ///< within-VO batch priority nudge
+  Duration compute_time = 60.0;
+  std::vector<StagedInput> inputs;  ///< chosen transfer sources
+  data::Lfn output;
+  double output_bytes = 0.0;
+  bool register_output = true;      ///< publish output to RLS on success
+};
+
+/// Gateway-level view of a submission.
+enum class GatewayJobState {
+  kSubmitted,  ///< handed to the remote gatekeeper
+  kIdle,       ///< queued at the site
+  kStaging,
+  kRunning,
+  kCompleted,
+  kHeld,
+  kRemoved,    ///< cancelled via condor_rm
+  kFailed,     ///< submission itself failed (site down)
+};
+
+[[nodiscard]] const char* to_string(GatewayJobState state) noexcept;
+
+/// Status events relayed to the owner of the submission.
+struct GatewayEvent {
+  JobId job;
+  GatewayJobState state = GatewayJobState::kSubmitted;
+  SimTime at = 0.0;
+};
+
+using GatewayCallback = std::function<void(const GatewayEvent&)>;
+
+/// condor_q summary for this gateway.
+struct GatewayQueue {
+  int idle = 0;
+  int staging = 0;
+  int running = 0;
+  int completed = 0;
+  int held = 0;
+  int removed = 0;
+  int failed = 0;
+};
+
+class CondorG {
+ public:
+  CondorG(grid::Grid& grid, data::TransferService& transfers,
+          data::ReplicaLocationService& rls, data::StorageFabric* storage,
+          std::string name);
+
+  /// Submits a planned job.  Returns false when the gatekeeper is down
+  /// (the caller sees a kFailed event first).  The callback observes
+  /// every state change.
+  bool submit(const SubmitRequest& request, GatewayCallback callback);
+
+  /// condor_rm: cancels a job (kills in-flight stage-in transfers too).
+  /// Returns false if the job is unknown, terminal, or the site is down.
+  bool cancel(JobId job);
+
+  /// Per-job state, if the gateway knows the job.
+  [[nodiscard]] std::optional<GatewayJobState> state_of(JobId job) const;
+
+  /// True when the gatekeeper of the job's execution site still answers
+  /// status queries (condor_q against the remote jobmanager).  False for
+  /// unknown jobs or down sites.
+  [[nodiscard]] bool site_responsive(JobId job) const;
+
+  /// Third-party replication (globus-url-copy style): copies an existing
+  /// replica to `destination`, stores it there and registers it in the
+  /// RLS.  `done(true)` on success; `done(false)` if no source replica
+  /// exists or the destination already has the file.
+  void replicate(const data::Lfn& lfn, SiteId destination,
+                 std::function<void(bool)> done);
+
+  /// condor_q over this gateway's submissions.
+  [[nodiscard]] GatewayQueue queue() const;
+
+  /// The ClassAd submit file generated for a job (kept for diagnostics,
+  /// exactly like real submit files on disk).
+  [[nodiscard]] const ClassAd* submit_ad(JobId job) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t submissions() const noexcept { return total_; }
+
+ private:
+  struct Record {
+    SubmitRequest request;
+    SiteId site;
+    SubmissionId submission;
+    GatewayJobState state = GatewayJobState::kSubmitted;
+    GatewayCallback callback;
+    ClassAd ad;
+    std::vector<TransferId> active_transfers;
+    /// Owns the stage-in continuation chain; dropping the record (or the
+    /// gateway) tears the chain down without dangling callbacks.
+    std::shared_ptr<std::function<void(std::size_t)>> stage_chain;
+  };
+
+  void relay(Record& record, GatewayJobState state, SimTime at);
+  [[nodiscard]] static ClassAd make_ad(const SubmitRequest& request,
+                                       const std::string& site_name);
+  void stage_inputs(JobId job, std::function<void()> done);
+  void on_completed(Record& record);
+
+  grid::Grid& grid_;
+  data::TransferService& transfers_;
+  data::ReplicaLocationService& rls_;
+  data::StorageFabric* storage_;  ///< optional
+  std::string name_;
+  std::unordered_map<JobId, Record> records_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sphinx::submit

@@ -1,0 +1,85 @@
+#include "submit/dagman.hpp"
+
+namespace sphinx::submit {
+
+DagMan::DagMan(CondorG& gateway, workflow::Dag dag, UserId user,
+               std::string vo, PlacementCallout callout,
+               DagDoneCallback on_done, int max_retries)
+    : gateway_(gateway),
+      dag_(std::move(dag)),
+      user_(user),
+      vo_(std::move(vo)),
+      callout_(std::move(callout)),
+      on_done_(std::move(on_done)),
+      max_retries_(max_retries) {
+  SPHINX_ASSERT(callout_ != nullptr, "DAGMan needs a placement callout");
+}
+
+void DagMan::start(SimTime now) { release_ready(now); }
+
+void DagMan::release_ready(SimTime now) {
+  if (failed_) return;
+  for (const JobId id : dag_.ready_jobs(completed_)) {
+    if (active_.contains(id)) continue;
+    submit_job(id, now);
+    if (failed_) return;
+  }
+  if (finished() && !done_notified_) {
+    done_notified_ = true;
+    if (on_done_) on_done_(dag_.id(), now);
+  }
+}
+
+void DagMan::submit_job(JobId id, SimTime /*now*/) {
+  const workflow::JobSpec& spec = dag_.job(id);
+  const auto placement = callout_(spec);
+  if (!placement.has_value()) return;  // deferred; retried on next event
+
+  SubmitRequest request;
+  request.job = id;
+  request.name = spec.name;
+  request.user = user_;
+  request.vo = vo_;
+  request.site = placement->site;
+  request.compute_time = spec.compute_time;
+  request.inputs = placement->inputs;
+  request.output = spec.output;
+  request.output_bytes = spec.output_bytes;
+
+  active_.insert(id);
+  const bool accepted = gateway_.submit(
+      request, [this](const GatewayEvent& event) { on_event(event); });
+  if (!accepted) {
+    // Synchronous failure already produced a kFailed event handled by
+    // on_event (retry accounting happens there).
+    return;
+  }
+}
+
+void DagMan::on_event(const GatewayEvent& event) {
+  switch (event.state) {
+    case GatewayJobState::kCompleted: {
+      active_.erase(event.job);
+      completed_.insert(event.job);
+      release_ready(event.at);
+      return;
+    }
+    case GatewayJobState::kHeld:
+    case GatewayJobState::kFailed:
+    case GatewayJobState::kRemoved: {
+      active_.erase(event.job);
+      const int attempt = ++attempts_[event.job];
+      if (attempt > max_retries_) {
+        failed_ = true;
+        return;
+      }
+      ++retries_;
+      submit_job(event.job, event.at);
+      return;
+    }
+    default:
+      return;  // queue progress states need no action here
+  }
+}
+
+}  // namespace sphinx::submit

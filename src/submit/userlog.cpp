@@ -1,0 +1,76 @@
+#include "submit/userlog.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace sphinx::submit {
+
+int userlog_event_number(GatewayJobState state) noexcept {
+  // The numbers Condor's user log assigns to the analogous events.
+  switch (state) {
+    case GatewayJobState::kSubmitted: return 0;   // ULOG_SUBMIT
+    case GatewayJobState::kRunning: return 1;     // ULOG_EXECUTE
+    case GatewayJobState::kCompleted: return 5;   // ULOG_JOB_TERMINATED
+    case GatewayJobState::kRemoved: return 9;     // ULOG_JOB_ABORTED
+    case GatewayJobState::kHeld: return 12;       // ULOG_JOB_HELD
+    case GatewayJobState::kIdle: return 13;       // ULOG_JOB_RELEASED-ish
+    case GatewayJobState::kStaging: return 7;     // ULOG_IMAGE_SIZE (reused)
+    case GatewayJobState::kFailed: return 2;      // ULOG_EXECUTABLE_ERROR
+  }
+  return 28;  // ULOG_NONE
+}
+
+void UserLog::append(const GatewayEvent& event) {
+  events_.push_back(UserLogEvent{event.job, event.state, event.at});
+}
+
+std::vector<UserLogEvent> UserLog::history(JobId job) const {
+  std::vector<UserLogEvent> out;
+  for (const UserLogEvent& e : events_) {
+    if (e.job == job) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<JobId> UserLog::jobs_in_state(GatewayJobState state) const {
+  std::unordered_map<JobId, GatewayJobState> latest;
+  std::vector<JobId> order;  // first-seen order for stable output
+  for (const UserLogEvent& e : events_) {
+    if (!latest.contains(e.job)) order.push_back(e.job);
+    latest[e.job] = e.state;
+  }
+  std::vector<JobId> out;
+  for (const JobId job : order) {
+    if (latest.at(job) == state) out.push_back(job);
+  }
+  return out;
+}
+
+Duration UserLog::time_between(JobId job, GatewayJobState from,
+                               GatewayJobState to) const {
+  SimTime from_at = kNever;
+  for (const UserLogEvent& e : events_) {
+    if (e.job != job) continue;
+    if (e.state == from && from_at == kNever) from_at = e.at;
+    if (e.state == to && from_at != kNever) return e.at - from_at;
+  }
+  return -1.0;
+}
+
+std::string UserLog::render() const {
+  std::string out;
+  for (const UserLogEvent& e : events_) {
+    char line[160];
+    const auto total = static_cast<long long>(e.at);
+    std::snprintf(line, sizeof(line),
+                  "%03d (%03llu.000.000) +%02lld:%02lld:%02lld Job %s\n",
+                  userlog_event_number(e.state),
+                  static_cast<unsigned long long>(e.job.value()),
+                  total / 3600, (total % 3600) / 60, total % 60,
+                  to_string(e.state));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sphinx::submit

@@ -1,0 +1,60 @@
+#pragma once
+/// \file userlog.hpp
+/// Condor-style user log: an append-only record of job events.
+///
+/// Condor writes a "user log" that tools (and DAGMan itself) tail to
+/// follow job progress.  This reproduction keeps the same idea: a
+/// UserLog subscribes to a gateway's events, stores them in order, can
+/// render the classic numbered-event text form, and answers the queries
+/// the Held-job analysis in the paper needs ("the Held jobs may be later
+/// analyzed by the grid user to understand the reasons for failure").
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "submit/condor_g.hpp"
+
+namespace sphinx::submit {
+
+/// One log record.
+struct UserLogEvent {
+  JobId job;
+  GatewayJobState state = GatewayJobState::kSubmitted;
+  SimTime at = 0.0;
+};
+
+class UserLog {
+ public:
+  /// Appends one event (wire this as/inside a gateway callback).
+  void append(const GatewayEvent& event);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] const std::vector<UserLogEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// All events of one job, in order.
+  [[nodiscard]] std::vector<UserLogEvent> history(JobId job) const;
+
+  /// Jobs whose *latest* event is the given state (e.g. every held job).
+  [[nodiscard]] std::vector<JobId> jobs_in_state(GatewayJobState state) const;
+
+  /// Time a job spent between two states (first occurrence of each);
+  /// negative when the transition never happened.
+  [[nodiscard]] Duration time_between(JobId job, GatewayJobState from,
+                                      GatewayJobState to) const;
+
+  /// Classic numbered text rendering:
+  ///   000 (101.000.000) 07/04 12:00:00 Job submitted
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<UserLogEvent> events_;
+};
+
+/// Maps a gateway state to the classic Condor user-log event number.
+[[nodiscard]] int userlog_event_number(GatewayJobState state) noexcept;
+
+}  // namespace sphinx::submit

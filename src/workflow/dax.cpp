@@ -1,0 +1,152 @@
+#include "workflow/dax.hpp"
+
+#include "rpc/xml.hpp"
+
+namespace sphinx::workflow {
+
+using rpc::XmlNode;
+
+std::string write_dax(const Dag& dag) {
+  XmlNode root("adag");
+  root.attributes["name"] = dag.name();
+  root.attributes["dagId"] = std::to_string(dag.id().value());
+  root.attributes["jobCount"] = std::to_string(dag.size());
+
+  for (const JobSpec& job : dag.jobs()) {
+    XmlNode node("job");
+    node.attributes["id"] = std::to_string(job.id.value());
+    node.attributes["name"] = job.name;
+    node.attributes["computeTime"] = std::to_string(job.compute_time);
+    for (const data::Lfn& input : job.inputs) {
+      XmlNode uses("uses");
+      uses.attributes["lfn"] = input;
+      uses.attributes["link"] = "input";
+      node.add_child(std::move(uses));
+    }
+    XmlNode output("uses");
+    output.attributes["lfn"] = job.output;
+    output.attributes["link"] = "output";
+    output.attributes["size"] = std::to_string(job.output_bytes);
+    node.add_child(std::move(output));
+    root.add_child(std::move(node));
+  }
+
+  // Dependencies in the DAX child/parent form.
+  for (const JobSpec& job : dag.jobs()) {
+    const auto& parents = dag.parents(job.id);
+    if (parents.empty()) continue;
+    XmlNode child("child");
+    child.attributes["ref"] = std::to_string(job.id.value());
+    for (const JobId parent : parents) {
+      XmlNode p("parent");
+      p.attributes["ref"] = std::to_string(parent.value());
+      child.add_child(std::move(p));
+    }
+    root.add_child(std::move(child));
+  }
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" +
+         rpc::xml_write(root, 2);
+}
+
+namespace {
+
+Expected<std::uint64_t> parse_id(const std::string& text,
+                                 const char* what) {
+  if (text.empty()) return make_error("dax_parse", std::string(what) + " missing");
+  try {
+    return static_cast<std::uint64_t>(std::stoull(text));
+  } catch (const std::exception&) {
+    return make_error("dax_parse", std::string(what) + " not a number: " + text);
+  }
+}
+
+Expected<double> parse_number(const std::string& text, const char* what,
+                              double fallback) {
+  if (text.empty()) return fallback;
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    return make_error("dax_parse", std::string(what) + " not a number: " + text);
+  }
+}
+
+}  // namespace
+
+Expected<Dag> parse_dax(const std::string& xml) {
+  auto doc = rpc::xml_parse(xml);
+  if (!doc) return Unexpected<Error>{doc.error()};
+  if (doc->name != "adag") {
+    return make_error("dax_parse", "root element is not <adag>");
+  }
+  auto dag_id = parse_id(doc->attribute("dagId"), "dagId");
+  if (!dag_id) return Unexpected<Error>{dag_id.error()};
+
+  Dag dag(DagId(*dag_id), doc->attribute("name"));
+
+  for (const XmlNode* job_node : doc->children_named("job")) {
+    auto id = parse_id(job_node->attribute("id"), "job id");
+    if (!id) return Unexpected<Error>{id.error()};
+    auto compute =
+        parse_number(job_node->attribute("computeTime"), "computeTime", 60.0);
+    if (!compute) return Unexpected<Error>{compute.error()};
+
+    JobSpec job;
+    job.id = JobId(*id);
+    job.name = job_node->attribute("name");
+    job.compute_time = *compute;
+    bool has_output = false;
+    for (const XmlNode* uses : job_node->children_named("uses")) {
+      const std::string link = uses->attribute("link");
+      const std::string lfn = uses->attribute("lfn");
+      if (lfn.empty()) return make_error("dax_parse", "<uses> without lfn");
+      if (link == "input") {
+        job.inputs.push_back(lfn);
+      } else if (link == "output") {
+        if (has_output) {
+          return make_error("dax_parse",
+                            "job " + job.name + " declares two outputs");
+        }
+        has_output = true;
+        job.output = lfn;
+        auto size = parse_number(uses->attribute("size"), "size", 0.0);
+        if (!size) return Unexpected<Error>{size.error()};
+        job.output_bytes = *size;
+      } else {
+        return make_error("dax_parse", "unknown uses link: " + link);
+      }
+    }
+    if (!has_output) {
+      return make_error("dax_parse", "job " + job.name + " has no output");
+    }
+    if (dag.has_job(job.id)) {
+      return make_error("dax_parse", "duplicate job id in DAX");
+    }
+    dag.add_job(std::move(job));
+  }
+
+  for (const XmlNode* child_node : doc->children_named("child")) {
+    auto child = parse_id(child_node->attribute("ref"), "child ref");
+    if (!child) return Unexpected<Error>{child.error()};
+    if (!dag.has_job(JobId(*child))) {
+      return make_error("dax_parse", "child references unknown job");
+    }
+    for (const XmlNode* parent_node : child_node->children_named("parent")) {
+      auto parent = parse_id(parent_node->attribute("ref"), "parent ref");
+      if (!parent) return Unexpected<Error>{parent.error()};
+      if (!dag.has_job(JobId(*parent))) {
+        return make_error("dax_parse", "parent references unknown job");
+      }
+      if (JobId(*parent) == JobId(*child)) {
+        return make_error("dax_parse", "self edge in DAX");
+      }
+      dag.add_edge(JobId(*parent), JobId(*child));
+    }
+  }
+
+  if (const auto valid = dag.validate(); !valid.ok()) {
+    return Unexpected<Error>{valid.error()};
+  }
+  return dag;
+}
+
+}  // namespace sphinx::workflow

@@ -1,0 +1,33 @@
+#pragma once
+/// \file dax.hpp
+/// DAX-style XML interchange for abstract DAGs.
+///
+/// Chimera emits abstract workflow descriptions as XML ("abstract DAG in
+/// XML", the DAX format Pegasus and SPHINX-era tools consumed).  This
+/// module writes and parses that representation so workflows can be
+/// stored, shipped and inspected as documents rather than only as
+/// in-memory objects:
+///
+///   <adag name="diamond" dagId="7" jobCount="4">
+///     <job id="101" name="reco" computeTime="60">
+///       <uses lfn="lfn://raw/a" link="input"/>
+///       <uses lfn="lfn://reco/a" link="output" size="42000000"/>
+///     </job>
+///     <child ref="102"><parent ref="101"/></child>
+///   </adag>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "workflow/dag.hpp"
+
+namespace sphinx::workflow {
+
+/// Serializes a DAG as a DAX document (pretty-printed XML).
+[[nodiscard]] std::string write_dax(const Dag& dag);
+
+/// Parses a DAX document.  Validates structure (acyclic, dataflow
+/// consistency) before returning.
+[[nodiscard]] Expected<Dag> parse_dax(const std::string& xml);
+
+}  // namespace sphinx::workflow

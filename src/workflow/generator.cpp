@@ -1,0 +1,100 @@
+#include "workflow/generator.hpp"
+
+#include <algorithm>
+
+namespace sphinx::workflow {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, Rng rng,
+                                     IdSpace& ids,
+                                     data::ReplicaLocationService& rls,
+                                     std::vector<SiteId> sites)
+    : config_(config),
+      rng_(std::move(rng)),
+      ids_(ids),
+      rls_(rls),
+      sites_(std::move(sites)) {
+  SPHINX_ASSERT(!sites_.empty(), "generator needs at least one site");
+  SPHINX_ASSERT(config_.jobs_per_dag > 0, "jobs_per_dag must be positive");
+  SPHINX_ASSERT(config_.min_inputs <= config_.max_inputs, "bad input range");
+}
+
+data::Lfn WorkloadGenerator::make_external_input() {
+  const data::Lfn lfn =
+      "lfn://input/f" + std::to_string(ids_.next_file++);
+  const double bytes =
+      rng_.uniform(config_.external_min_bytes, config_.external_max_bytes);
+  // Register the configured number of replicas at distinct random sites.
+  std::vector<SiteId> candidates = sites_;
+  const int replicas = std::min<int>(config_.external_replicas,
+                                     static_cast<int>(candidates.size()));
+  for (int r = 0; r < replicas; ++r) {
+    const auto pick = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+    rls_.register_replica(lfn, candidates[pick], bytes);
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return lfn;
+}
+
+Dag WorkloadGenerator::generate(const std::string& name) {
+  Dag dag(ids_.dags.next(), name);
+  std::vector<JobId> created;
+  created.reserve(static_cast<std::size_t>(config_.jobs_per_dag));
+
+  for (int j = 0; j < config_.jobs_per_dag; ++j) {
+    JobSpec job;
+    job.id = ids_.jobs.next();
+    job.name = name + "/job" + std::to_string(j);
+    job.compute_time = config_.compute_time;
+    job.output = "lfn://derived/" + name + "/out" + std::to_string(j) + "-" +
+                 std::to_string(job.id.value());
+    job.output_bytes =
+        rng_.uniform(config_.output_min_bytes, config_.output_max_bytes);
+
+    // Pick 0..max_parents parents among previously created jobs; their
+    // outputs become inputs, which is what makes the structure a DAG.
+    std::vector<JobId> parents;
+    if (!created.empty()) {
+      const int want = static_cast<int>(
+          rng_.uniform_int(0, std::min<std::int64_t>(
+                                  config_.max_parents,
+                                  static_cast<std::int64_t>(created.size()))));
+      std::vector<JobId> pool = created;
+      for (int p = 0; p < want; ++p) {
+        const auto pick = static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(pool.size()) - 1));
+        parents.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+    for (const JobId parent : parents) {
+      job.inputs.push_back(dag.job(parent).output);
+    }
+
+    // Top up with pre-existing inputs until the 2..3 target is met.
+    const int target = static_cast<int>(
+        rng_.uniform_int(config_.min_inputs, config_.max_inputs));
+    while (static_cast<int>(job.inputs.size()) < target) {
+      job.inputs.push_back(make_external_input());
+    }
+
+    dag.add_job(job);
+    for (const JobId parent : parents) dag.add_edge(parent, job.id);
+    created.push_back(job.id);
+  }
+
+  SPHINX_ASSERT(dag.validate().ok(), "generator produced an invalid DAG");
+  return dag;
+}
+
+std::vector<Dag> WorkloadGenerator::generate_batch(const std::string& prefix,
+                                                   int count) {
+  std::vector<Dag> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(generate(prefix + "-dag" + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace sphinx::workflow

@@ -1,0 +1,129 @@
+// Tests for QoS deadline scheduling (priority + earliest-deadline-first
+// planning order) and the DagOutcome deadline bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "workflow/generator.hpp"
+
+namespace sphinx::exp {
+namespace {
+
+ScenarioConfig quiet(std::uint64_t seed = 91) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.site_failures = false;
+  config.background_load = false;
+  return config;
+}
+
+TEST(Qos, DeadlineStoredAndOutcomeTracked) {
+  Scenario scenario(quiet());
+  Tenant& tenant = scenario.add_tenant("qos", TenantOptions{});
+  workflow::WorkloadConfig workload;
+  workload.jobs_per_dag = 4;
+  auto generator = scenario.make_generator("w", workload);
+  const auto relaxed = generator.generate("relaxed");
+  const auto tight = generator.generate("tight");
+  scenario.start();
+  scenario.engine().schedule_at(1.0, "submit", [&] {
+    tenant.client->submit(relaxed, 0.0, hours(10));  // generous deadline
+    tenant.client->submit(tight, 0.0, 2.0);          // impossible deadline
+  });
+  scenario.run(hours(8));
+  ASSERT_TRUE(tenant.client->all_dags_finished());
+
+  // Server-side records carry the deadlines.
+  EXPECT_DOUBLE_EQ(tenant.server->warehouse().dag(relaxed.id())->deadline,
+                   hours(10));
+  EXPECT_DOUBLE_EQ(tenant.server->warehouse().dag(tight.id())->deadline, 2.0);
+
+  // Outcome accounting: one met, one missed.
+  const auto [met, total] = tenant.client->deadline_hits();
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(met, 1u);
+  for (const auto& outcome : tenant.client->dag_outcomes()) {
+    if (outcome.name == "relaxed") {
+      EXPECT_TRUE(outcome.deadline_met());
+    }
+    if (outcome.name == "tight") {
+      EXPECT_FALSE(outcome.deadline_met());
+    }
+  }
+}
+
+TEST(Qos, BestEffortDagsDoNotCountAsDeadlines) {
+  Scenario scenario(quiet());
+  Tenant& tenant = scenario.add_tenant("qos", TenantOptions{});
+  workflow::WorkloadConfig workload;
+  workload.jobs_per_dag = 3;
+  auto generator = scenario.make_generator("w", workload);
+  const auto dag = generator.generate("be");
+  scenario.start();
+  scenario.engine().schedule_at(1.0, "submit",
+                                [&] { tenant.client->submit(dag); });
+  scenario.run(hours(8));
+  const auto [met, total] = tenant.client->deadline_hits();
+  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(met, 0u);
+  EXPECT_FALSE(tenant.client->dag_outcomes().front().deadline_met());
+}
+
+TEST(Qos, EdfOrderPrefersUrgentDag) {
+  // Runs the same congested workload twice -- once with QoS ordering,
+  // once without -- and compares the urgent DAG's completion time.  All
+  // jobs are quota-confined to one small site so a real batch queue
+  // forms and the priority nudge matters.
+  const auto run_once = [](bool qos_ordering) {
+    Scenario scenario(quiet(17));
+    TenantOptions options;
+    options.use_policy = true;
+    options.use_qos_ordering = qos_ordering;
+    Tenant& tenant = scenario.add_tenant("qos", options);
+    const SiteId pen = scenario.grid().find_site("ufgrid1")->id();
+    for (const auto& site : scenario.catalog()) {
+      tenant.server->set_quota(tenant.client->config().user, site.id,
+                               "cpu_seconds", site.id == pen ? 1e9 : 0.0);
+    }
+    // Compute-bound bags of tasks: staging is negligible (the shared
+    // link has no priorities), so the CPU queue is the contended
+    // resource the batch priority acts on.
+    workflow::WorkloadConfig workload;
+    workload.jobs_per_dag = 8;
+    workload.max_parents = 0;
+    workload.compute_time = 300.0;
+    workload.external_min_bytes = 1e6;
+    workload.external_max_bytes = 2e6;
+    workload.output_min_bytes = 1e5;
+    workload.output_max_bytes = 1e6;
+    auto generator = scenario.make_generator("w", workload);
+    const auto batch = generator.generate_batch("bg", 10);
+    const auto urgent = generator.generate("urgent");
+    scenario.start();
+    scenario.engine().schedule_at(1.0, "submit", [&] {
+      for (const auto& dag : batch) tenant.client->submit(dag);
+      tenant.client->submit(urgent, 0.0, scenario.engine().now() + hours(2));
+    });
+    scenario.run(hours(12));
+    EXPECT_TRUE(tenant.client->all_dags_finished());
+    for (const auto& outcome : tenant.client->dag_outcomes()) {
+      if (outcome.name == "urgent") return outcome.completion_time();
+    }
+    return -1.0;
+  };
+  const double with_qos = run_once(true);
+  const double without_qos = run_once(false);
+  // QoS ordering must speed the urgent DAG up materially.
+  EXPECT_LT(with_qos, 0.7 * without_qos);
+}
+
+TEST(Qos, OrderingCanBeDisabled) {
+  Scenario scenario(quiet(19));
+  TenantOptions options;
+  options.use_qos_ordering = false;
+  Tenant& tenant = scenario.add_tenant("fifo", options);
+  EXPECT_FALSE(tenant.server->config().use_qos_ordering);
+}
+
+}  // namespace
+}  // namespace sphinx::exp

@@ -1,0 +1,221 @@
+// Protocol-level tests of the SPHINX server and client: authorization,
+// malformed payloads, report edge cases and recovery of in-flight work.
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "workflow/generator.hpp"
+
+namespace sphinx::exp {
+namespace {
+
+ScenarioConfig quiet(std::uint64_t seed = 61) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.site_failures = false;
+  config.background_load = false;
+  return config;
+}
+
+/// A raw Clarens client with an arbitrary proxy for poking the server.
+class RawCaller {
+ public:
+  RawCaller(Scenario& scenario, rpc::Proxy proxy)
+      : client_(scenario.bus(), "raw-caller", std::move(proxy)),
+        engine_(scenario.engine()) {}
+
+  /// Synchronous-style call: runs the engine until the response arrives.
+  Expected<rpc::XrValue> call(const std::string& service,
+                              const std::string& method,
+                              std::vector<rpc::XrValue> params) {
+    std::optional<Expected<rpc::XrValue>> result;
+    client_.call(service, method, std::move(params),
+                 [&result](Expected<rpc::XrValue> r) {
+                   result = std::move(r);
+                 });
+    while (!result.has_value() && engine_.step()) {
+    }
+    SPHINX_ASSERT(result.has_value(), "no response received");
+    return std::move(*result);
+  }
+
+ private:
+  rpc::ClarensClient client_;
+  sim::Engine& engine_;
+};
+
+rpc::Proxy vo_proxy(const std::string& vo) {
+  return rpc::Proxy(rpc::Identity{"/CN=raw", "/CN=CA"}, vo, {}, 0.0,
+                    hours(24));
+}
+
+TEST(ServerProtocol, RejectsUnknownVo) {
+  Scenario scenario(quiet());
+  scenario.add_tenant("t", TenantOptions{});
+  RawCaller caller(scenario, vo_proxy("intruders"));
+  const auto result =
+      caller.call("sphinx-server/t", "sphinx.report", {rpc::XrValue(1)});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, "fault:3");  // authorization denied
+}
+
+TEST(ServerProtocol, RejectsMalformedSubmit) {
+  Scenario scenario(quiet());
+  scenario.add_tenant("t", TenantOptions{});
+  RawCaller caller(scenario, vo_proxy("uscms"));
+  // Wrong arity.
+  auto r = caller.call("sphinx-server/t", "sphinx.submit_dag",
+                       {rpc::XrValue("client")});
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "fault:100");
+  // Garbage dag payload.
+  r = caller.call("sphinx-server/t", "sphinx.submit_dag",
+                  {rpc::XrValue("client"), rpc::XrValue(1),
+                   rpc::XrValue("not a dag")});
+  ASSERT_FALSE(r.has_value());
+  // Non-numeric priority.
+  workflow::Dag dag(DagId(1), "x");
+  workflow::JobSpec job;
+  job.id = JobId(1);
+  job.name = "j";
+  job.output = "lfn://x";
+  dag.add_job(job);
+  r = caller.call("sphinx-server/t", "sphinx.submit_dag",
+                  {rpc::XrValue("client"), rpc::XrValue(1),
+                   core::encode_dag(dag), rpc::XrValue("high")});
+  ASSERT_FALSE(r.has_value());
+}
+
+TEST(ServerProtocol, ReportForUnknownJobFaults) {
+  Scenario scenario(quiet());
+  scenario.add_tenant("t", TenantOptions{});
+  RawCaller caller(scenario, vo_proxy("uscms"));
+  core::TrackerReport report;
+  report.job = JobId(999999);
+  report.kind = core::ReportKind::kCompleted;
+  report.site = SiteId(1);
+  const auto r = caller.call("sphinx-server/t", "sphinx.report",
+                             {core::encode_report(report)});
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "fault:100");
+}
+
+TEST(ServerProtocol, SetQuotaOverRpc) {
+  Scenario scenario(quiet());
+  Tenant& tenant = scenario.add_tenant("t", TenantOptions{});
+  RawCaller caller(scenario, vo_proxy("uscms"));
+  const auto r = caller.call(
+      "sphinx-server/t", "sphinx.set_quota",
+      {rpc::XrValue(7), rpc::XrValue(3), rpc::XrValue("cpu_seconds"),
+       rpc::XrValue(1234.5)});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(tenant.server->warehouse().quota_remaining(
+                       UserId(7), SiteId(3), "cpu_seconds"),
+                   1234.5);
+}
+
+TEST(ServerProtocol, SubmitReturnsDagIdAndStoresPriority) {
+  Scenario scenario(quiet());
+  Tenant& tenant = scenario.add_tenant("t", TenantOptions{});
+  RawCaller caller(scenario, vo_proxy("uscms"));
+  workflow::Dag dag(DagId(77), "raw-dag");
+  workflow::JobSpec job;
+  job.id = JobId(770);
+  job.name = "j";
+  job.inputs = {"lfn://in"};
+  job.output = "lfn://raw-out";
+  dag.add_job(job);
+  const auto r = caller.call("sphinx-server/t", "sphinx.submit_dag",
+                             {rpc::XrValue("raw-caller"), rpc::XrValue(5),
+                              core::encode_dag(dag), rpc::XrValue(3.5)});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->as_int(), 77);
+  const auto record = tenant.server->warehouse().dag(DagId(77));
+  ASSERT_TRUE(record.has_value());
+  EXPECT_DOUBLE_EQ(record->priority, 3.5);
+  EXPECT_EQ(record->user, UserId(5));
+  EXPECT_EQ(record->client, "raw-caller");
+}
+
+TEST(ServerProtocol, StoppedServerPlansNothing) {
+  Scenario scenario(quiet());
+  Tenant& tenant = scenario.add_tenant("t", TenantOptions{});
+  auto generator =
+      scenario.make_generator("w", workflow::WorkloadConfig{});
+  const auto dag = generator.generate("stopped");
+  scenario.start();
+  tenant.server->stop();  // control process halted; endpoint still up
+  scenario.engine().schedule_at(1.0, "submit",
+                                [&] { tenant.client->submit(dag); });
+  scenario.engine().run_until(minutes(30));
+  // The DAG was received but never planned.
+  EXPECT_EQ(tenant.server->stats().dags_received, 1u);
+  EXPECT_EQ(tenant.server->stats().plans_sent, 0u);
+  // Restart: scheduling resumes where it left off.
+  tenant.server->start();
+  scenario.run(hours(6));
+  EXPECT_TRUE(tenant.client->all_dags_finished());
+}
+
+TEST(ServerProtocol, RecoveredServerKeepsQuotaState) {
+  Scenario scenario(quiet());
+  Tenant& tenant = scenario.add_tenant("t", TenantOptions{});
+  tenant.server->set_quota(UserId(1), SiteId(2), "cpu_seconds", 500.0);
+  tenant.server->warehouse().consume_quota(UserId(1), SiteId(2),
+                                           "cpu_seconds", 100.0);
+  const db::Journal journal = tenant.server->warehouse().journal();
+  auto recovered = core::SphinxServer::recover(
+      scenario.bus(), scenario.catalog(), scenario.rls(),
+      scenario.transfers(), &scenario.monitoring(),
+      [] {
+        core::ServerConfig c;
+        c.endpoint = "recovered";
+        return c;
+      }(),
+      journal);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_DOUBLE_EQ((*recovered)
+                       ->warehouse()
+                       .quota_remaining(UserId(1), SiteId(2), "cpu_seconds"),
+                   400.0);
+}
+
+TEST(ServerProtocol, RecoverFromCorruptJournalFails) {
+  Scenario scenario(quiet());
+  db::Journal junk;
+  db::JournalEntry entry;
+  entry.op = db::JournalEntry::Op::kInsert;
+  entry.table = "never-created";
+  entry.row = 1;
+  junk.append(entry);
+  const auto result = core::SphinxServer::recover(
+      scenario.bus(), scenario.catalog(), scenario.rls(),
+      scenario.transfers(), &scenario.monitoring(),
+      [] {
+        core::ServerConfig c;
+        c.endpoint = "broken";
+        return c;
+      }(),
+      junk);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(ClientProtocol, RejectsBogusPlans) {
+  Scenario scenario(quiet());
+  Tenant& tenant = scenario.add_tenant("t", TenantOptions{});
+  (void)tenant;
+  RawCaller caller(scenario,
+                   rpc::Proxy(rpc::Identity{"/CN=server", "/CN=CA"}, "ivdgl",
+                              {}, 0.0, hours(24)));
+  // Not a plan at all.
+  auto r = caller.call("sphinx-client/t", "sphinx_client.execute_plan",
+                       {rpc::XrValue("junk")});
+  EXPECT_FALSE(r.has_value());
+  // dag_done for a dag this client never submitted.
+  r = caller.call("sphinx-client/t", "sphinx_client.dag_done",
+                  {rpc::XrValue(424242), rpc::XrValue(1.0)});
+  EXPECT_FALSE(r.has_value());
+}
+
+}  // namespace
+}  // namespace sphinx::exp

@@ -1,0 +1,217 @@
+// Tests for the SPHINX data warehouse: schema, state transitions, site
+// statistics (including censored cancellations), quotas and recovery.
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse.hpp"
+#include "workflow/generator.hpp"
+
+namespace sphinx::core {
+namespace {
+
+workflow::Dag two_job_dag(std::uint64_t base = 100) {
+  workflow::Dag dag(DagId(base), "wh-dag");
+  workflow::JobSpec a;
+  a.id = JobId(base + 1);
+  a.name = "a";
+  a.compute_time = 60.0;
+  a.inputs = {"lfn://in"};
+  a.output = "lfn://mid";
+  a.output_bytes = 5e6;
+  workflow::JobSpec b;
+  b.id = JobId(base + 2);
+  b.name = "b";
+  b.compute_time = 30.0;
+  b.inputs = {"lfn://mid"};
+  b.output = "lfn://out";
+  b.output_bytes = 1e6;
+  dag.add_job(a);
+  dag.add_job(b);
+  dag.add_edge(a.id, b.id);
+  return dag;
+}
+
+TEST(Warehouse, InsertDagMaterializesRows) {
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "client-1", UserId(9), 12.5);
+
+  const auto dag = wh.dag(DagId(100));
+  ASSERT_TRUE(dag.has_value());
+  EXPECT_EQ(dag->name, "wh-dag");
+  EXPECT_EQ(dag->client, "client-1");
+  EXPECT_EQ(dag->user, UserId(9));
+  EXPECT_EQ(dag->state, DagState::kReceived);
+  EXPECT_DOUBLE_EQ(dag->received_at, 12.5);
+  EXPECT_EQ(dag->total_jobs, 2);
+
+  const auto jobs = wh.jobs_of_dag(DagId(100));
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].state, JobState::kUnplanned);
+  EXPECT_EQ(jobs[0].attempt, 0);
+  EXPECT_EQ(wh.job_inputs(JobId(101)),
+            std::vector<data::Lfn>{"lfn://in"});
+  EXPECT_EQ(wh.job_parents(JobId(102)), std::vector<JobId>{JobId(101)});
+  EXPECT_TRUE(wh.job_parents(JobId(101)).empty());
+}
+
+TEST(Warehouse, DagStateTransitions) {
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "c", UserId(1), 0.0);
+  EXPECT_EQ(wh.dags_in_state(DagState::kReceived).size(), 1u);
+  wh.set_dag_state(DagId(100), DagState::kPlanning);
+  EXPECT_TRUE(wh.dags_in_state(DagState::kReceived).empty());
+  EXPECT_EQ(wh.dags_in_state(DagState::kPlanning).size(), 1u);
+  wh.set_dag_finished(DagId(100), 500.0);
+  const auto dag = wh.dag(DagId(100));
+  EXPECT_EQ(dag->state, DagState::kFinished);
+  EXPECT_DOUBLE_EQ(dag->finished_at, 500.0);
+  EXPECT_THROW(wh.set_dag_state(DagId(999), DagState::kPlanning),
+               AssertionError);
+}
+
+TEST(Warehouse, JobPlanningIncrementsAttempt) {
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "c", UserId(1), 0.0);
+  wh.set_job_planned(JobId(101), SiteId(4), 10.0);
+  auto job = wh.job(JobId(101));
+  EXPECT_EQ(job->state, JobState::kPlanned);
+  EXPECT_EQ(job->site, SiteId(4));
+  EXPECT_EQ(job->attempt, 1);
+  // Replanning after a cancellation bumps the attempt again.
+  wh.set_job_state(JobId(101), JobState::kUnplanned);
+  wh.set_job_planned(JobId(101), SiteId(5), 20.0);
+  job = wh.job(JobId(101));
+  EXPECT_EQ(job->attempt, 2);
+  EXPECT_EQ(job->site, SiteId(5));
+}
+
+TEST(Warehouse, CompletedJobsAndOutstanding) {
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "c", UserId(1), 0.0);
+  EXPECT_TRUE(wh.completed_jobs(DagId(100)).empty());
+  wh.set_job_planned(JobId(101), SiteId(4), 1.0);
+  wh.set_job_planned(JobId(102), SiteId(4), 1.0);
+  EXPECT_EQ(wh.outstanding_on_site(SiteId(4)), 2);
+  wh.set_job_state(JobId(101), JobState::kCompleted);
+  EXPECT_EQ(wh.outstanding_on_site(SiteId(4)), 1);
+  EXPECT_EQ(wh.completed_jobs(DagId(100)).size(), 1u);
+  const auto by_site = wh.outstanding_by_site();
+  EXPECT_EQ(by_site.at(SiteId(4)), 1);
+}
+
+TEST(Warehouse, SiteStatsEwmaAndReliability) {
+  DataWarehouse wh;
+  EXPECT_TRUE(wh.site_available(SiteId(1)));  // no data = available
+  wh.record_completion(SiteId(1), 100.0);
+  auto stats = wh.site_stats(SiteId(1));
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_DOUBLE_EQ(stats.avg_completion, 100.0);
+  wh.record_completion(SiteId(1), 200.0);
+  stats = wh.site_stats(SiteId(1));
+  EXPECT_EQ(stats.samples, 2);
+  // EWMA(0.3): 0.3*200 + 0.7*100 = 130.
+  EXPECT_NEAR(stats.avg_completion, 130.0, 1e-9);
+  EXPECT_TRUE(wh.site_available(SiteId(1)));
+
+  wh.record_cancellation(SiteId(1));
+  EXPECT_TRUE(wh.site_available(SiteId(1)));  // 1 cancel <= 2 completed
+  wh.record_cancellation(SiteId(1));
+  wh.record_cancellation(SiteId(1));
+  EXPECT_FALSE(wh.site_available(SiteId(1)));  // 3 > 2
+}
+
+TEST(Warehouse, CensoredCancellationRaisesEwma) {
+  DataWarehouse wh;
+  wh.record_completion(SiteId(2), 100.0);
+  wh.record_cancellation(SiteId(2), 900.0);  // timed out after 900 s
+  const auto stats = wh.site_stats(SiteId(2));
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.samples, 2);
+  EXPECT_GT(stats.avg_completion, 100.0);
+  // First-ever observation may be censored too.
+  wh.record_cancellation(SiteId(3), 900.0);
+  EXPECT_DOUBLE_EQ(wh.site_stats(SiteId(3)).avg_completion, 900.0);
+  // Zero-duration cancellation (no information) leaves the EWMA alone.
+  wh.record_cancellation(SiteId(4));
+  EXPECT_EQ(wh.site_stats(SiteId(4)).samples, 0);
+}
+
+TEST(Warehouse, QuotaLifecycle) {
+  DataWarehouse wh;
+  const UserId user(7);
+  const SiteId site(3);
+  // No quota row: unconstrained.
+  EXPECT_TRUE(std::isinf(wh.quota_remaining(user, site, "cpu_seconds")));
+  wh.consume_quota(user, site, "cpu_seconds", 100.0);  // no-op
+  EXPECT_TRUE(std::isinf(wh.quota_remaining(user, site, "cpu_seconds")));
+
+  wh.set_quota(user, site, "cpu_seconds", 1000.0);
+  EXPECT_DOUBLE_EQ(wh.quota_remaining(user, site, "cpu_seconds"), 1000.0);
+  wh.consume_quota(user, site, "cpu_seconds", 400.0);
+  EXPECT_DOUBLE_EQ(wh.quota_remaining(user, site, "cpu_seconds"), 600.0);
+  wh.refund_quota(user, site, "cpu_seconds", 100.0);
+  EXPECT_DOUBLE_EQ(wh.quota_remaining(user, site, "cpu_seconds"), 700.0);
+  // Refund never goes below zero used.
+  wh.refund_quota(user, site, "cpu_seconds", 1e9);
+  EXPECT_DOUBLE_EQ(wh.quota_remaining(user, site, "cpu_seconds"), 1000.0);
+  // Quotas are per (user, site, resource).
+  EXPECT_TRUE(std::isinf(wh.quota_remaining(UserId(8), site, "cpu_seconds")));
+  EXPECT_TRUE(std::isinf(wh.quota_remaining(user, SiteId(4), "cpu_seconds")));
+  EXPECT_TRUE(std::isinf(wh.quota_remaining(user, site, "disk_bytes")));
+  // set_quota on an existing row updates the limit, preserving usage.
+  wh.consume_quota(user, site, "cpu_seconds", 300.0);
+  wh.set_quota(user, site, "cpu_seconds", 2000.0);
+  EXPECT_DOUBLE_EQ(wh.quota_remaining(user, site, "cpu_seconds"), 1700.0);
+}
+
+TEST(Warehouse, RecoveryPreservesEverything) {
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "client-x", UserId(3), 5.0);
+  wh.set_job_planned(JobId(101), SiteId(2), 8.0);
+  wh.set_job_state(JobId(101), JobState::kRunning);
+  wh.record_completion(SiteId(2), 250.0);
+  wh.record_cancellation(SiteId(9), 900.0);
+  wh.set_quota(UserId(3), SiteId(2), "cpu_seconds", 5000.0);
+  wh.consume_quota(UserId(3), SiteId(2), "cpu_seconds", 60.0);
+
+  auto recovered = DataWarehouse::recover_from(wh.journal());
+  ASSERT_TRUE(recovered.has_value());
+  DataWarehouse& r = **recovered;
+  EXPECT_EQ(r.dag(DagId(100))->client, "client-x");
+  EXPECT_EQ(r.job(JobId(101))->state, JobState::kRunning);
+  EXPECT_EQ(r.job(JobId(101))->site, SiteId(2));
+  EXPECT_EQ(r.job(JobId(101))->attempt, 1);
+  EXPECT_DOUBLE_EQ(r.site_stats(SiteId(2)).avg_completion, 250.0);
+  EXPECT_EQ(r.site_stats(SiteId(9)).cancelled, 1);
+  EXPECT_DOUBLE_EQ(r.quota_remaining(UserId(3), SiteId(2), "cpu_seconds"),
+                   4940.0);
+  // Recovered warehouse keeps journaling and can recover again (chain).
+  r.record_completion(SiteId(2), 100.0);
+  auto second = DataWarehouse::recover_from(r.journal());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ((*second)->site_stats(SiteId(2)).samples, 2);
+}
+
+TEST(Warehouse, RecoverySurvivesTextSerialization) {
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "c", UserId(1), 0.0);
+  wh.set_job_planned(JobId(101), SiteId(2), 1.0);
+  const std::string text = wh.journal().serialize();
+  const auto parsed = db::Journal::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto recovered = DataWarehouse::recover_from(*parsed);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ((*recovered)->job(JobId(101))->site, SiteId(2));
+}
+
+TEST(Warehouse, UnknownLookupsAreSafe) {
+  DataWarehouse wh;
+  EXPECT_FALSE(wh.dag(DagId(1)).has_value());
+  EXPECT_FALSE(wh.job(JobId(1)).has_value());
+  EXPECT_TRUE(wh.jobs_of_dag(DagId(1)).empty());
+  EXPECT_EQ(wh.outstanding_on_site(SiteId(1)), 0);
+  EXPECT_EQ(wh.site_stats(SiteId(1)).completed, 0);
+}
+
+}  // namespace
+}  // namespace sphinx::core

@@ -1,0 +1,253 @@
+// Tests for the data layer: RLS, storage elements, GridFTP transfers and
+// replica selection.
+
+#include <gtest/gtest.h>
+
+#include "data/gridftp.hpp"
+#include "data/replication.hpp"
+#include "data/rls.hpp"
+#include "data/storage.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::data {
+namespace {
+
+constexpr double kMB = 1e6;
+
+TEST(Rls, RegisterAndLocate) {
+  ReplicaLocationService rls;
+  rls.register_replica("lfn://a", SiteId(1), 10 * kMB);
+  rls.register_replica("lfn://a", SiteId(2), 10 * kMB);
+  rls.register_replica("lfn://b", SiteId(1), 5 * kMB);
+
+  EXPECT_TRUE(rls.exists("lfn://a"));
+  EXPECT_FALSE(rls.exists("lfn://missing"));
+  const auto replicas = rls.locate("lfn://a");
+  EXPECT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(rls.locate("lfn://missing").size(), 0u);
+  EXPECT_EQ(rls.lfn_count(), 2u);
+}
+
+TEST(Rls, ReRegisterUpdatesSize) {
+  ReplicaLocationService rls;
+  rls.register_replica("lfn://a", SiteId(1), 10 * kMB);
+  rls.register_replica("lfn://a", SiteId(1), 20 * kMB);
+  const auto replicas = rls.locate("lfn://a");
+  ASSERT_EQ(replicas.size(), 1u);
+  EXPECT_DOUBLE_EQ(replicas[0].size_bytes, 20 * kMB);
+}
+
+TEST(Rls, UnregisterDropsIndexWhenLastReplicaGone) {
+  ReplicaLocationService rls;
+  rls.register_replica("lfn://a", SiteId(1), kMB);
+  rls.register_replica("lfn://a", SiteId(2), kMB);
+  rls.unregister_replica("lfn://a", SiteId(1));
+  EXPECT_TRUE(rls.exists("lfn://a"));
+  rls.unregister_replica("lfn://a", SiteId(2));
+  EXPECT_FALSE(rls.exists("lfn://a"));
+  EXPECT_EQ(rls.lfn_count(), 0u);
+}
+
+TEST(Rls, BulkLookupIsParallelToInputAndCountsOnce) {
+  ReplicaLocationService rls;
+  rls.register_replica("lfn://a", SiteId(1), kMB);
+  rls.register_replica("lfn://c", SiteId(2), kMB);
+  const std::size_t before = rls.queries();
+  const auto result = rls.locate_bulk({"lfn://a", "lfn://b", "lfn://c"});
+  EXPECT_EQ(rls.queries(), before + 1);  // one clubbed call
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].size(), 1u);
+  EXPECT_TRUE(result[1].empty());
+  EXPECT_EQ(result[2][0].site, SiteId(2));
+}
+
+TEST(Rls, LrcIsPerSite) {
+  ReplicaLocationService rls;
+  rls.register_replica("lfn://a", SiteId(1), kMB);
+  EXPECT_TRUE(rls.lrc(SiteId(1)).has("lfn://a"));
+  EXPECT_FALSE(rls.lrc(SiteId(2)).has("lfn://a"));
+  EXPECT_EQ(rls.lrc(SiteId(1)).size_of("lfn://a"), kMB);
+  EXPECT_FALSE(rls.lrc(SiteId(2)).size_of("lfn://a").has_value());
+}
+
+TEST(Storage, StoreAndAccounting) {
+  StorageElement se(SiteId(1), 100 * kMB);
+  EXPECT_TRUE(se.store(UserId(1), "lfn://a", 30 * kMB).ok());
+  EXPECT_TRUE(se.store(UserId(2), "lfn://b", 20 * kMB).ok());
+  EXPECT_DOUBLE_EQ(se.used(), 50 * kMB);
+  EXPECT_DOUBLE_EQ(se.free_space(), 50 * kMB);
+  EXPECT_DOUBLE_EQ(se.used_by(UserId(1)), 30 * kMB);
+  EXPECT_DOUBLE_EQ(se.used_by(UserId(3)), 0.0);
+  EXPECT_EQ(se.file_count(), 2u);
+}
+
+TEST(Storage, RejectsOverflowAndDuplicates) {
+  StorageElement se(SiteId(1), 10 * kMB);
+  ASSERT_TRUE(se.store(UserId(1), "lfn://a", 8 * kMB).ok());
+  const auto full = se.store(UserId(1), "lfn://b", 5 * kMB);
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code, "storage_full");
+  const auto dup = se.store(UserId(1), "lfn://a", kMB);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, "storage_duplicate");
+  EXPECT_DOUBLE_EQ(se.used(), 8 * kMB);  // failed stores had no effect
+}
+
+TEST(Storage, EraseReleasesSpace) {
+  StorageElement se(SiteId(1), 10 * kMB);
+  ASSERT_TRUE(se.store(UserId(1), "lfn://a", 8 * kMB).ok());
+  EXPECT_TRUE(se.erase("lfn://a"));
+  EXPECT_FALSE(se.erase("lfn://a"));
+  EXPECT_DOUBLE_EQ(se.used(), 0.0);
+  EXPECT_DOUBLE_EQ(se.used_by(UserId(1)), 0.0);
+  EXPECT_TRUE(se.store(UserId(1), "lfn://b", 9 * kMB).ok());
+}
+
+TEST(StorageFabric, OnePerSite) {
+  StorageFabric fabric;
+  StorageElement& a = fabric.add(SiteId(1), 10 * kMB);
+  StorageElement& same = fabric.add(SiteId(1), 999 * kMB);
+  EXPECT_EQ(&a, &same);  // first capacity wins
+  EXPECT_DOUBLE_EQ(same.capacity(), 10 * kMB);
+  EXPECT_NE(fabric.find(SiteId(1)), nullptr);
+  EXPECT_EQ(fabric.find(SiteId(2)), nullptr);
+}
+
+class TransferFixture : public ::testing::Test {
+ protected:
+  TransferFixture() : transfers(engine) {
+    transfers.set_link(SiteId(1), {10 * kMB, 10 * kMB});
+    transfers.set_link(SiteId(2), {10 * kMB, 10 * kMB});
+    transfers.set_link(SiteId(3), {1 * kMB, 1 * kMB});
+  }
+
+  sim::Engine engine;
+  TransferService transfers;
+};
+
+TEST_F(TransferFixture, SingleTransferAtFullRate) {
+  Duration took = -1;
+  transfers.transfer(SiteId(1), SiteId(2), 100 * kMB,
+                     [&](TransferId, Duration d) { took = d; });
+  engine.run_until();
+  EXPECT_NEAR(took, 10.0, 1e-6);  // 100 MB at 10 MB/s
+  EXPECT_EQ(transfers.stats().completed, 1u);
+  EXPECT_NEAR(transfers.stats().bytes_moved, 100 * kMB, 1.0);
+}
+
+TEST_F(TransferFixture, LocalTransferIsInstant) {
+  Duration took = -1;
+  transfers.transfer(SiteId(1), SiteId(1), 100 * kMB,
+                     [&](TransferId, Duration d) { took = d; });
+  engine.run_until();
+  EXPECT_DOUBLE_EQ(took, 0.0);
+}
+
+TEST_F(TransferFixture, SlowLinkBoundsRate) {
+  Duration took = -1;
+  transfers.transfer(SiteId(3), SiteId(2), 60 * kMB,
+                     [&](TransferId, Duration d) { took = d; });
+  engine.run_until();
+  EXPECT_NEAR(took, 60.0, 1e-6);  // bottleneck is the 1 MB/s uplink
+}
+
+TEST_F(TransferFixture, SharedDownlinkSplitsBandwidth) {
+  // Two 10 MB/s sources into one 10 MB/s destination: each gets 5 MB/s.
+  std::vector<Duration> done;
+  transfers.set_link(SiteId(4), {10 * kMB, 10 * kMB});
+  transfers.transfer(SiteId(1), SiteId(2), 50 * kMB,
+                     [&](TransferId, Duration d) { done.push_back(d); });
+  transfers.transfer(SiteId(4), SiteId(2), 50 * kMB,
+                     [&](TransferId, Duration d) { done.push_back(d); });
+  engine.run_until();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 10.0, 1e-6);  // 50 MB at 5 MB/s
+  EXPECT_NEAR(done[1], 10.0, 1e-6);
+}
+
+TEST_F(TransferFixture, RatesRebalanceWhenTransferFinishes) {
+  // Transfer A: 50 MB, B: 100 MB, same links.  Shared 5 MB/s each until A
+  // finishes at t=10 with 50 MB of B left; B then runs at 10 MB/s and
+  // finishes at t=15.
+  Duration a_done = -1, b_done = -1;
+  transfers.transfer(SiteId(1), SiteId(2), 50 * kMB,
+                     [&](TransferId, Duration d) { a_done = d; });
+  transfers.transfer(SiteId(1), SiteId(2), 100 * kMB,
+                     [&](TransferId, Duration d) { b_done = d; });
+  engine.run_until();
+  EXPECT_NEAR(a_done, 10.0, 1e-6);
+  EXPECT_NEAR(b_done, 15.0, 1e-6);
+}
+
+TEST_F(TransferFixture, CancelSilencesCallbackAndFreesBandwidth) {
+  bool a_fired = false;
+  Duration b_done = -1;
+  const TransferId a = transfers.transfer(
+      SiteId(1), SiteId(2), 100 * kMB, [&](TransferId, Duration) { a_fired = true; });
+  transfers.transfer(SiteId(1), SiteId(2), 50 * kMB,
+                     [&](TransferId, Duration d) { b_done = d; });
+  engine.schedule_in(2.0, "cancel", [&] { transfers.cancel(a); });
+  engine.run_until();
+  EXPECT_FALSE(a_fired);
+  EXPECT_EQ(transfers.stats().cancelled, 1u);
+  // B: 2s at 5 MB/s (10 MB) + 40 MB at 10 MB/s (4s) = 6s total.
+  EXPECT_NEAR(b_done, 6.0, 1e-6);
+}
+
+TEST_F(TransferFixture, EstimateIgnoresContention) {
+  EXPECT_NEAR(transfers.estimate(SiteId(1), SiteId(2), 100 * kMB), 10.0, 1e-9);
+  EXPECT_NEAR(transfers.estimate(SiteId(3), SiteId(2), 10 * kMB), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(transfers.estimate(SiteId(1), SiteId(1), kMB), 0.0);
+}
+
+TEST_F(TransferFixture, ManyConcurrentTransfersAllComplete) {
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    transfers.transfer(SiteId(1 + i % 3), SiteId(1 + (i + 1) % 3), 10 * kMB,
+                       [&](TransferId, Duration) { ++completed; });
+  }
+  engine.run_until();
+  EXPECT_EQ(completed, 50);
+  EXPECT_EQ(transfers.active(), 0u);
+}
+
+TEST(ReplicaSelection, PrefersLocalThenFastest) {
+  sim::Engine engine;
+  TransferService transfers(engine);
+  transfers.set_link(SiteId(1), {10 * kMB, 10 * kMB});
+  transfers.set_link(SiteId(2), {1 * kMB, 1 * kMB});
+  transfers.set_link(SiteId(3), {10 * kMB, 10 * kMB});
+
+  const std::vector<Replica> replicas = {
+      {"lfn://a", SiteId(2), 50 * kMB},
+      {"lfn://a", SiteId(1), 50 * kMB},
+  };
+  // Destination 3: site 1's uplink (10 MB/s) beats site 2's (1 MB/s).
+  const auto remote = select_replica(replicas, SiteId(3), transfers);
+  ASSERT_TRUE(remote.has_value());
+  EXPECT_EQ(remote->replica.site, SiteId(1));
+
+  // Destination 2: the local replica wins with cost 0.
+  const auto local = select_replica(replicas, SiteId(2), transfers);
+  ASSERT_TRUE(local.has_value());
+  EXPECT_EQ(local->replica.site, SiteId(2));
+  EXPECT_DOUBLE_EQ(local->estimated_cost, 0.0);
+
+  EXPECT_FALSE(select_replica({}, SiteId(1), transfers).has_value());
+}
+
+TEST(ReplicaSelection, StageInEstimateSumsInputs) {
+  sim::Engine engine;
+  TransferService transfers(engine);
+  transfers.set_link(SiteId(1), {10 * kMB, 10 * kMB});
+  transfers.set_link(SiteId(2), {10 * kMB, 10 * kMB});
+  const std::vector<std::vector<Replica>> inputs = {
+      {{"lfn://a", SiteId(1), 100 * kMB}},
+      {{"lfn://b", SiteId(1), 50 * kMB}},
+      {},  // missing input contributes nothing
+  };
+  EXPECT_NEAR(estimate_stage_in(inputs, SiteId(2), transfers), 15.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sphinx::data

@@ -1,0 +1,310 @@
+// Tests for the table store: values, schemas, tables, indexes, journal
+// serialization and crash recovery.
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "db/journal.hpp"
+#include "db/table.hpp"
+#include "db/value.hpp"
+
+namespace sphinx::db {
+namespace {
+
+Schema jobs_schema() {
+  return Schema{{"name", ValueType::kText},
+                {"state", ValueType::kText},
+                {"site", ValueType::kInt},
+                {"runtime", ValueType::kReal},
+                {"done", ValueType::kBool}};
+}
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(std::int64_t{5}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kReal);
+  EXPECT_EQ(Value("hi").type(), ValueType::kText);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_real(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(3).as_real(), 3.0);  // int widens to real
+  EXPECT_EQ(Value("x").as_text(), "x");
+  EXPECT_TRUE(Value(true).as_bool());
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW((void)Value("text").as_int(), AssertionError);
+  EXPECT_THROW((void)Value(1).as_text(), AssertionError);
+  EXPECT_THROW((void)Value(1.0).as_bool(), AssertionError);
+  EXPECT_THROW((void)Value("t").as_real(), AssertionError);
+}
+
+TEST(Value, EqualityIsTyped) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value("1"));
+  EXPECT_FALSE(Value(1) == Value(1.0));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(Schema, IndexOfAndHas) {
+  const Schema s = jobs_schema();
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.index_of("state"), 1u);
+  EXPECT_TRUE(s.has("runtime"));
+  EXPECT_FALSE(s.has("nope"));
+  EXPECT_THROW((void)s.index_of("nope"), AssertionError);
+}
+
+TEST(Schema, DuplicateColumnRejected) {
+  EXPECT_THROW(Schema({{"a", ValueType::kInt}, {"a", ValueType::kInt}}),
+               AssertionError);
+}
+
+TEST(Schema, AcceptsChecksArityAndTypes) {
+  const Schema s = jobs_schema();
+  EXPECT_TRUE(s.accepts({Value("j"), Value("ready"), Value(1), Value(2.0),
+                         Value(false)}));
+  EXPECT_TRUE(s.accepts({Value("j"), Value("ready"), Value(1), Value(2),
+                         Value(false)}));  // int -> real ok
+  EXPECT_TRUE(s.accepts({Value("j"), Value(), Value(), Value(), Value()}));
+  EXPECT_FALSE(s.accepts({Value("j"), Value("ready")}));  // wrong arity
+  EXPECT_FALSE(s.accepts({Value(1), Value("ready"), Value(1), Value(2.0),
+                          Value(false)}));  // wrong type
+}
+
+TEST(Table, InsertFindUpdateErase) {
+  Table t("jobs", jobs_schema());
+  const RowId id =
+      t.insert({Value("j1"), Value("ready"), Value(3), Value(1.5), Value(false)});
+  EXPECT_NE(id, kInvalidRow);
+  EXPECT_EQ(t.size(), 1u);
+
+  ASSERT_NE(t.find(id), nullptr);
+  EXPECT_EQ(t.get(id, "state").as_text(), "ready");
+
+  EXPECT_TRUE(t.update(id, "state", Value("planned")));
+  EXPECT_EQ(t.get(id, "state").as_text(), "planned");
+
+  EXPECT_TRUE(t.erase(id));
+  EXPECT_EQ(t.find(id), nullptr);
+  EXPECT_FALSE(t.erase(id));
+  EXPECT_FALSE(t.update(id, "state", Value("x")));
+}
+
+TEST(Table, SchemaEnforcedOnInsert) {
+  Table t("jobs", jobs_schema());
+  EXPECT_THROW(t.insert({Value(1)}), AssertionError);
+}
+
+TEST(Table, RowIdsAreMonotonic) {
+  Table t("jobs", jobs_schema());
+  RowId prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    const RowId id = t.insert(
+        {Value("j"), Value("s"), Value(i), Value(0.0), Value(false)});
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Table, FindByScanAndIndexAgree) {
+  Table scan("jobs", jobs_schema());
+  Table indexed("jobs", jobs_schema());
+  indexed.create_index("state");
+  for (int i = 0; i < 30; ++i) {
+    const std::string state = i % 3 == 0 ? "ready" : "running";
+    scan.insert({Value("j"), Value(state), Value(i), Value(0.0), Value(false)});
+    indexed.insert(
+        {Value("j"), Value(state), Value(i), Value(0.0), Value(false)});
+  }
+  EXPECT_EQ(scan.find_by("state", Value("ready")),
+            indexed.find_by("state", Value("ready")));
+  EXPECT_EQ(indexed.count_by("state", Value("ready")), 10u);
+}
+
+TEST(Table, IndexMaintainedAcrossUpdates) {
+  Table t("jobs", jobs_schema());
+  t.create_index("state");
+  const RowId id =
+      t.insert({Value("j"), Value("ready"), Value(1), Value(0.0), Value(false)});
+  EXPECT_EQ(t.count_by("state", Value("ready")), 1u);
+  t.update(id, "state", Value("planned"));
+  EXPECT_EQ(t.count_by("state", Value("ready")), 0u);
+  EXPECT_EQ(t.count_by("state", Value("planned")), 1u);
+  t.erase(id);
+  EXPECT_EQ(t.count_by("state", Value("planned")), 0u);
+}
+
+TEST(Table, IndexCreatedAfterInsertsBackfills) {
+  Table t("jobs", jobs_schema());
+  for (int i = 0; i < 5; ++i) {
+    t.insert({Value("j"), Value("ready"), Value(i), Value(0.0), Value(false)});
+  }
+  t.create_index("state");
+  EXPECT_EQ(t.count_by("state", Value("ready")), 5u);
+}
+
+TEST(Table, SelectPredicate) {
+  Table t("jobs", jobs_schema());
+  for (int i = 0; i < 10; ++i) {
+    t.insert({Value("j"), Value("s"), Value(i), Value(i * 1.0), Value(false)});
+  }
+  const auto big = t.select([&t](const Row& r) {
+    return r.cells[t.schema().index_of("runtime")].as_real() >= 7.0;
+  });
+  EXPECT_EQ(big.size(), 3u);
+}
+
+TEST(Table, ForEachVisitsInInsertionOrder) {
+  Table t("jobs", jobs_schema());
+  for (int i = 0; i < 5; ++i) {
+    t.insert({Value("j"), Value("s"), Value(i), Value(0.0), Value(false)});
+  }
+  std::int64_t expected = 0;
+  t.for_each([&](const Row& r) {
+    EXPECT_EQ(r.cells[2].as_int(), expected++);
+  });
+  EXPECT_EQ(expected, 5);
+}
+
+TEST(Database, CreateAndLookupTables) {
+  Database d;
+  d.create_table("jobs", jobs_schema());
+  d.create_table("dags", Schema{{"name", ValueType::kText}});
+  EXPECT_TRUE(d.has_table("jobs"));
+  EXPECT_FALSE(d.has_table("nope"));
+  EXPECT_EQ(d.table_count(), 2u);
+  EXPECT_EQ(d.table_names(), (std::vector<std::string>{"jobs", "dags"}));
+  EXPECT_THROW(d.create_table("jobs", jobs_schema()), AssertionError);
+  EXPECT_THROW((void)d.table("nope"), AssertionError);
+}
+
+TEST(Database, JournalRecordsMutations) {
+  Database d;
+  Table& t = d.create_table("jobs", jobs_schema());
+  const RowId id =
+      t.insert({Value("j"), Value("ready"), Value(1), Value(0.0), Value(false)});
+  t.update(id, "state", Value("planned"));
+  t.erase(id);
+  // create + insert + update + erase
+  EXPECT_EQ(d.journal().size(), 4u);
+}
+
+TEST(Database, RecoverRebuildsExactState) {
+  Database original;
+  Table& jobs = original.create_table("jobs", jobs_schema());
+  std::vector<RowId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(jobs.insert({Value("job-" + std::to_string(i)),
+                               Value("ready"), Value(i % 4), Value(60.0),
+                               Value(false)}));
+  }
+  for (int i = 0; i < 20; i += 2) {
+    jobs.update(ids[i], "state", Value("completed"));
+    jobs.update(ids[i], "done", Value(true));
+  }
+  jobs.erase(ids[3]);
+  jobs.erase(ids[5]);
+
+  Database recovered;
+  ASSERT_TRUE(recovered.recover(original.journal()).ok());
+  const Table& r = recovered.table("jobs");
+  EXPECT_EQ(r.size(), 18u);
+  EXPECT_EQ(r.get(ids[0], "state").as_text(), "completed");
+  EXPECT_TRUE(r.get(ids[0], "done").as_bool());
+  EXPECT_EQ(r.get(ids[1], "state").as_text(), "ready");
+  EXPECT_EQ(r.find(ids[3]), nullptr);
+}
+
+TEST(Database, RecoveredDatabaseContinuesJournaling) {
+  Database original;
+  original.create_table("jobs", jobs_schema())
+      .insert({Value("j"), Value("ready"), Value(1), Value(0.0), Value(false)});
+
+  Database recovered;
+  ASSERT_TRUE(recovered.recover(original.journal()).ok());
+  // Insert post-recovery: new row ids must not collide with replayed ones.
+  const RowId id2 = recovered.table("jobs").insert(
+      {Value("k"), Value("ready"), Value(2), Value(0.0), Value(false)});
+  EXPECT_EQ(recovered.table("jobs").size(), 2u);
+  EXPECT_GT(id2, RowId{1});
+  // And the recovered journal can recover a third instance.
+  Database third;
+  ASSERT_TRUE(third.recover(recovered.journal()).ok());
+  EXPECT_EQ(third.table("jobs").size(), 2u);
+}
+
+TEST(Database, RecoverIntoNonEmptyFails) {
+  Database d;
+  d.create_table("jobs", jobs_schema());
+  Journal empty;
+  EXPECT_FALSE(d.recover(empty).ok());
+}
+
+TEST(Database, RecoverDetectsCorruptReplay) {
+  Journal j;
+  JournalEntry bad;
+  bad.op = JournalEntry::Op::kUpdate;
+  bad.table = "missing";
+  bad.row = 1;
+  bad.cells = {Value(1)};
+  j.append(bad);
+  Database d;
+  const auto status = d.recover(j);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "recover_replay");
+}
+
+TEST(Journal, SerializeParseRoundTrip) {
+  Database d;
+  Table& t = d.create_table("jobs", jobs_schema());
+  const RowId id = t.insert({Value("has\ttab and \\slash\nnewline"),
+                             Value("ready"), Value(-7), Value(3.25),
+                             Value(true)});
+  t.update(id, "state", Value("planned"));
+  t.erase(id);
+
+  const std::string text = d.journal().serialize();
+  const auto parsed = Journal::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), d.journal().size());
+
+  Database recovered;
+  ASSERT_TRUE(recovered.recover(*parsed).ok());
+  EXPECT_EQ(recovered.table("jobs").size(), 0u);
+  // Serialized journals of both databases agree record-for-record.
+  EXPECT_EQ(recovered.journal().serialize(), text);
+}
+
+TEST(Journal, ParseRejectsGarbage) {
+  EXPECT_FALSE(Journal::parse("X\tjobs\n").has_value());
+  EXPECT_FALSE(Journal::parse("U\tjobs\t1\n").has_value());
+  EXPECT_FALSE(Journal::parse("I\tjobs\t1\tz:9\n").has_value());
+}
+
+TEST(Journal, ParseEmptyIsEmpty) {
+  const auto j = Journal::parse("");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(j->empty());
+}
+
+TEST(Database, TruncateJournalKeepsData) {
+  Database d;
+  Table& t = d.create_table("jobs", jobs_schema());
+  t.insert({Value("j"), Value("ready"), Value(1), Value(0.0), Value(false)});
+  d.truncate_journal();
+  EXPECT_TRUE(d.journal().empty());
+  EXPECT_EQ(d.table("jobs").size(), 1u);
+}
+
+TEST(Database, JournalingCanBeDisabled) {
+  Database d;
+  d.set_journaling(false);
+  Table& t = d.create_table("jobs", jobs_schema());
+  t.insert({Value("j"), Value("ready"), Value(1), Value(0.0), Value(false)});
+  EXPECT_TRUE(d.journal().empty());
+}
+
+}  // namespace
+}  // namespace sphinx::db

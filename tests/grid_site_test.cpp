@@ -1,0 +1,387 @@
+// Tests for the site simulator: batch queue semantics, VO priorities,
+// stage-in hooks, cancellation, and the failure modes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grid/failure.hpp"
+#include "grid/grid.hpp"
+#include "grid/site.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::grid {
+namespace {
+
+SiteConfig basic_config(int cpus = 2, double speed = 1.0) {
+  SiteConfig config;
+  config.name = "testsite";
+  config.cpus = cpus;
+  config.cpu_speed = speed;
+  config.runtime_noise = 0.0;  // deterministic runtimes for tests
+  return config;
+}
+
+RemoteJob job_of(Duration compute, const std::string& vo = "uscms") {
+  RemoteJob job;
+  job.vo = vo;
+  job.compute_time = compute;
+  return job;
+}
+
+class SiteFixture : public ::testing::Test {
+ protected:
+  SiteFixture() : site(engine, SiteId(1), basic_config(), Rng(7)) {}
+
+  /// Submits and collects all events for the submission.
+  SubmissionId submit(RemoteJob job) {
+    auto events = std::make_shared<std::vector<JobEvent>>();
+    const auto sid = site.submit(std::move(job), [events](const JobEvent& e) {
+      events->push_back(e);
+    });
+    EXPECT_TRUE(sid.has_value());
+    history[*sid] = events;
+    return *sid;
+  }
+
+  [[nodiscard]] RemoteJobState last_state(SubmissionId sid) const {
+    const auto& events = *history.at(sid);
+    return events.empty() ? RemoteJobState::kQueued : events.back().state;
+  }
+
+  sim::Engine engine;
+  Site site;
+  std::map<SubmissionId, std::shared_ptr<std::vector<JobEvent>>> history;
+};
+
+TEST_F(SiteFixture, JobRunsToCompletion) {
+  const auto sid = submit(job_of(60.0));
+  engine.run_until();
+  EXPECT_EQ(last_state(sid), RemoteJobState::kCompleted);
+  EXPECT_DOUBLE_EQ(engine.now(), 60.0);
+  // Full lifecycle observed: queued -> staging -> running -> completed.
+  const auto& events = *history.at(sid);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].state, RemoteJobState::kQueued);
+  EXPECT_EQ(events[1].state, RemoteJobState::kStaging);
+  EXPECT_EQ(events[2].state, RemoteJobState::kRunning);
+  EXPECT_EQ(events[3].state, RemoteJobState::kCompleted);
+}
+
+TEST_F(SiteFixture, CpuSpeedScalesRuntime) {
+  Site fast(engine, SiteId(2), basic_config(1, 2.0), Rng(7));
+  bool done = false;
+  (void)fast.submit(job_of(60.0), [&](const JobEvent& e) {
+    if (e.state == RemoteJobState::kCompleted) {
+      done = true;
+      EXPECT_DOUBLE_EQ(e.at, 30.0);  // 60s / speed 2.0
+    }
+  });
+  engine.run_until();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(SiteFixture, QueueingWhenCpusBusy) {
+  // 2 CPUs, 3 jobs of 60s: third starts when the first finishes.
+  submit(job_of(60.0));
+  submit(job_of(60.0));
+  const auto third = submit(job_of(60.0));
+  engine.run_until(1.0);
+  EXPECT_EQ(site.query()->running, 2);
+  EXPECT_EQ(site.query()->queued, 1);
+  engine.run_until();
+  EXPECT_EQ(last_state(third), RemoteJobState::kCompleted);
+  const auto& events = *history.at(third);
+  // Third job started computing at t=60.
+  EXPECT_DOUBLE_EQ(events[2].at, 60.0);
+  EXPECT_DOUBLE_EQ(events[3].at, 120.0);
+}
+
+TEST_F(SiteFixture, VoPriorityOrdersQueue) {
+  SiteConfig config = basic_config(1);
+  config.vo_priority["atlas"] = 10.0;
+  config.vo_priority["uscms"] = 1.0;
+  Site prio(engine, SiteId(3), config, Rng(7));
+
+  std::vector<std::string> finish_order;
+  const auto watch = [&](const std::string& tag) {
+    return [&finish_order, tag](const JobEvent& e) {
+      if (e.state == RemoteJobState::kCompleted) finish_order.push_back(tag);
+    };
+  };
+  // Occupy the single CPU, then queue one low-prio and one high-prio job.
+  (void)prio.submit(job_of(10.0, "uscms"), watch("first"));
+  engine.run_until(1.0);  // let "first" start running
+  (void)prio.submit(job_of(10.0, "uscms"), watch("low"));
+  (void)prio.submit(job_of(10.0, "atlas"), watch("high"));
+  engine.run_until();
+  ASSERT_EQ(finish_order.size(), 3u);
+  EXPECT_EQ(finish_order[0], "first");
+  EXPECT_EQ(finish_order[1], "high");  // atlas overtakes uscms
+  EXPECT_EQ(finish_order[2], "low");
+}
+
+TEST_F(SiteFixture, EqualPriorityIsFifo) {
+  Site one(engine, SiteId(4), basic_config(1), Rng(7));
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    (void)one.submit(job_of(5.0), [&order, i](const JobEvent& e) {
+      if (e.state == RemoteJobState::kCompleted) order.push_back(i);
+    });
+  }
+  engine.run_until();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(SiteFixture, StageInHookDelaysCompute) {
+  site.set_stage_in_hook([this](const RemoteJob&, std::function<void()> done) {
+    engine.schedule_in(30.0, "stage", std::move(done));
+  });
+  const auto sid = submit(job_of(60.0));
+  engine.run_until();
+  const auto& events = *history.at(sid);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[1].at, 0.0);   // staging begins immediately
+  EXPECT_DOUBLE_EQ(events[2].at, 30.0);  // running after stage-in
+  EXPECT_DOUBLE_EQ(events[3].at, 90.0);  // completed after compute
+}
+
+TEST_F(SiteFixture, CancelQueuedJob) {
+  Site one(engine, SiteId(5), basic_config(1), Rng(7));
+  (void)one.submit(job_of(100.0), nullptr);
+  std::vector<JobEvent> events;
+  const auto sid = one.submit(job_of(100.0), [&](const JobEvent& e) {
+    events.push_back(e);
+  });
+  engine.run_until(1.0);
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_TRUE(one.cancel(*sid));
+  engine.run_until();
+  EXPECT_EQ(events.back().state, RemoteJobState::kCancelled);
+  EXPECT_EQ(one.counters().cancelled, 1u);
+  EXPECT_EQ(one.counters().completed, 1u);
+}
+
+TEST_F(SiteFixture, CancelRunningJobFreesCpu) {
+  Site one(engine, SiteId(6), basic_config(1), Rng(7));
+  const auto running = one.submit(job_of(1000.0), nullptr);
+  bool second_done = false;
+  (void)one.submit(job_of(10.0), [&](const JobEvent& e) {
+    if (e.state == RemoteJobState::kCompleted) second_done = true;
+  });
+  engine.run_until(1.0);
+  EXPECT_TRUE(one.cancel(*running));
+  engine.run_until();
+  EXPECT_TRUE(second_done);
+  EXPECT_LT(engine.now(), 100.0);  // did not wait for the 1000s job
+}
+
+TEST_F(SiteFixture, CancelUnknownOrTerminalFails) {
+  const auto sid = submit(job_of(10.0));
+  engine.run_until();
+  EXPECT_FALSE(site.cancel(sid));             // already completed
+  EXPECT_FALSE(site.cancel(SubmissionId(999)));  // unknown
+}
+
+TEST_F(SiteFixture, QueryReportsQueue) {
+  submit(job_of(60.0));
+  submit(job_of(60.0));
+  submit(job_of(60.0));
+  engine.run_until(1.0);
+  const auto q = site.query();
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->cpus, 2);
+  EXPECT_EQ(q->running, 2);
+  EXPECT_EQ(q->queued, 1);
+  EXPECT_EQ(q->free_cpus, 0);
+}
+
+TEST_F(SiteFixture, DownSiteRejectsAndLosesJobs) {
+  const auto sid = submit(job_of(100.0));
+  engine.run_until(1.0);
+  site.go_down();
+  // Unresponsive: no queries, no new submissions, no cancel processing.
+  EXPECT_FALSE(site.query().has_value());
+  EXPECT_FALSE(site.submit(job_of(10.0), nullptr).has_value());
+  EXPECT_FALSE(site.cancel(sid));
+  engine.run_until();
+  // The running job was lost without any event.
+  EXPECT_EQ(last_state(sid), RemoteJobState::kRunning);
+  EXPECT_EQ(site.counters().lost, 1u);
+}
+
+TEST_F(SiteFixture, RecoveredSiteRunsNewJobs) {
+  site.go_down();
+  site.recover();
+  const auto sid = submit(job_of(10.0));
+  engine.run_until();
+  EXPECT_EQ(last_state(sid), RemoteJobState::kCompleted);
+}
+
+TEST_F(SiteFixture, BlackHoleAcceptsButNeverRuns) {
+  site.become_black_hole();
+  const auto sid = submit(job_of(10.0));
+  engine.run_until(hours(10));
+  EXPECT_EQ(last_state(sid), RemoteJobState::kQueued);
+  // Looks healthy to monitoring: answers queries with an empty-ish queue.
+  const auto q = site.query();
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->running, 0);
+  // Cancellation works (the gatekeeper responds, the batch system is the
+  // broken part) -- this is how the tracker cleans up timed-out jobs.
+  EXPECT_TRUE(site.cancel(sid));
+}
+
+TEST_F(SiteFixture, BlackHoleRecoveryDispatchesBacklog) {
+  site.become_black_hole();
+  const auto sid = submit(job_of(10.0));
+  engine.run_until(100.0);
+  site.recover();
+  engine.run_until();
+  EXPECT_EQ(last_state(sid), RemoteJobState::kCompleted);
+}
+
+TEST_F(SiteFixture, DegradedSiteRunsSlower) {
+  SiteConfig config = basic_config(1);
+  config.degraded_speed = 0.5;
+  Site slow(engine, SiteId(7), config, Rng(7));
+  slow.degrade();
+  bool done = false;
+  (void)slow.submit(job_of(60.0), [&](const JobEvent& e) {
+    if (e.state == RemoteJobState::kCompleted) {
+      EXPECT_DOUBLE_EQ(e.at, 120.0);  // 60 / (1.0 * 0.5)
+      done = true;
+    }
+  });
+  engine.run_until();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(SiteFixture, CountersTrackLifecycle) {
+  submit(job_of(10.0));
+  submit(job_of(10.0));
+  engine.run_until();
+  EXPECT_EQ(site.counters().submitted, 2u);
+  EXPECT_EQ(site.counters().dispatched, 2u);
+  EXPECT_EQ(site.counters().completed, 2u);
+}
+
+TEST_F(SiteFixture, RuntimeNoiseVariesRuntimes) {
+  SiteConfig config = basic_config(1);
+  config.runtime_noise = 0.3;
+  Site noisy(engine, SiteId(8), config, Rng(11));
+  std::vector<double> durations;
+  SimTime started = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    (void)noisy.submit(job_of(60.0), [&](const JobEvent& e) {
+      if (e.state == RemoteJobState::kRunning) started = e.at;
+      if (e.state == RemoteJobState::kCompleted) {
+        durations.push_back(e.at - started);
+      }
+    });
+  }
+  engine.run_until();
+  ASSERT_EQ(durations.size(), 10u);
+  double min = durations[0], max = durations[0];
+  for (const double d : durations) {
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_GT(max - min, 1.0);  // noise produced spread
+}
+
+TEST(FailureModel, PermanentBlackHoleAppliesOnStart) {
+  sim::Engine engine;
+  Site site(engine, SiteId(1), basic_config(), Rng(1));
+  FailureConfig config;
+  config.permanent_black_hole = true;
+  FailureModel model(engine, site, config, Rng(2));
+  model.start();
+  EXPECT_EQ(site.health(), SiteHealth::kBlackHole);
+}
+
+TEST(FailureModel, CyclesThroughOutages) {
+  sim::Engine engine;
+  Site site(engine, SiteId(1), basic_config(), Rng(1));
+  FailureConfig config;
+  config.enabled = true;
+  config.mean_uptime = minutes(10);
+  config.mean_downtime = minutes(2);
+  FailureModel model(engine, site, config, Rng(2));
+  model.start();
+  engine.run_until(hours(10));
+  EXPECT_GT(model.outages(), 10u);
+}
+
+TEST(FailureModel, DisabledNeverFails) {
+  sim::Engine engine;
+  Site site(engine, SiteId(1), basic_config(), Rng(1));
+  FailureModel model(engine, site, FailureConfig{}, Rng(2));
+  model.start();
+  engine.run_until(hours(100));
+  EXPECT_EQ(model.outages(), 0u);
+  EXPECT_EQ(site.health(), SiteHealth::kHealthy);
+}
+
+TEST(BackgroundLoad, InjectsJobsThatOccupyCpus) {
+  sim::Engine engine;
+  Site site(engine, SiteId(1), basic_config(4), Rng(1));
+  BackgroundLoadConfig config;
+  config.enabled = true;
+  config.mean_interarrival = 30.0;
+  config.mean_duration = minutes(20);
+  BackgroundLoad load(engine, site, config, Rng(3));
+  load.start();
+  engine.run_until(hours(1));
+  EXPECT_GT(load.jobs_injected(), 50u);
+  const auto q = site.query();
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->running, 4);  // saturated
+  EXPECT_GT(q->queued, 0);
+}
+
+TEST(Grid, AddAndLookupSites) {
+  sim::Engine engine;
+  Grid grid(engine, SeedTree(5));
+  SiteSpec spec;
+  spec.site = basic_config(8);
+  spec.site.name = "acdc";
+  const SiteId a = grid.add_site(spec);
+  spec.site.name = "atlas";
+  spec.site.cpus = 32;
+  const SiteId b = grid.add_site(spec);
+
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid.site(a).name(), "acdc");
+  EXPECT_EQ(grid.site(b).config().cpus, 32);
+  EXPECT_EQ(grid.total_cpus(), 40);
+  ASSERT_NE(grid.find_site("atlas"), nullptr);
+  EXPECT_EQ(grid.find_site("nope"), nullptr);
+  EXPECT_EQ(grid.site_ids().size(), 2u);
+}
+
+TEST(Grid, DuplicateNameRejected) {
+  sim::Engine engine;
+  Grid grid(engine, SeedTree(5));
+  SiteSpec spec;
+  spec.site = basic_config();
+  grid.add_site(spec);
+  EXPECT_THROW(grid.add_site(spec), AssertionError);
+}
+
+TEST(Grid, StartLaunchesDrivers) {
+  sim::Engine engine;
+  Grid grid(engine, SeedTree(5));
+  SiteSpec spec;
+  spec.site = basic_config(2);
+  spec.background.enabled = true;
+  spec.background.mean_interarrival = 10.0;
+  grid.add_site(spec);
+  grid.start();
+  engine.run_until(minutes(10));
+  EXPECT_GT(engine.events_fired(), 10u);
+  EXPECT_THROW(grid.add_site(spec), AssertionError);  // frozen after start
+}
+
+}  // namespace
+}  // namespace sphinx::grid

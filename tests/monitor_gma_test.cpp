@@ -1,0 +1,153 @@
+// Tests for the GMA-style metric registry and its MonitoringService
+// producer integration.
+
+#include <gtest/gtest.h>
+
+#include "grid/grid.hpp"
+#include "monitor/gma.hpp"
+#include "monitor/service.hpp"
+
+namespace sphinx::monitor {
+namespace {
+
+Metric metric(const std::string& name, std::uint64_t site, double value,
+              SimTime at) {
+  return Metric{name, SiteId(site), value, at, "test"};
+}
+
+TEST(MetricRegistry, PublishAndLatest) {
+  MetricRegistry registry;
+  EXPECT_FALSE(registry.latest("queue.length", SiteId(1)).has_value());
+  registry.publish(metric("queue.length", 1, 5.0, 10.0));
+  registry.publish(metric("queue.length", 1, 7.0, 20.0));
+  registry.publish(metric("queue.length", 2, 3.0, 20.0));
+  const auto latest = registry.latest("queue.length", SiteId(1));
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->value, 7.0);
+  EXPECT_DOUBLE_EQ(latest->timestamp, 20.0);
+  EXPECT_EQ(registry.published(), 3u);
+  // Series are per (name, site).
+  EXPECT_DOUBLE_EQ(registry.latest("queue.length", SiteId(2))->value, 3.0);
+  EXPECT_FALSE(registry.latest("cpu.free", SiteId(1)).has_value());
+}
+
+TEST(MetricRegistry, HistoryWindowAndMean) {
+  MetricRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    registry.publish(metric("load", 1, i, i * 10.0));
+  }
+  const auto window = registry.history("load", SiteId(1), 50.0);
+  ASSERT_EQ(window.size(), 5u);
+  EXPECT_DOUBLE_EQ(window.front().value, 5.0);
+  EXPECT_DOUBLE_EQ(window.back().value, 9.0);
+  EXPECT_DOUBLE_EQ(*registry.mean_since("load", SiteId(1), 50.0), 7.0);
+  EXPECT_FALSE(registry.mean_since("load", SiteId(1), 1000.0).has_value());
+  EXPECT_FALSE(registry.mean_since("other", SiteId(1), 0.0).has_value());
+}
+
+TEST(MetricRegistry, HistoryBounded) {
+  MetricRegistry registry(8);
+  for (int i = 0; i < 100; ++i) {
+    registry.publish(metric("x", 1, i, i));
+  }
+  const auto all = registry.history("x", SiteId(1));
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_DOUBLE_EQ(all.front().value, 92.0);  // oldest retained
+}
+
+TEST(MetricRegistry, SubscriptionsFanOut) {
+  MetricRegistry registry;
+  int any_site = 0;
+  int site_2_only = 0;
+  int other_name = 0;
+  registry.subscribe("queue.length",
+                     [&](const Metric&) { ++any_site; });
+  const auto narrow = registry.subscribe(
+      "queue.length", [&](const Metric&) { ++site_2_only; }, SiteId(2));
+  registry.subscribe("cpu.free", [&](const Metric&) { ++other_name; });
+
+  registry.publish(metric("queue.length", 1, 1.0, 0.0));
+  registry.publish(metric("queue.length", 2, 2.0, 0.0));
+  EXPECT_EQ(any_site, 2);
+  EXPECT_EQ(site_2_only, 1);
+  EXPECT_EQ(other_name, 0);
+
+  registry.unsubscribe(narrow);
+  registry.publish(metric("queue.length", 2, 3.0, 1.0));
+  EXPECT_EQ(site_2_only, 1);  // unchanged after unsubscribe
+  EXPECT_EQ(any_site, 3);
+  EXPECT_EQ(registry.subscriptions(), 2u);
+  EXPECT_NO_THROW(registry.unsubscribe(SubscriptionId{}));
+}
+
+TEST(MetricRegistry, NamesDirectory) {
+  MetricRegistry registry;
+  registry.publish(metric("b.metric", 1, 0, 0));
+  registry.publish(metric("a.metric", 1, 0, 0));
+  registry.publish(metric("a.metric", 2, 0, 0));
+  EXPECT_EQ(registry.names(),
+            (std::vector<std::string>{"a.metric", "b.metric"}));
+}
+
+TEST(MonitoringProducer, PublishesPollsIntoRegistry) {
+  sim::Engine engine;
+  grid::Grid grid(engine, SeedTree(4));
+  grid::SiteSpec spec;
+  spec.site.name = "alpha";
+  spec.site.cpus = 4;
+  const SiteId site = grid.add_site(spec);
+
+  MonitorConfig config;
+  config.poll_period = minutes(1);
+  config.report_latency = 1.0;
+  MonitoringService service(engine, grid, config, Rng(1));
+  MetricRegistry registry;
+  service.attach_registry(&registry);
+  service.start();
+
+  // Load the site so the metrics are non-trivial.
+  for (int i = 0; i < 6; ++i) {
+    grid::RemoteJob job;
+    job.compute_time = hours(3);
+    (void)grid.site(site).submit(std::move(job), nullptr);
+  }
+  engine.run_until(minutes(5));
+
+  EXPECT_GT(registry.published(), 8u);
+  EXPECT_DOUBLE_EQ(registry.latest("site.alive", site)->value, 1.0);
+  EXPECT_DOUBLE_EQ(registry.latest("jobs.running", site)->value, 4.0);
+  EXPECT_DOUBLE_EQ(registry.latest("queue.length", site)->value, 2.0);
+  EXPECT_DOUBLE_EQ(registry.latest("cpu.free", site)->value, 0.0);
+
+  // Take the site down: aliveness flips on the next poll.
+  grid.site(site).go_down();
+  engine.run_until(minutes(8));
+  EXPECT_DOUBLE_EQ(registry.latest("site.alive", site)->value, 0.0);
+  // The queue series simply stops updating (stale), like real monitoring.
+  EXPECT_DOUBLE_EQ(registry.latest("queue.length", site)->value, 2.0);
+}
+
+TEST(MonitoringProducer, SubscribersSeeLiveFeed) {
+  sim::Engine engine;
+  grid::Grid grid(engine, SeedTree(4));
+  grid::SiteSpec spec;
+  spec.site.name = "alpha";
+  spec.site.cpus = 2;
+  const SiteId site = grid.add_site(spec);
+  MonitorConfig config;
+  config.poll_period = minutes(2);
+  MonitoringService service(engine, grid, config, Rng(1));
+  MetricRegistry registry;
+  service.attach_registry(&registry);
+  service.start();
+
+  std::vector<double> alive_feed;
+  registry.subscribe("site.alive",
+                     [&](const Metric& m) { alive_feed.push_back(m.value); },
+                     site);
+  engine.run_until(minutes(7));
+  EXPECT_EQ(alive_feed.size(), 4u);  // polls at 0, 2, 4, 6 minutes
+}
+
+}  // namespace
+}  // namespace sphinx::monitor

@@ -1,0 +1,194 @@
+// Tests for the monitoring service: polling, latency, staleness, noise
+// and behaviour across site failures.
+
+#include <gtest/gtest.h>
+
+#include "grid/grid.hpp"
+#include "monitor/service.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::monitor {
+namespace {
+
+grid::SiteSpec make_spec(const std::string& name, int cpus) {
+  grid::SiteSpec spec;
+  spec.site.name = name;
+  spec.site.cpus = cpus;
+  spec.site.runtime_noise = 0.0;
+  return spec;
+}
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  MonitorFixture() : grid(engine, SeedTree(9)) {
+    a = grid.add_site(make_spec("alpha", 4));
+    b = grid.add_site(make_spec("beta", 8));
+  }
+
+  MonitoringService make_service(MonitorConfig config) {
+    return MonitoringService(engine, grid, config, Rng(3));
+  }
+
+  sim::Engine engine;
+  grid::Grid grid;
+  SiteId a, b;
+};
+
+TEST_F(MonitorFixture, NoDataBeforeFirstPoll) {
+  MonitorConfig config;
+  config.poll_period = minutes(5);
+  config.report_latency = 30.0;
+  auto service = make_service(config);
+  service.start();
+  EXPECT_FALSE(service.snapshot(a).has_value());
+  EXPECT_DOUBLE_EQ(service.age(a, 0.0), kNever);
+}
+
+TEST_F(MonitorFixture, PublishesAfterLatency) {
+  MonitorConfig config;
+  config.poll_period = minutes(5);
+  config.report_latency = 30.0;
+  auto service = make_service(config);
+  service.start();
+  // First poll of site `a` happens at t=0, published at t=30.
+  engine.run_until(29.0);
+  EXPECT_FALSE(service.snapshot(a).has_value());
+  engine.run_until(31.0);
+  const auto snap = service.snapshot(a);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->cpus, 4);
+  EXPECT_EQ(snap->queued, 0);
+  EXPECT_DOUBLE_EQ(snap->measured_at, 0.0);
+  EXPECT_DOUBLE_EQ(snap->published_at, 30.0);
+}
+
+TEST_F(MonitorFixture, SnapshotReflectsQueueState) {
+  // Load site `a` with jobs, then check the next snapshot sees them.
+  for (int i = 0; i < 6; ++i) {
+    grid::RemoteJob job;
+    job.compute_time = hours(2);
+    (void)grid.site(a).submit(std::move(job), nullptr);
+  }
+  MonitorConfig config;
+  config.poll_period = minutes(5);
+  config.report_latency = 10.0;
+  auto service = make_service(config);
+  service.start();
+  engine.run_until(minutes(1));
+  const auto snap = service.snapshot(a);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->running, 4);
+  EXPECT_EQ(snap->queued, 2);
+  EXPECT_EQ(snap->free_cpus, 0);
+}
+
+TEST_F(MonitorFixture, StaleDataSurvivesSiteFailure) {
+  MonitorConfig config;
+  config.poll_period = minutes(5);
+  config.report_latency = 1.0;
+  auto service = make_service(config);
+  service.start();
+  engine.run_until(minutes(1));
+  ASSERT_TRUE(service.snapshot(a).has_value());
+  const SimTime measured = service.snapshot(a)->measured_at;
+
+  grid.site(a).go_down();
+  engine.run_until(hours(1));
+  // Polls kept failing; the published snapshot is the pre-failure one.
+  const auto snap = service.snapshot(a);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_DOUBLE_EQ(snap->measured_at, measured);
+  EXPECT_GT(service.age(a, engine.now()), minutes(50));
+  EXPECT_GT(service.polls_failed(), 5u);
+}
+
+TEST_F(MonitorFixture, AgeGrowsBetweenPolls) {
+  MonitorConfig config;
+  config.poll_period = minutes(10);
+  config.report_latency = 0.5;
+  auto service = make_service(config);
+  service.start();
+  engine.run_until(minutes(1));
+  const Duration age1 = service.age(a, engine.now());
+  engine.run_until(minutes(9));
+  const Duration age2 = service.age(a, engine.now());
+  EXPECT_GT(age2, age1);
+  EXPECT_LT(age2, minutes(10));
+}
+
+TEST_F(MonitorFixture, PollsAreStaggeredAcrossSites) {
+  MonitorConfig config;
+  config.poll_period = minutes(10);
+  config.report_latency = 0.1;
+  auto service = make_service(config);
+  service.start();
+  engine.run_until(minutes(6));
+  // Site `a` polls at t=0, site `b` at t=5min.
+  ASSERT_TRUE(service.snapshot(a).has_value());
+  ASSERT_TRUE(service.snapshot(b).has_value());
+  EXPECT_DOUBLE_EQ(service.snapshot(a)->measured_at, 0.0);
+  EXPECT_DOUBLE_EQ(service.snapshot(b)->measured_at, minutes(5));
+}
+
+TEST_F(MonitorFixture, DisabledServiceNeverPolls) {
+  MonitorConfig config;
+  config.enabled = false;
+  auto service = make_service(config);
+  service.start();
+  engine.run_until(hours(1));
+  EXPECT_EQ(service.polls_attempted(), 0u);
+  EXPECT_FALSE(service.snapshot(a).has_value());
+}
+
+TEST_F(MonitorFixture, CatalogCpusAlwaysAvailable) {
+  MonitorConfig config;
+  config.enabled = false;
+  auto service = make_service(config);
+  EXPECT_EQ(service.catalog_cpus(a), 4);
+  EXPECT_EQ(service.catalog_cpus(b), 8);
+}
+
+TEST_F(MonitorFixture, NoisePerturbsButStaysNonNegative) {
+  for (int i = 0; i < 20; ++i) {
+    grid::RemoteJob job;
+    job.compute_time = hours(5);
+    (void)grid.site(a).submit(std::move(job), nullptr);
+  }
+  MonitorConfig config;
+  config.poll_period = minutes(1);
+  config.report_latency = 0.1;
+  config.noise = 0.5;
+  auto service = make_service(config);
+  service.start();
+  bool saw_non_exact = false;
+  for (int i = 0; i < 30; ++i) {
+    engine.run_until(minutes(i + 1));
+    const auto snap = service.snapshot(a);
+    if (!snap.has_value()) continue;
+    EXPECT_GE(snap->queued, 0);
+    if (snap->queued != 16) saw_non_exact = true;  // true value is 16
+  }
+  EXPECT_TRUE(saw_non_exact);
+}
+
+TEST_F(MonitorFixture, BlackHoleLooksHealthyToMonitoring) {
+  grid.site(a).become_black_hole();
+  for (int i = 0; i < 3; ++i) {
+    grid::RemoteJob job;
+    (void)grid.site(a).submit(std::move(job), nullptr);
+  }
+  MonitorConfig config;
+  config.poll_period = minutes(1);
+  config.report_latency = 0.1;
+  auto service = make_service(config);
+  service.start();
+  engine.run_until(minutes(2));
+  const auto snap = service.snapshot(a);
+  ASSERT_TRUE(snap.has_value());
+  // The trap: queue visible, nothing running, CPUs "free".
+  EXPECT_EQ(snap->running, 0);
+  EXPECT_EQ(snap->free_cpus, 4);
+}
+
+}  // namespace
+}  // namespace sphinx::monitor

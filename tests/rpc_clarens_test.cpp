@@ -1,0 +1,276 @@
+// Tests for GSI credentials, the message bus and Clarens services.
+
+#include <gtest/gtest.h>
+
+#include "rpc/clarens.hpp"
+#include "rpc/gsi.hpp"
+#include "rpc/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::rpc {
+namespace {
+
+Identity user_identity() {
+  return Identity{"/DC=org/DC=griphyn/CN=Production Manager", "/CN=iGOC CA"};
+}
+
+Proxy user_proxy(SimTime now = 0.0, Duration lifetime = hours(12)) {
+  return Proxy(user_identity(), "uscms", {"/uscms/production"}, now, lifetime);
+}
+
+TEST(Proxy, ValidWithinLifetime) {
+  const Proxy p = user_proxy(0.0, 100.0);
+  EXPECT_TRUE(p.valid_at(0.0));
+  EXPECT_TRUE(p.valid_at(99.9));
+  EXPECT_FALSE(p.valid_at(100.0));
+}
+
+TEST(Proxy, DefaultProxyIsAnonymousAndInvalid) {
+  EXPECT_FALSE(Proxy{}.valid_at(0.0));
+}
+
+TEST(Proxy, DelegationNeverOutlivesParent) {
+  const Proxy p = user_proxy(0.0, 100.0);
+  const Proxy child = p.delegate(50.0, 200.0);
+  EXPECT_DOUBLE_EQ(child.expires_at(), 100.0);
+  const Proxy short_child = p.delegate(50.0, 10.0);
+  EXPECT_DOUBLE_EQ(short_child.expires_at(), 60.0);
+  EXPECT_EQ(child.identity(), p.identity());
+}
+
+TEST(Proxy, PrincipalIncludesVoAndGroups) {
+  EXPECT_EQ(user_proxy().principal(), "uscms:/uscms/production");
+}
+
+TEST(AuthzPolicy, NoAclMeansAnyAuthenticatedCaller) {
+  AuthzPolicy policy;
+  EXPECT_TRUE(policy.check(user_proxy(), "anything", 0.0).allowed);
+}
+
+TEST(AuthzPolicy, ExpiredProxyDenied) {
+  AuthzPolicy policy;
+  const auto d = policy.check(user_proxy(0.0, 10.0), "m", 20.0);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_NE(d.reason.find("expired"), std::string::npos);
+}
+
+TEST(AuthzPolicy, VoAclEnforced) {
+  AuthzPolicy policy;
+  policy.allow_vo("schedule", "atlas");
+  EXPECT_FALSE(policy.check(user_proxy(), "schedule", 0.0).allowed);
+  policy.allow_vo("schedule", "uscms");
+  EXPECT_TRUE(policy.check(user_proxy(), "schedule", 0.0).allowed);
+}
+
+TEST(AuthzPolicy, WildcardMethodAcl) {
+  AuthzPolicy policy;
+  policy.allow_vo("*", "uscms");
+  EXPECT_TRUE(policy.check(user_proxy(), "whatever", 0.0).allowed);
+}
+
+TEST(AuthzPolicy, SubjectAclAndBanList) {
+  AuthzPolicy policy;
+  policy.allow_subject("schedule", user_identity().subject);
+  EXPECT_TRUE(policy.check(user_proxy(), "schedule", 0.0).allowed);
+  policy.ban_subject(user_identity().subject);
+  EXPECT_FALSE(policy.check(user_proxy(), "schedule", 0.0).allowed);
+}
+
+TEST(AuthzPolicy, AclOnOtherMethodDeniesThisOne) {
+  AuthzPolicy policy;
+  policy.allow_vo("other", "uscms");
+  // An ACL exists somewhere, so unlisted methods are no longer open.
+  EXPECT_FALSE(policy.check(user_proxy(), "schedule", 0.0).allowed);
+}
+
+class BusFixture : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  MessageBus bus{engine, Rng(1), 0.05, 0.0};
+};
+
+TEST_F(BusFixture, DeliversAfterLatency) {
+  std::vector<std::string> got;
+  bus.register_endpoint("server", [&](const Envelope& e) {
+    got.push_back(e.payload);
+    EXPECT_DOUBLE_EQ(e.sent_at, 0.0);
+  });
+  bus.send("client", "server", "hello");
+  EXPECT_TRUE(got.empty());  // not yet delivered
+  engine.run_until();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "hello");
+  EXPECT_DOUBLE_EQ(engine.now(), 0.05);
+}
+
+TEST_F(BusFixture, PreservesSendOrderAtEqualLatency) {
+  std::vector<int> order;
+  bus.register_endpoint("s", [&](const Envelope& e) {
+    order.push_back(std::stoi(e.payload));
+  });
+  for (int i = 0; i < 5; ++i) bus.send("c", "s", std::to_string(i));
+  engine.run_until();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(BusFixture, DropsToMissingEndpoint) {
+  bus.send("c", "nobody", "lost");
+  engine.run_until();
+  EXPECT_EQ(bus.stats().sent, 1u);
+  EXPECT_EQ(bus.stats().dropped, 1u);
+  EXPECT_EQ(bus.stats().delivered, 0u);
+}
+
+TEST_F(BusFixture, UnregisterDropsInflight) {
+  bool delivered = false;
+  bus.register_endpoint("s", [&](const Envelope&) { delivered = true; });
+  bus.send("c", "s", "x");
+  bus.unregister_endpoint("s");
+  engine.run_until();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(bus.stats().dropped, 1u);
+}
+
+TEST_F(BusFixture, ReplyCorrelatesWithRequest) {
+  MessageId request_id;
+  bus.register_endpoint("server", [&](const Envelope& e) {
+    request_id = e.id;
+    bus.reply(e, "pong");
+  });
+  MessageId got_reply_to;
+  bus.register_endpoint("client", [&](const Envelope& e) {
+    got_reply_to = e.in_reply_to;
+    EXPECT_EQ(e.payload, "pong");
+  });
+  bus.send("client", "server", "ping");
+  engine.run_until();
+  EXPECT_EQ(got_reply_to, request_id);
+  EXPECT_TRUE(got_reply_to.valid());
+}
+
+class ClarensFixture : public ::testing::Test {
+ protected:
+  ClarensFixture() : service(bus, "sphinx-server", make_policy()) {
+    service.register_method(
+        "echo", [](const std::vector<XrValue>& params, const Proxy&) {
+          return Expected<XrValue>(XrValue(params.at(0)));
+        });
+    service.register_method(
+        "whoami", [](const std::vector<XrValue>&, const Proxy& proxy) {
+          return Expected<XrValue>(XrValue(proxy.principal()));
+        });
+    service.register_method(
+        "boom", [](const std::vector<XrValue>&, const Proxy&) {
+          return Expected<XrValue>(make_error("app", "handler failed"));
+        });
+  }
+
+  static AuthzPolicy make_policy() {
+    AuthzPolicy policy;
+    policy.allow_vo("*", "uscms");
+    return policy;
+  }
+
+  sim::Engine engine;
+  MessageBus bus{engine, Rng(2), 0.05, 0.0};
+  ClarensService service;
+};
+
+TEST_F(ClarensFixture, RoundTripCall) {
+  ClarensClient client(bus, "client-1", user_proxy());
+  std::string got;
+  client.call("sphinx-server", "echo", {XrValue("payload")},
+              [&](Expected<XrValue> result) {
+                ASSERT_TRUE(result.has_value());
+                got = result->as_string();
+              });
+  engine.run_until();
+  EXPECT_EQ(got, "payload");
+  EXPECT_EQ(service.calls_served(), 1u);
+  EXPECT_EQ(client.pending(), 0u);
+}
+
+TEST_F(ClarensFixture, ProxyTravelsWithCall) {
+  ClarensClient client(bus, "client-1", user_proxy());
+  std::string got;
+  client.call("sphinx-server", "whoami", {},
+              [&](Expected<XrValue> r) { got = r->as_string(); });
+  engine.run_until();
+  EXPECT_EQ(got, "uscms:/uscms/production");
+}
+
+TEST_F(ClarensFixture, UnknownMethodFaults) {
+  ClarensClient client(bus, "client-1", user_proxy());
+  std::string code;
+  client.call("sphinx-server", "nope", {},
+              [&](Expected<XrValue> r) { code = r.error().code; });
+  engine.run_until();
+  EXPECT_EQ(code, "fault:2");
+}
+
+TEST_F(ClarensFixture, HandlerErrorBecomesApplicationFault) {
+  ClarensClient client(bus, "client-1", user_proxy());
+  std::string code;
+  client.call("sphinx-server", "boom", {},
+              [&](Expected<XrValue> r) { code = r.error().code; });
+  engine.run_until();
+  EXPECT_EQ(code, "fault:100");
+}
+
+TEST_F(ClarensFixture, WrongVoDenied) {
+  const Proxy intruder(Identity{"/CN=Someone Else", "/CN=CA"}, "ligo", {}, 0.0,
+                       hours(1));
+  ClarensClient client(bus, "client-2", intruder);
+  std::string code;
+  client.call("sphinx-server", "echo", {XrValue("x")},
+              [&](Expected<XrValue> r) { code = r.error().code; });
+  engine.run_until();
+  EXPECT_EQ(code, "fault:3");
+  EXPECT_EQ(service.calls_denied(), 1u);
+}
+
+TEST_F(ClarensFixture, ExpiredProxyDeniedAtCallTime) {
+  ClarensClient client(bus, "client-1", user_proxy(0.0, minutes(1)));
+  // Let the proxy expire before the call is made.
+  engine.schedule_at(120.0, "late-call", [&] {
+    client.call("sphinx-server", "echo", {XrValue("x")},
+                [&](Expected<XrValue> r) {
+                  EXPECT_FALSE(r.has_value());
+                  EXPECT_EQ(r.error().code, "fault:3");
+                });
+  });
+  engine.run_until();
+  EXPECT_EQ(service.calls_denied(), 1u);
+}
+
+TEST_F(ClarensFixture, GarbagePayloadFaults) {
+  bool got_fault = false;
+  bus.register_endpoint("raw-client", [&](const Envelope& env) {
+    const auto parsed = MethodResponse::parse(env.payload);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->is_fault);
+    EXPECT_EQ(parsed->fault.code, 1);
+    got_fault = true;
+  });
+  bus.send("raw-client", "sphinx-server", "this is not xml", user_proxy());
+  engine.run_until();
+  EXPECT_TRUE(got_fault);
+}
+
+TEST_F(ClarensFixture, ManyConcurrentCallsAllComplete) {
+  ClarensClient client(bus, "client-1", user_proxy());
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    client.call("sphinx-server", "echo", {XrValue(i)},
+                [&completed, i](Expected<XrValue> r) {
+                  ASSERT_TRUE(r.has_value());
+                  EXPECT_EQ(r->as_int(), i);
+                  ++completed;
+                });
+  }
+  engine.run_until();
+  EXPECT_EQ(completed, 100);
+}
+
+}  // namespace
+}  // namespace sphinx::rpc

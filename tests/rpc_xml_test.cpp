@@ -1,0 +1,216 @@
+// Tests for the XML layer and XML-RPC envelopes.
+
+#include <gtest/gtest.h>
+
+#include "rpc/xml.hpp"
+#include "rpc/xmlrpc.hpp"
+
+namespace sphinx::rpc {
+namespace {
+
+TEST(Xml, EscapeRoundTripsEntities) {
+  const std::string raw = R"(a & b < c > d "e" 'f')";
+  const std::string escaped = xml_escape(raw);
+  EXPECT_EQ(escaped.find('<'), std::string::npos);
+  EXPECT_NE(escaped.find("&amp;"), std::string::npos);
+}
+
+TEST(Xml, WriteSimpleElement) {
+  XmlNode node("job", "payload");
+  node.attributes["site"] = "ufloridapg";
+  EXPECT_EQ(xml_write(node), "<job site=\"ufloridapg\">payload</job>");
+}
+
+TEST(Xml, WriteSelfClosing) {
+  EXPECT_EQ(xml_write(XmlNode("empty")), "<empty/>");
+}
+
+TEST(Xml, ParseSimpleDocument) {
+  const auto doc = xml_parse("<a x=\"1\"><b>hi</b><b>yo</b><c/></a>");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->name, "a");
+  EXPECT_EQ(doc->attribute("x"), "1");
+  ASSERT_EQ(doc->children.size(), 3u);
+  EXPECT_EQ(doc->children_named("b").size(), 2u);
+  ASSERT_NE(doc->child("b"), nullptr);
+  EXPECT_EQ(doc->child("b")->text, "hi");
+  EXPECT_EQ(doc->child("missing"), nullptr);
+}
+
+TEST(Xml, ParseSkipsDeclaration) {
+  const auto doc = xml_parse("<?xml version=\"1.0\"?><root/>");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->name, "root");
+}
+
+TEST(Xml, ParseDecodesEntities) {
+  const auto doc = xml_parse("<t a=\"x&amp;y\">1 &lt; 2</t>");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->attribute("a"), "x&y");
+  EXPECT_EQ(doc->text, "1 < 2");
+}
+
+TEST(Xml, WriteParseRoundTrip) {
+  XmlNode root("methodCall");
+  root.add_child(XmlNode("methodName", "schedule<&>"));
+  XmlNode& params = root.add_child(XmlNode("params"));
+  params.attributes["count"] = "2";
+  params.add_child(XmlNode("param", "a\"b"));
+  params.add_child(XmlNode("param", "c'd"));
+
+  const auto parsed = xml_parse(xml_write(root));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->child("methodName")->text, "schedule<&>");
+  EXPECT_EQ(parsed->child("params")->attribute("count"), "2");
+  EXPECT_EQ(parsed->child("params")->children[1].text, "c'd");
+}
+
+TEST(Xml, PrettyPrintedRoundTripDropsLayoutWhitespace) {
+  XmlNode root("a");
+  root.add_child(XmlNode("b", "x"));
+  const auto parsed = xml_parse(xml_write(root, 2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->text.empty());
+  EXPECT_EQ(parsed->child("b")->text, "x");
+}
+
+TEST(Xml, ParseRejectsMalformed) {
+  EXPECT_FALSE(xml_parse("").has_value());
+  EXPECT_FALSE(xml_parse("<a>").has_value());
+  EXPECT_FALSE(xml_parse("<a></b>").has_value());
+  EXPECT_FALSE(xml_parse("<a><b></a></b>").has_value());
+  EXPECT_FALSE(xml_parse("<a x=1></a>").has_value());
+  EXPECT_FALSE(xml_parse("<a>&bogus;</a>").has_value());
+  EXPECT_FALSE(xml_parse("<a/><b/>").has_value());
+  EXPECT_FALSE(xml_parse("<a>&amp</a>").has_value());
+}
+
+TEST(XrValue, TypedConstructionAndAccess) {
+  EXPECT_EQ(XrValue(5).as_int(), 5);
+  EXPECT_DOUBLE_EQ(XrValue(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(XrValue(4).as_double(), 4.0);  // int widens
+  EXPECT_TRUE(XrValue(true).as_bool());
+  EXPECT_EQ(XrValue("hi").as_string(), "hi");
+  EXPECT_THROW((void)XrValue("hi").as_int(), AssertionError);
+}
+
+TEST(XrValue, StructAccess) {
+  XrValue::Struct s;
+  s.emplace("site", XrValue("acdc"));
+  s.emplace("cpus", XrValue(72));
+  const XrValue v(std::move(s));
+  EXPECT_TRUE(v.has("site"));
+  EXPECT_FALSE(v.has("nope"));
+  EXPECT_EQ(v.at("cpus").as_int(), 72);
+  EXPECT_THROW((void)v.at("nope"), AssertionError);
+}
+
+XrValue sample_value() {
+  XrValue::Struct job;
+  job.emplace("name", XrValue("cms-reco-042"));
+  job.emplace("runtime", XrValue(61.25));
+  job.emplace("retries", XrValue(3));
+  job.emplace("held", XrValue(false));
+  job.emplace("inputs",
+              XrValue(XrValue::Array{XrValue("lfn://f1"), XrValue("lfn://f2")}));
+  return XrValue(std::move(job));
+}
+
+TEST(XrValue, XmlRoundTripPreservesStructure) {
+  const XrValue original = sample_value();
+  const auto decoded = XrValue::from_xml(original.to_xml());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(XrValue, NestedArraysRoundTrip) {
+  const XrValue v(XrValue::Array{
+      XrValue(XrValue::Array{XrValue(1), XrValue(2)}),
+      XrValue(XrValue::Array{}),
+  });
+  const auto decoded = XrValue::from_xml(v.to_xml());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(XrValue, BareTextValueIsString) {
+  const auto doc = xml_parse("<value>plain</value>");
+  ASSERT_TRUE(doc.has_value());
+  const auto v = XrValue::from_xml(*doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "plain");
+}
+
+TEST(XrValue, LegacyIntTagsAccepted) {
+  for (const char* tag : {"i4", "int", "i8"}) {
+    const auto doc =
+        xml_parse("<value><" + std::string(tag) + ">7</" + tag + "></value>");
+    ASSERT_TRUE(doc.has_value());
+    const auto v = XrValue::from_xml(*doc);
+    ASSERT_TRUE(v.has_value()) << tag;
+    EXPECT_EQ(v->as_int(), 7);
+  }
+}
+
+TEST(XrValue, RejectsBadPayloads) {
+  const auto bad = [](const std::string& body) {
+    const auto doc = xml_parse(body);
+    if (!doc.has_value()) return true;
+    return !XrValue::from_xml(*doc).has_value();
+  };
+  EXPECT_TRUE(bad("<value><i8>zzz</i8></value>"));
+  EXPECT_TRUE(bad("<value><double>zzz</double></value>"));
+  EXPECT_TRUE(bad("<value><boolean>7</boolean></value>"));
+  EXPECT_TRUE(bad("<value><array/></value>"));
+  EXPECT_TRUE(bad("<value><mystery>1</mystery></value>"));
+  EXPECT_TRUE(bad("<notvalue>x</notvalue>"));
+}
+
+TEST(MethodCall, SerializeParseRoundTrip) {
+  MethodCall call;
+  call.method = "sphinx.schedule_dag";
+  call.params = {XrValue("dag-xml"), sample_value(), XrValue(42)};
+  const auto parsed = MethodCall::parse(call.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, call.method);
+  ASSERT_EQ(parsed->params.size(), 3u);
+  EXPECT_EQ(parsed->params[1], call.params[1]);
+  EXPECT_EQ(parsed->params[2].as_int(), 42);
+}
+
+TEST(MethodCall, NoParamsOk) {
+  MethodCall call;
+  call.method = "ping";
+  const auto parsed = MethodCall::parse(call.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->params.empty());
+}
+
+TEST(MethodCall, ParseRejectsMissingMethodName) {
+  EXPECT_FALSE(MethodCall::parse("<methodCall><params/></methodCall>").has_value());
+  EXPECT_FALSE(MethodCall::parse("<other/>").has_value());
+}
+
+TEST(MethodResponse, SuccessRoundTrip) {
+  const auto r = MethodResponse::success(sample_value());
+  const auto parsed = MethodResponse::parse(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->is_fault);
+  EXPECT_EQ(parsed->value, r.value);
+}
+
+TEST(MethodResponse, FaultRoundTrip) {
+  const auto r = MethodResponse::failure(3, "authorization denied");
+  const auto parsed = MethodResponse::parse(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_fault);
+  EXPECT_EQ(parsed->fault.code, 3);
+  EXPECT_EQ(parsed->fault.message, "authorization denied");
+}
+
+TEST(MethodResponse, ParseRejectsEmptyResponse) {
+  EXPECT_FALSE(MethodResponse::parse("<methodResponse/>").has_value());
+}
+
+}  // namespace
+}  // namespace sphinx::rpc

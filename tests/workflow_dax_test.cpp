@@ -1,0 +1,144 @@
+// Tests for the DAX XML workflow interchange format.
+
+#include <gtest/gtest.h>
+
+#include "workflow/dax.hpp"
+#include "workflow/generator.hpp"
+
+namespace sphinx::workflow {
+namespace {
+
+Dag diamond() {
+  Dag dag(DagId(7), "diamond");
+  JobSpec a;
+  a.id = JobId(1);
+  a.name = "gen";
+  a.compute_time = 120.0;
+  a.inputs = {"lfn://seed"};
+  a.output = "lfn://a";
+  a.output_bytes = 2e6;
+  JobSpec b;
+  b.id = JobId(2);
+  b.name = "left";
+  b.inputs = {"lfn://a"};
+  b.output = "lfn://b";
+  JobSpec c;
+  c.id = JobId(3);
+  c.name = "right";
+  c.inputs = {"lfn://a", "lfn://calib"};
+  c.output = "lfn://c";
+  JobSpec d;
+  d.id = JobId(4);
+  d.name = "merge";
+  d.inputs = {"lfn://b", "lfn://c"};
+  d.output = "lfn://result";
+  dag.add_job(a);
+  dag.add_job(b);
+  dag.add_job(c);
+  dag.add_job(d);
+  dag.add_edge(JobId(1), JobId(2));
+  dag.add_edge(JobId(1), JobId(3));
+  dag.add_edge(JobId(2), JobId(4));
+  dag.add_edge(JobId(3), JobId(4));
+  return dag;
+}
+
+TEST(Dax, WriteContainsExpectedStructure) {
+  const std::string xml = write_dax(diamond());
+  EXPECT_NE(xml.find("<adag"), std::string::npos);
+  EXPECT_NE(xml.find("name=\"diamond\""), std::string::npos);
+  EXPECT_NE(xml.find("link=\"input\""), std::string::npos);
+  EXPECT_NE(xml.find("link=\"output\""), std::string::npos);
+  EXPECT_NE(xml.find("<child ref=\"4\">"), std::string::npos);
+}
+
+TEST(Dax, RoundTripPreservesStructure) {
+  const Dag original = diamond();
+  const auto parsed = parse_dax(write_dax(original));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->id(), original.id());
+  EXPECT_EQ(parsed->name(), original.name());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (const JobSpec& job : original.jobs()) {
+    ASSERT_TRUE(parsed->has_job(job.id));
+    const JobSpec& p = parsed->job(job.id);
+    EXPECT_EQ(p.name, job.name);
+    EXPECT_DOUBLE_EQ(p.compute_time, job.compute_time);
+    EXPECT_EQ(p.inputs, job.inputs);
+    EXPECT_EQ(p.output, job.output);
+    EXPECT_DOUBLE_EQ(p.output_bytes, job.output_bytes);
+    EXPECT_EQ(parsed->parents(job.id), original.parents(job.id));
+  }
+  EXPECT_TRUE(parsed->validate().ok());
+}
+
+TEST(Dax, GeneratedWorkloadsRoundTrip) {
+  IdSpace ids;
+  data::ReplicaLocationService rls;
+  WorkloadGenerator generator(WorkloadConfig{}, Rng(3), ids, rls,
+                              {SiteId(1), SiteId(2)});
+  for (int i = 0; i < 10; ++i) {
+    const Dag dag = generator.generate("dax" + std::to_string(i));
+    const auto parsed = parse_dax(write_dax(dag));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->size(), dag.size());
+    // Dependency structure identical job by job.
+    for (const JobSpec& job : dag.jobs()) {
+      EXPECT_EQ(parsed->parents(job.id), dag.parents(job.id));
+    }
+  }
+}
+
+TEST(Dax, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_dax("").has_value());
+  EXPECT_FALSE(parse_dax("<root/>").has_value());
+  EXPECT_FALSE(parse_dax("<adag/>").has_value());  // no dagId
+  // Job without output.
+  EXPECT_FALSE(parse_dax(R"(<adag dagId="1" name="x">
+    <job id="1" name="a"><uses lfn="lfn://i" link="input"/></job>
+  </adag>)")
+                   .has_value());
+  // Duplicate job id.
+  EXPECT_FALSE(parse_dax(R"(<adag dagId="1" name="x">
+    <job id="1" name="a"><uses lfn="lfn://o" link="output"/></job>
+    <job id="1" name="b"><uses lfn="lfn://p" link="output"/></job>
+  </adag>)")
+                   .has_value());
+  // Edge to unknown job.
+  EXPECT_FALSE(parse_dax(R"(<adag dagId="1" name="x">
+    <job id="1" name="a"><uses lfn="lfn://o" link="output"/></job>
+    <child ref="1"><parent ref="9"/></child>
+  </adag>)")
+                   .has_value());
+  // Unknown link kind.
+  EXPECT_FALSE(parse_dax(R"(<adag dagId="1" name="x">
+    <job id="1" name="a"><uses lfn="lfn://o" link="sideways"/></job>
+  </adag>)")
+                   .has_value());
+  // Cycle.
+  EXPECT_FALSE(parse_dax(R"(<adag dagId="1" name="x">
+    <job id="1" name="a"><uses lfn="lfn://b" link="input"/><uses lfn="lfn://a" link="output"/></job>
+    <job id="2" name="b"><uses lfn="lfn://a" link="input"/><uses lfn="lfn://b" link="output"/></job>
+    <child ref="1"><parent ref="2"/></child>
+    <child ref="2"><parent ref="1"/></child>
+  </adag>)")
+                   .has_value());
+}
+
+TEST(Dax, HostileCharactersSurvive) {
+  Dag dag(DagId(1), "we<ir&d \"name\"");
+  JobSpec job;
+  job.id = JobId(1);
+  job.name = "a<b>&c";
+  job.inputs = {"lfn://with space & <angle>"};
+  job.output = "lfn://out'quote\"";
+  dag.add_job(job);
+  const auto parsed = parse_dax(write_dax(dag));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name(), dag.name());
+  EXPECT_EQ(parsed->job(JobId(1)).name, "a<b>&c");
+  EXPECT_EQ(parsed->job(JobId(1)).inputs[0], "lfn://with space & <angle>");
+}
+
+}  // namespace
+}  // namespace sphinx::workflow
