@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dagshape.dir/ablation_dagshape.cpp.o"
+  "CMakeFiles/ablation_dagshape.dir/ablation_dagshape.cpp.o.d"
+  "ablation_dagshape"
+  "ablation_dagshape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dagshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

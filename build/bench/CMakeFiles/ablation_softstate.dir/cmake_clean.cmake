@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_softstate.dir/ablation_softstate.cpp.o"
+  "CMakeFiles/ablation_softstate.dir/ablation_softstate.cpp.o.d"
+  "ablation_softstate"
+  "ablation_softstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_softstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_manual.dir/baseline_manual.cpp.o"
+  "CMakeFiles/baseline_manual.dir/baseline_manual.cpp.o.d"
+  "baseline_manual"
+  "baseline_manual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

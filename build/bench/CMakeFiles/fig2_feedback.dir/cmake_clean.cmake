@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_feedback.dir/fig2_feedback.cpp.o"
+  "CMakeFiles/fig2_feedback.dir/fig2_feedback.cpp.o.d"
+  "fig2_feedback"
+  "fig2_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

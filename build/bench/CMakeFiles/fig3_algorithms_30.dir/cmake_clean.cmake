@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_algorithms_30.dir/fig3_algorithms_30.cpp.o"
+  "CMakeFiles/fig3_algorithms_30.dir/fig3_algorithms_30.cpp.o.d"
+  "fig3_algorithms_30"
+  "fig3_algorithms_30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_algorithms_30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_algorithms_60.dir/fig4_algorithms_60.cpp.o"
+  "CMakeFiles/fig4_algorithms_60.dir/fig4_algorithms_60.cpp.o.d"
+  "fig4_algorithms_60"
+  "fig4_algorithms_60.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_algorithms_60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

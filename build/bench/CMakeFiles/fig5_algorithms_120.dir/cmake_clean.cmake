@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_algorithms_120.dir/fig5_algorithms_120.cpp.o"
+  "CMakeFiles/fig5_algorithms_120.dir/fig5_algorithms_120.cpp.o.d"
+  "fig5_algorithms_120"
+  "fig5_algorithms_120.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_algorithms_120.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_algorithms_120.
+# This may be replaced when dependencies are built.

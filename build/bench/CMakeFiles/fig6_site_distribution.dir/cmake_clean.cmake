@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_site_distribution.dir/fig6_site_distribution.cpp.o"
+  "CMakeFiles/fig6_site_distribution.dir/fig6_site_distribution.cpp.o.d"
+  "fig6_site_distribution"
+  "fig6_site_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_site_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

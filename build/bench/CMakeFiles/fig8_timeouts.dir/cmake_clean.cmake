@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_timeouts.dir/fig8_timeouts.cpp.o"
+  "CMakeFiles/fig8_timeouts.dir/fig8_timeouts.cpp.o.d"
+  "fig8_timeouts"
+  "fig8_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_seeds.dir/sweep_seeds.cpp.o"
+  "CMakeFiles/sweep_seeds.dir/sweep_seeds.cpp.o.d"
+  "sweep_seeds"
+  "sweep_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

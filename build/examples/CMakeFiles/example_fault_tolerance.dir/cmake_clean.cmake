@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_tolerance.dir/fault_tolerance.cpp.o"
+  "CMakeFiles/example_fault_tolerance.dir/fault_tolerance.cpp.o.d"
+  "example_fault_tolerance"
+  "example_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_physics_production.dir/physics_production.cpp.o"
+  "CMakeFiles/example_physics_production.dir/physics_production.cpp.o.d"
+  "example_physics_production"
+  "example_physics_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_physics_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_quotas.dir/policy_quotas.cpp.o"
+  "CMakeFiles/example_policy_quotas.dir/policy_quotas.cpp.o.d"
+  "example_policy_quotas"
+  "example_policy_quotas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_quotas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sphinx_sim.dir/sphinx_sim.cpp.o"
+  "CMakeFiles/example_sphinx_sim.dir/sphinx_sim.cpp.o.d"
+  "example_sphinx_sim"
+  "example_sphinx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sphinx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/sphinxgrid.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/sphinxgrid.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/sphinxgrid.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/sphinxgrid.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/algorithms.cpp" "src/CMakeFiles/sphinxgrid.dir/core/algorithms.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/core/algorithms.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/CMakeFiles/sphinxgrid.dir/core/client.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/core/client.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/CMakeFiles/sphinxgrid.dir/core/codec.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/core/codec.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/CMakeFiles/sphinxgrid.dir/core/server.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/core/server.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/CMakeFiles/sphinxgrid.dir/core/state.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/core/state.cpp.o.d"
+  "/root/repo/src/core/warehouse.cpp" "src/CMakeFiles/sphinxgrid.dir/core/warehouse.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/core/warehouse.cpp.o.d"
+  "/root/repo/src/data/gridftp.cpp" "src/CMakeFiles/sphinxgrid.dir/data/gridftp.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/data/gridftp.cpp.o.d"
+  "/root/repo/src/data/replication.cpp" "src/CMakeFiles/sphinxgrid.dir/data/replication.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/data/replication.cpp.o.d"
+  "/root/repo/src/data/rls.cpp" "src/CMakeFiles/sphinxgrid.dir/data/rls.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/data/rls.cpp.o.d"
+  "/root/repo/src/data/storage.cpp" "src/CMakeFiles/sphinxgrid.dir/data/storage.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/data/storage.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/CMakeFiles/sphinxgrid.dir/db/database.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/db/database.cpp.o.d"
+  "/root/repo/src/db/journal.cpp" "src/CMakeFiles/sphinxgrid.dir/db/journal.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/db/journal.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/CMakeFiles/sphinxgrid.dir/db/table.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/db/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/CMakeFiles/sphinxgrid.dir/db/value.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/db/value.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/sphinxgrid.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/CMakeFiles/sphinxgrid.dir/exp/runner.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/exp/runner.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/CMakeFiles/sphinxgrid.dir/exp/scenario.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/exp/scenario.cpp.o.d"
+  "/root/repo/src/grid/failure.cpp" "src/CMakeFiles/sphinxgrid.dir/grid/failure.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/grid/failure.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/CMakeFiles/sphinxgrid.dir/grid/grid.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/grid/grid.cpp.o.d"
+  "/root/repo/src/grid/site.cpp" "src/CMakeFiles/sphinxgrid.dir/grid/site.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/grid/site.cpp.o.d"
+  "/root/repo/src/monitor/gma.cpp" "src/CMakeFiles/sphinxgrid.dir/monitor/gma.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/monitor/gma.cpp.o.d"
+  "/root/repo/src/monitor/service.cpp" "src/CMakeFiles/sphinxgrid.dir/monitor/service.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/monitor/service.cpp.o.d"
+  "/root/repo/src/rpc/clarens.cpp" "src/CMakeFiles/sphinxgrid.dir/rpc/clarens.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/rpc/clarens.cpp.o.d"
+  "/root/repo/src/rpc/gsi.cpp" "src/CMakeFiles/sphinxgrid.dir/rpc/gsi.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/rpc/gsi.cpp.o.d"
+  "/root/repo/src/rpc/transport.cpp" "src/CMakeFiles/sphinxgrid.dir/rpc/transport.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/rpc/transport.cpp.o.d"
+  "/root/repo/src/rpc/xml.cpp" "src/CMakeFiles/sphinxgrid.dir/rpc/xml.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/rpc/xml.cpp.o.d"
+  "/root/repo/src/rpc/xmlrpc.cpp" "src/CMakeFiles/sphinxgrid.dir/rpc/xmlrpc.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/rpc/xmlrpc.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/sphinxgrid.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/submit/classad.cpp" "src/CMakeFiles/sphinxgrid.dir/submit/classad.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/submit/classad.cpp.o.d"
+  "/root/repo/src/submit/condor_g.cpp" "src/CMakeFiles/sphinxgrid.dir/submit/condor_g.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/submit/condor_g.cpp.o.d"
+  "/root/repo/src/submit/dagman.cpp" "src/CMakeFiles/sphinxgrid.dir/submit/dagman.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/submit/dagman.cpp.o.d"
+  "/root/repo/src/submit/userlog.cpp" "src/CMakeFiles/sphinxgrid.dir/submit/userlog.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/submit/userlog.cpp.o.d"
+  "/root/repo/src/workflow/chimera.cpp" "src/CMakeFiles/sphinxgrid.dir/workflow/chimera.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/workflow/chimera.cpp.o.d"
+  "/root/repo/src/workflow/dag.cpp" "src/CMakeFiles/sphinxgrid.dir/workflow/dag.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/workflow/dag.cpp.o.d"
+  "/root/repo/src/workflow/dax.cpp" "src/CMakeFiles/sphinxgrid.dir/workflow/dax.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/workflow/dax.cpp.o.d"
+  "/root/repo/src/workflow/generator.cpp" "src/CMakeFiles/sphinxgrid.dir/workflow/generator.cpp.o" "gcc" "src/CMakeFiles/sphinxgrid.dir/workflow/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

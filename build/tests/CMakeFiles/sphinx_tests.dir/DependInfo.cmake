@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_algorithms_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/core_algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/core_algorithms_test.cpp.o.d"
+  "/root/repo/tests/core_codec_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/core_codec_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/core_codec_test.cpp.o.d"
+  "/root/repo/tests/core_e2e_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/core_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/core_e2e_test.cpp.o.d"
+  "/root/repo/tests/core_features_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/core_features_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/core_features_test.cpp.o.d"
+  "/root/repo/tests/core_qos_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/core_qos_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/core_qos_test.cpp.o.d"
+  "/root/repo/tests/core_server_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/core_server_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/core_server_test.cpp.o.d"
+  "/root/repo/tests/core_warehouse_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/core_warehouse_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/core_warehouse_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/db_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/db_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/db_test.cpp.o.d"
+  "/root/repo/tests/exp_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/exp_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/exp_test.cpp.o.d"
+  "/root/repo/tests/grid_site_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/grid_site_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/grid_site_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/monitor_gma_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/monitor_gma_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/monitor_gma_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rpc_clarens_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/rpc_clarens_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/rpc_clarens_test.cpp.o.d"
+  "/root/repo/tests/rpc_xml_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/rpc_xml_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/rpc_xml_test.cpp.o.d"
+  "/root/repo/tests/sim_engine_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/sim_engine_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/sim_engine_test.cpp.o.d"
+  "/root/repo/tests/submit_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/submit_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/submit_test.cpp.o.d"
+  "/root/repo/tests/workflow_dax_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/workflow_dax_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/workflow_dax_test.cpp.o.d"
+  "/root/repo/tests/workflow_test.cpp" "tests/CMakeFiles/sphinx_tests.dir/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sphinxgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
