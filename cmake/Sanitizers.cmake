@@ -1,0 +1,33 @@
+# Sanitizer wiring for the whole repo.
+#
+# SPHINX_SANITIZE is a comma-separated subset of
+#   address, undefined, leak, thread
+# applied as -fsanitize compile AND link flags to every target (the
+# static library, tests, benches, examples, tools).  The CMakePresets
+# asan-ubsan / tsan presets set it; -fno-sanitize-recover=all turns every
+# UBSan diagnostic into a hard failure so `ctest --preset asan-ubsan`
+# cannot pass with outstanding reports.
+
+set(SPHINX_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to enable (address,undefined,leak,thread)")
+
+if(SPHINX_SANITIZE)
+  string(REPLACE "," ";" _sphinx_san_list "${SPHINX_SANITIZE}")
+  foreach(_san IN LISTS _sphinx_san_list)
+    if(NOT _san MATCHES "^(address|undefined|leak|thread)$")
+      message(FATAL_ERROR
+        "SPHINX_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected a comma-separated subset of address,undefined,leak,thread)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _sphinx_san_list AND "address" IN_LIST _sphinx_san_list)
+    message(FATAL_ERROR
+      "SPHINX_SANITIZE: 'thread' and 'address' are mutually exclusive")
+  endif()
+  add_compile_options(
+    -fsanitize=${SPHINX_SANITIZE}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  add_link_options(-fsanitize=${SPHINX_SANITIZE})
+  message(STATUS "SPHINX: sanitizers enabled: ${SPHINX_SANITIZE}")
+endif()

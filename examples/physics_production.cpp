@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "exp/scenario.hpp"
 #include "workflow/chimera.hpp"
@@ -28,6 +29,9 @@ int main() {
 
   // --- virtual data catalog: a mini CMS pipeline ----------------------
   workflow::VirtualDataCatalog vdc;
+  const auto must = [](StatusOrError status) {
+    SPHINX_ASSERT(status.ok(), "derivation registration failed");
+  };
   vdc.add_transformation({"cmkin", 60.0});    // event generation
   vdc.add_transformation({"cmsim", 90.0});    // detector simulation
   vdc.add_transformation({"reco", 60.0});     // reconstruction
@@ -35,18 +39,18 @@ int main() {
 
   for (int run = 0; run < 4; ++run) {
     const std::string r = std::to_string(run);
-    (void)vdc.add_derivation({"cmkin", {}, "lfn://mc/gen" + r, 80e6});
-    (void)vdc.add_derivation(
-        {"cmsim", {"lfn://mc/gen" + r}, "lfn://mc/sim" + r, 150e6});
-    (void)vdc.add_derivation(
-        {"reco", {"lfn://mc/sim" + r}, "lfn://mc/reco" + r, 60e6});
+    must(vdc.add_derivation({"cmkin", {}, "lfn://mc/gen" + r, 80e6}));
+    must(vdc.add_derivation(
+        {"cmsim", {"lfn://mc/gen" + r}, "lfn://mc/sim" + r, 150e6}));
+    must(vdc.add_derivation(
+        {"reco", {"lfn://mc/sim" + r}, "lfn://mc/reco" + r, 60e6}));
   }
-  (void)vdc.add_derivation({"analysis",
-                            {"lfn://mc/reco0", "lfn://mc/reco1"},
-                            "lfn://plots/higgs", 5e6});
-  (void)vdc.add_derivation({"analysis",
-                            {"lfn://mc/reco2", "lfn://mc/reco3"},
-                            "lfn://plots/susy", 5e6});
+  must(vdc.add_derivation({"analysis",
+                          {"lfn://mc/reco0", "lfn://mc/reco1"},
+                          "lfn://plots/higgs", 5e6}));
+  must(vdc.add_derivation({"analysis",
+                          {"lfn://mc/reco2", "lfn://mc/reco3"},
+                          "lfn://plots/susy", 5e6}));
   std::printf("virtual data catalog: %zu derivations registered\n",
               vdc.derivation_count());
 

@@ -1,0 +1,65 @@
+#pragma once
+/// \file contracts.hpp
+/// Runtime invariant contracts.
+///
+/// SPHINX_ASSERT (error.hpp) guards against outright programming errors
+/// and is always on.  The contract macros below express richer design
+/// obligations -- event-queue monotonicity, job-state-machine legality,
+/// quota non-negativity, journal/table consistency -- that are cheap
+/// enough for test builds but not free on hot paths.  They compile out
+/// under NDEBUG unless SPHINX_ENABLE_CONTRACTS is defined; the build
+/// defines it by default (option SPHINX_CONTRACTS), so the tier-1 suite
+/// and the sanitizer presets always run with contracts armed.
+///
+/// Contract conditions must be side-effect free: a disabled contract
+/// never evaluates its condition.
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sphinx {
+
+/// Thrown when a contract macro fails.  Derives from AssertionError so
+/// existing catch sites treat a violated contract as the programming
+/// error it is.
+class ContractViolation : public AssertionError {
+ public:
+  using AssertionError::AssertionError;
+};
+
+}  // namespace sphinx
+
+#if !defined(NDEBUG) || defined(SPHINX_ENABLE_CONTRACTS)
+#define SPHINX_CONTRACTS_ENABLED 1
+#else
+#define SPHINX_CONTRACTS_ENABLED 0
+#endif
+
+#if SPHINX_CONTRACTS_ENABLED
+#define SPHINX_CONTRACT_IMPL(kind, cond, msg)                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw ::sphinx::ContractViolation(std::string(kind " violated: ") + \
+                                        (msg) + " [" #cond "]");          \
+    }                                                                     \
+  } while (false)
+#else
+// Condition stays compiled (so it cannot rot) but is never evaluated.
+#define SPHINX_CONTRACT_IMPL(kind, cond, msg) \
+  do {                                        \
+    if (false) {                              \
+      static_cast<void>(cond);                \
+      static_cast<void>(msg);                 \
+    }                                         \
+  } while (false)
+#endif
+
+/// A property that must hold for an object's state as a whole.
+#define SPHINX_INVARIANT(cond, msg) SPHINX_CONTRACT_IMPL("invariant", cond, msg)
+/// A property the caller must establish before the call.
+#define SPHINX_PRECONDITION(cond, msg) \
+  SPHINX_CONTRACT_IMPL("precondition", cond, msg)
+/// A property the callee guarantees on return.
+#define SPHINX_POSTCONDITION(cond, msg) \
+  SPHINX_CONTRACT_IMPL("postcondition", cond, msg)

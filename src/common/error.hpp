@@ -110,6 +110,6 @@ class [[nodiscard]] Status {
   bool ok_ = true;
 };
 
-using StatusOr = Status<Error>;
+using StatusOrError = Status<Error>;
 
 }  // namespace sphinx

@@ -160,6 +160,11 @@ Expected<XrValue> SphinxServer::handle_report(
       }
       break;
     case ReportKind::kCompleted: {
+      if (job->state == JobState::kCompleted) {
+        // Duplicate completion report: folding it in again would double
+        // count the site's statistics and re-run the DAG finish check.
+        break;
+      }
       warehouse_->set_job_state(job->id, JobState::kCompleted);
       // Feedback: fold the completion time into the site's EWMA (the
       // prediction module's knowledge base, eq. 3).
@@ -169,6 +174,13 @@ Expected<XrValue> SphinxServer::handle_report(
     }
     case ReportKind::kCancelled:
     case ReportKind::kHeld: {
+      if (job->state == JobState::kCompleted ||
+          job->state == JobState::kUnplanned) {
+        // Stale report: the job already finished, or the attempt was
+        // already torn down and is waiting for the planner.  Acting on
+        // it would double-refund quota and skew the site's statistics.
+        break;
+      }
       // The tracker killed or observed the death of this attempt.  Return
       // the reserved quota and queue the job for replanning.
       warehouse_->set_job_state(job->id, report->kind == ReportKind::kHeld
@@ -241,6 +253,9 @@ void SphinxServer::sweep() {
   for (const DagRecord& dag : planning) {
     plan_dag(dag);
   }
+  // Every control-process sweep leaves the warehouse in a sound state;
+  // compiled out with the rest of the contracts layer.
+  warehouse_->check_invariants();
 }
 
 void SphinxServer::reduce_dag(const DagRecord& dag) {

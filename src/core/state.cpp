@@ -46,6 +46,30 @@ JobState job_state_from(std::string_view text) {
   throw AssertionError("unknown job state: " + std::string(text));
 }
 
+bool is_legal_transition(JobState from, JobState to) noexcept {
+  if (from == to) return true;
+  switch (from) {
+    case JobState::kUnplanned:
+      return to == JobState::kPlanned || to == JobState::kCompleted;
+    case JobState::kPlanned:
+      return to == JobState::kUnplanned || to == JobState::kSubmitted ||
+             to == JobState::kRunning || to == JobState::kCompleted ||
+             to == JobState::kCancelled || to == JobState::kHeld;
+    case JobState::kSubmitted:
+      return to == JobState::kRunning || to == JobState::kCompleted ||
+             to == JobState::kCancelled || to == JobState::kHeld;
+    case JobState::kRunning:
+      return to == JobState::kCompleted || to == JobState::kCancelled ||
+             to == JobState::kHeld;
+    case JobState::kCancelled:
+    case JobState::kHeld:
+      return to == JobState::kUnplanned;
+    case JobState::kCompleted:
+      return false;  // terminal
+  }
+  return false;
+}
+
 const char* to_string(Algorithm algorithm) noexcept {
   switch (algorithm) {
     case Algorithm::kRoundRobin: return "round-robin";

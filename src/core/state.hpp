@@ -45,6 +45,21 @@ enum class JobState {
          s == JobState::kRunning;
 }
 
+/// Legality of the scheduling automaton's job transitions.  Self
+/// transitions are legal (idempotent writes); kCompleted is terminal.
+/// kUnplanned -> kCompleted covers DAG reduction (output already
+/// materialized); kPlanned -> kUnplanned covers plan withdrawal.  The
+/// warehouse enforces this on every state write (contracts.hpp).
+[[nodiscard]] bool is_legal_transition(JobState from, JobState to) noexcept;
+
+/// DAG states only move forward through the automaton (received <
+/// reduced < planning < finished); skipping a stage is allowed (e.g. a
+/// fully-materialized DAG goes straight to planning), regressing is not.
+[[nodiscard]] constexpr bool is_legal_transition(DagState from,
+                                                 DagState to) noexcept {
+  return static_cast<int>(to) >= static_cast<int>(from);
+}
+
 /// Scheduling strategies evaluated in the paper (section 4.1).
 enum class Algorithm {
   kRoundRobin,

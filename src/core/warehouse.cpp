@@ -1,6 +1,10 @@
 #include "core/warehouse.hpp"
 
+#include <cmath>
 #include <limits>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
 
 namespace sphinx::core {
 
@@ -83,6 +87,7 @@ Expected<std::unique_ptr<DataWarehouse>> DataWarehouse::recover_from(
   warehouse->db_.table("job_deps").create_index("job_id");
   warehouse->db_.table("job_deps").create_index("parent");
   warehouse->db_.table("site_stats").create_index("site_id");
+  warehouse->check_invariants();  // replay must reproduce a sound store
   return warehouse;
 }
 
@@ -151,6 +156,11 @@ void DataWarehouse::set_dag_state(DagId id, DagState state) {
   db::Table& dags = db_.table("dags");
   const auto rows = dags.find_by("dag_id", Value(id.value()));
   SPHINX_ASSERT(!rows.empty(), "set_dag_state: unknown dag");
+  SPHINX_PRECONDITION(
+      is_legal_transition(dag_state_from(dags.get(rows.front(), "state")
+                                             .as_text()),
+                          state),
+      "dag automaton only moves forward");
   dags.update(rows.front(), "state", Value(to_string(state)));
 }
 
@@ -158,6 +168,8 @@ void DataWarehouse::set_dag_finished(DagId id, SimTime at) {
   db::Table& dags = db_.table("dags");
   const auto rows = dags.find_by("dag_id", Value(id.value()));
   SPHINX_ASSERT(!rows.empty(), "set_dag_finished: unknown dag");
+  SPHINX_PRECONDITION(at >= dags.get(rows.front(), "received_at").as_real(),
+                      "dag cannot finish before it was received");
   dags.update(rows.front(), "state", Value(to_string(DagState::kFinished)));
   dags.update(rows.front(), "finished_at", Value(at));
 }
@@ -214,6 +226,12 @@ void DataWarehouse::set_job_state(JobId id, JobState state) {
   db::Table& jobs = db_.table("jobs");
   const auto rows = jobs.find_by("job_id", Value(id.value()));
   SPHINX_ASSERT(!rows.empty(), "set_job_state: unknown job");
+  SPHINX_PRECONDITION(
+      is_legal_transition(
+          job_state_from(jobs.get(rows.front(), "state").as_text()), state),
+      "illegal job state transition " +
+          std::string(jobs.get(rows.front(), "state").as_text()) + " -> " +
+          to_string(state));
   jobs.update(rows.front(), "state", Value(to_string(state)));
 }
 
@@ -222,6 +240,10 @@ void DataWarehouse::set_job_planned(JobId id, SiteId site, SimTime at) {
   const auto rows = jobs.find_by("job_id", Value(id.value()));
   SPHINX_ASSERT(!rows.empty(), "set_job_planned: unknown job");
   const db::RowId row = rows.front();
+  SPHINX_PRECONDITION(
+      is_legal_transition(job_state_from(jobs.get(row, "state").as_text()),
+                          JobState::kPlanned),
+      "job must be plannable to receive a plan");
   const std::int64_t attempt = jobs.get(row, "attempt").as_int() + 1;
   jobs.update(row, "state", Value(to_string(JobState::kPlanned)));
   jobs.update(row, "site", Value(site.value()));
@@ -319,6 +341,8 @@ SiteStats DataWarehouse::site_stats(SiteId site) const {
 }
 
 void DataWarehouse::record_completion(SiteId site, Duration completion_time) {
+  SPHINX_PRECONDITION(completion_time >= 0 && !std::isnan(completion_time),
+                      "completion time must be a non-negative duration");
   db::Table& stats = db_.table("site_stats");
   db::RowId row = site_stats_row(site);
   if (row == db::kInvalidRow) {
@@ -406,20 +430,96 @@ double DataWarehouse::quota_remaining(UserId user, SiteId site,
 
 void DataWarehouse::consume_quota(UserId user, SiteId site,
                                   const std::string& resource, double amount) {
+  SPHINX_PRECONDITION(amount >= 0, "quota consumption must be non-negative");
   const db::RowId row = quota_row(user, site, resource);
   if (row == db::kInvalidRow) return;
   db::Table& quotas = db_.table("quotas");
-  quotas.update(row, "used",
-                Value(quotas.get(row, "used").as_real() + amount));
+  const double used = quotas.get(row, "used").as_real() + amount;
+  quotas.update(row, "used", Value(used));
+  SPHINX_POSTCONDITION(used >= 0, "quota usage went negative");
 }
 
 void DataWarehouse::refund_quota(UserId user, SiteId site,
                                  const std::string& resource, double amount) {
+  SPHINX_PRECONDITION(amount >= 0, "quota refund must be non-negative");
   const db::RowId row = quota_row(user, site, resource);
   if (row == db::kInvalidRow) return;
   db::Table& quotas = db_.table("quotas");
   const double used = quotas.get(row, "used").as_real() - amount;
   quotas.update(row, "used", Value(used < 0 ? 0.0 : used));
+}
+
+// --- contracts --------------------------------------------------------------
+
+void DataWarehouse::check_invariants() const {
+#if SPHINX_CONTRACTS_ENABLED
+  db_.check_invariants();
+
+  // Jobs: state text parses, outstanding jobs are placed and attempted.
+  std::unordered_map<std::uint64_t, std::int64_t> jobs_per_dag;
+  db_.table("jobs").for_each([&](const db::Row& row) {
+    JobRecord job;
+    try {
+      job = job_from_row(row);
+    } catch (const AssertionError& e) {
+      SPHINX_INVARIANT(false, std::string("job row does not parse: ") +
+                                  e.what());
+    }
+    ++jobs_per_dag[job.dag.value()];
+    SPHINX_INVARIANT(job.attempt >= 0, "job attempt counter went negative");
+    if (is_outstanding(job.state)) {
+      SPHINX_INVARIANT(job.site.value() != 0,
+                       "outstanding job has no site assigned");
+      SPHINX_INVARIANT(job.attempt >= 1,
+                       "outstanding job was never planned");
+    }
+  });
+
+  // DAGs: state text parses, finish times are coherent, and the recorded
+  // job total matches the job table (journal/table consistency: both are
+  // rebuilt from the same journal on recovery).
+  db_.table("dags").for_each([&](const db::Row& row) {
+    DagRecord dag;
+    try {
+      dag = dag_from_row(row);
+    } catch (const AssertionError& e) {
+      SPHINX_INVARIANT(false, std::string("dag row does not parse: ") +
+                                  e.what());
+    }
+    SPHINX_INVARIANT(dag.total_jobs >= 0, "dag job total went negative");
+    SPHINX_INVARIANT(jobs_per_dag[dag.id.value()] == dag.total_jobs,
+                     "dag job total disagrees with the jobs table");
+    if (dag.state == DagState::kFinished) {
+      SPHINX_INVARIANT(dag.finished_at < kNever,
+                       "finished dag has no finish time");
+      SPHINX_INVARIANT(dag.finished_at >= dag.received_at,
+                       "dag finished before it was received");
+    }
+  });
+
+  // Site statistics: counters never regress below zero; an empty sample
+  // set cannot carry an average.
+  db_.table("site_stats").for_each([&](const db::Row& row) {
+    const std::int64_t completed = row.cells[1].as_int();
+    const std::int64_t cancelled = row.cells[2].as_int();
+    const double avg = row.cells[3].as_real();
+    const std::int64_t samples = row.cells[4].as_int();
+    SPHINX_INVARIANT(completed >= 0 && cancelled >= 0 && samples >= 0,
+                     "site statistics counter went negative");
+    SPHINX_INVARIANT(avg >= 0 && !std::isnan(avg),
+                     "site completion average must be non-negative");
+    SPHINX_INVARIANT(samples > 0 || avg == 0,
+                     "site carries an average with no samples");
+  });
+
+  // Quotas: limits and usage are non-negative.
+  db_.table("quotas").for_each([&](const db::Row& row) {
+    SPHINX_INVARIANT(row.cells[3].as_real() >= 0,
+                     "quota limit went negative");
+    SPHINX_INVARIANT(row.cells[4].as_real() >= 0,
+                     "quota usage went negative");
+  });
+#endif
 }
 
 }  // namespace sphinx::core

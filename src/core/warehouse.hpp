@@ -134,6 +134,15 @@ class DataWarehouse {
 
   [[nodiscard]] db::Database& database() noexcept { return db_; }
 
+  /// Semantic sweep over the whole warehouse: every job/dag state text
+  /// parses, outstanding jobs have a site and at least one attempt,
+  /// finished DAGs have a finish time, per-dag job counts match the
+  /// recorded totals, site statistics counters are non-negative, and
+  /// quota usage is non-negative.  Also runs the db layer's structural
+  /// sweep.  Throws ContractViolation on corruption; no-op when
+  /// contracts are compiled out.
+  void check_invariants() const;
+
  private:
   explicit DataWarehouse(bool create_schema);
   void create_schema();

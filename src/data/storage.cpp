@@ -12,7 +12,7 @@ double StorageElement::used_by(UserId user) const noexcept {
   return it == per_user_.end() ? 0.0 : it->second;
 }
 
-StatusOr StorageElement::store(UserId user, const Lfn& lfn, double bytes) {
+StatusOrError StorageElement::store(UserId user, const Lfn& lfn, double bytes) {
   SPHINX_ASSERT(bytes >= 0, "file size must be non-negative");
   if (files_.contains(lfn)) {
     return make_error("storage_duplicate", "lfn already stored: " + lfn);

@@ -28,7 +28,7 @@ class StorageElement {
 
   /// Stores a file for `user`.  Fails (without side effects) when the
   /// element is full or the lfn is already stored here.
-  [[nodiscard]] StatusOr store(UserId user, const Lfn& lfn, double bytes);
+  [[nodiscard]] StatusOrError store(UserId user, const Lfn& lfn, double bytes);
 
   /// Deletes a stored file; returns false if absent.
   bool erase(const Lfn& lfn);

@@ -1,5 +1,9 @@
 #include "db/database.hpp"
 
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
 namespace sphinx::db {
 
 Database::Database() = default;
@@ -42,7 +46,7 @@ std::vector<std::string> Database::table_names() const {
   return creation_order_;
 }
 
-StatusOr Database::recover(const Journal& journal) {
+StatusOrError Database::recover(const Journal& journal) {
   if (!tables_.empty()) {
     return make_error("recover_nonempty",
                       "recover() requires an empty database");
@@ -78,7 +82,28 @@ StatusOr Database::recover(const Journal& journal) {
       }
     }
   }
+  check_invariants();  // a replayed store must be as sound as the original
   return {};
+}
+
+void Database::check_invariants() const {
+#if SPHINX_CONTRACTS_ENABLED
+  SPHINX_INVARIANT(creation_order_.size() == tables_.size(),
+                   "creation order out of sync with the table map");
+  for (const auto& [name, table] : tables_) {
+    SPHINX_INVARIANT(table != nullptr, "null table in database");
+    SPHINX_INVARIANT(table->name() == name,
+                     "table registered under the wrong name: " + name);
+    SPHINX_INVARIANT(std::find(creation_order_.begin(), creation_order_.end(),
+                               name) != creation_order_.end(),
+                     "table missing from creation order: " + name);
+    table->check_invariants();
+  }
+  for (const JournalEntry& e : journal_.entries()) {
+    SPHINX_INVARIANT(tables_.contains(e.table),
+                     "journal entry references unknown table: " + e.table);
+  }
+#endif
 }
 
 void Database::on_insert(const std::string& table, RowId id,

@@ -48,9 +48,18 @@ class Database : private TableObserver {
   /// the journal is inconsistent.  On success the replayed operations are
   /// re-recorded into this database's own journal so a recovered server
   /// remains recoverable.
-  [[nodiscard]] StatusOr recover(const Journal& journal);
+  [[nodiscard]] StatusOrError recover(const Journal& journal);
+
+  /// Structural sweep across the store: every table passes its own
+  /// check_invariants(), the name map and creation order agree, and
+  /// every journal entry references a table that exists (tables are
+  /// never dropped, so this holds across truncation and recovery).
+  /// Throws ContractViolation on corruption; no-op when contracts are
+  /// compiled out.
+  void check_invariants() const;
 
  private:
+  friend struct DatabaseInspector;  // test-only fault injection
   void on_insert(const std::string& table, RowId id,
                  const std::vector<Value>& cells) override;
   void on_update(const std::string& table, RowId id, std::size_t column,

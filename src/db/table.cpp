@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
+
 namespace sphinx::db {
 namespace {
 
@@ -36,15 +38,19 @@ bool Schema::has(const std::string& name) const noexcept {
 bool Schema::accepts(const std::vector<Value>& row) const noexcept {
   if (row.size() != columns_.size()) return false;
   for (std::size_t i = 0; i < row.size(); ++i) {
-    if (columns_[i].type == ValueType::kNull) continue;  // untyped column
-    if (row[i].is_null()) continue;                      // null always ok
-    if (row[i].type() == ValueType::kInt &&
-        columns_[i].type == ValueType::kReal) {
-      continue;  // ints widen to reals
-    }
-    if (row[i].type() != columns_[i].type) return false;
+    if (!accepts_cell(i, row[i])) return false;
   }
   return true;
+}
+
+bool Schema::accepts_cell(std::size_t i, const Value& v) const noexcept {
+  if (i >= columns_.size()) return false;
+  if (columns_[i].type == ValueType::kNull) return true;  // untyped column
+  if (v.is_null()) return true;                           // null always ok
+  if (v.type() == ValueType::kInt && columns_[i].type == ValueType::kReal) {
+    return true;  // ints widen to reals
+  }
+  return v.type() == columns_[i].type;
 }
 
 Table::Table(std::string name, Schema schema)
@@ -81,6 +87,8 @@ bool Table::update(RowId id, std::size_t column, Value value) {
   const auto it = rows_.find(id);
   if (it == rows_.end()) return false;
   SPHINX_ASSERT(column < schema_.size(), "column index out of range");
+  SPHINX_ASSERT(schema_.accepts_cell(column, value),
+                "cell type does not match schema of table " + name_);
   index_erase(it->second);
   it->second.cells[column] = std::move(value);
   index_insert(it->second);
@@ -151,6 +159,37 @@ void Table::for_each(const std::function<void(const Row&)>& fn) const {
 std::size_t Table::count_by(const std::string& column,
                             const Value& value) const {
   return find_by(column, value).size();
+}
+
+void Table::check_invariants() const {
+#if SPHINX_CONTRACTS_ENABLED
+  for (const auto& [id, row] : rows_) {
+    SPHINX_INVARIANT(id != kInvalidRow, "table " + name_ + " holds row id 0");
+    SPHINX_INVARIANT(id == row.id,
+                     "row key/id mismatch in table " + name_);
+    SPHINX_INVARIANT(id < next_id_,
+                     "row id beyond allocation cursor in table " + name_);
+    SPHINX_INVARIANT(schema_.accepts(row.cells),
+                     "row violates schema of table " + name_);
+  }
+  for (const auto& [col, index] : indexes_) {
+    std::size_t covered = 0;
+    for (const auto& [key, ids] : index) {
+      SPHINX_INVARIANT(!ids.empty(),
+                       "empty index bucket in table " + name_);
+      for (const RowId id : ids) {
+        const auto it = rows_.find(id);
+        SPHINX_INVARIANT(it != rows_.end(),
+                         "index names a missing row in table " + name_);
+        SPHINX_INVARIANT(index_key(it->second.cells[col]) == key,
+                         "index bucket key mismatch in table " + name_);
+      }
+      covered += ids.size();
+    }
+    SPHINX_INVARIANT(covered == rows_.size(),
+                     "index does not cover table " + name_);
+  }
+#endif
 }
 
 void Table::index_insert(const Row& row) {

@@ -50,6 +50,10 @@ class Schema {
   /// Checks that `row` matches arity and column types (null always allowed).
   [[nodiscard]] bool accepts(const std::vector<Value>& row) const noexcept;
 
+  /// Checks one cell against column `i`'s declared type (null always
+  /// allowed, ints widen to reals).
+  [[nodiscard]] bool accepts_cell(std::size_t i, const Value& v) const noexcept;
+
  private:
   std::vector<Column> columns_;
   std::unordered_map<std::string, std::size_t> by_name_;
@@ -123,7 +127,14 @@ class Table {
 
   void set_observer(TableObserver* observer) noexcept { observer_ = observer; }
 
+  /// Structural sweep: every row matches the schema, row ids stay below
+  /// the allocation cursor, and every index bucket mirrors the rows it
+  /// claims to cover.  Throws ContractViolation on corruption; a no-op
+  /// when contracts are compiled out.
+  void check_invariants() const;
+
  private:
+  friend struct TableInspector;  // test-only fault injection
   void index_insert(const Row& row);
   void index_erase(const Row& row);
 

@@ -1,16 +1,22 @@
 #include "sim/engine.hpp"
 
+#include <cmath>
 #include <utility>
+
+#include "common/contracts.hpp"
 
 namespace sphinx::sim {
 
 EventHandle Engine::schedule_at(SimTime t, std::string label, Callback cb) {
-  SPHINX_ASSERT(cb != nullptr, "event callback must not be null");
+  SPHINX_PRECONDITION(cb != nullptr, "event callback must not be null");
+  SPHINX_PRECONDITION(!std::isnan(t), "event time must not be NaN");
   if (t < now_) t = now_;  // late scheduling fires immediately, never rewinds
   const std::uint64_t id = next_id_++;
   queue_.push(Event{t, next_seq_++, id, std::move(label), std::move(cb)});
   live_ids_.insert(id);
-  return EventHandle(id);
+  const EventHandle handle(id);
+  SPHINX_POSTCONDITION(pending(handle), "scheduled event must be pending");
+  return handle;
 }
 
 EventHandle Engine::schedule_in(Duration delay, std::string label, Callback cb) {
@@ -40,6 +46,9 @@ bool Engine::step() {
       cancelled_.erase(it);
       continue;
     }
+    // Monotonicity: the queue can never surface an event behind the
+    // clock (schedule_at clamps late insertions to now()).
+    SPHINX_INVARIANT(ev.time >= now_, "event queue went non-monotonic");
     now_ = ev.time;
     ++fired_;
     current_label_ = std::move(ev.label);
@@ -77,6 +86,25 @@ std::size_t Engine::run_until(SimTime limit) {
   return n;
 }
 
+void Engine::check_invariants() const {
+#if SPHINX_CONTRACTS_ENABLED
+  SPHINX_INVARIANT(now_ >= 0.0 && !std::isnan(now_),
+                   "simulation clock must be a non-negative number");
+  SPHINX_INVARIANT(live_ids_.size() == queue_.size(),
+                   "live id set must mirror the event queue");
+  for (const std::uint64_t id : cancelled_) {
+    SPHINX_INVARIANT(live_ids_.contains(id),
+                     "cancelled set must only name queued events");
+  }
+  if (!queue_.empty()) {
+    // The heap top is the earliest entry; if even it is not behind the
+    // clock, no entry is.
+    SPHINX_INVARIANT(queue_.top().time >= now_,
+                     "pending event lies in the past");
+  }
+#endif
+}
+
 PeriodicProcess::PeriodicProcess(Engine& engine, std::string label,
                                  Duration period, Body body, Duration jitter0)
     : engine_(engine),
@@ -84,8 +112,9 @@ PeriodicProcess::PeriodicProcess(Engine& engine, std::string label,
       period_(period),
       body_(std::move(body)),
       jitter0_(jitter0) {
-  SPHINX_ASSERT(period_ > 0, "periodic process period must be positive");
-  SPHINX_ASSERT(body_ != nullptr, "periodic process body must not be null");
+  SPHINX_PRECONDITION(period_ > 0, "periodic process period must be positive");
+  SPHINX_PRECONDITION(body_ != nullptr,
+                      "periodic process body must not be null");
 }
 
 PeriodicProcess::~PeriodicProcess() { stop(); }

@@ -83,7 +83,16 @@ class Engine {
     return current_label_;
   }
 
+  /// Full structural sweep: clock monotonicity (no pending event is in
+  /// the past), bookkeeping consistency (live ids mirror the queue, the
+  /// cancelled set is a subset of live ids).  Throws ContractViolation on
+  /// corruption; a no-op when contracts are compiled out.  Cheap per-event
+  /// checks run inline in step()/schedule_at(); this sweep is for tests
+  /// and debugging sessions.
+  void check_invariants() const;
+
  private:
+  friend struct EngineInspector;  // test-only fault injection
   struct Event {
     SimTime time;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps

@@ -1,5 +1,6 @@
 #include "submit/condor_g.hpp"
 
+#include "common/log.hpp"
 #include "data/replication.hpp"
 
 namespace sphinx::submit {
@@ -234,7 +235,15 @@ void CondorG::replicate(const data::Lfn& lfn, SiteId destination,
         if (storage_ != nullptr) {
           if (auto* se = storage_->find(destination); se != nullptr) {
             // Owner unknown at this layer; attribute to the gateway user 0.
-            (void)se->store(UserId(), lfn, source.size_bytes);
+            // A full element still receives the bytes on the real grid
+            // (gridftp does not pre-reserve), so the replica is registered
+            // either way; the refusal is only worth a log line.
+            if (const auto stored = se->store(UserId(), lfn, source.size_bytes);
+                !stored.ok()) {
+              Logger("condor-g").warn("storage refused replica ", lfn, " at ",
+                                      destination.value(), ": ",
+                                      stored.error().to_string());
+            }
           }
         }
         rls_.register_replica(lfn, destination, source.size_bytes);

@@ -10,7 +10,7 @@ void VirtualDataCatalog::add_transformation(Transformation t) {
   transformations_[t.name] = std::move(t);
 }
 
-StatusOr VirtualDataCatalog::add_derivation(Derivation d) {
+StatusOrError VirtualDataCatalog::add_derivation(Derivation d) {
   if (!transformations_.contains(d.transformation)) {
     return make_error("vdc_unknown_transformation",
                       "no transformation named " + d.transformation);

@@ -41,7 +41,7 @@ class VirtualDataCatalog {
   /// Registers a derivation.  Fails if its transformation is unknown or
   /// another derivation already produces the same output (virtual data
   /// must be uniquely derivable).
-  [[nodiscard]] StatusOr add_derivation(Derivation d);
+  [[nodiscard]] StatusOrError add_derivation(Derivation d);
 
   [[nodiscard]] bool can_derive(const data::Lfn& lfn) const noexcept;
   [[nodiscard]] std::size_t derivation_count() const noexcept {

@@ -91,7 +91,7 @@ Expected<std::vector<JobId>> Dag::topological_order() const {
   return order;
 }
 
-StatusOr Dag::validate() const {
+StatusOrError Dag::validate() const {
   const auto order = topological_order();
   if (!order) return Unexpected<Error>{order.error()};
   for (const JobSpec& job : jobs_) {

@@ -71,7 +71,7 @@ class Dag {
 
   /// Structural validation: acyclic, and every edge parent's output is
   /// actually consumed by the child (data consistency).
-  [[nodiscard]] StatusOr validate() const;
+  [[nodiscard]] StatusOrError validate() const;
 
  private:
   [[nodiscard]] std::size_t index_of(JobId id) const;

@@ -132,14 +132,38 @@ TEST(Expected, HoldsError) {
   EXPECT_THROW((void)e.value(), AssertionError);
 }
 
+TEST(Expected, WrongAlternativeAccessThrows) {
+  Expected<int> ok(1);
+  EXPECT_THROW((void)ok.error(), AssertionError);
+  const Expected<int> err = make_error("gone", "no value here");
+  EXPECT_THROW((void)err.value(), AssertionError);
+  EXPECT_THROW((void)*err, AssertionError);
+}
+
+TEST(Expected, UnexpectedDeductionGuide) {
+  // CTAD: Unexpected{Error{...}} deduces Unexpected<Error> without the
+  // template argument being spelled out.
+  Expected<int> e = Unexpected{Error{"deduced", "via CTAD"}};
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, "deduced");
+  EXPECT_EQ(e.error().to_string(), "deduced: via CTAD");
+}
+
+TEST(Expected, ValueOrCoversBothAlternatives) {
+  Expected<std::string> ok(std::string("present"));
+  EXPECT_EQ(ok.value_or("fallback"), "present");
+  Expected<std::string> err = make_error("e", "m");
+  EXPECT_EQ(err.value_or("fallback"), "fallback");
+}
+
 TEST(Status, DefaultIsOk) {
-  StatusOr s;
+  StatusOrError s;
   EXPECT_TRUE(s.ok());
   EXPECT_THROW((void)s.error(), AssertionError);
 }
 
 TEST(Status, CarriesError) {
-  StatusOr s = make_error("quota_exceeded", "cpu quota used up");
+  StatusOrError s = make_error("quota_exceeded", "cpu quota used up");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.error().code, "quota_exceeded");
 }

@@ -128,7 +128,10 @@ TEST(ParallelSweep, ResultsInInputOrder) {
 TEST(ParallelSweep, PropagatesExceptions) {
   std::vector<std::function<int()>> tasks;
   tasks.push_back([] { return 1; });
-  tasks.push_back([]() -> int { throw std::runtime_error("boom"); });
+  tasks.push_back([]() -> int {
+    throw std::runtime_error(  // sphinx-lint-allow(naked-throw): propagation
+        "boom");
+  });
   EXPECT_THROW((void)run_parallel(tasks, 2), std::runtime_error);
 }
 

@@ -1,0 +1,191 @@
+// In-process coverage for every sphinx-lint rule (tools/sphinx_lint).
+// Each case feeds a snippet through lint_source and checks which rules
+// fire; the fixture trees under tools/sphinx_lint/fixtures are exercised
+// end-to-end by the lint.fixtures_* ctest cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace {
+
+using sphinx::lint::Finding;
+using sphinx::lint::lint_source;
+
+std::vector<std::string> rules_fired(const std::string& source,
+                                     const std::string& path) {
+  std::vector<std::string> out;
+  for (const Finding& f : lint_source(source, path)) out.push_back(f.rule);
+  return out;
+}
+
+bool fired(const std::vector<std::string>& rules, const std::string& rule) {
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+TEST(SphinxLint, CleanSourcePasses) {
+  const std::string src = R"cpp(
+    int add(int a, int b) { return a + b; }
+  )cpp";
+  EXPECT_TRUE(lint_source(src, "src/core/foo.cpp").empty());
+}
+
+TEST(SphinxLint, FlagsWallClocks) {
+  const auto rules = rules_fired(
+      "auto t = std::chrono::system_clock::now();\n"
+      "auto u = std::chrono::steady_clock::now();\n"
+      "auto v = time(nullptr);\n"
+      "auto w = std::time(NULL);\n",
+      "src/sim/foo.cpp");
+  EXPECT_EQ(rules.size(), 4u);
+  EXPECT_TRUE(fired(rules, "sim-clock"));
+}
+
+TEST(SphinxLint, MemberNamedTimeIsNotAClock) {
+  const auto rules = rules_fired(
+      "double t = event.time();\n"
+      "double u = ptr->time();\n"
+      "double v = compute_time(job);\n",
+      "src/sim/foo.cpp");
+  EXPECT_FALSE(fired(rules, "sim-clock"));
+}
+
+TEST(SphinxLint, FlagsAmbientRandomness) {
+  const auto rules = rules_fired(
+      "int a = rand();\n"
+      "srand(42);\n"
+      "std::random_device rd;\n",
+      "tests/foo_test.cpp");
+  EXPECT_EQ(rules.size(), 3u);
+  EXPECT_TRUE(fired(rules, "sim-random"));
+}
+
+TEST(SphinxLint, WhitelistExemptsRngAndTimeHeaders) {
+  const std::string src = "std::random_device rd;\n";
+  EXPECT_TRUE(fired(rules_fired(src, "src/common/strings.cpp"), "sim-random"));
+  EXPECT_FALSE(fired(rules_fired(src, "src/common/rng.hpp"), "sim-random"));
+  EXPECT_FALSE(fired(rules_fired(src, "src/common/time.hpp"), "sim-random"));
+}
+
+TEST(SphinxLint, CommentsAndStringsAreStripped) {
+  const auto rules = rules_fired(
+      "// rand() and system_clock in a comment\n"
+      "/* srand(1); time(nullptr); */\n"
+      "const char* s = \"rand() inside a string\";\n"
+      "const char* r = R\"(random_device in a raw string)\";\n",
+      "src/core/foo.cpp");
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(SphinxLint, DigitSeparatorsAreNotCharLiterals) {
+  // A bad tokenizer would treat 1'000'000 as opening a char literal and
+  // blank out the rand() call that follows.
+  const auto rules = rules_fired(
+      "long big = 1'000'000;\n"
+      "int bad = rand();\n",
+      "src/core/foo.cpp");
+  EXPECT_TRUE(fired(rules, "sim-random"));
+}
+
+TEST(SphinxLint, FlagsDiscardedCallResults) {
+  const auto rules = rules_fired(
+      "(void)se->store(user, lfn, bytes);\n"
+      "(void)dag.validate();\n",
+      "src/data/foo.cpp");
+  EXPECT_EQ(rules.size(), 2u);
+  EXPECT_TRUE(fired(rules, "discarded-status"));
+}
+
+TEST(SphinxLint, VoidCastOfVariableIsAllowed) {
+  const auto rules = rules_fired(
+      "(void)unused_parameter;\n"
+      "int f(void);\n",
+      "src/core/foo.cpp");
+  EXPECT_FALSE(fired(rules, "discarded-status"));
+}
+
+TEST(SphinxLint, GtestThrowAssertionsAreExempt) {
+  const auto rules = rules_fired(
+      "EXPECT_THROW((void)e.value(), AssertionError);\n"
+      "ASSERT_THROW((void)s.error(), AssertionError);\n",
+      "src/core/foo.cpp");
+  EXPECT_FALSE(fired(rules, "discarded-status"));
+}
+
+TEST(SphinxLint, DiscardedStatusIsLibraryScoped) {
+  // Tests and benches discard handles (submission ids, selector picks)
+  // deliberately; the rule only polices library code.
+  const std::string src = "(void)site.submit(job, nullptr);\n";
+  EXPECT_TRUE(fired(rules_fired(src, "src/grid/foo.cpp"),
+                    "discarded-status"));
+  EXPECT_FALSE(fired(rules_fired(src, "tests/foo_test.cpp"),
+                     "discarded-status"));
+  EXPECT_FALSE(fired(rules_fired(src, "bench/foo.cpp"), "discarded-status"));
+}
+
+TEST(SphinxLint, FlagsNakedThrows) {
+  const auto rules = rules_fired(
+      "void f() { throw std::runtime_error(\"boom\"); }\n"
+      "void g() { throw 42; }\n",
+      "src/core/foo.cpp");
+  EXPECT_EQ(rules.size(), 2u);
+  EXPECT_TRUE(fired(rules, "naked-throw"));
+}
+
+TEST(SphinxLint, AssertionErrorThrowsAreLegal) {
+  const auto rules = rules_fired(
+      "throw AssertionError(\"bad state\");\n"
+      "throw ::sphinx::AssertionError(\"bad state\");\n"
+      "throw ::sphinx::ContractViolation(\"broken invariant\");\n"
+      "try { f(); } catch (...) { throw; }\n",
+      "src/core/foo.cpp");
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(SphinxLint, FlagsIostreamInLibraryCodeOnly) {
+  const std::string src = "#include <iostream>\n";
+  EXPECT_TRUE(fired(rules_fired(src, "src/core/foo.cpp"), "iostream-include"));
+  EXPECT_FALSE(fired(rules_fired(src, "tests/foo_test.cpp"),
+                     "iostream-include"));
+  EXPECT_FALSE(fired(rules_fired(src, "bench/foo.cpp"), "iostream-include"));
+}
+
+TEST(SphinxLint, HeaderHygiene) {
+  const auto bad = rules_fired("#ifndef GUARD\n#define GUARD\n#endif\n",
+                               "src/core/foo.hpp");
+  EXPECT_TRUE(fired(bad, "pragma-once"));
+  EXPECT_TRUE(fired(bad, "file-comment"));
+
+  const auto good = rules_fired(
+      "#pragma once\n/// \\file foo.hpp\n/// Does things.\n",
+      "src/core/foo.hpp");
+  EXPECT_TRUE(good.empty());
+
+  // Sources are not held to header hygiene.
+  EXPECT_TRUE(rules_fired("int x;\n", "src/core/foo.cpp").empty());
+}
+
+TEST(SphinxLint, InlineAllowWaivesARule) {
+  const auto rules = rules_fired(
+      "int a = rand();  // sphinx-lint-allow(sim-random): seeding torture\n"
+      "int b = rand();\n",
+      "src/core/foo.cpp");
+  EXPECT_EQ(rules.size(), 1u);  // only the unwaived line fires
+}
+
+TEST(SphinxLint, FindingsCarryPathLineAndRule) {
+  const auto findings = lint_source("int x;\nint y = rand();\n",
+                                    "src/core/foo.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/core/foo.cpp");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, "sim-random");
+  EXPECT_NE(findings[0].to_string().find("src/core/foo.cpp:2:"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# One-command correctness gate: plain build + tests, the ASan+UBSan
+# preset, and sphinx-lint.  Run from the repository root:
+#
+#   tools/check.sh          # everything
+#   tools/check.sh fast     # skip the sanitizer build
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build + test (relwithdebinfo) =="
+cmake --preset relwithdebinfo
+cmake --build --preset relwithdebinfo
+ctest --preset relwithdebinfo
+
+echo "== sphinx-lint =="
+./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
+  --root . src tests bench examples
+
+if [ "${1:-}" != "fast" ]; then
+  echo "== build + test (asan-ubsan) =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan
+  ctest --preset asan-ubsan
+fi
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,8 @@
+// Fixture: missing #pragma once and /// \file comment; must trip both
+// header hygiene rules.
+#ifndef SPHINX_FIXTURE_BAD_HEADER_HPP
+#define SPHINX_FIXTURE_BAD_HEADER_HPP
+
+inline int answer() { return 42; }
+
+#endif

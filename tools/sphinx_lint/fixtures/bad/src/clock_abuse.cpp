@@ -1,0 +1,12 @@
+// Fixture: every line below must trip the sim-clock rule.
+#include <chrono>
+#include <ctime>
+
+double wall_seconds() {
+  const auto t0 = std::chrono::system_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto t2 = std::chrono::high_resolution_clock::now();
+  const std::time_t stamp = std::time(nullptr);
+  return static_cast<double>(stamp) + t0.time_since_epoch().count() +
+         t1.time_since_epoch().count() + t2.time_since_epoch().count();
+}

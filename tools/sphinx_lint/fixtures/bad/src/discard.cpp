@@ -1,0 +1,15 @@
+// Fixture: (void)-discarding call results must trip discarded-status.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status do_work();
+
+struct Worker {
+  Status run();
+};
+
+void discard_everything(Worker& w) {
+  (void)do_work();
+  (void)w.run();
+}

@@ -1,0 +1,4 @@
+// Fixture: library code including <iostream> must trip iostream-include.
+#include <iostream>
+
+void shout() { std::cout << "library code must use log.hpp\n"; }

@@ -1,0 +1,9 @@
+// Fixture: every draw below must trip the sim-random rule.
+#include <cstdlib>
+#include <random>
+
+int ambient_draws() {
+  std::random_device rd;
+  srand(rd());
+  return rand() % 6;
+}

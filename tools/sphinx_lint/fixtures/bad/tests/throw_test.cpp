@@ -1,0 +1,7 @@
+// Fixture: throwing anything but AssertionError/ContractViolation must
+// trip naked-throw.
+#include <stdexcept>
+
+void fail_operationally() { throw std::runtime_error("site down"); }
+
+void fail_numerically() { throw 42; }

@@ -1,0 +1,23 @@
+// Fixture: a translation unit that satisfies every sphinx-lint rule,
+// including a waived violation via an inline allow comment.
+#include <cstdlib>
+#include <stdexcept>
+
+#include "clean.hpp"
+
+namespace fixture {
+
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+void guard(bool ok) {
+  if (!ok) throw AssertionError("invariant broken");
+}
+
+int waived_draw() {
+  return rand() % 2;  // sphinx-lint-allow(sim-random): fixture exercise
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#pragma once
+/// \file clean.hpp
+/// Fixture: a header that satisfies every sphinx-lint rule.  Mentioning
+/// rand() or system_clock in a comment is fine -- comments are stripped.
+
+#include <string>
+
+namespace fixture {
+
+/// Returns a label; "rand()" in this string must not fire sim-random.
+inline std::string label() { return "rand() and time(nullptr) as text"; }
+
+}  // namespace fixture

@@ -1,0 +1,454 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace sphinx::lint {
+namespace {
+
+/// Files exempt from the determinism rules: the sanctioned time/rng
+/// abstractions themselves, and the logger (which may later timestamp
+/// real-world diagnostics without touching simulation results).
+constexpr std::array<std::string_view, 3> kDeterminismWhitelist = {
+    "src/common/time.hpp",
+    "src/common/rng.hpp",
+    "src/common/log.cpp",
+};
+
+[[nodiscard]] bool is_whitelisted(const std::string& rel_path) {
+  return std::find(kDeterminismWhitelist.begin(), kDeterminismWhitelist.end(),
+                   rel_path) != kDeterminismWhitelist.end();
+}
+
+[[nodiscard]] bool is_header(const std::string& rel_path) {
+  return rel_path.ends_with(".hpp") || rel_path.ends_with(".h") ||
+         rel_path.ends_with(".hh");
+}
+
+[[nodiscard]] bool is_library_code(const std::string& rel_path) {
+  return rel_path.starts_with("src/");
+}
+
+/// Source text with comments and string/char literals blanked out
+/// (newlines preserved), plus the comment text per line so inline
+/// `sphinx-lint-allow(rule)` waivers can be honoured.
+struct Stripped {
+  std::string code;                        // blanked text, same offsets
+  std::vector<std::string> raw_lines;      // original lines
+  std::vector<std::set<std::string>> allow;  // per-line waived rules
+};
+
+[[nodiscard]] Stripped strip(std::string_view content) {
+  enum class Mode {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  Stripped out;
+  out.code.reserve(content.size());
+  std::string raw_line;
+  std::string comment_line;
+  Mode mode = Mode::kCode;
+  std::string raw_close;  // for raw strings: )delim"
+
+  auto parse_allows = [&] {
+    std::set<std::string> rules;
+    std::size_t pos = 0;
+    while ((pos = comment_line.find("sphinx-lint-allow(", pos)) !=
+           std::string::npos) {
+      pos += std::string_view("sphinx-lint-allow(").size();
+      std::string rule;
+      while (pos < comment_line.size() && comment_line[pos] != ')') {
+        const char c = comment_line[pos++];
+        if (c == ',') {
+          if (!rule.empty()) rules.insert(rule);
+          rule.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          rule.push_back(c);
+        }
+      }
+      if (!rule.empty()) rules.insert(rule);
+    }
+    return rules;
+  };
+
+  auto end_line = [&] {
+    out.raw_lines.push_back(raw_line);
+    out.allow.push_back(parse_allows());
+    raw_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (mode == Mode::kLineComment) mode = Mode::kCode;
+      out.code.push_back('\n');
+      end_line();
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLineComment;
+          out.code.append("  ");
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlockComment;
+          out.code.append("  ");
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // Raw string: R"delim( ... )delim".  Scan the delimiter.
+          std::string delim;
+          std::size_t j = i + 2;
+          while (j < content.size() && content[j] != '(' &&
+                 content[j] != '\n') {
+            delim.push_back(content[j++]);
+          }
+          if (j < content.size() && content[j] == '(') {
+            raw_close = ")" + delim + "\"";
+            mode = Mode::kRawString;
+            for (std::size_t k = i; k <= j; ++k) out.code.push_back(' ');
+            raw_line.append(content.substr(i + 1, j - i));
+            i = j;
+          } else {
+            out.code.push_back(c);  // not a raw string after all
+          }
+        } else if (c == '"') {
+          mode = Mode::kString;
+          out.code.push_back('"');
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not character literals: a
+          // separator is always preceded by an alphanumeric character.
+          const char prev = out.code.empty() ? '\0' : out.code.back();
+          if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+            out.code.push_back(' ');
+          } else {
+            mode = Mode::kChar;
+            out.code.push_back('\'');
+          }
+        } else {
+          out.code.push_back(c);
+        }
+        break;
+      case Mode::kLineComment:
+        comment_line.push_back(c);
+        out.code.push_back(' ');
+        break;
+      case Mode::kBlockComment:
+        if (c == '*' && next == '/') {
+          mode = Mode::kCode;
+          out.code.append("  ");
+          raw_line.push_back(next);
+          ++i;
+        } else {
+          comment_line.push_back(c);
+          out.code.push_back(' ');
+        }
+        break;
+      case Mode::kString:
+        if (c == '\\') {
+          out.code.append("  ");
+          if (next != '\0' && next != '\n') {
+            raw_line.push_back(next);
+            ++i;
+          }
+        } else if (c == '"') {
+          mode = Mode::kCode;
+          out.code.push_back('"');
+        } else {
+          out.code.push_back(' ');
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\') {
+          out.code.append("  ");
+          if (next != '\0' && next != '\n') {
+            raw_line.push_back(next);
+            ++i;
+          }
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+          out.code.push_back('\'');
+        } else {
+          out.code.push_back(' ');
+        }
+        break;
+      case Mode::kRawString:
+        if (content.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size(); ++k) {
+            out.code.push_back(' ');
+          }
+          raw_line.append(content.substr(i + 1, raw_close.size() - 1));
+          i += raw_close.size() - 1;
+          mode = Mode::kCode;
+        } else {
+          out.code.push_back(' ');
+        }
+        break;
+    }
+  }
+  end_line();
+  return out;
+}
+
+/// 1-based line number of a byte offset in `text`.
+[[nodiscard]] std::size_t line_of(std::string_view text, std::size_t offset) {
+  return static_cast<std::size_t>(
+             std::count(text.begin(), text.begin() + static_cast<long>(offset),
+                        '\n')) +
+         1;
+}
+
+struct RuleContext {
+  const Stripped& stripped;
+  const std::string& rel_path;
+  std::vector<Finding>& findings;
+
+  [[nodiscard]] bool allowed(std::size_t line, const std::string& rule) const {
+    if (line == 0 || line > stripped.allow.size()) return false;
+    const auto& rules = stripped.allow[line - 1];
+    return rules.contains(rule) || rules.contains("all");
+  }
+
+  void report(std::size_t line, std::string rule, std::string message) const {
+    if (allowed(line, rule)) return;
+    findings.push_back(
+        Finding{rel_path, line, std::move(rule), std::move(message)});
+  }
+};
+
+/// Scans the stripped text with `re`, reporting `rule` at every match.
+void scan(const RuleContext& ctx, const std::regex& re,
+          const std::string& rule, const std::string& message) {
+  const std::string_view text = ctx.stripped.code;
+  auto begin = std::cregex_iterator(text.data(), text.data() + text.size(), re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    ctx.report(line_of(text, static_cast<std::size_t>(it->position(0))), rule,
+               message);
+  }
+}
+
+void rule_sim_clock(const RuleContext& ctx) {
+  if (is_whitelisted(ctx.rel_path)) return;
+  static const std::regex re(
+      R"((\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\blocaltime\b|\bgmtime\b|\bgettimeofday\b|\bclock_gettime\b))");
+  static const std::regex time_re(
+      R"((^|[^\w.>])(time\s*\(\s*(NULL|nullptr|0)?\s*\)|clock\s*\(\s*\)))");
+  const std::string msg =
+      "wall-clock source; simulation time must come from the Engine clock "
+      "(src/common/time.hpp)";
+  scan(ctx, re, "sim-clock", msg);
+  const std::string_view text = ctx.stripped.code;
+  for (auto it = std::cregex_iterator(text.data(), text.data() + text.size(),
+                                      time_re);
+       it != std::cregex_iterator(); ++it) {
+    const std::size_t offset =
+        static_cast<std::size_t>(it->position(0)) +
+        static_cast<std::size_t>((*it)[1].length());
+    ctx.report(line_of(text, offset), "sim-clock", msg);
+  }
+}
+
+void rule_sim_random(const RuleContext& ctx) {
+  if (is_whitelisted(ctx.rel_path)) return;
+  static const std::regex re(
+      R"((\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bdrand48\b|\blrand48\b))");
+  scan(ctx, re, "sim-random",
+       "ambient randomness; draw from a seeded src/common/rng.hpp stream "
+       "instead");
+}
+
+void rule_discarded_status(const RuleContext& ctx) {
+  // Library code only: tests/benches/examples routinely discard handles
+  // (submission ids, selector picks) on purpose; in src/ a (void) cast
+  // is how a dropped Status hides.
+  if (!is_library_code(ctx.rel_path)) return;
+  static const std::regex re(
+      R"(\(\s*void\s*\)\s*[A-Za-z_:][A-Za-z0-9_:<>.*\[\]\->]*\()");
+  const std::string_view text = ctx.stripped.code;
+  for (auto it =
+           std::cregex_iterator(text.data(), text.data() + text.size(), re);
+       it != std::cregex_iterator(); ++it) {
+    const std::size_t offset = static_cast<std::size_t>(it->position(0));
+    const std::size_t line = line_of(text, offset);
+    // Deliberately invoking a throwing accessor inside a gtest assertion
+    // is not a discarded result.
+    const std::string& raw = ctx.stripped.raw_lines[line - 1];
+    if (raw.find("EXPECT_THROW") != std::string::npos ||
+        raw.find("ASSERT_THROW") != std::string::npos ||
+        raw.find("EXPECT_NO_THROW") != std::string::npos ||
+        raw.find("ASSERT_NO_THROW") != std::string::npos) {
+      continue;
+    }
+    ctx.report(line, "discarded-status",
+               "(void) cast discards a call result and defeats "
+               "[[nodiscard]] on Expected/Status; handle the result or "
+               "waive with sphinx-lint-allow(discarded-status)");
+  }
+}
+
+void rule_naked_throw(const RuleContext& ctx) {
+  static const std::regex re(R"(\bthrow\b\s*(;|[A-Za-z_:][\w:]*)?)");
+  const std::string_view text = ctx.stripped.code;
+  for (auto it =
+           std::cregex_iterator(text.data(), text.data() + text.size(), re);
+       it != std::cregex_iterator(); ++it) {
+    std::string token = (*it)[1].matched ? it->str(1) : std::string();
+    if (token == ";") continue;  // bare rethrow in a catch handler
+    static const std::set<std::string> kAllowed = {
+        "AssertionError",          "sphinx::AssertionError",
+        "::sphinx::AssertionError", "ContractViolation",
+        "sphinx::ContractViolation", "::sphinx::ContractViolation",
+    };
+    if (kAllowed.contains(token)) continue;
+    ctx.report(line_of(text, static_cast<std::size_t>(it->position(0))),
+               "naked-throw",
+               "only AssertionError/ContractViolation may be thrown; "
+               "operational failures travel as Expected/Status");
+  }
+}
+
+void rule_iostream_include(const RuleContext& ctx) {
+  if (!is_library_code(ctx.rel_path)) return;
+  if (ctx.rel_path == "src/common/log.cpp") return;  // the logger itself
+  static const std::regex re(R"(^\s*#\s*include\s*<iostream>)");
+  std::istringstream lines{std::string(ctx.stripped.code)};
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    if (std::regex_search(line, re)) {
+      ctx.report(n, "iostream-include",
+                 "library code must log through src/common/log.hpp, not "
+                 "<iostream>");
+    }
+  }
+}
+
+void rule_header_hygiene(const RuleContext& ctx) {
+  if (!is_header(ctx.rel_path)) return;
+  const auto& raw = ctx.stripped.raw_lines;
+  std::size_t first_nonempty = 0;
+  while (first_nonempty < raw.size() &&
+         raw[first_nonempty].find_first_not_of(" \t\r") == std::string::npos) {
+    ++first_nonempty;
+  }
+  if (first_nonempty >= raw.size() ||
+      raw[first_nonempty].rfind("#pragma once", 0) != 0) {
+    ctx.report(1, "pragma-once", "headers must start with #pragma once");
+  }
+  const std::size_t limit = std::min<std::size_t>(raw.size(), 5);
+  bool has_file_comment = false;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const std::size_t start = raw[i].find_first_not_of(" \t");
+    if (start != std::string::npos &&
+        raw[i].compare(start, 9, "/// \\file") == 0) {
+      has_file_comment = true;
+      break;
+    }
+  }
+  if (!has_file_comment) {
+    ctx.report(1, "file-comment",
+               "headers must carry a `/// \\file` comment near the top");
+  }
+}
+
+}  // namespace
+
+std::string Finding::to_string() const {
+  return path + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::vector<std::pair<std::string, std::string>> rule_list() {
+  return {
+      {"sim-clock", "no wall-clock sources outside the whitelist"},
+      {"sim-random", "no ambient randomness outside the whitelist"},
+      {"discarded-status", "no (void) casts of call results"},
+      {"naked-throw", "throw only AssertionError/ContractViolation"},
+      {"iostream-include", "no <iostream> in library code (src/)"},
+      {"pragma-once", "headers start with #pragma once"},
+      {"file-comment", "headers carry a /// \\file comment"},
+  };
+}
+
+std::vector<Finding> lint_source(std::string_view content,
+                                 const std::string& rel_path) {
+  const Stripped stripped = strip(content);
+  std::vector<Finding> findings;
+  const RuleContext ctx{stripped, rel_path, findings};
+  rule_sim_clock(ctx);
+  rule_sim_random(ctx);
+  rule_discarded_status(ctx);
+  rule_naked_throw(ctx);
+  rule_iostream_include(ctx);
+  rule_header_hygiene(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const std::vector<std::string>& entries,
+                               std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  const auto lintable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+           ext == ".h" || ext == ".hh";
+  };
+
+  std::vector<fs::path> files;
+  for (const std::string& entry : entries) {
+    const fs::path base = root / entry;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.push_back(base);
+    } else if (fs::is_directory(base, ec)) {
+      for (auto it = fs::recursive_directory_iterator(base, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (errors != nullptr) {
+      errors->push_back("no such file or directory: " + base.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      if (errors != nullptr) errors->push_back("cannot read " + file.string());
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel =
+        fs::relative(file, root).generic_string();  // '/'-separated
+    for (Finding& f : lint_source(buffer.str(), rel)) {
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace sphinx::lint

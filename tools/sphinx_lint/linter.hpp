@@ -1,0 +1,61 @@
+#pragma once
+/// \file linter.hpp
+/// sphinx-lint: the project's determinism / error-discipline checker.
+///
+/// A token/regex-level linter (deliberately no libclang dependency) that
+/// enforces the rules the simulator's credibility rests on:
+///
+///   sim-clock         no wall-clock sources in simulation code; sim time
+///                     comes from src/common/time.hpp via the Engine
+///   sim-random        no ambient randomness (rand, random_device, ...);
+///                     draws come from seeded src/common/rng.hpp streams
+///   discarded-status  no `(void)` casts of call results in library code
+///                     (src/) -- they defeat [[nodiscard]] on
+///                     Expected/Status; tests/benches may discard handles
+///   naked-throw       throw only AssertionError/ContractViolation
+///                     (operational failures travel as Expected/Status)
+///   iostream-include  library code (src/) logs via src/common/log.hpp,
+///                     never #include <iostream>
+///   pragma-once       headers start with #pragma once
+///   file-comment      headers carry a `/// \file` comment near the top
+///
+/// Comments and string literals (including raw strings) are stripped
+/// before matching, so documentation may mention rand() freely.  A
+/// deliberate exception is declared inline with a comment containing
+/// `sphinx-lint-allow(<rule>)` on the offending line.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sphinx::lint {
+
+/// One rule violation.
+struct Finding {
+  std::string path;     ///< scan-root-relative path, '/'-separated
+  std::size_t line = 0; ///< 1-based
+  std::string rule;     ///< rule identifier, e.g. "sim-clock"
+  std::string message;  ///< human-readable explanation
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Rule identifiers with one-line descriptions, for --list-rules.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> rule_list();
+
+/// Lints one translation unit given its contents and scan-root-relative
+/// path (path scoping: some rules apply only under src/, and the
+/// determinism whitelist names specific src/common/ files).
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view content,
+                                               const std::string& rel_path);
+
+/// Walks `entries` (directories or files, relative to `root`) and lints
+/// every C++ source/header found, in sorted order for deterministic
+/// output.  IO problems are reported into `errors` (if non-null) rather
+/// than thrown.
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::filesystem::path& root, const std::vector<std::string>& entries,
+    std::vector<std::string>* errors = nullptr);
+
+}  // namespace sphinx::lint

@@ -1,0 +1,77 @@
+/// \file main.cpp
+/// sphinx-lint command-line driver.
+///
+/// Usage:
+///   sphinx_lint [--root DIR] [--list-rules] [DIR-OR-FILE...]
+///
+/// Scans the given directories/files (default: src tests bench examples,
+/// skipping any that do not exist) relative to --root (default: the
+/// current directory).  Prints one line per finding and exits 1 if any
+/// rule fired, 0 on a clean tree, 2 on usage or IO errors.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using sphinx::lint::Finding;
+
+  fs::path root = ".";
+  std::vector<std::string> entries;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "sphinx-lint: --root needs an argument\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& [rule, description] : sphinx::lint::rule_list()) {
+        std::cout << rule << "\t" << description << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: sphinx_lint [--root DIR] [--list-rules] "
+                   "[DIR-OR-FILE...]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "sphinx-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      entries.push_back(arg);
+    }
+  }
+  if (entries.empty()) {
+    for (const char* candidate : {"src", "tests", "bench", "examples"}) {
+      std::error_code ec;
+      if (fs::is_directory(root / candidate, ec)) {
+        entries.emplace_back(candidate);
+      }
+    }
+    if (entries.empty()) {
+      std::cerr << "sphinx-lint: nothing to scan under " << root << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::string> errors;
+  const std::vector<Finding> findings =
+      sphinx::lint::lint_tree(root, entries, &errors);
+  for (const std::string& error : errors) {
+    std::cerr << "sphinx-lint: " << error << "\n";
+  }
+  for (const Finding& finding : findings) {
+    std::cout << finding.to_string() << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "sphinx-lint: " << findings.size() << " problem(s)\n";
+    return 1;
+  }
+  if (!errors.empty()) return 2;
+  return 0;
+}
