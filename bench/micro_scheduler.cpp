@@ -12,8 +12,8 @@ namespace {
 
 using namespace sphinx;
 
-core::SchedulingContext synthetic_context(int sites) {
-  core::SchedulingContext ctx;
+core::PlanningContext synthetic_context(int sites) {
+  core::PlanningContext ctx;
   Rng rng(7);
   for (int i = 0; i < sites; ++i) {
     core::CandidateSite site;
@@ -69,5 +69,55 @@ void BM_EndToEndExperiment(benchmark::State& state) {
   state.SetLabel("items = engine events");
 }
 BENCHMARK(BM_EndToEndExperiment)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+workflow::Dag one_job_dag(std::uint64_t base, const std::string& input) {
+  workflow::Dag dag(DagId(base), "sweep-" + std::to_string(base));
+  workflow::JobSpec job;
+  job.id = JobId(base * 10 + 1);
+  job.name = "j";
+  job.compute_time = 60.0;
+  job.inputs = {input};
+  job.output = "lfn://sweep-out/" + std::to_string(base);
+  dag.add_job(job);
+  return dag;
+}
+
+void BM_SweepCost(benchmark::State& state) {
+  // Sweep cost must be O(changed work): N mostly-idle planning DAGs sit
+  // in the warehouse while a fixed handful stays blocked (inputs with no
+  // replicas), so every sweep retries only the blocked ones.  Growing N
+  // 100x should leave the per-sweep time roughly flat.
+  const std::uint64_t idle = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kActive = 8;
+  exp::ScenarioConfig config;
+  config.seed = 5;
+  config.site_failures = false;
+  config.background_load = false;
+  exp::Scenario scenario(config);
+  exp::Tenant& tenant = scenario.add_tenant("bench", exp::TenantOptions{});
+  core::DataWarehouse& wh = tenant.server->warehouse();
+  for (std::uint64_t i = 1; i <= idle; ++i) {
+    // Fully planned: no unplanned jobs, so the DAG settles off the queue.
+    wh.insert_dag(one_job_dag(i, "lfn://sweep-in"), "bench", UserId(1), 0.0);
+    wh.set_dag_state(DagId(i), core::DagState::kPlanning);
+    wh.set_job_planned(JobId(i * 10 + 1), SiteId(1), 0.0);
+  }
+  for (std::uint64_t i = idle + 1; i <= idle + kActive; ++i) {
+    // Unplanned job whose input has no replica: blocked every sweep.
+    wh.insert_dag(one_job_dag(i, "lfn://nowhere/" + std::to_string(i)),
+                  "bench", UserId(1), 0.0);
+    wh.set_dag_state(DagId(i), core::DagState::kPlanning);
+  }
+  tenant.server->sweep();  // settle: the idle DAGs drain and stay idle
+  for (auto _ : state) {
+    tenant.server->sweep();
+  }
+  state.SetLabel("idle=" + std::to_string(idle) + " active=8");
+}
+BENCHMARK(BM_SweepCost)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

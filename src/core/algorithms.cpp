@@ -21,7 +21,7 @@ std::unique_ptr<SchedulingAlgorithm> make_algorithm(Algorithm algorithm) {
 }
 
 std::optional<SiteId> RoundRobinAlgorithm::select(
-    const SchedulingContext& context) {
+    const PlanningContext& context) {
   if (context.sites.empty()) return std::nullopt;
   const CandidateSite& pick =
       context.sites[cursor_++ % context.sites.size()];
@@ -29,7 +29,7 @@ std::optional<SiteId> RoundRobinAlgorithm::select(
 }
 
 std::optional<SiteId> NumCpusAlgorithm::select(
-    const SchedulingContext& context) {
+    const PlanningContext& context) {
   // rate_i = (planned_jobs_i + unfinished_jobs_i) / CPU_i   (eq. 1)
   // `outstanding` is exactly planned + unfinished in the server's books.
   std::optional<SiteId> best;
@@ -46,7 +46,7 @@ std::optional<SiteId> NumCpusAlgorithm::select(
 }
 
 std::optional<SiteId> QueueLengthAlgorithm::select(
-    const SchedulingContext& context) {
+    const PlanningContext& context) {
   // rate_i = (queued_i + running_i + planned_i) / CPU_i   (eq. 2)
   // queued/running come from monitoring; planned from local accounting.
   std::optional<SiteId> best;
@@ -68,7 +68,7 @@ std::optional<SiteId> QueueLengthAlgorithm::select(
 }
 
 std::optional<SiteId> CompletionTimeAlgorithm::select(
-    const SchedulingContext& context) {
+    const PlanningContext& context) {
   if (context.sites.empty()) return std::nullopt;
 
   // Hybrid warm-up: "in the absence of the job completion rate

@@ -2,9 +2,11 @@
 /// \file algorithms.hpp
 /// The four scheduling strategies evaluated in the paper (section 4.1).
 ///
-/// Every strategy sees the same SchedulingContext -- a per-decision view
-/// of the *feasible* sites (policy and reliability filters have already
-/// run) -- and returns the chosen execution site.  The information each
+/// Every strategy sees the same PlanningContext -- an immutable
+/// per-decision snapshot of the *feasible* sites (policy and reliability
+/// filters have already run, and the Planner assembled the monitored and
+/// feedback data) -- and returns the chosen execution site.  The
+/// information each
 /// strategy actually uses differs, which is the whole point of the
 /// paper's comparison:
 ///
@@ -43,7 +45,7 @@ struct CandidateSite {
 };
 
 /// One scheduling decision's input.
-struct SchedulingContext {
+struct PlanningContext {
   SimTime now = 0.0;
   std::vector<CandidateSite> sites;  ///< feasible sites, catalog order
 };
@@ -56,7 +58,7 @@ class SchedulingAlgorithm {
 
   /// Picks a site from the context; nullopt when no site is acceptable.
   [[nodiscard]] virtual std::optional<SiteId> select(
-      const SchedulingContext& context) = 0;
+      const PlanningContext& context) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -69,7 +71,7 @@ class SchedulingAlgorithm {
 class RoundRobinAlgorithm final : public SchedulingAlgorithm {
  public:
   [[nodiscard]] std::optional<SiteId> select(
-      const SchedulingContext& context) override;
+      const PlanningContext& context) override;
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 
  private:
@@ -80,7 +82,7 @@ class RoundRobinAlgorithm final : public SchedulingAlgorithm {
 class NumCpusAlgorithm final : public SchedulingAlgorithm {
  public:
   [[nodiscard]] std::optional<SiteId> select(
-      const SchedulingContext& context) override;
+      const PlanningContext& context) override;
   [[nodiscard]] std::string name() const override { return "num-cpus"; }
 };
 
@@ -90,7 +92,7 @@ class NumCpusAlgorithm final : public SchedulingAlgorithm {
 class QueueLengthAlgorithm final : public SchedulingAlgorithm {
  public:
   [[nodiscard]] std::optional<SiteId> select(
-      const SchedulingContext& context) override;
+      const PlanningContext& context) override;
   [[nodiscard]] std::string name() const override { return "queue-length"; }
 };
 
@@ -103,7 +105,7 @@ class QueueLengthAlgorithm final : public SchedulingAlgorithm {
 class CompletionTimeAlgorithm final : public SchedulingAlgorithm {
  public:
   [[nodiscard]] std::optional<SiteId> select(
-      const SchedulingContext& context) override;
+      const PlanningContext& context) override;
   [[nodiscard]] std::string name() const override { return "completion-time"; }
 
  private:

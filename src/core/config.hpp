@@ -1,0 +1,56 @@
+#pragma once
+/// \file config.hpp
+/// Shared configuration and counters for the server's pipeline modules.
+///
+/// The server is decomposed into the paper's scheduling modules (message
+/// handler, DAG reducer, planner -- section 3.2); they all read the same
+/// configuration and update the same experiment counters, so those types
+/// live here rather than in server.hpp to keep the modules free of a
+/// dependency on the composite server.
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "core/state.hpp"
+
+namespace sphinx::core {
+
+/// Static catalog entry the server knows about each site (the Grid3
+/// catalog: always available, unlike monitoring data).
+struct CatalogSite {
+  SiteId id;
+  std::string name;
+  int cpus = 1;
+};
+
+/// Server configuration.
+struct ServerConfig {
+  std::string endpoint = "sphinx-server";
+  Algorithm algorithm = Algorithm::kCompletionTime;
+  bool use_feedback = true;   ///< apply the reliability filter
+  bool use_policy = false;    ///< apply quota constraints (eq. 4)
+  /// QoS: order planning by priority then earliest deadline first.  Off,
+  /// requests are planned in pure submission order (priority ignored).
+  bool use_qos_ordering = true;
+  Duration sweep_period = 5.0;
+  /// Planner step 4: when set, final outputs (outputs no other job in the
+  /// DAG consumes) are copied to this site's persistent storage after the
+  /// producing job completes.
+  SiteId persistent_site;
+  /// VOs authorized to talk to this server (GSI ACL).
+  std::vector<std::string> allowed_vos = {"uscms", "atlas", "ivdgl"};
+};
+
+/// Counters for experiments and diagnostics.
+struct ServerStats {
+  std::size_t dags_received = 0;
+  std::size_t plans_sent = 0;
+  std::size_t replans = 0;         ///< plans for attempt > 1
+  std::size_t reports_processed = 0;
+  std::size_t jobs_reduced = 0;    ///< jobs eliminated by the DAG reducer
+  std::size_t policy_rejections = 0;  ///< site filtered by quota at least once
+};
+
+}  // namespace sphinx::core

@@ -1,0 +1,28 @@
+#include "core/dag_reducer.hpp"
+
+#include <vector>
+
+#include "data/lfn.hpp"
+
+namespace sphinx::core {
+
+DagReducer::DagReducer(DataWarehouse& warehouse,
+                       data::ReplicaLocationService& rls, ServerStats& stats)
+    : warehouse_(warehouse), rls_(rls), stats_(stats) {}
+
+void DagReducer::reduce(const DagRecord& dag) {
+  const auto jobs = warehouse_.jobs_of_dag(dag.id);
+  std::vector<data::Lfn> outputs;
+  outputs.reserve(jobs.size());
+  for (const JobRecord& job : jobs) outputs.push_back(job.output);
+  const auto replicas = rls_.locate_bulk(outputs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!replicas[i].empty()) {
+      warehouse_.set_job_state(jobs[i].id, JobState::kCompleted);
+      ++stats_.jobs_reduced;
+    }
+  }
+  warehouse_.set_dag_state(dag.id, DagState::kReduced);
+}
+
+}  // namespace sphinx::core

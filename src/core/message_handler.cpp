@@ -1,0 +1,94 @@
+#include "core/message_handler.hpp"
+
+#include <utility>
+
+namespace sphinx::core {
+
+MessageHandler::MessageHandler(DataWarehouse& warehouse,
+                               const ServerConfig& config, ServerStats& stats,
+                               JobCompletedHook on_job_completed)
+    : warehouse_(warehouse),
+      config_(config),
+      stats_(stats),
+      on_job_completed_(std::move(on_job_completed)) {}
+
+void MessageHandler::accept_dag(const workflow::Dag& dag,
+                                const std::string& client, UserId user,
+                                SimTime now, double priority,
+                                SimTime deadline) {
+  warehouse_.insert_dag(dag, client, user, now, priority, deadline);
+  ++stats_.dags_received;
+}
+
+StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
+  ++stats_.reports_processed;
+
+  const auto job = warehouse_.job(report.job);
+  if (!job.has_value()) {
+    return make_error("unknown_job",
+                      "no job " + std::to_string(report.job.value()));
+  }
+
+  switch (report.kind) {
+    case ReportKind::kSubmitted:
+      if (job->state == JobState::kPlanned) {
+        warehouse_.set_job_state(job->id, JobState::kSubmitted);
+      }
+      break;
+    case ReportKind::kRunning:
+      if (job->state == JobState::kSubmitted ||
+          job->state == JobState::kPlanned) {
+        warehouse_.set_job_state(job->id, JobState::kRunning);
+      }
+      break;
+    case ReportKind::kCompleted: {
+      if (job->state == JobState::kCompleted) {
+        // Duplicate completion report: folding it in again would double
+        // count the site's statistics and re-run the DAG finish check.
+        break;
+      }
+      warehouse_.set_job_state(job->id, JobState::kCompleted);
+      // Feedback: fold the completion time into the site's EWMA (the
+      // prediction module's knowledge base, eq. 3).
+      warehouse_.record_completion(report.site, report.completion_time);
+      if (on_job_completed_) on_job_completed_(job->dag);
+      break;
+    }
+    case ReportKind::kCancelled:
+    case ReportKind::kHeld: {
+      if (job->state == JobState::kCompleted ||
+          job->state == JobState::kUnplanned) {
+        // Stale report: the job already finished, or the attempt was
+        // already torn down and is waiting for the planner.  Acting on
+        // it would double-refund quota and skew the site's statistics.
+        break;
+      }
+      // The tracker killed or observed the death of this attempt.  Return
+      // the reserved quota and queue the job for replanning.
+      warehouse_.set_job_state(job->id, report.kind == ReportKind::kHeld
+                                            ? JobState::kHeld
+                                            : JobState::kCancelled);
+      warehouse_.record_cancellation(report.site, report.completion_time);
+      if (config_.use_policy) {
+        if (const auto dag = warehouse_.dag(job->dag); dag.has_value()) {
+          warehouse_.refund_quota(dag->user, report.site, "cpu_seconds",
+                                  job->compute_time);
+          warehouse_.refund_quota(dag->user, report.site, "disk_bytes",
+                                  job->output_bytes);
+        }
+      }
+      // Back to the planner on the next sweep (the unplanned transition
+      // re-enqueues the DAG on the dirty list).
+      warehouse_.set_job_state(job->id, JobState::kUnplanned);
+      break;
+    }
+  }
+  return {};
+}
+
+void MessageHandler::set_quota(UserId user, SiteId site,
+                               const std::string& resource, double limit) {
+  warehouse_.set_quota(user, site, resource, limit);
+}
+
+}  // namespace sphinx::core

@@ -1,0 +1,59 @@
+#pragma once
+/// \file message_handler.hpp
+/// Message-handling module: ingress for client messages (paper section
+/// 3.2, "message handling module").
+///
+/// The RPC layer decodes the wire payloads; this module applies them to
+/// the data warehouse.  An accepted DAG lands in the dags table in state
+/// received, which enqueues it on the warehouse's dirty list for the DAG
+/// reducer.  A tracker report moves the job's state machine and maintains
+/// the feedback statistics; a completion hands the affected DAG back to
+/// the server (via the callback) so it can check for DAG completion and
+/// notify the client.
+
+#include <functional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "core/codec.hpp"
+#include "core/config.hpp"
+#include "core/warehouse.hpp"
+#include "workflow/dag.hpp"
+
+namespace sphinx::core {
+
+class MessageHandler {
+ public:
+  /// Invoked after a report completes a job, with the job's DAG, so the
+  /// composite server can run the DAG-completion check and client
+  /// notification (which need the outgoing RPC channel this module does
+  /// not own).
+  using JobCompletedHook = std::function<void(DagId)>;
+
+  MessageHandler(DataWarehouse& warehouse, const ServerConfig& config,
+                 ServerStats& stats, JobCompletedHook on_job_completed);
+
+  /// Stores an incoming DAG in the warehouse (state: received).
+  void accept_dag(const workflow::Dag& dag, const std::string& client,
+                  UserId user, SimTime now, double priority, SimTime deadline);
+
+  /// Folds one tracker report into the warehouse: advances the job's
+  /// state machine, maintains feedback statistics and quotas, and queues
+  /// cancelled/held attempts for replanning.  Errors on unknown jobs;
+  /// stale and duplicate reports are ignored.
+  [[nodiscard]] StatusOrError apply_report(const TrackerReport& report);
+
+  /// Administrative quota update (eq. 4's limits).
+  void set_quota(UserId user, SiteId site, const std::string& resource,
+                 double limit);
+
+ private:
+  DataWarehouse& warehouse_;
+  const ServerConfig& config_;
+  ServerStats& stats_;
+  JobCompletedHook on_job_completed_;
+};
+
+}  // namespace sphinx::core

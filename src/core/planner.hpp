@@ -1,0 +1,68 @@
+#pragma once
+/// \file planner.hpp
+/// Planner module: strategy + prediction + policy filter (paper section
+/// 3.2) behind one narrow interface.
+///
+/// The planner consumes planning-state DAGs off the warehouse's dirty
+/// list.  For every ready, unplanned job it assembles an immutable
+/// PlanningContext snapshot -- policy-feasible sites with their static
+/// catalog data, live outstanding counters, monitored queue depths, and
+/// tracker feedback -- delegates the site choice to the configured
+/// strategy, resolves input replicas through the RLS, and persists the
+/// decision.  It returns the execution plans instead of sending them: the
+/// outgoing RPC channel belongs to the composite server.
+
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/algorithms.hpp"
+#include "core/codec.hpp"
+#include "core/config.hpp"
+#include "core/warehouse.hpp"
+#include "data/gridftp.hpp"
+#include "data/rls.hpp"
+#include "monitor/service.hpp"
+
+namespace sphinx::core {
+
+class Planner {
+ public:
+  Planner(DataWarehouse& warehouse, std::vector<CatalogSite> catalog,
+          data::ReplicaLocationService& rls, data::TransferService& transfers,
+          const monitor::MonitoringService* monitoring,
+          const ServerConfig& config, ServerStats& stats);
+
+  /// What one planning pass over a DAG produced.
+  struct Outcome {
+    /// Plans persisted this pass, in decision order; the server delivers
+    /// them to the client.
+    std::vector<ExecutionPlan> plans;
+    /// True when the DAG still has unplanned jobs (blocked on parents,
+    /// missing inputs, or no feasible site).  The server re-marks the DAG
+    /// dirty so those jobs are retried next sweep.
+    bool jobs_left_unplanned = false;
+  };
+
+  /// Plans every ready job of a planning-state DAG.
+  [[nodiscard]] Outcome plan_dag(const DagRecord& dag, SimTime now);
+
+ private:
+  /// Plans one job; returns false when no feasible site exists right now.
+  bool plan_job(const DagRecord& dag, const JobRecord& job, SimTime now,
+                std::vector<ExecutionPlan>& plans);
+  /// Builds the strategy's immutable view of the feasible sites.
+  [[nodiscard]] std::vector<CandidateSite> feasible_sites(
+      const DagRecord& dag, const JobRecord& job);
+
+  DataWarehouse& warehouse_;
+  std::vector<CatalogSite> catalog_;
+  data::ReplicaLocationService& rls_;
+  data::TransferService& transfers_;
+  const monitor::MonitoringService* monitoring_;  ///< may be null
+  const ServerConfig& config_;
+  ServerStats& stats_;
+  std::unique_ptr<SchedulingAlgorithm> algorithm_;
+};
+
+}  // namespace sphinx::core

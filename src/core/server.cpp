@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "data/replication.hpp"
-
 namespace sphinx::core {
 
 using rpc::XrValue;
@@ -25,14 +23,18 @@ SphinxServer::SphinxServer(rpc::MessageBus& bus,
                            ServerConfig config,
                            std::unique_ptr<DataWarehouse> warehouse)
     : bus_(bus),
-      catalog_(std::move(catalog)),
-      rls_(rls),
-      transfers_(transfers),
-      monitoring_(monitoring),
       config_(std::move(config)),
-      warehouse_(std::move(warehouse)),
-      algorithm_(make_algorithm(config_.algorithm)) {
-  SPHINX_ASSERT(!catalog_.empty(), "server needs a non-empty site catalog");
+      warehouse_(std::move(warehouse)) {
+  SPHINX_ASSERT(!catalog.empty(), "server needs a non-empty site catalog");
+
+  // The pipeline modules share the warehouse; the work queue inside it is
+  // how one stage hands a DAG to the next.
+  message_handler_ = std::make_unique<MessageHandler>(
+      *warehouse_, config_, stats_,
+      [this](DagId dag) { maybe_finish_dag(dag); });
+  reducer_ = std::make_unique<DagReducer>(*warehouse_, rls, stats_);
+  planner_ = std::make_unique<Planner>(*warehouse_, std::move(catalog), rls,
+                                       transfers, monitoring, config_, stats_);
 
   rpc::AuthzPolicy policy;
   for (const std::string& vo : config_.allowed_vos) policy.allow_vo("*", vo);
@@ -58,18 +60,14 @@ Expected<std::unique_ptr<SphinxServer>> SphinxServer::recover(
     const db::Journal& journal) {
   auto warehouse = DataWarehouse::recover_from(journal);
   if (!warehouse) return Unexpected<Error>{warehouse.error()};
-  auto server = std::unique_ptr<SphinxServer>(new SphinxServer(
-      bus, std::move(catalog), rls, transfers, monitoring, std::move(config),
-      std::move(*warehouse)));
-  // Rebuild the in-memory DAG -> client routing from the dags table.
-  for (const DagRecord& dag : server->warehouse_->all_dags()) {
-    server->dag_client_[dag.id] = dag.client;
-    server->dag_user_[dag.id] = dag.user;
-  }
+  // The recovered warehouse carries everything: tables, indexes (from the
+  // journaled schema), rebuilt work queues and outstanding counters.
   // In-flight plans were already sent; jobs stuck in kPlanned will be
   // re-reported by the client tracker (or time out and be replanned), so
   // no plan is lost permanently.
-  return server;
+  return std::unique_ptr<SphinxServer>(new SphinxServer(
+      bus, std::move(catalog), rls, transfers, monitoring, std::move(config),
+      std::move(*warehouse)));
 }
 
 SphinxServer::~SphinxServer() = default;
@@ -122,11 +120,8 @@ Expected<XrValue> SphinxServer::handle_submit_dag(
     deadline = params[4].as_double();
   }
 
-  warehouse_->insert_dag(*dag, client, user, bus_.engine().now(), priority,
-                         deadline);
-  dag_client_[dag->id()] = client;
-  dag_user_[dag->id()] = user;
-  ++stats_.dags_received;
+  message_handler_->accept_dag(*dag, client, user, bus_.engine().now(),
+                               priority, deadline);
   log_.debug("received dag ", dag->name(), " (", dag->size(), " jobs) from ",
              client, " [", proxy.principal(), "]");
   return XrValue(dag->id().value());
@@ -139,68 +134,9 @@ Expected<XrValue> SphinxServer::handle_report(
   }
   auto report = decode_report(params[0]);
   if (!report) return Unexpected<Error>{report.error()};
-  ++stats_.reports_processed;
-
-  const auto job = warehouse_->job(report->job);
-  if (!job.has_value()) {
-    return make_error("unknown_job",
-                      "no job " + std::to_string(report->job.value()));
-  }
-
-  switch (report->kind) {
-    case ReportKind::kSubmitted:
-      if (job->state == JobState::kPlanned) {
-        warehouse_->set_job_state(job->id, JobState::kSubmitted);
-      }
-      break;
-    case ReportKind::kRunning:
-      if (job->state == JobState::kSubmitted ||
-          job->state == JobState::kPlanned) {
-        warehouse_->set_job_state(job->id, JobState::kRunning);
-      }
-      break;
-    case ReportKind::kCompleted: {
-      if (job->state == JobState::kCompleted) {
-        // Duplicate completion report: folding it in again would double
-        // count the site's statistics and re-run the DAG finish check.
-        break;
-      }
-      warehouse_->set_job_state(job->id, JobState::kCompleted);
-      // Feedback: fold the completion time into the site's EWMA (the
-      // prediction module's knowledge base, eq. 3).
-      warehouse_->record_completion(report->site, report->completion_time);
-      maybe_finish_dag(job->dag);
-      break;
-    }
-    case ReportKind::kCancelled:
-    case ReportKind::kHeld: {
-      if (job->state == JobState::kCompleted ||
-          job->state == JobState::kUnplanned) {
-        // Stale report: the job already finished, or the attempt was
-        // already torn down and is waiting for the planner.  Acting on
-        // it would double-refund quota and skew the site's statistics.
-        break;
-      }
-      // The tracker killed or observed the death of this attempt.  Return
-      // the reserved quota and queue the job for replanning.
-      warehouse_->set_job_state(job->id, report->kind == ReportKind::kHeld
-                                             ? JobState::kHeld
-                                             : JobState::kCancelled);
-      warehouse_->record_cancellation(report->site,
-                                      report->completion_time);
-      if (config_.use_policy) {
-        const auto user = dag_user_.find(job->dag);
-        if (user != dag_user_.end()) {
-          warehouse_->refund_quota(user->second, report->site, "cpu_seconds",
-                                   job->compute_time);
-          warehouse_->refund_quota(user->second, report->site, "disk_bytes",
-                                   job->output_bytes);
-        }
-      }
-      // Back to the planner on the next sweep.
-      warehouse_->set_job_state(job->id, JobState::kUnplanned);
-      break;
-    }
+  if (const auto status = message_handler_->apply_report(*report);
+      !status.ok()) {
+    return Unexpected<Error>{status.error()};
   }
   return XrValue(true);
 }
@@ -220,28 +156,51 @@ Expected<XrValue> SphinxServer::handle_set_quota(
 
 void SphinxServer::set_quota(UserId user, SiteId site,
                              const std::string& resource, double limit) {
-  warehouse_->set_quota(user, site, resource, limit);
+  message_handler_->set_quota(user, site, resource, limit);
 }
 
 void SphinxServer::sweep() {
-  // Per-sweep snapshot of the eq. 1/2 "planned + unfinished" terms; kept
-  // current as this sweep plans jobs.  No other event can interleave
-  // while a sweep runs, so the snapshot stays consistent.
-  sweep_outstanding_ = warehouse_->outstanding_by_site();
-  // Control process: wake the module responsible for each state.
-  for (const DagRecord& dag : warehouse_->dags_in_state(DagState::kReceived)) {
-    reduce_dag(dag);
+  // Control process: drain the dirty-DAG work queue once, then walk each
+  // drained DAG through the pipeline stages.  DAGs the queue does not
+  // name are guaranteed idle -- every transition that creates work
+  // enqueues its DAG -- so the sweep costs O(changed work).  No other
+  // event can interleave while a sweep runs, so the drained snapshot
+  // stays consistent across the stages.
+  std::vector<DagRecord> drained = warehouse_->drain_dirty_dags();
+
+  // Stage 1: the reducer consumes received DAGs.  A fully-reduced DAG can
+  // finish right here (all outputs already existed).
+  for (const DagRecord& dag : drained) {
+    if (dag.state != DagState::kReceived) continue;
+    reducer_->reduce(dag);
+    maybe_finish_dag(dag.id);
   }
-  for (const DagRecord& dag : warehouse_->dags_in_state(DagState::kReduced)) {
-    warehouse_->set_dag_state(dag.id, DagState::kPlanning);
+
+  // Stage 2: reduced DAGs advance to planning.  Re-fetch each record:
+  // stage 1 may have changed its state (reduced or even finished).
+  for (DagRecord& dag : drained) {
+    const auto fresh = warehouse_->dag(dag.id);
+    SPHINX_ASSERT(fresh.has_value(), "drained dag vanished mid-sweep");
+    dag = *fresh;
+    if (dag.state == DagState::kReduced) {
+      warehouse_->set_dag_state(dag.id, DagState::kPlanning);
+      dag.state = DagState::kPlanning;
+    }
   }
-  // Requests are planned by priority, then submission order -- the
-  // server "provides functionality for scheduling jobs from multiple
-  // users concurrently based on the policy and priorities of these jobs"
-  // (paper section 5).
-  auto planning = warehouse_->dags_in_state(DagState::kPlanning);
+
+  // Stage 3: the planner consumes planning DAGs.  Requests are planned by
+  // priority, then submission order -- the server "provides functionality
+  // for scheduling jobs from multiple users concurrently based on the
+  // policy and priorities of these jobs" (paper section 5).
+  std::vector<DagRecord> planning;
+  planning.reserve(drained.size());
+  for (const DagRecord& dag : drained) {
+    if (dag.state == DagState::kPlanning) planning.push_back(dag);
+  }
   if (config_.use_qos_ordering) {
-    // Priority first, then earliest deadline first among equals.
+    // Priority first, then earliest deadline first among equals.  The
+    // drained queue is in submission order, so the stable sort leaves
+    // equal-key DAGs in the same relative order a full table scan gave.
     std::stable_sort(planning.begin(), planning.end(),
                      [](const DagRecord& a, const DagRecord& b) {
                        if (a.priority != b.priority) {
@@ -250,163 +209,29 @@ void SphinxServer::sweep() {
                        return a.deadline < b.deadline;
                      });
   }
+  const SimTime now = bus_.engine().now();
   for (const DagRecord& dag : planning) {
-    plan_dag(dag);
-  }
-  // Every control-process sweep leaves the warehouse in a sound state;
-  // compiled out with the rest of the contracts layer.
-  warehouse_->check_invariants();
-}
-
-void SphinxServer::reduce_dag(const DagRecord& dag) {
-  // "The DAG reducer simply checks for the existence of the output files
-  // of each job, and if they all exist, the job ... can be deleted."  One
-  // clubbed RLS call covers the whole DAG.
-  const auto jobs = warehouse_->jobs_of_dag(dag.id);
-  std::vector<data::Lfn> outputs;
-  outputs.reserve(jobs.size());
-  for (const JobRecord& job : jobs) outputs.push_back(job.output);
-  const auto replicas = rls_.locate_bulk(outputs);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (!replicas[i].empty()) {
-      warehouse_->set_job_state(jobs[i].id, JobState::kCompleted);
-      ++stats_.jobs_reduced;
+    Planner::Outcome outcome = planner_->plan_dag(dag, now);
+    for (const ExecutionPlan& plan : outcome.plans) {
+      send_plan(dag.client, plan);
     }
+    // Blocked or unplaceable jobs are retried every sweep, like the old
+    // full-scan control process did.
+    if (outcome.jobs_left_unplanned) warehouse_->mark_dag_dirty(dag.id);
   }
-  warehouse_->set_dag_state(dag.id, DagState::kReduced);
-  maybe_finish_dag(dag.id);
-}
 
-void SphinxServer::plan_dag(const DagRecord& dag) {
-  const auto completed = warehouse_->completed_jobs(dag.id);
-  for (const JobRecord& job : warehouse_->jobs_of_dag(dag.id)) {
-    if (job.state != JobState::kUnplanned) continue;
-    const auto parents = warehouse_->job_parents(job.id);
-    const bool ready =
-        std::all_of(parents.begin(), parents.end(),
-                    [&](JobId p) { return completed.contains(p); });
-    if (!ready) continue;
-    plan_job(dag, job);
+  // Every sweep leaves the DAGs it touched in a sound state; scoped to
+  // the touched DAGs so the check is also O(changed work).  Compiled out
+  // with the rest of the contracts layer.
+  for (const DagRecord& dag : drained) {
+    warehouse_->check_dag_invariants(dag.id);
   }
 }
 
-std::vector<CandidateSite> SphinxServer::feasible_sites(const DagRecord& dag,
-                                                        const JobRecord& job) {
-  std::vector<CandidateSite> reliable;
-  std::vector<CandidateSite> unreliable;  // kept for the starvation fallback
-  bool policy_rejected_any = false;
-  for (const CatalogSite& entry : catalog_) {
-    // Policy filter (eq. 4): quota_i^s >= required_i^s for every resource.
-    if (config_.use_policy) {
-      const double cpu_quota =
-          warehouse_->quota_remaining(dag.user, entry.id, "cpu_seconds");
-      const double disk_quota =
-          warehouse_->quota_remaining(dag.user, entry.id, "disk_bytes");
-      if (cpu_quota < job.compute_time || disk_quota < job.output_bytes) {
-        policy_rejected_any = true;
-        continue;
-      }
-    }
-    const SiteStats stats = warehouse_->site_stats(entry.id);
-
-    CandidateSite site;
-    site.id = entry.id;
-    site.cpus = entry.cpus;
-    if (const auto it = sweep_outstanding_.find(entry.id);
-        it != sweep_outstanding_.end()) {
-      site.outstanding = it->second;
-    }
-    site.completed = stats.completed;
-    site.cancelled = stats.cancelled;
-    site.avg_completion = stats.avg_completion;
-    site.samples = stats.samples;
-    if (monitoring_ != nullptr) {
-      if (const auto snap = monitoring_->snapshot(entry.id); snap.has_value()) {
-        site.monitored = true;
-        site.mon_queued = snap->queued;
-        site.mon_running = snap->running;
-      }
-    }
-    // Feedback filter: "sites having more number of cancelled jobs than
-    // completed jobs are marked unreliable".
-    if (config_.use_feedback && stats.cancelled > stats.completed) {
-      unreliable.push_back(site);
-    } else {
-      reliable.push_back(site);
-    }
-  }
-  if (policy_rejected_any) ++stats_.policy_rejections;
-  // Starvation guard: if feedback flagged every policy-feasible site,
-  // fall back to the full list rather than deadlock the DAG.
-  if (reliable.empty()) return unreliable;
-  return reliable;
-}
-
-bool SphinxServer::plan_job(const DagRecord& dag, const JobRecord& job) {
-  // Input availability: every input must have at least one replica.
-  const auto inputs = warehouse_->job_inputs(job.id);
-  const auto located = rls_.locate_bulk(inputs);
-  for (const auto& replicas : located) {
-    if (replicas.empty()) return false;  // inputs not available yet
-  }
-
-  SchedulingContext context;
-  context.now = bus_.engine().now();
-  context.sites = feasible_sites(dag, job);
-  const auto site = algorithm_->select(context);
-  if (!site.has_value()) return false;  // no feasible site right now
-
-  // Choose the optimal transfer source for each input (planner step 3).
-  ExecutionPlan plan;
-  plan.job = job.id;
-  plan.dag = dag.id;
-  plan.job_name = job.name;
-  plan.site = *site;
-  plan.compute_time = job.compute_time;
-  plan.output = job.output;
-  plan.output_bytes = job.output_bytes;
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const auto choice = data::select_replica(located[i], *site, transfers_);
-    SPHINX_ASSERT(choice.has_value(), "located input lost its replicas");
-    plan.inputs.push_back(PlannedInput{inputs[i], choice->replica.site,
-                                       choice->replica.size_bytes});
-  }
-
-  // QoS: deadline requests jump within-VO batch queues; explicit request
-  // priority adds a smaller bounded nudge.
-  if (config_.use_qos_ordering) {
-    plan.batch_priority = std::clamp(dag.priority / 10.0, -0.4, 0.4) +
-                          (dag.deadline < kNever ? 0.5 : 0.0);
-  }
-
-  // Planner step 4: final outputs (no consumer within the DAG) go to
-  // persistent storage; intermediates stay on their execution site.
-  if (config_.persistent_site.valid() &&
-      warehouse_->job_children(job.id).empty()) {
-    plan.persist_output = true;
-    plan.persistent_site = config_.persistent_site;
-  }
-
-  warehouse_->set_job_planned(job.id, *site, context.now);
-  ++sweep_outstanding_[*site];
-  plan.attempt = job.attempt + 1;
-  if (config_.use_policy) {
-    warehouse_->consume_quota(dag.user, *site, "cpu_seconds",
-                              job.compute_time);
-    warehouse_->consume_quota(dag.user, *site, "disk_bytes",
-                              job.output_bytes);
-  }
-  ++stats_.plans_sent;
-  if (plan.attempt > 1) ++stats_.replans;
-  send_plan(dag, plan);
-  return true;
-}
-
-void SphinxServer::send_plan(const DagRecord& dag, const ExecutionPlan& plan) {
-  const auto client = dag_client_.find(dag.id);
-  SPHINX_ASSERT(client != dag_client_.end(), "dag without a client route");
-  out_->call(client->second, "sphinx_client.execute_plan",
-             {encode_plan(plan)}, [this, job = plan.job](auto result) {
+void SphinxServer::send_plan(const std::string& client,
+                             const ExecutionPlan& plan) {
+  out_->call(client, "sphinx_client.execute_plan", {encode_plan(plan)},
+             [this, job = plan.job](auto result) {
                if (!result.has_value()) {
                  // Client unreachable: the job stays kPlanned; the
                  // client's tracker (or its absence) will eventually
@@ -428,11 +253,8 @@ void SphinxServer::maybe_finish_dag(DagId dag_id) {
   if (!all_done) return;
   const SimTime now = bus_.engine().now();
   warehouse_->set_dag_finished(dag_id, now);
-  const auto client = dag_client_.find(dag_id);
-  if (client != dag_client_.end()) {
-    out_->call(client->second, "sphinx_client.dag_done",
-               {XrValue(dag_id.value()), XrValue(now)}, [](auto) {});
-  }
+  out_->call(dag->client, "sphinx_client.dag_done",
+             {XrValue(dag_id.value()), XrValue(now)}, [](auto) {});
 }
 
 }  // namespace sphinx::core

@@ -1,6 +1,6 @@
 #pragma once
 /// \file server.hpp
-/// The SPHINX server: control process + scheduling modules.
+/// The SPHINX server: control process composing the scheduling modules.
 ///
 /// The server hosts a Clarens endpoint with two methods -- a client
 /// submits abstract DAGs via `sphinx.submit_dag` and streams tracker
@@ -11,20 +11,26 @@
 ///   job:  unplanned --planner--> planned --client reports--> submitted
 ///         --> running --> completed | cancelled/held --> unplanned again
 ///
-/// The planner filters candidate sites by policy quotas (eq. 4) and the
-/// feedback reliability rule, then delegates the choice to the configured
-/// strategy, then resolves input replicas through the RLS ("clubbing all
-/// its requests in a single call") and picks optimal transfer sources.
+/// The work itself is done by the paper's modules, each its own class:
+/// MessageHandler (RPC ingress + report application), DagReducer, and
+/// Planner (strategy + prediction + policy filter).  They communicate
+/// through the DataWarehouse's dirty-DAG work queue: every transition
+/// that creates work enqueues the affected DAG, and sweep() drains the
+/// queue and walks each DAG through the stages -- O(changed work), not
+/// O(total state).  The server itself only owns the wiring: the RPC
+/// endpoint, the outgoing client channel, and the periodic sweep.
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/log.hpp"
-#include "core/algorithms.hpp"
 #include "core/codec.hpp"
+#include "core/config.hpp"
+#include "core/dag_reducer.hpp"
+#include "core/message_handler.hpp"
+#include "core/planner.hpp"
 #include "core/state.hpp"
 #include "core/warehouse.hpp"
 #include "data/gridftp.hpp"
@@ -34,42 +40,6 @@
 #include "sim/engine.hpp"
 
 namespace sphinx::core {
-
-/// Static catalog entry the server knows about each site (the Grid3
-/// catalog: always available, unlike monitoring data).
-struct CatalogSite {
-  SiteId id;
-  std::string name;
-  int cpus = 1;
-};
-
-/// Server configuration.
-struct ServerConfig {
-  std::string endpoint = "sphinx-server";
-  Algorithm algorithm = Algorithm::kCompletionTime;
-  bool use_feedback = true;   ///< apply the reliability filter
-  bool use_policy = false;    ///< apply quota constraints (eq. 4)
-  /// QoS: order planning by priority then earliest deadline first.  Off,
-  /// requests are planned in pure submission order (priority ignored).
-  bool use_qos_ordering = true;
-  Duration sweep_period = 5.0;
-  /// Planner step 4: when set, final outputs (outputs no other job in the
-  /// DAG consumes) are copied to this site's persistent storage after the
-  /// producing job completes.
-  SiteId persistent_site;
-  /// VOs authorized to talk to this server (GSI ACL).
-  std::vector<std::string> allowed_vos = {"uscms", "atlas", "ivdgl"};
-};
-
-/// Counters for experiments and diagnostics.
-struct ServerStats {
-  std::size_t dags_received = 0;
-  std::size_t plans_sent = 0;
-  std::size_t replans = 0;         ///< plans for attempt > 1
-  std::size_t reports_processed = 0;
-  std::size_t jobs_reduced = 0;    ///< jobs eliminated by the DAG reducer
-  std::size_t policy_rejections = 0;  ///< site filtered by quota at least once
-};
 
 class SphinxServer {
  public:
@@ -82,7 +52,9 @@ class SphinxServer {
   /// Reconstructs a server from a crashed instance's journal (paper:
   /// "easily recoverable from internal component failures").  In-flight
   /// client connections resume transparently because all state that
-  /// matters lives in the warehouse.
+  /// matters lives in the warehouse; the recovered warehouse rebuilds
+  /// the work queues, so the control process resumes exactly where the
+  /// crashed one stopped.
   static Expected<std::unique_ptr<SphinxServer>> recover(
       rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
       data::ReplicaLocationService& rls, data::TransferService& transfers,
@@ -98,7 +70,9 @@ class SphinxServer {
   /// Stops the control process (simulating an internal failure).
   void stop();
 
-  /// One control-process sweep (also callable directly from tests).
+  /// One control-process sweep (also callable directly from tests):
+  /// drains the dirty-DAG queue and walks each drained DAG through the
+  /// reducer and planner stages.
   void sweep();
 
   [[nodiscard]] DataWarehouse& warehouse() noexcept { return *warehouse_; }
@@ -124,44 +98,28 @@ class SphinxServer {
                ServerConfig config, std::unique_ptr<DataWarehouse> warehouse);
 
   void register_methods();
-  /// Message-handling module: stores an incoming DAG.
+  /// RPC shims: parse the wire payload, then delegate to MessageHandler.
   Expected<rpc::XrValue> handle_submit_dag(const std::vector<rpc::XrValue>& params,
                                            const rpc::Proxy& proxy);
-  /// Message-handling module: folds in one tracker report.
   Expected<rpc::XrValue> handle_report(const std::vector<rpc::XrValue>& params,
                                        const rpc::Proxy& proxy);
   Expected<rpc::XrValue> handle_set_quota(const std::vector<rpc::XrValue>& params,
                                           const rpc::Proxy& proxy);
 
-  /// DAG reducer module (paper section 3.2).
-  void reduce_dag(const DagRecord& dag);
-  /// Planner module: plans every ready job of a planning-state DAG.
-  void plan_dag(const DagRecord& dag);
-  /// Plans one job; returns false when no feasible site exists right now.
-  bool plan_job(const DagRecord& dag, const JobRecord& job);
-  /// Builds the strategy's view of the feasible sites.
-  [[nodiscard]] std::vector<CandidateSite> feasible_sites(
-      const DagRecord& dag, const JobRecord& job);
   void maybe_finish_dag(DagId dag_id);
-  void send_plan(const DagRecord& dag, const ExecutionPlan& plan);
+  void send_plan(const std::string& client, const ExecutionPlan& plan);
 
   rpc::MessageBus& bus_;
-  std::vector<CatalogSite> catalog_;
-  data::ReplicaLocationService& rls_;
-  data::TransferService& transfers_;
-  const monitor::MonitoringService* monitoring_;  ///< may be null
   ServerConfig config_;
   std::unique_ptr<DataWarehouse> warehouse_;
-  std::unique_ptr<SchedulingAlgorithm> algorithm_;
+  ServerStats stats_;
+  // The paper's pipeline modules (section 3.2), in stage order.
+  std::unique_ptr<MessageHandler> message_handler_;
+  std::unique_ptr<DagReducer> reducer_;
+  std::unique_ptr<Planner> planner_;
   std::unique_ptr<rpc::ClarensService> service_;
   std::unique_ptr<rpc::ClarensClient> out_;  ///< for server -> client calls
   std::unique_ptr<sim::PeriodicProcess> control_;
-  // Client endpoint and user for each DAG (rebuilt from the dags table on
-  // recovery, so plan delivery resumes).
-  std::unordered_map<DagId, std::string> dag_client_;
-  std::unordered_map<DagId, UserId> dag_user_;
-  std::unordered_map<SiteId, std::int64_t> sweep_outstanding_;
-  ServerStats stats_;
   Logger log_{"sphinx-server"};
 };
 

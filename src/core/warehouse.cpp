@@ -23,72 +23,105 @@ DataWarehouse::DataWarehouse(bool with_schema) {
 }
 
 void DataWarehouse::create_schema() {
+  using db::indexed;
   using db::ValueType;
-  db_.create_table("dags", db::Schema{{"dag_id", ValueType::kInt},
-                                      {"name", ValueType::kText},
-                                      {"client", ValueType::kText},
-                                      {"user", ValueType::kInt},
-                                      {"state", ValueType::kText},
-                                      {"received_at", ValueType::kReal},
-                                      {"finished_at", ValueType::kReal},
-                                      {"total_jobs", ValueType::kInt},
-                                      {"priority", ValueType::kReal},
-                                      {"deadline", ValueType::kReal}});
-  db_.create_table("jobs", db::Schema{{"job_id", ValueType::kInt},
-                                      {"dag_id", ValueType::kInt},
-                                      {"name", ValueType::kText},
-                                      {"state", ValueType::kText},
-                                      {"site", ValueType::kInt},
-                                      {"compute_time", ValueType::kReal},
-                                      {"output", ValueType::kText},
-                                      {"output_bytes", ValueType::kReal},
-                                      {"attempt", ValueType::kInt},
-                                      {"planned_at", ValueType::kReal}});
-  db_.create_table("job_inputs", db::Schema{{"job_id", ValueType::kInt},
-                                            {"lfn", ValueType::kText}});
-  db_.create_table("job_deps", db::Schema{{"job_id", ValueType::kInt},
-                                          {"parent", ValueType::kInt}});
-  db_.create_table("site_stats", db::Schema{{"site_id", ValueType::kInt},
-                                            {"completed", ValueType::kInt},
-                                            {"cancelled", ValueType::kInt},
-                                            {"avg_completion", ValueType::kReal},
-                                            {"samples", ValueType::kInt}});
-  db_.create_table("quotas", db::Schema{{"user", ValueType::kInt},
-                                        {"site", ValueType::kInt},
-                                        {"resource", ValueType::kText},
-                                        {"limit", ValueType::kReal},
-                                        {"used", ValueType::kReal}});
-  db_.table("dags").create_index("dag_id");
-  db_.table("dags").create_index("state");
-  db_.table("jobs").create_index("job_id");
-  db_.table("jobs").create_index("dag_id");
-  db_.table("jobs").create_index("state");
-  db_.table("job_inputs").create_index("job_id");
-  db_.table("job_deps").create_index("job_id");
-  db_.table("job_deps").create_index("parent");
-  db_.table("site_stats").create_index("site_id");
+  // Hot-path columns declare their hash index in the schema itself, so the
+  // index set is journaled with the kCreateTable entry and recovery
+  // rebuilds it without a separate recreation pass.
+  db_.create_table("dags", db::Schema{{indexed("dag_id", ValueType::kInt),
+                                       {"name", ValueType::kText},
+                                       {"client", ValueType::kText},
+                                       {"user", ValueType::kInt},
+                                       indexed("state", ValueType::kText),
+                                       {"received_at", ValueType::kReal},
+                                       {"finished_at", ValueType::kReal},
+                                       {"total_jobs", ValueType::kInt},
+                                       {"priority", ValueType::kReal},
+                                       {"deadline", ValueType::kReal}}});
+  db_.create_table("jobs", db::Schema{{indexed("job_id", ValueType::kInt),
+                                       indexed("dag_id", ValueType::kInt),
+                                       {"name", ValueType::kText},
+                                       indexed("state", ValueType::kText),
+                                       {"site", ValueType::kInt},
+                                       {"compute_time", ValueType::kReal},
+                                       {"output", ValueType::kText},
+                                       {"output_bytes", ValueType::kReal},
+                                       {"attempt", ValueType::kInt},
+                                       {"planned_at", ValueType::kReal}}});
+  db_.create_table("job_inputs",
+                   db::Schema{{indexed("job_id", ValueType::kInt),
+                               {"lfn", ValueType::kText}}});
+  db_.create_table("job_deps",
+                   db::Schema{{indexed("job_id", ValueType::kInt),
+                               indexed("parent", ValueType::kInt)}});
+  db_.create_table("site_stats",
+                   db::Schema{{indexed("site_id", ValueType::kInt),
+                               {"completed", ValueType::kInt},
+                               {"cancelled", ValueType::kInt},
+                               {"avg_completion", ValueType::kReal},
+                               {"samples", ValueType::kInt}}});
+  db_.create_table("quotas", db::Schema{{indexed("user", ValueType::kInt),
+                                         {"site", ValueType::kInt},
+                                         {"resource", ValueType::kText},
+                                         {"limit", ValueType::kReal},
+                                         {"used", ValueType::kReal}}});
 }
 
 Expected<std::unique_ptr<DataWarehouse>> DataWarehouse::recover_from(
     const db::Journal& journal) {
-  // Construct without a schema: the journal replays table creation.
+  // Construct without a schema: the journal replays table creation, and
+  // the journaled schema declares the indexes, so replay rebuilds those
+  // too.  Only the derived work state needs explicit reconstruction.
   auto warehouse =
       std::unique_ptr<DataWarehouse>(new DataWarehouse(false));
   if (const auto status = warehouse->db_.recover(journal); !status.ok()) {
     return Unexpected<Error>{status.error()};
   }
-  // Indexes are not journaled; recreate them.
-  warehouse->db_.table("dags").create_index("dag_id");
-  warehouse->db_.table("dags").create_index("state");
-  warehouse->db_.table("jobs").create_index("job_id");
-  warehouse->db_.table("jobs").create_index("dag_id");
-  warehouse->db_.table("jobs").create_index("state");
-  warehouse->db_.table("job_inputs").create_index("job_id");
-  warehouse->db_.table("job_deps").create_index("job_id");
-  warehouse->db_.table("job_deps").create_index("parent");
-  warehouse->db_.table("site_stats").create_index("site_id");
+  warehouse->rebuild_work_state();
   warehouse->check_invariants();  // replay must reproduce a sound store
   return warehouse;
+}
+
+void DataWarehouse::rebuild_work_state() {
+  dirty_rows_.clear();
+  outstanding_.clear();
+
+  // One pass over jobs: rebuild the outstanding counters and note which
+  // DAGs still have unplanned work.
+  const db::Table& jobs = db_.table("jobs");
+  const std::size_t job_state_col = jobs.schema().index_of("state");
+  const std::size_t job_site_col = jobs.schema().index_of("site");
+  const std::size_t job_dag_col = jobs.schema().index_of("dag_id");
+  std::unordered_set<std::uint64_t> dags_with_unplanned;
+  jobs.for_each([&](const db::Row& row) {
+    const JobState state = job_state_from(row.cells[job_state_col].as_text());
+    if (is_outstanding(state)) {
+      ++outstanding_[SiteId(
+          static_cast<std::uint64_t>(row.cells[job_site_col].as_int()))];
+    }
+    if (state == JobState::kUnplanned) {
+      dags_with_unplanned.insert(
+          static_cast<std::uint64_t>(row.cells[job_dag_col].as_int()));
+    }
+  });
+
+  // One pass over dags: a DAG is queued when its own state says work is
+  // pending (received, reduced) or when it is planning and still has an
+  // unplanned job -- exactly the set the crashed server would have
+  // revisited on its next sweep.
+  const db::Table& dags = db_.table("dags");
+  const std::size_t dag_id_col = dags.schema().index_of("dag_id");
+  const std::size_t dag_state_col = dags.schema().index_of("state");
+  dags.for_each([&](const db::Row& row) {
+    const DagState state = dag_state_from(row.cells[dag_state_col].as_text());
+    const bool pending =
+        state == DagState::kReceived || state == DagState::kReduced;
+    const bool replanning =
+        state == DagState::kPlanning &&
+        dags_with_unplanned.contains(
+            static_cast<std::uint64_t>(row.cells[dag_id_col].as_int()));
+    if (pending || replanning) dirty_rows_.insert(row.id);
+  });
 }
 
 // --- DAGs ---------------------------------------------------------------
@@ -97,12 +130,12 @@ void DataWarehouse::insert_dag(const workflow::Dag& dag,
                                const std::string& client, UserId user,
                                SimTime now, double priority,
                                SimTime deadline) {
-  db_.table("dags").insert({Value(dag.id().value()), Value(dag.name()),
-                            Value(client), Value(user.value()),
-                            Value(to_string(DagState::kReceived)), Value(now),
-                            Value(kNever),
-                            Value(static_cast<std::int64_t>(dag.size())),
-                            Value(priority), Value(deadline)});
+  const db::RowId row = db_.table("dags").insert(
+      {Value(dag.id().value()), Value(dag.name()), Value(client),
+       Value(user.value()), Value(to_string(DagState::kReceived)), Value(now),
+       Value(kNever), Value(static_cast<std::int64_t>(dag.size())),
+       Value(priority), Value(deadline)});
+  dirty_rows_.insert(row);  // a received DAG is work for the reducer
   db::Table& jobs = db_.table("jobs");
   db::Table& inputs = db_.table("job_inputs");
   db::Table& deps = db_.table("job_deps");
@@ -121,7 +154,7 @@ void DataWarehouse::insert_dag(const workflow::Dag& dag,
   }
 }
 
-DagRecord DataWarehouse::dag_from_row(const db::Row& row) {
+DagRecord DataWarehouse::decode_dag(const db::Row& row) {
   DagRecord rec;
   rec.id = DagId(static_cast<std::uint64_t>(row.cells[0].as_int()));
   rec.name = row.cells[1].as_text();
@@ -140,50 +173,56 @@ std::vector<DagRecord> DataWarehouse::dags_in_state(DagState state) const {
   const db::Table& dags = db_.table("dags");
   std::vector<DagRecord> out;
   for (const db::RowId id : dags.find_by("state", Value(to_string(state)))) {
-    out.push_back(dag_from_row(*dags.find(id)));
+    out.push_back(decode_dag(*dags.find(id)));
   }
   return out;
 }
 
 std::optional<DagRecord> DataWarehouse::dag(DagId id) const {
-  const db::Table& dags = db_.table("dags");
-  const auto rows = dags.find_by("dag_id", Value(id.value()));
-  if (rows.empty()) return std::nullopt;
-  return dag_from_row(*dags.find(rows.front()));
+  const db::Row* row =
+      db_.table("dags").find_first("dag_id", Value(id.value()));
+  if (row == nullptr) return std::nullopt;
+  return decode_dag(*row);
 }
 
 void DataWarehouse::set_dag_state(DagId id, DagState state) {
   db::Table& dags = db_.table("dags");
-  const auto rows = dags.find_by("dag_id", Value(id.value()));
-  SPHINX_ASSERT(!rows.empty(), "set_dag_state: unknown dag");
+  const db::Row* row = dags.find_first("dag_id", Value(id.value()));
+  SPHINX_ASSERT(row != nullptr, "set_dag_state: unknown dag");
   SPHINX_PRECONDITION(
-      is_legal_transition(dag_state_from(dags.get(rows.front(), "state")
-                                             .as_text()),
-                          state),
+      is_legal_transition(dag_state_from(row->cells[4].as_text()), state),
       "dag automaton only moves forward");
-  dags.update(rows.front(), "state", Value(to_string(state)));
+  const db::RowId row_id = row->id;
+  dags.update(row_id, "state", Value(to_string(state)));
+  if (state == DagState::kFinished) {
+    dirty_rows_.erase(row_id);
+  } else {
+    dirty_rows_.insert(row_id);  // the next pipeline stage owns it now
+  }
 }
 
 void DataWarehouse::set_dag_finished(DagId id, SimTime at) {
   db::Table& dags = db_.table("dags");
-  const auto rows = dags.find_by("dag_id", Value(id.value()));
-  SPHINX_ASSERT(!rows.empty(), "set_dag_finished: unknown dag");
-  SPHINX_PRECONDITION(at >= dags.get(rows.front(), "received_at").as_real(),
+  const db::Row* row = dags.find_first("dag_id", Value(id.value()));
+  SPHINX_ASSERT(row != nullptr, "set_dag_finished: unknown dag");
+  SPHINX_PRECONDITION(at >= row->cells[5].as_real(),
                       "dag cannot finish before it was received");
-  dags.update(rows.front(), "state", Value(to_string(DagState::kFinished)));
-  dags.update(rows.front(), "finished_at", Value(at));
+  const db::RowId row_id = row->id;
+  dags.update(row_id, "state", Value(to_string(DagState::kFinished)));
+  dags.update(row_id, "finished_at", Value(at));
+  dirty_rows_.erase(row_id);  // finished DAGs hold no pending work
 }
 
 std::vector<DagRecord> DataWarehouse::all_dags() const {
   std::vector<DagRecord> out;
   db_.table("dags").for_each(
-      [&out](const db::Row& row) { out.push_back(dag_from_row(row)); });
+      [&out](const db::Row& row) { out.push_back(decode_dag(row)); });
   return out;
 }
 
 // --- jobs ---------------------------------------------------------------
 
-JobRecord DataWarehouse::job_from_row(const db::Row& row) {
+JobRecord DataWarehouse::decode_job(const db::Row& row) {
   JobRecord rec;
   rec.id = JobId(static_cast<std::uint64_t>(row.cells[0].as_int()));
   rec.dag = DagId(static_cast<std::uint64_t>(row.cells[1].as_int()));
@@ -198,17 +237,17 @@ JobRecord DataWarehouse::job_from_row(const db::Row& row) {
 }
 
 std::optional<JobRecord> DataWarehouse::job(JobId id) const {
-  const db::Table& jobs = db_.table("jobs");
-  const auto rows = jobs.find_by("job_id", Value(id.value()));
-  if (rows.empty()) return std::nullopt;
-  return job_from_row(*jobs.find(rows.front()));
+  const db::Row* row =
+      db_.table("jobs").find_first("job_id", Value(id.value()));
+  if (row == nullptr) return std::nullopt;
+  return decode_job(*row);
 }
 
 std::vector<JobRecord> DataWarehouse::jobs_of_dag(DagId id) const {
   const db::Table& jobs = db_.table("jobs");
   std::vector<JobRecord> out;
   for (const db::RowId row : jobs.find_by("dag_id", Value(id.value()))) {
-    out.push_back(job_from_row(*jobs.find(row)));
+    out.push_back(decode_job(*jobs.find(row)));
   }
   return out;
 }
@@ -217,38 +256,60 @@ std::vector<JobRecord> DataWarehouse::jobs_in_state(JobState state) const {
   const db::Table& jobs = db_.table("jobs");
   std::vector<JobRecord> out;
   for (const db::RowId row : jobs.find_by("state", Value(to_string(state)))) {
-    out.push_back(job_from_row(*jobs.find(row)));
+    out.push_back(decode_job(*jobs.find(row)));
   }
   return out;
 }
 
 void DataWarehouse::set_job_state(JobId id, JobState state) {
   db::Table& jobs = db_.table("jobs");
-  const auto rows = jobs.find_by("job_id", Value(id.value()));
-  SPHINX_ASSERT(!rows.empty(), "set_job_state: unknown job");
-  SPHINX_PRECONDITION(
-      is_legal_transition(
-          job_state_from(jobs.get(rows.front(), "state").as_text()), state),
-      "illegal job state transition " +
-          std::string(jobs.get(rows.front(), "state").as_text()) + " -> " +
-          to_string(state));
-  jobs.update(rows.front(), "state", Value(to_string(state)));
+  const db::Row* row = jobs.find_first("job_id", Value(id.value()));
+  SPHINX_ASSERT(row != nullptr, "set_job_state: unknown job");
+  const JobState old_state = job_state_from(row->cells[3].as_text());
+  SPHINX_PRECONDITION(is_legal_transition(old_state, state),
+                      "illegal job state transition " +
+                          std::string(to_string(old_state)) + " -> " +
+                          to_string(state));
+  const SiteId site(static_cast<std::uint64_t>(row->cells[4].as_int()));
+  const Value dag_key = row->cells[1];
+  const db::RowId row_id = row->id;
+  jobs.update(row_id, "state", Value(to_string(state)));
+
+  // Maintain the outstanding counters on the transition itself.
+  const bool was_out = is_outstanding(old_state);
+  const bool now_out = is_outstanding(state);
+  if (was_out && !now_out) {
+    const auto it = outstanding_.find(site);
+    SPHINX_ASSERT(it != outstanding_.end() && it->second > 0,
+                  "outstanding counter underflow");
+    if (--it->second == 0) outstanding_.erase(it);
+  } else if (!was_out && now_out) {
+    ++outstanding_[site];
+  }
+
+  // A job falling back to unplanned (replanning) or completing (children
+  // may become ready; the DAG may finish) creates planner work.
+  if (state == JobState::kUnplanned || state == JobState::kCompleted) {
+    const db::Row* dag_row = db_.table("dags").find_first("dag_id", dag_key);
+    if (dag_row != nullptr) dirty_rows_.insert(dag_row->id);
+  }
 }
 
 void DataWarehouse::set_job_planned(JobId id, SiteId site, SimTime at) {
   db::Table& jobs = db_.table("jobs");
-  const auto rows = jobs.find_by("job_id", Value(id.value()));
-  SPHINX_ASSERT(!rows.empty(), "set_job_planned: unknown job");
-  const db::RowId row = rows.front();
+  const db::Row* row = jobs.find_first("job_id", Value(id.value()));
+  SPHINX_ASSERT(row != nullptr, "set_job_planned: unknown job");
   SPHINX_PRECONDITION(
-      is_legal_transition(job_state_from(jobs.get(row, "state").as_text()),
+      is_legal_transition(job_state_from(row->cells[3].as_text()),
                           JobState::kPlanned),
       "job must be plannable to receive a plan");
-  const std::int64_t attempt = jobs.get(row, "attempt").as_int() + 1;
-  jobs.update(row, "state", Value(to_string(JobState::kPlanned)));
-  jobs.update(row, "site", Value(site.value()));
-  jobs.update(row, "attempt", Value(attempt));
-  jobs.update(row, "planned_at", Value(at));
+  const db::RowId row_id = row->id;
+  const std::int64_t attempt = row->cells[8].as_int() + 1;
+  jobs.update(row_id, "state", Value(to_string(JobState::kPlanned)));
+  jobs.update(row_id, "site", Value(site.value()));
+  jobs.update(row_id, "attempt", Value(attempt));
+  jobs.update(row_id, "planned_at", Value(at));
+  ++outstanding_[site];  // planned counts as outstanding until it resolves
 }
 
 std::vector<data::Lfn> DataWarehouse::job_inputs(JobId id) const {
@@ -289,24 +350,17 @@ std::unordered_set<JobId> DataWarehouse::completed_jobs(DagId dag) const {
 }
 
 std::int64_t DataWarehouse::outstanding_on_site(SiteId site) const {
-  const db::Table& jobs = db_.table("jobs");
-  std::int64_t count = 0;
-  const std::size_t state_col = jobs.schema().index_of("state");
-  const std::size_t site_col = jobs.schema().index_of("site");
-  jobs.for_each([&](const db::Row& row) {
-    if (static_cast<std::uint64_t>(row.cells[site_col].as_int()) !=
-        site.value()) {
-      return;
-    }
-    if (is_outstanding(job_state_from(row.cells[state_col].as_text()))) {
-      ++count;
-    }
-  });
-  return count;
+  const auto it = outstanding_.find(site);
+  return it == outstanding_.end() ? 0 : it->second;
 }
 
 std::unordered_map<SiteId, std::int64_t> DataWarehouse::outstanding_by_site()
     const {
+  return outstanding_;
+}
+
+std::unordered_map<SiteId, std::int64_t>
+DataWarehouse::scan_outstanding_by_site() const {
   const db::Table& jobs = db_.table("jobs");
   const std::size_t state_col = jobs.schema().index_of("state");
   const std::size_t site_col = jobs.schema().index_of("site");
@@ -319,12 +373,48 @@ std::unordered_map<SiteId, std::int64_t> DataWarehouse::outstanding_by_site()
   return out;
 }
 
+// --- work queue ---------------------------------------------------------
+
+void DataWarehouse::mark_dag_dirty(DagId id) {
+  const db::Row* row =
+      db_.table("dags").find_first("dag_id", Value(id.value()));
+  SPHINX_ASSERT(row != nullptr, "mark_dag_dirty: unknown dag");
+  dirty_rows_.insert(row->id);
+}
+
+std::vector<DagRecord> DataWarehouse::drain_dirty_dags() {
+  const db::Table& dags = db_.table("dags");
+  std::vector<DagRecord> out;
+  out.reserve(dirty_rows_.size());
+  for (const db::RowId row_id : dirty_rows_) {
+    const db::Row* row = dags.find(row_id);
+    if (row == nullptr) continue;
+    DagRecord rec = decode_dag(*row);
+    if (rec.state == DagState::kFinished) continue;
+    out.push_back(std::move(rec));
+  }
+  dirty_rows_.clear();
+  return out;
+}
+
+std::vector<DagId> DataWarehouse::dirty_dags() const {
+  const db::Table& dags = db_.table("dags");
+  std::vector<DagId> out;
+  out.reserve(dirty_rows_.size());
+  for (const db::RowId row_id : dirty_rows_) {
+    const db::Row* row = dags.find(row_id);
+    if (row == nullptr) continue;
+    out.emplace_back(static_cast<std::uint64_t>(row->cells[0].as_int()));
+  }
+  return out;
+}
+
 // --- site stats -----------------------------------------------------------
 
 db::RowId DataWarehouse::site_stats_row(SiteId site) const {
-  const db::Table& stats = db_.table("site_stats");
-  const auto rows = stats.find_by("site_id", Value(site.value()));
-  return rows.empty() ? db::kInvalidRow : rows.front();
+  const db::Row* row =
+      db_.table("site_stats").find_first("site_id", Value(site.value()));
+  return row == nullptr ? db::kInvalidRow : row->id;
 }
 
 SiteStats DataWarehouse::site_stats(SiteId site) const {
@@ -397,12 +487,14 @@ bool DataWarehouse::site_available(SiteId site) const {
 db::RowId DataWarehouse::quota_row(UserId user, SiteId site,
                                    const std::string& resource) const {
   const db::Table& quotas = db_.table("quotas");
-  const auto rows = quotas.select([&](const db::Row& row) {
-    return static_cast<std::uint64_t>(row.cells[0].as_int()) == user.value() &&
-           static_cast<std::uint64_t>(row.cells[1].as_int()) == site.value() &&
-           row.cells[2].as_text() == resource;
-  });
-  return rows.empty() ? db::kInvalidRow : rows.front();
+  for (const db::RowId id : quotas.find_by("user", Value(user.value()))) {
+    const db::Row* row = quotas.find(id);
+    if (static_cast<std::uint64_t>(row->cells[1].as_int()) == site.value() &&
+        row->cells[2].as_text() == resource) {
+      return id;
+    }
+  }
+  return db::kInvalidRow;
 }
 
 void DataWarehouse::set_quota(UserId user, SiteId site,
@@ -460,7 +552,7 @@ void DataWarehouse::check_invariants() const {
   db_.table("jobs").for_each([&](const db::Row& row) {
     JobRecord job;
     try {
-      job = job_from_row(row);
+      job = decode_job(row);
     } catch (const AssertionError& e) {
       SPHINX_INVARIANT(false, std::string("job row does not parse: ") +
                                   e.what());
@@ -481,7 +573,7 @@ void DataWarehouse::check_invariants() const {
   db_.table("dags").for_each([&](const db::Row& row) {
     DagRecord dag;
     try {
-      dag = dag_from_row(row);
+      dag = decode_dag(row);
     } catch (const AssertionError& e) {
       SPHINX_INVARIANT(false, std::string("dag row does not parse: ") +
                                   e.what());
@@ -519,6 +611,50 @@ void DataWarehouse::check_invariants() const {
     SPHINX_INVARIANT(row.cells[4].as_real() >= 0,
                      "quota usage went negative");
   });
+
+  // Derived work state mirrors the tables: the live counters must equal a
+  // fresh scan, and every queued dirty row names a live, unfinished DAG.
+  SPHINX_INVARIANT(outstanding_ == scan_outstanding_by_site(),
+                   "live outstanding counters diverged from the jobs table");
+  const db::Table& dags = db_.table("dags");
+  const std::size_t dag_state_col = dags.schema().index_of("state");
+  for (const db::RowId row_id : dirty_rows_) {
+    const db::Row* row = dags.find(row_id);
+    SPHINX_INVARIANT(row != nullptr, "dirty queue names a missing dag row");
+    SPHINX_INVARIANT(
+        dag_state_from(row->cells[dag_state_col].as_text()) !=
+            DagState::kFinished,
+        "dirty queue holds a finished dag");
+  }
+#endif
+}
+
+void DataWarehouse::check_dag_invariants(DagId id) const {
+#if SPHINX_CONTRACTS_ENABLED
+  const std::optional<DagRecord> rec = dag(id);
+  SPHINX_INVARIANT(rec.has_value(), "check_dag_invariants: unknown dag");
+  std::int64_t job_count = 0;
+  for (const JobRecord& job : jobs_of_dag(id)) {
+    ++job_count;
+    SPHINX_INVARIANT(job.attempt >= 0, "job attempt counter went negative");
+    if (is_outstanding(job.state)) {
+      SPHINX_INVARIANT(job.site.value() != 0,
+                       "outstanding job has no site assigned");
+      SPHINX_INVARIANT(job.attempt >= 1,
+                       "outstanding job was never planned");
+    }
+  }
+  SPHINX_INVARIANT(rec->total_jobs >= 0, "dag job total went negative");
+  SPHINX_INVARIANT(job_count == rec->total_jobs,
+                   "dag job total disagrees with the jobs table");
+  if (rec->state == DagState::kFinished) {
+    SPHINX_INVARIANT(rec->finished_at < kNever,
+                     "finished dag has no finish time");
+    SPHINX_INVARIANT(rec->finished_at >= rec->received_at,
+                     "dag finished before it was received");
+  }
+#else
+  (void)id;
 #endif
 }
 

@@ -9,9 +9,20 @@
 /// section 3.1).  All server state -- DAGs, jobs, dependencies, site
 /// statistics, quotas -- lives in db::Database tables; a crashed server
 /// is rebuilt by replaying the journal (see recover_from()).
+///
+/// On top of the tables the warehouse maintains derived *work state* that
+/// makes sweeps O(changed work) instead of O(total state):
+///  - a dirty-DAG work queue ("dirty list"): every state transition that
+///    can create planning work enqueues the affected DAG, and the server's
+///    sweep drains the queue instead of scanning the dags table;
+///  - live outstanding-per-site counters, maintained on job transitions
+///    instead of recomputed by a per-sweep scan of the jobs table.
+/// Both are rebuilt from the recovered tables in recover_from(), so a
+/// restarted server resumes exactly where the crashed one stopped.
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -100,11 +111,30 @@ class DataWarehouse {
   /// Completed jobs of one DAG (for the ready-set computation).
   [[nodiscard]] std::unordered_set<JobId> completed_jobs(DagId dag) const;
   /// Jobs outstanding on a site (eq. 1/2's planned + unfinished term).
+  /// Served from the live counter; O(1).
   [[nodiscard]] std::int64_t outstanding_on_site(SiteId site) const;
-  /// One-pass version over all sites (the planner calls this once per
-  /// control-process sweep instead of scanning per candidate site).
+  /// All sites with outstanding work.  Served from the live counters
+  /// maintained on job transitions -- no table scan.  Sites with zero
+  /// outstanding jobs carry no entry.
   [[nodiscard]] std::unordered_map<SiteId, std::int64_t> outstanding_by_site()
       const;
+  /// Recomputes the same map with a full scan of the jobs table.  Slow;
+  /// exists so tests and the invariant sweep can cross-check the live
+  /// counters against ground truth.
+  [[nodiscard]] std::unordered_map<SiteId, std::int64_t>
+  scan_outstanding_by_site() const;
+
+  // --- work queue (dirty list) ------------------------------------------
+  /// Enqueues a DAG for the next sweep.  Transitions that create planning
+  /// work mark automatically; the server re-marks a DAG it leaves with
+  /// unplanned jobs so blocked work is retried every sweep.  Idempotent.
+  void mark_dag_dirty(DagId id);
+  /// Removes and returns the queued DAGs as fresh records, in table
+  /// insertion order (the order dags_in_state() used to yield), skipping
+  /// DAGs that finished while queued.
+  [[nodiscard]] std::vector<DagRecord> drain_dirty_dags();
+  /// Snapshot of the queued DAG ids, in table insertion order.
+  [[nodiscard]] std::vector<DagId> dirty_dags() const;
 
   // --- site statistics (feedback) --------------------------------------
   [[nodiscard]] SiteStats site_stats(SiteId site) const;
@@ -137,22 +167,41 @@ class DataWarehouse {
   /// Semantic sweep over the whole warehouse: every job/dag state text
   /// parses, outstanding jobs have a site and at least one attempt,
   /// finished DAGs have a finish time, per-dag job counts match the
-  /// recorded totals, site statistics counters are non-negative, and
-  /// quota usage is non-negative.  Also runs the db layer's structural
-  /// sweep.  Throws ContractViolation on corruption; no-op when
-  /// contracts are compiled out.
+  /// recorded totals, site statistics counters are non-negative, quota
+  /// usage is non-negative, the live outstanding counters agree with a
+  /// scan of the jobs table, and every queued dirty DAG names a live,
+  /// unfinished row.  Also runs the db layer's structural sweep.  O(total
+  /// state) -- call from recovery and tests, not per sweep.  Throws
+  /// ContractViolation on corruption; no-op when contracts are compiled
+  /// out.
   void check_invariants() const;
+
+  /// Incremental variant scoped to one DAG: its rows parse, outstanding
+  /// jobs are placed and attempted, the job count matches the recorded
+  /// total, and finish times are coherent.  O(jobs of that DAG), so the
+  /// sweep can check just the DAGs it touched.
+  void check_dag_invariants(DagId id) const;
 
  private:
   explicit DataWarehouse(bool create_schema);
   void create_schema();
-  [[nodiscard]] static JobRecord job_from_row(const db::Row& row);
-  [[nodiscard]] static DagRecord dag_from_row(const db::Row& row);
+  /// Rebuilds the dirty queue and outstanding counters by scanning the
+  /// recovered tables (the inverse of the transition-time maintenance).
+  void rebuild_work_state();
+  [[nodiscard]] static JobRecord decode_job(const db::Row& row);
+  [[nodiscard]] static DagRecord decode_dag(const db::Row& row);
   [[nodiscard]] db::RowId site_stats_row(SiteId site) const;
   db::RowId quota_row(UserId user, SiteId site,
                       const std::string& resource) const;
 
   db::Database db_;
+  /// Dirty-DAG work queue, keyed by dags-table row id so draining yields
+  /// insertion order.  Derived state: never journaled, rebuilt on
+  /// recovery by rebuild_work_state().
+  std::set<db::RowId> dirty_rows_;
+  /// Live outstanding-jobs-per-site counters (zero entries erased so the
+  /// map compares equal to a fresh scan).  Derived state like the queue.
+  std::unordered_map<SiteId, std::int64_t> outstanding_;
 };
 
 }  // namespace sphinx::core

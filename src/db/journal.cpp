@@ -110,7 +110,10 @@ std::string Journal::serialize() const {
       case JournalEntry::Op::kCreateTable: {
         fields = {"C", escape(e.table)};
         for (const Column& col : e.schema) {
-          fields.push_back(escape(col.name) + "=" + to_string(col.type));
+          // A trailing '!' marks an indexed column, so recovery rebuilds
+          // the same hash indexes the original schema declared.
+          fields.push_back(escape(col.name) + "=" + to_string(col.type) +
+                           (col.indexed ? "!" : ""));
         }
         break;
       }
@@ -160,9 +163,12 @@ Expected<Journal> Journal::parse(const std::string& text) {
         }
         auto name = unescape(fields[i].substr(0, eq));
         if (!name) return Unexpected<Error>{name.error()};
-        auto type = decode_type(fields[i].substr(eq + 1));
+        std::string type_text = fields[i].substr(eq + 1);
+        const bool is_indexed = !type_text.empty() && type_text.back() == '!';
+        if (is_indexed) type_text.pop_back();
+        auto type = decode_type(type_text);
         if (!type) return Unexpected<Error>{type.error()};
-        entry.schema.push_back(Column{std::move(*name), *type});
+        entry.schema.push_back(Column{std::move(*name), *type, is_indexed});
       }
     } else if (op == "I") {
       if (fields.size() < 3) return make_error("journal_parse", "short insert");

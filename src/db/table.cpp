@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "common/log.hpp"
 
 namespace sphinx::db {
 namespace {
@@ -54,7 +55,11 @@ bool Schema::accepts_cell(std::size_t i, const Value& v) const noexcept {
 }
 
 Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {}
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  for (const Column& column : schema_.columns()) {
+    if (column.indexed) create_index(column.name);
+  }
+}
 
 RowId Table::insert(std::vector<Value> cells) {
   SPHINX_ASSERT(schema_.accepts(cells),
@@ -136,11 +141,45 @@ std::vector<RowId> Table::find_by(const std::string& column,
     if (bucket == it->second.end()) return {};
     return bucket->second;  // maintained in insertion order
   }
+  note_full_scan(col);
   std::vector<RowId> out;
   for (const auto& [id, row] : rows_) {
     if (row.cells[col] == value) out.push_back(id);
   }
   return out;
+}
+
+const Row* Table::find_first(const std::string& column,
+                             const Value& value) const {
+  const std::size_t col = schema_.index_of(column);
+  if (const auto it = indexes_.find(col); it != indexes_.end()) {
+    const auto bucket = it->second.find(index_key(value));
+    if (bucket == it->second.end() || bucket->second.empty()) return nullptr;
+    return find(bucket->second.front());
+  }
+  note_full_scan(col);
+  for (const auto& [id, row] : rows_) {
+    if (row.cells[col] == value) return &row;
+  }
+  return nullptr;
+}
+
+void Table::note_full_scan(std::size_t column) const {
+#if SPHINX_CONTRACTS_ENABLED
+  // Debug-build contract on query plans: an equality query that cannot
+  // use an index is almost always a missing `indexed` declaration in the
+  // schema.  Count every fallback and log the first one per column.
+  ++full_scans_;
+  if (scan_logged_.size() < schema_.size()) scan_logged_.resize(schema_.size());
+  if (!scan_logged_[column]) {
+    scan_logged_[column] = true;
+    const Logger log{"db"};
+    log.warn("full-scan query on ", name_, ".", schema_.at(column).name,
+             " (no index declared for this column)");
+  }
+#else
+  (void)column;
+#endif
 }
 
 std::vector<RowId> Table::select(

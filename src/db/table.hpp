@@ -29,7 +29,16 @@ inline constexpr RowId kInvalidRow = 0;
 struct Column {
   std::string name;
   ValueType type = ValueType::kNull;  ///< kNull means "any type accepted"
+  /// Declares a hash index on this column at table creation.  The flag is
+  /// part of the schema, so it is journaled with kCreateTable entries and
+  /// recovery rebuilds the same indexes automatically.
+  bool indexed = false;
 };
+
+/// Shorthand for declaring an indexed column in a schema literal.
+[[nodiscard]] inline Column indexed(std::string name, ValueType type) {
+  return Column{std::move(name), type, true};
+}
 
 /// Ordered list of columns.
 class Schema {
@@ -76,7 +85,8 @@ struct TableObserver {
 };
 
 /// One table.  Insertions get monotonically increasing RowIds; indexes are
-/// hash indexes on a single column maintained incrementally.
+/// hash indexes on a single column maintained incrementally.  Columns
+/// marked `indexed` in the schema get their index at construction.
 class Table {
  public:
   Table(std::string name, Schema schema);
@@ -114,6 +124,13 @@ class Table {
   [[nodiscard]] std::vector<RowId> find_by(const std::string& column,
                                            const Value& value) const;
 
+  /// First (lowest-id) row whose `column` equals `value`; nullptr when no
+  /// row matches.  The hot-path accessor for unique-key lookups: unlike
+  /// find_by it does not materialize an id vector.  Pointer invalidated
+  /// by mutations.
+  [[nodiscard]] const Row* find_first(const std::string& column,
+                                      const Value& value) const;
+
   /// Row ids matching an arbitrary predicate, in insertion order.
   [[nodiscard]] std::vector<RowId> select(
       const std::function<bool(const Row&)>& pred) const;
@@ -127,6 +144,14 @@ class Table {
 
   void set_observer(TableObserver* observer) noexcept { observer_ = observer; }
 
+  /// Queries that fell back to a full table scan because the column had
+  /// no index (counted only in contract-enabled builds).  A hot-path
+  /// query showing up here means a missing `indexed` schema declaration;
+  /// the first scan per column is also logged at warn level.
+  [[nodiscard]] std::uint64_t full_scans() const noexcept {
+    return full_scans_;
+  }
+
   /// Structural sweep: every row matches the schema, row ids stay below
   /// the allocation cursor, and every index bucket mirrors the rows it
   /// claims to cover.  Throws ContractViolation on corruption; a no-op
@@ -137,6 +162,7 @@ class Table {
   friend struct TableInspector;  // test-only fault injection
   void index_insert(const Row& row);
   void index_erase(const Row& row);
+  void note_full_scan(std::size_t column) const;
 
   std::string name_;
   Schema schema_;
@@ -146,6 +172,8 @@ class Table {
   std::unordered_map<std::size_t, std::unordered_map<std::string, std::vector<RowId>>>
       indexes_;
   TableObserver* observer_ = nullptr;
+  mutable std::uint64_t full_scans_ = 0;
+  mutable std::vector<bool> scan_logged_;  // per column, first-scan log gate
 };
 
 }  // namespace sphinx::db

@@ -1,5 +1,5 @@
 // Unit tests for the four scheduling strategies against synthetic
-// SchedulingContexts (no simulation involved).
+// PlanningContexts (no simulation involved).
 
 #include <gtest/gtest.h>
 
@@ -20,8 +20,8 @@ CandidateSite site(std::uint64_t id, int cpus, std::int64_t outstanding = 0) {
   return s;
 }
 
-SchedulingContext context_of(std::vector<CandidateSite> sites) {
-  SchedulingContext context;
+PlanningContext context_of(std::vector<CandidateSite> sites) {
+  PlanningContext context;
   context.sites = std::move(sites);
   return context;
 }
@@ -194,7 +194,7 @@ TEST_P(AlgorithmSweep, AlwaysSelectsFromFeasibleSet) {
   sphinx::Rng rng(99);
   for (int trial = 0; trial < 200; ++trial) {
     const int n = static_cast<int>(rng.uniform_int(1, 12));
-    SchedulingContext ctx;
+    PlanningContext ctx;
     for (int i = 0; i < n; ++i) {
       CandidateSite s = site(static_cast<std::uint64_t>(i + 1),
                              static_cast<int>(rng.uniform_int(1, 200)),

@@ -200,6 +200,54 @@ TEST(ServerProtocol, RecoverFromCorruptJournalFails) {
   EXPECT_FALSE(result.has_value());
 }
 
+TEST(ServerProtocol, MidRunRecoveryRebuildsWorkState) {
+  // Kill a server mid-run and rebuild it from nothing but the journal:
+  // the derived work state (dirty queue, outstanding counters) must come
+  // back exactly as a from-scratch scan of the recovered tables implies.
+  Scenario scenario(quiet(17));
+  Tenant& tenant = scenario.add_tenant("t", TenantOptions{});
+  auto generator = scenario.make_generator("w", workflow::WorkloadConfig{});
+  scenario.start();
+  for (int i = 0; i < 6; ++i) {
+    const auto dag = generator.generate("mid-" + std::to_string(i));
+    scenario.engine().schedule_at(
+        minutes(i), "submit", [&tenant, dag] { tenant.client->submit(dag); });
+  }
+  scenario.engine().run_until(minutes(10));
+  tenant.server->stop();  // crash point: the journal is all that survives
+
+  const auto recovered =
+      core::DataWarehouse::recover_from(tenant.server->warehouse().journal());
+  ASSERT_TRUE(recovered.has_value());
+  const core::DataWarehouse& r = **recovered;
+  EXPECT_EQ(r.all_dags().size(), 6u);
+
+  // Counters: rebuilt map == scan of the recovered tables == scan of the
+  // crashed instance's tables (the journal lost nothing).
+  EXPECT_EQ(r.outstanding_by_site(), r.scan_outstanding_by_site());
+  EXPECT_EQ(r.outstanding_by_site(),
+            tenant.server->warehouse().scan_outstanding_by_site());
+
+  // Work queue: exactly the DAGs a from-scratch scan says have pending
+  // work -- received/reduced, or planning with unplanned jobs left.
+  std::vector<DagId> expected;
+  for (const auto& dag : r.all_dags()) {
+    bool pending = dag.state == core::DagState::kReceived ||
+                   dag.state == core::DagState::kReduced;
+    if (dag.state == core::DagState::kPlanning) {
+      for (const auto& job : r.jobs_of_dag(dag.id)) {
+        if (job.state == core::JobState::kUnplanned) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (pending) expected.push_back(dag.id);
+  }
+  EXPECT_EQ(r.dirty_dags(), expected);
+  r.check_invariants();
+}
+
 TEST(ClientProtocol, RejectsBogusPlans) {
   Scenario scenario(quiet());
   Tenant& tenant = scenario.add_tenant("t", TenantOptions{});

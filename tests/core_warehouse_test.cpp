@@ -204,6 +204,123 @@ TEST(Warehouse, RecoverySurvivesTextSerialization) {
   EXPECT_EQ((*recovered)->job(JobId(101))->site, SiteId(2));
 }
 
+TEST(Warehouse, DirtyQueueDrivesTheSweep) {
+  DataWarehouse wh;
+  // Submission enqueues the DAG.
+  wh.insert_dag(two_job_dag(), "c", UserId(1), 0.0);
+  EXPECT_EQ(wh.dirty_dags(), std::vector<DagId>{DagId(100)});
+
+  // Draining empties the queue and yields a fresh record.
+  auto drained = wh.drain_dirty_dags();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].id, DagId(100));
+  EXPECT_EQ(drained[0].state, DagState::kReceived);
+  EXPECT_TRUE(wh.dirty_dags().empty());
+  EXPECT_TRUE(wh.drain_dirty_dags().empty());
+
+  // Planning a job creates no new work; completing one does (the
+  // children may now be ready).
+  wh.set_dag_state(DagId(100), DagState::kPlanning);
+  (void)wh.drain_dirty_dags();  // the state change itself enqueued it
+  wh.set_job_planned(JobId(101), SiteId(4), 1.0);
+  EXPECT_TRUE(wh.dirty_dags().empty());
+  wh.set_job_state(JobId(101), JobState::kCompleted);
+  EXPECT_EQ(wh.dirty_dags(), std::vector<DagId>{DagId(100)});
+
+  // A cancellation bounces the job back to unplanned: work again.
+  (void)wh.drain_dirty_dags();
+  wh.set_job_planned(JobId(102), SiteId(4), 2.0);
+  wh.set_job_state(JobId(102), JobState::kUnplanned);
+  EXPECT_EQ(wh.dirty_dags(), std::vector<DagId>{DagId(100)});
+
+  // Finishing the DAG removes it from the queue: no work after the end.
+  wh.set_dag_finished(DagId(100), 10.0);
+  EXPECT_TRUE(wh.dirty_dags().empty());
+}
+
+TEST(Warehouse, DrainYieldsSubmissionOrder) {
+  DataWarehouse wh;
+  // Submission order (table row order), not DAG-id order.
+  wh.insert_dag(two_job_dag(200), "c", UserId(1), 0.0);
+  wh.insert_dag(two_job_dag(100), "c", UserId(1), 1.0);
+  const auto ids = wh.dirty_dags();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], DagId(200));
+  EXPECT_EQ(ids[1], DagId(100));
+  const auto drained = wh.drain_dirty_dags();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, DagId(200));
+  EXPECT_EQ(drained[1].id, DagId(100));
+  // Marking is idempotent: one queue entry per DAG.
+  wh.mark_dag_dirty(DagId(100));
+  wh.mark_dag_dirty(DagId(100));
+  EXPECT_EQ(wh.dirty_dags().size(), 1u);
+}
+
+TEST(Warehouse, OutstandingCountersMatchScan) {
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(100), "c", UserId(1), 0.0);
+  wh.insert_dag(two_job_dag(200), "c", UserId(1), 0.0);
+  EXPECT_EQ(wh.outstanding_by_site(), wh.scan_outstanding_by_site());
+
+  wh.set_job_planned(JobId(101), SiteId(4), 1.0);
+  wh.set_job_planned(JobId(102), SiteId(5), 1.0);
+  wh.set_job_planned(JobId(201), SiteId(4), 1.0);
+  EXPECT_EQ(wh.outstanding_by_site(), wh.scan_outstanding_by_site());
+  EXPECT_EQ(wh.outstanding_on_site(SiteId(4)), 2);
+
+  // Submitted and running still count as outstanding (eq. 1/2).
+  wh.set_job_state(JobId(101), JobState::kSubmitted);
+  wh.set_job_state(JobId(101), JobState::kRunning);
+  EXPECT_EQ(wh.outstanding_by_site(), wh.scan_outstanding_by_site());
+  EXPECT_EQ(wh.outstanding_on_site(SiteId(4)), 2);
+
+  // Completion and cancellation-to-unplanned both release the slot.
+  wh.set_job_state(JobId(101), JobState::kCompleted);
+  wh.set_job_state(JobId(201), JobState::kUnplanned);
+  EXPECT_EQ(wh.outstanding_by_site(), wh.scan_outstanding_by_site());
+  EXPECT_EQ(wh.outstanding_on_site(SiteId(4)), 0);
+  // Zero entries are erased, matching the scan map exactly.
+  EXPECT_FALSE(wh.outstanding_by_site().contains(SiteId(4)));
+  EXPECT_EQ(wh.outstanding_by_site().at(SiteId(5)), 1);
+  wh.check_invariants();
+}
+
+TEST(Warehouse, RecoveryRebuildsWorkState) {
+  DataWarehouse wh;
+  // DAG 100: planning with an unplanned job -> work to retry.
+  wh.insert_dag(two_job_dag(100), "c", UserId(1), 0.0);
+  wh.set_dag_state(DagId(100), DagState::kPlanning);
+  wh.set_job_planned(JobId(101), SiteId(4), 1.0);
+  // DAG 200: planning, fully planned -> idle until something reports.
+  wh.insert_dag(two_job_dag(200), "c", UserId(1), 0.0);
+  wh.set_dag_state(DagId(200), DagState::kPlanning);
+  wh.set_job_planned(JobId(201), SiteId(4), 1.0);
+  wh.set_job_planned(JobId(202), SiteId(5), 1.0);
+  // DAG 300: freshly received -> work for the reducer.
+  wh.insert_dag(two_job_dag(300), "c", UserId(1), 2.0);
+  // DAG 400: finished -> never work again.
+  wh.insert_dag(two_job_dag(400), "c", UserId(1), 3.0);
+  wh.set_job_planned(JobId(401), SiteId(5), 3.0);
+  wh.set_job_state(JobId(401), JobState::kCompleted);
+  wh.set_job_planned(JobId(402), SiteId(5), 4.0);
+  wh.set_job_state(JobId(402), JobState::kCompleted);
+  wh.set_dag_finished(DagId(400), 5.0);
+
+  const auto recovered = DataWarehouse::recover_from(wh.journal());
+  ASSERT_TRUE(recovered.has_value());
+  const DataWarehouse& r = **recovered;
+  // The queue is rebuilt from the tables alone: DAGs with pending work
+  // (received, or planning with unplanned jobs), in submission order.
+  const std::vector<DagId> expected{DagId(100), DagId(300)};
+  EXPECT_EQ(r.dirty_dags(), expected);
+  // Counters equal a from-scratch scan of the recovered jobs table.
+  EXPECT_EQ(r.outstanding_by_site(), r.scan_outstanding_by_site());
+  EXPECT_EQ(r.outstanding_on_site(SiteId(4)), 2);  // jobs 101, 201
+  EXPECT_EQ(r.outstanding_on_site(SiteId(5)), 1);  // job 202
+  r.check_invariants();
+}
+
 TEST(Warehouse, UnknownLookupsAreSafe) {
   DataWarehouse wh;
   EXPECT_FALSE(wh.dag(DagId(1)).has_value());

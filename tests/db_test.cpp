@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contracts.hpp"
 #include "db/database.hpp"
 #include "db/journal.hpp"
 #include "db/table.hpp"
@@ -304,6 +305,81 @@ TEST(Database, JournalingCanBeDisabled) {
   Table& t = d.create_table("jobs", jobs_schema());
   t.insert({Value("j"), Value("ready"), Value(1), Value(0.0), Value(false)});
   EXPECT_TRUE(d.journal().empty());
+}
+
+Schema indexed_jobs_schema() {
+  return Schema{{{"name", ValueType::kText},
+                 indexed("state", ValueType::kText),
+                 {"site", ValueType::kInt},
+                 {"runtime", ValueType::kReal},
+                 {"done", ValueType::kBool}}};
+}
+
+TEST(Table, SchemaDeclaredIndexes) {
+  Database d;
+  Table& t = d.create_table("jobs", indexed_jobs_schema());
+  t.insert({Value("a"), Value("ready"), Value(1), Value(0.0), Value(false)});
+  t.insert({Value("b"), Value("done"), Value(2), Value(1.0), Value(true)});
+  t.insert({Value("c"), Value("ready"), Value(1), Value(2.0), Value(false)});
+
+  // The declared index serves the query: no scan fallback.
+  EXPECT_EQ(t.find_by("state", Value("ready")).size(), 2u);
+  EXPECT_EQ(t.full_scans(), 0u);
+#if SPHINX_CONTRACTS_ENABLED
+  // Querying an undeclared column falls back to a (counted) full scan.
+  EXPECT_EQ(t.find_by("name", Value("b")).size(), 1u);
+  EXPECT_EQ(t.full_scans(), 1u);
+#endif
+}
+
+TEST(Table, FindFirstMatchesFindBy) {
+  Database d;
+  Table& t = d.create_table("jobs", indexed_jobs_schema());
+  const RowId first =
+      t.insert({Value("a"), Value("ready"), Value(1), Value(0.0),
+                Value(false)});
+  t.insert({Value("b"), Value("ready"), Value(2), Value(1.0), Value(false)});
+
+  // Index path.
+  const Row* row = t.find_first("state", Value("ready"));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->id, first);
+  EXPECT_EQ(row->id, t.find_by("state", Value("ready")).front());
+  EXPECT_EQ(t.find_first("state", Value("nope")), nullptr);
+  // Scan path agrees.
+  row = t.find_first("name", Value("b"));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->id, t.find_by("name", Value("b")).front());
+  EXPECT_EQ(t.find_first("name", Value("zzz")), nullptr);
+}
+
+TEST(Journal, CreateTableCarriesIndexFlags) {
+  Database d;
+  Table& t = d.create_table("jobs", indexed_jobs_schema());
+  t.insert({Value("a"), Value("ready"), Value(1), Value(0.0), Value(false)});
+
+  // The schema line marks indexed columns with a trailing '!'.
+  const std::string text = d.journal().serialize();
+  EXPECT_NE(text.find("state=text!"), std::string::npos);
+  EXPECT_NE(text.find("name=text\t"), std::string::npos);
+
+  // Round trip: the parsed journal rebuilds the index, so the recovered
+  // table answers the hot query without a scan fallback.
+  const auto parsed = Journal::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  Database r;
+  ASSERT_TRUE(r.recover(*parsed).ok());
+  Table& rt = r.table("jobs");
+  EXPECT_EQ(rt.find_by("state", Value("ready")).size(), 1u);
+  EXPECT_EQ(rt.full_scans(), 0u);
+
+  // Journals written before the flag existed still parse (no '!').
+  const auto legacy = Journal::parse("C\tlegacy\tname=text\tstate=text\n");
+  ASSERT_TRUE(legacy.has_value());
+  ASSERT_EQ(legacy->entries().size(), 1u);
+  for (const Column& col : legacy->entries()[0].schema) {
+    EXPECT_FALSE(col.indexed);
+  }
 }
 
 }  // namespace

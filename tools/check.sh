@@ -17,6 +17,13 @@ echo "== sphinx-lint =="
 ./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
   --root . src tests bench examples
 
+echo "== sweep-cost benchmark =="
+# The sweep must cost O(changed work): the 10,000-idle-DAG case should
+# stay within ~2x of the 100-DAG case.  Results land in BENCH_sweep.json.
+./build/relwithdebinfo/bench/micro_scheduler \
+  --benchmark_filter=BM_SweepCost \
+  --benchmark_out=BENCH_sweep.json --benchmark_out_format=json
+
 if [ "${1:-}" != "fast" ]; then
   echo "== build + test (asan-ubsan) =="
   cmake --preset asan-ubsan
