@@ -57,6 +57,9 @@ Expected<XrValue> SphinxClient::handle_execute_plan(
   auto plan = decode_plan(params[0]);
   if (!plan) return Unexpected<Error>{plan.error()};
   ++tracker_.plans_received;
+  if (recorder_ != nullptr) {
+    recorder_->count(config_.endpoint, "tracker.plans_received");
+  }
 
   // Build the submit file from the server's decision.
   submit::SubmitRequest request;
@@ -79,7 +82,10 @@ Expected<XrValue> SphinxClient::handle_execute_plan(
   tracked.plan = *plan;
   tracked.submitted_at = now;
   const JobId job = plan->job;
-  // (Re)insert: a replanned job replaces its dead predecessor entry.
+  // (Re)insert: a replanned job replaces its dead predecessor entry, so a
+  // resubmission starts with a *fresh* extensions budget -- the previous
+  // attempt's used-up extensions must not count against the new attempt
+  // (Figure 8's timeout counts depend on this).
   if (const auto it = tracked_.find(job); it != tracked_.end()) {
     bus_.engine().cancel(it->second.timeout);
     tracked_.erase(it);
@@ -111,7 +117,13 @@ Expected<XrValue> SphinxClient::handle_dag_done(
   if (it == outcome_index_.end()) {
     return make_error("unknown_dag", "client never submitted this dag");
   }
-  outcomes_[it->second].finished_at = bus_.engine().now();
+  DagOutcome& outcome = outcomes_[it->second];
+  outcome.finished_at = bus_.engine().now();
+  if (recorder_ != nullptr) {
+    recorder_->count(config_.endpoint, "tracker.dags_done");
+    recorder_->observe(config_.endpoint, "dag.completion_time",
+                       outcome.completion_time());
+  }
   return XrValue(true);
 }
 
@@ -158,7 +170,13 @@ void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
         gateway_.replicate(tracked.plan.output, tracked.plan.persistent_site,
                            [](bool) {});
       }
+      if (recorder_ != nullptr) {
+        recorder_->count(config_.endpoint, "tracker.completions");
+        recorder_->observe(config_.endpoint, "job.completion_time",
+                           r.completion_time);
+      }
       report(r);
+      tracked_.erase(event.job);  // terminal: drop the tracker entry
       return;
     }
     case submit::GatewayJobState::kHeld:
@@ -171,7 +189,11 @@ void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
       gateway_.cancel(event.job);
       TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0};
       r.completion_time = now - tracked.submitted_at;  // censored
+      if (recorder_ != nullptr) {
+        recorder_->count(config_.endpoint, "tracker.held_or_failed");
+      }
       report(r);
+      tracked_.erase(event.job);  // terminal: drop the tracker entry
       return;
     }
     case submit::GatewayJobState::kRemoved: {
@@ -181,7 +203,10 @@ void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
         TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0};
         r.completion_time = now - tracked.submitted_at;  // censored
         report(r);
+        tracked_.erase(event.job);
       }
+      // Terminal entries are left for the initiating path (on_timeout or
+      // the held branch above) to erase -- it still holds a reference.
       return;
     }
     default:
@@ -205,15 +230,32 @@ void SphinxClient::on_timeout(JobId job) {
       tracked.extensions < config_.max_timeout_extensions) {
     ++tracked.extensions;
     ++tracker_.extensions;
+    // Rearm relative to *this observation*, not the original schedule:
+    // the next check fires one full timeout period from now, so repeated
+    // extensions never accumulate drift against the submission time.
     tracked.timeout = bus_.engine().schedule_in(
         config_.job_timeout, config_.endpoint + ":timeout",
         [this, job] { on_timeout(job); });
+    if (recorder_ != nullptr) {
+      recorder_->event(obs::TraceKind::kTrackerExtension, config_.endpoint,
+                       "job:" + std::to_string(job.value()),
+                       "site:" + std::to_string(tracked.plan.site.value()),
+                       static_cast<double>(tracked.extensions));
+      recorder_->count(config_.endpoint, "tracker.extensions");
+    }
     return;
   }
   finish_tracking(tracked);
   ++tracker_.timeouts;
   log_.debug("timeout for job ", job.value(), " on site ",
              tracked.plan.site.value(), "; cancelling and replanning");
+  if (recorder_ != nullptr) {
+    recorder_->event(obs::TraceKind::kTrackerTimeout, config_.endpoint,
+                     "job:" + std::to_string(job.value()),
+                     "site:" + std::to_string(tracked.plan.site.value()),
+                     static_cast<double>(tracked.extensions));
+    recorder_->count(config_.endpoint, "tracker.timeouts");
+  }
   gateway_.cancel(job);  // condor_rm (or forced removal if site is dead)
   TrackerReport r{job, ReportKind::kCancelled, tracked.plan.site,
                   bus_.engine().now(), 0, 0, 0};
@@ -221,6 +263,9 @@ void SphinxClient::on_timeout(JobId job) {
   // a censored (lower-bound) completion-time observation.
   r.completion_time = bus_.engine().now() - tracked.submitted_at;
   report(r);
+  // Terminal: drop the entry.  The replacement plan (if the server
+  // replans) re-inserts a fresh one with a zeroed extensions budget.
+  tracked_.erase(job);
 }
 
 void SphinxClient::report(const TrackerReport& r) {

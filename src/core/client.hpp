@@ -21,6 +21,7 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "core/codec.hpp"
+#include "obs/recorder.hpp"
 #include "rpc/clarens.hpp"
 #include "submit/condor_g.hpp"
 #include "workflow/dag.hpp"
@@ -117,6 +118,19 @@ class SphinxClient {
 
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
 
+  /// Attaches a flight recorder: tracker timeouts, extensions and
+  /// completion observations are traced under this client's endpoint.
+  /// Observation only.
+  void set_recorder(obs::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+  /// Jobs currently tracked (terminal entries are erased as their
+  /// lifecycle ends, so this does not grow with run length).
+  [[nodiscard]] std::size_t tracked_jobs() const noexcept {
+    return tracked_.size();
+  }
+
  private:
   struct Tracked {
     ExecutionPlan plan;
@@ -148,6 +162,7 @@ class SphinxClient {
   RunningStats exec_times_;
   RunningStats idle_times_;
   std::unordered_map<SiteId, SiteObservation> per_site_;
+  obs::Recorder* recorder_ = nullptr;
   Logger log_{"sphinx-client"};
 };
 

@@ -18,7 +18,8 @@ void DagReducer::reduce(const DagRecord& dag) {
   const auto replicas = rls_.locate_bulk(outputs);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (!replicas[i].empty()) {
-      warehouse_.set_job_state(jobs[i].id, JobState::kCompleted);
+      warehouse_.set_job_state(jobs[i].id, JobState::kCompleted,
+                               "reduced:output-exists");
       ++stats_.jobs_reduced;
     }
   }

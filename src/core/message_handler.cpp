@@ -32,13 +32,15 @@ StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
   switch (report.kind) {
     case ReportKind::kSubmitted:
       if (job->state == JobState::kPlanned) {
-        warehouse_.set_job_state(job->id, JobState::kSubmitted);
+        warehouse_.set_job_state(job->id, JobState::kSubmitted,
+                                 "report:submitted");
       }
       break;
     case ReportKind::kRunning:
       if (job->state == JobState::kSubmitted ||
           job->state == JobState::kPlanned) {
-        warehouse_.set_job_state(job->id, JobState::kRunning);
+        warehouse_.set_job_state(job->id, JobState::kRunning,
+                                 "report:running");
       }
       break;
     case ReportKind::kCompleted: {
@@ -47,7 +49,8 @@ StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
         // count the site's statistics and re-run the DAG finish check.
         break;
       }
-      warehouse_.set_job_state(job->id, JobState::kCompleted);
+      warehouse_.set_job_state(job->id, JobState::kCompleted,
+                               "report:completed");
       // Feedback: fold the completion time into the site's EWMA (the
       // prediction module's knowledge base, eq. 3).
       warehouse_.record_completion(report.site, report.completion_time);
@@ -65,9 +68,13 @@ StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
       }
       // The tracker killed or observed the death of this attempt.  Return
       // the reserved quota and queue the job for replanning.
-      warehouse_.set_job_state(job->id, report.kind == ReportKind::kHeld
-                                            ? JobState::kHeld
-                                            : JobState::kCancelled);
+      warehouse_.set_job_state(job->id,
+                               report.kind == ReportKind::kHeld
+                                   ? JobState::kHeld
+                                   : JobState::kCancelled,
+                               report.kind == ReportKind::kHeld
+                                   ? "report:held"
+                                   : "report:cancelled");
       warehouse_.record_cancellation(report.site, report.completion_time);
       if (config_.use_policy) {
         if (const auto dag = warehouse_.dag(job->dag); dag.has_value()) {
@@ -79,7 +86,8 @@ StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
       }
       // Back to the planner on the next sweep (the unplanned transition
       // re-enqueues the DAG on the dirty list).
-      warehouse_.set_job_state(job->id, JobState::kUnplanned);
+      warehouse_.set_job_state(job->id, JobState::kUnplanned,
+                               "replan-queued");
       break;
     }
   }

@@ -122,6 +122,12 @@ Expected<XrValue> SphinxServer::handle_submit_dag(
 
   message_handler_->accept_dag(*dag, client, user, bus_.engine().now(),
                                priority, deadline);
+  if (recorder_ != nullptr) {
+    recorder_->event(obs::TraceKind::kDagReceived, config_.endpoint,
+                     "dag:" + std::to_string(dag->id().value()), dag->name(),
+                     static_cast<double>(dag->size()));
+    recorder_->count(config_.endpoint, "server.dags_received");
+  }
   log_.debug("received dag ", dag->name(), " (", dag->size(), " jobs) from ",
              client, " [", proxy.principal(), "]");
   return XrValue(dag->id().value());
@@ -159,6 +165,11 @@ void SphinxServer::set_quota(UserId user, SiteId site,
   message_handler_->set_quota(user, site, resource, limit);
 }
 
+void SphinxServer::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  warehouse_->set_recorder(recorder, config_.endpoint);
+}
+
 void SphinxServer::sweep() {
   // Control process: drain the dirty-DAG work queue once, then walk each
   // drained DAG through the pipeline stages.  DAGs the queue does not
@@ -167,6 +178,15 @@ void SphinxServer::sweep() {
   // event can interleave while a sweep runs, so the drained snapshot
   // stays consistent across the stages.
   std::vector<DagRecord> drained = warehouse_->drain_dirty_dags();
+
+  // Idle sweeps (the overwhelming majority on a long run) are not traced;
+  // the begin/end pair brackets sweeps that had work, with the drained
+  // queue depth on begin and the plan count on end.
+  if (recorder_ != nullptr && !drained.empty()) {
+    recorder_->event(obs::TraceKind::kSweepBegin, config_.endpoint, "", "",
+                     static_cast<double>(drained.size()));
+  }
+  const std::size_t plans_before = stats_.plans_sent;
 
   // Stage 1: the reducer consumes received DAGs.  A fully-reduced DAG can
   // finish right here (all outputs already existed).
@@ -214,10 +234,33 @@ void SphinxServer::sweep() {
     Planner::Outcome outcome = planner_->plan_dag(dag, now);
     for (const ExecutionPlan& plan : outcome.plans) {
       send_plan(dag.client, plan);
+      if (recorder_ != nullptr) {
+        recorder_->event(obs::TraceKind::kPlanSent, config_.endpoint,
+                         "job:" + std::to_string(plan.job.value()),
+                         "site:" + std::to_string(plan.site.value()),
+                         static_cast<double>(plan.attempt));
+        recorder_->count(config_.endpoint, "server.plans");
+        if (plan.attempt > 1) {
+          recorder_->count(config_.endpoint, "server.replans");
+        } else {
+          // Planning latency for first attempts: submission -> plan.
+          // Replans are excluded; their latency measures the failure
+          // path, not the planner.
+          recorder_->observe(config_.endpoint, "server.plan_latency",
+                             now - dag.received_at);
+        }
+      }
     }
     // Blocked or unplaceable jobs are retried every sweep, like the old
     // full-scan control process did.
     if (outcome.jobs_left_unplanned) warehouse_->mark_dag_dirty(dag.id);
+  }
+
+  if (recorder_ != nullptr && !drained.empty()) {
+    recorder_->event(obs::TraceKind::kSweepEnd, config_.endpoint, "", "",
+                     static_cast<double>(stats_.plans_sent - plans_before));
+    recorder_->observe(config_.endpoint, "server.sweep_depth",
+                       static_cast<double>(drained.size()));
   }
 
   // Every sweep leaves the DAGs it touched in a sound state; scoped to
@@ -253,6 +296,13 @@ void SphinxServer::maybe_finish_dag(DagId dag_id) {
   if (!all_done) return;
   const SimTime now = bus_.engine().now();
   warehouse_->set_dag_finished(dag_id, now);
+  if (recorder_ != nullptr) {
+    recorder_->event(obs::TraceKind::kDagFinished, config_.endpoint,
+                     "dag:" + std::to_string(dag_id.value()), dag->name,
+                     now - dag->received_at);
+    recorder_->observe(config_.endpoint, "dag.turnaround",
+                       now - dag->received_at);
+  }
   out_->call(dag->client, "sphinx_client.dag_done",
              {XrValue(dag_id.value()), XrValue(now)}, [](auto) {});
 }

@@ -36,6 +36,7 @@
 #include "data/gridftp.hpp"
 #include "data/rls.hpp"
 #include "monitor/service.hpp"
+#include "obs/recorder.hpp"
 #include "rpc/clarens.hpp"
 #include "sim/engine.hpp"
 
@@ -90,6 +91,11 @@ class SphinxServer {
   void set_quota(UserId user, SiteId site, const std::string& resource,
                  double limit);
 
+  /// Attaches a flight recorder: sweeps, DAG arrivals/finishes and plan
+  /// emissions are traced under this server's endpoint, and the
+  /// warehouse's job transitions are wired up too.  Observation only.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   SphinxServer(rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
                data::ReplicaLocationService& rls,
@@ -120,6 +126,7 @@ class SphinxServer {
   std::unique_ptr<rpc::ClarensService> service_;
   std::unique_ptr<rpc::ClarensClient> out_;  ///< for server -> client calls
   std::unique_ptr<sim::PeriodicProcess> control_;
+  obs::Recorder* recorder_ = nullptr;
   Logger log_{"sphinx-server"};
 };
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/contracts.hpp"
+#include "obs/recorder.hpp"
 
 namespace sphinx::core {
 
@@ -261,7 +262,8 @@ std::vector<JobRecord> DataWarehouse::jobs_in_state(JobState state) const {
   return out;
 }
 
-void DataWarehouse::set_job_state(JobId id, JobState state) {
+void DataWarehouse::set_job_state(JobId id, JobState state,
+                                  std::string_view reason) {
   db::Table& jobs = db_.table("jobs");
   const db::Row* row = jobs.find_first("job_id", Value(id.value()));
   SPHINX_ASSERT(row != nullptr, "set_job_state: unknown job");
@@ -272,6 +274,7 @@ void DataWarehouse::set_job_state(JobId id, JobState state) {
                           to_string(state));
   const SiteId site(static_cast<std::uint64_t>(row->cells[4].as_int()));
   const Value dag_key = row->cells[1];
+  const std::int64_t attempt = row->cells[8].as_int();
   const db::RowId row_id = row->id;
   jobs.update(row_id, "state", Value(to_string(state)));
 
@@ -293,6 +296,19 @@ void DataWarehouse::set_job_state(JobId id, JobState state) {
     const db::Row* dag_row = db_.table("dags").find_first("dag_id", dag_key);
     if (dag_row != nullptr) dirty_rows_.insert(dag_row->id);
   }
+
+  if (recorder_ != nullptr) {
+    std::string detail = std::string(to_string(old_state)) + "->" +
+                         to_string(state);
+    if (!reason.empty()) {
+      detail += " (";
+      detail += reason;
+      detail += ")";
+    }
+    recorder_->event(obs::TraceKind::kJobTransition, recorder_source_,
+                     "job:" + std::to_string(id.value()), std::move(detail),
+                     static_cast<double>(attempt));
+  }
 }
 
 void DataWarehouse::set_job_planned(JobId id, SiteId site, SimTime at) {
@@ -310,6 +326,19 @@ void DataWarehouse::set_job_planned(JobId id, SiteId site, SimTime at) {
   jobs.update(row_id, "attempt", Value(attempt));
   jobs.update(row_id, "planned_at", Value(at));
   ++outstanding_[site];  // planned counts as outstanding until it resolves
+
+  if (recorder_ != nullptr) {
+    recorder_->event(obs::TraceKind::kJobTransition, recorder_source_,
+                     "job:" + std::to_string(id.value()),
+                     attempt > 1 ? std::string("unplanned->planned (replan)")
+                                 : std::string("unplanned->planned"),
+                     static_cast<double>(attempt));
+  }
+}
+
+void DataWarehouse::set_recorder(obs::Recorder* recorder, std::string source) {
+  recorder_ = recorder;
+  recorder_source_ = std::move(source);
 }
 
 std::vector<data::Lfn> DataWarehouse::job_inputs(JobId id) const {

@@ -24,6 +24,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,6 +35,10 @@
 #include "data/lfn.hpp"
 #include "db/database.hpp"
 #include "workflow/dag.hpp"
+
+namespace sphinx::obs {
+class Recorder;
+}  // namespace sphinx::obs
 
 namespace sphinx::core {
 
@@ -101,7 +106,9 @@ class DataWarehouse {
   [[nodiscard]] std::optional<JobRecord> job(JobId id) const;
   [[nodiscard]] std::vector<JobRecord> jobs_of_dag(DagId id) const;
   [[nodiscard]] std::vector<JobRecord> jobs_in_state(JobState state) const;
-  void set_job_state(JobId id, JobState state);
+  /// Transitions a job; `reason` is free-form context ("report:completed",
+  /// "tracker-cancel", ...) carried into the flight-recorder trace.
+  void set_job_state(JobId id, JobState state, std::string_view reason = {});
   /// Records a planning decision (state -> planned, attempt++).
   void set_job_planned(JobId id, SiteId site, SimTime at);
   [[nodiscard]] std::vector<data::Lfn> job_inputs(JobId id) const;
@@ -164,6 +171,12 @@ class DataWarehouse {
 
   [[nodiscard]] db::Database& database() noexcept { return db_; }
 
+  /// Attaches a flight recorder; job transitions and planning decisions
+  /// are traced as `source` (the owning server's endpoint).  The
+  /// warehouse has no clock of its own -- the recorder stamps events
+  /// with its engine's sim time.  Observation only.
+  void set_recorder(obs::Recorder* recorder, std::string source);
+
   /// Semantic sweep over the whole warehouse: every job/dag state text
   /// parses, outstanding jobs have a site and at least one attempt,
   /// finished DAGs have a finish time, per-dag job counts match the
@@ -202,6 +215,8 @@ class DataWarehouse {
   /// Live outstanding-jobs-per-site counters (zero entries erased so the
   /// map compares equal to a fresh scan).  Derived state like the queue.
   std::unordered_map<SiteId, std::int64_t> outstanding_;
+  obs::Recorder* recorder_ = nullptr;
+  std::string recorder_source_;
 };
 
 }  // namespace sphinx::core

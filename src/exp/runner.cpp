@@ -1,5 +1,9 @@
 #include "exp/runner.hpp"
 
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+#include "obs/export.hpp"
+
 namespace sphinx::exp {
 
 std::vector<TenantSpec> standard_panel() {
@@ -17,9 +21,15 @@ std::vector<TenantSpec> standard_panel() {
   return specs;
 }
 
+const obs::Recorder& Experiment::recorder() const {
+  SPHINX_PRECONDITION(scenario_ != nullptr, "recorder(): call run() first");
+  return scenario_->recorder();
+}
+
 std::vector<TenantResult> Experiment::run(
     const std::vector<TenantSpec>& specs) {
-  Scenario scenario(config_.scenario);
+  scenario_ = std::make_unique<Scenario>(config_.scenario);
+  Scenario& scenario = *scenario_;
 
   // Create tenants and their (structurally identical) workloads.
   std::vector<std::vector<workflow::Dag>> workloads;
@@ -103,6 +113,27 @@ std::vector<TenantResult> Experiment::run(
       r.per_site.push_back(figure);
     }
     results.push_back(std::move(r));
+  }
+
+  // Flight-recorder export: per-run trace + metrics, byte-identical for
+  // same-seed runs (tools/check.sh's determinism gate diffs two of them).
+  if (!config_.trace_path.empty()) {
+    if (const auto status =
+            obs::write_trace_jsonl(scenario.recorder().trace(),
+                                   config_.trace_path);
+        !status.ok()) {
+      Logger("experiment").warn("trace export failed: ",
+                                status.error().to_string());
+    }
+  }
+  if (!config_.metrics_path.empty()) {
+    if (const auto status =
+            obs::write_metrics_json(scenario.recorder().metrics(),
+                                    config_.metrics_path);
+        !status.ok()) {
+      Logger("experiment").warn("metrics export failed: ",
+                                status.error().to_string());
+    }
   }
   return results;
 }

@@ -11,6 +11,7 @@
 /// structurally identical workload, runs the simulation and extracts the
 /// per-tenant metrics each figure plots.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,10 @@ struct ExperimentConfig {
   /// workload demand.  0 disables quota installation.
   double quota_cpu_fraction = 0.0;
   double quota_disk_fraction = 0.0;
+  /// Flight-recorder export: written after run() when non-empty
+  /// ("-" = stdout).  Same-seed runs produce byte-identical files.
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 class Experiment {
@@ -73,9 +78,15 @@ class Experiment {
   /// Simulated time at which the run stopped (after run()).
   [[nodiscard]] SimTime stopped_at() const noexcept { return stopped_at_; }
 
+  /// The run's flight recorder (valid after run(); the scenario stays
+  /// alive so figures can derive their numbers from the recorded trace
+  /// and metrics instead of ad-hoc counters).
+  [[nodiscard]] const obs::Recorder& recorder() const;
+
  private:
   ExperimentConfig config_;
   SimTime stopped_at_ = 0.0;
+  std::unique_ptr<Scenario> scenario_;
 };
 
 /// Convenience: the four-strategy panel used by Figures 3-5 (all with

@@ -56,6 +56,7 @@ constexpr double kBackgroundJobMeanDuration = 20.0 * 60.0;  // 20 min
 
 Scenario::Scenario(ScenarioConfig config)
     : config_(config),
+      registry_(config.metric_history_limit),
       seeds_(config.seed),
       bus_(engine_, seeds_.stream("bus"), config.bus_latency,
            config.bus_jitter),
@@ -63,6 +64,13 @@ Scenario::Scenario(ScenarioConfig config)
       transfers_(engine_),
       monitoring_(engine_, grid_, config.monitor,
                   seeds_.stream("monitoring")) {
+  // Flight-recorder wiring.  Recording is observation only -- no events,
+  // no RNG draws -- so a fixed-seed run's results are bit-identical with
+  // or without the instrumentation.
+  bus_.set_recorder(&recorder_);
+  grid_.set_recorder(&recorder_);
+  monitoring_.attach_registry(&registry_);
+  recorder_.bridge(registry_, "monitor");
   build_sites();
 }
 
@@ -148,6 +156,7 @@ Tenant& Scenario::add_tenant(const std::string& label,
   server_config.use_qos_ordering = options.use_qos_ordering;
   tenant.server = std::make_unique<core::SphinxServer>(
       bus_, catalog(), rls_, transfers_, &monitoring_, server_config);
+  tenant.server->set_recorder(&recorder_);
 
   core::ClientConfig client_config;
   client_config.endpoint = "sphinx-client/" + label;
@@ -160,6 +169,7 @@ Tenant& Scenario::add_tenant(const std::string& label,
       "uscms", {"/uscms/production"}, engine_.now(), hours(24 * 365));
   tenant.client = std::make_unique<core::SphinxClient>(bus_, *tenant.gateway,
                                                        client_config, proxy);
+  tenant.client->set_recorder(&recorder_);
 
   tenants_.push_back(std::move(tenant));
   return tenants_.back();

@@ -23,7 +23,9 @@
 #include "data/rls.hpp"
 #include "data/storage.hpp"
 #include "grid/grid.hpp"
+#include "monitor/gma.hpp"
 #include "monitor/service.hpp"
+#include "obs/recorder.hpp"
 #include "rpc/transport.hpp"
 #include "sim/engine.hpp"
 #include "submit/condor_g.hpp"
@@ -39,6 +41,8 @@ struct ScenarioConfig {
   monitor::MonitorConfig monitor;  ///< poll period 5 min by default
   Duration bus_latency = 0.1;
   Duration bus_jitter = 0.1;
+  /// GMA registry retention per (metric, site) series.
+  std::size_t metric_history_limit = 64;
 };
 
 /// One SPHINX deployment (server + client + gateway) sharing the grid
@@ -96,12 +100,27 @@ class Scenario {
   [[nodiscard]] std::deque<Tenant>& tenants() noexcept { return tenants_; }
   [[nodiscard]] workflow::IdSpace& ids() noexcept { return ids_; }
   [[nodiscard]] const SeedTree& seeds() const noexcept { return seeds_; }
+  /// The scenario-wide flight recorder: every layer (bus, grid failures,
+  /// monitoring bridge, each tenant's server and client) records into it.
+  [[nodiscard]] obs::Recorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const obs::Recorder& recorder() const noexcept {
+    return recorder_;
+  }
+  /// The GMA registry monitoring publishes into (bridged to the recorder).
+  [[nodiscard]] monitor::MetricRegistry& registry() noexcept {
+    return registry_;
+  }
 
  private:
   void build_sites();
 
   ScenarioConfig config_;
   sim::Engine engine_;
+  // Declared before registry_: the registry holds a bridge callback into
+  // the recorder, so it must be destroyed first (reverse declaration
+  // order destroys registry_ before recorder_).
+  obs::Recorder recorder_{engine_};
+  monitor::MetricRegistry registry_;
   SeedTree seeds_;
   rpc::MessageBus bus_;
   grid::Grid grid_;

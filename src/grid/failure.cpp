@@ -1,17 +1,41 @@
 #include "grid/failure.hpp"
 
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "obs/recorder.hpp"
+
 namespace sphinx::grid {
+namespace {
+
+bool weight_ok(double w) { return std::isfinite(w) && w >= 0.0; }
+
+}  // namespace
 
 FailureModel::FailureModel(sim::Engine& engine, Site& site,
                            FailureConfig config, Rng rng)
-    : engine_(engine), site_(site), config_(config), rng_(std::move(rng)) {}
+    : engine_(engine), site_(site), config_(config), rng_(std::move(rng)) {
+  SPHINX_PRECONDITION(weight_ok(config_.weight_down) &&
+                          weight_ok(config_.weight_black_hole) &&
+                          weight_ok(config_.weight_degraded),
+                      "failure mode weights must be non-negative and finite");
+}
 
 void FailureModel::start() {
   if (config_.permanent_black_hole) {
     site_.become_black_hole();
+    record_outage("black_hole(permanent)");
     return;
   }
   if (config_.enabled) schedule_failure();
+}
+
+void FailureModel::record_outage(const char* mode) {
+  if (recorder_ == nullptr) return;
+  recorder_->event(obs::TraceKind::kSiteOutage, "failure:" + site_.name(),
+                   "site:" + std::to_string(site_.id().value()), mode,
+                   static_cast<double>(outages_));
+  recorder_->count("grid", "site.outages");
 }
 
 void FailureModel::schedule_failure() {
@@ -24,13 +48,24 @@ void FailureModel::fail() {
   ++outages_;
   const double total = config_.weight_down + config_.weight_black_hole +
                        config_.weight_degraded;
-  const double draw = rng_.uniform(0.0, total > 0 ? total : 1.0);
-  if (draw < config_.weight_down) {
+  if (total <= 0.0) {
+    // All-zero mode mix: there is no distribution to draw from, so the
+    // outage takes the `weight_down` meaning (plain downtime) instead of
+    // falling through to an arbitrary mode.
     site_.go_down();
-  } else if (draw < config_.weight_down + config_.weight_black_hole) {
-    site_.become_black_hole();
+    record_outage("down");
   } else {
-    site_.degrade();
+    const double draw = rng_.uniform(0.0, total);
+    if (draw < config_.weight_down) {
+      site_.go_down();
+      record_outage("down");
+    } else if (draw < config_.weight_down + config_.weight_black_hole) {
+      site_.become_black_hole();
+      record_outage("black_hole");
+    } else {
+      site_.degrade();
+      record_outage("degraded");
+    }
   }
   const Duration downtime = rng_.exponential(config_.mean_downtime);
   engine_.schedule_in(downtime, "failure:" + site_.name() + ":repair",
@@ -39,6 +74,12 @@ void FailureModel::fail() {
 
 void FailureModel::repair() {
   site_.recover();
+  if (recorder_ != nullptr) {
+    recorder_->event(obs::TraceKind::kSiteRepair, "failure:" + site_.name(),
+                     "site:" + std::to_string(site_.id().value()), "",
+                     static_cast<double>(outages_));
+    recorder_->count("grid", "site.repairs");
+  }
   schedule_failure();
 }
 

@@ -15,6 +15,10 @@
 #include "grid/site.hpp"
 #include "sim/engine.hpp"
 
+namespace sphinx::obs {
+class Recorder;
+}  // namespace sphinx::obs
+
 namespace sphinx::grid {
 
 /// Failure behaviour of one site.
@@ -30,13 +34,20 @@ struct FailureConfig {
   bool permanent_black_hole = false;
 };
 
-/// Drives one site through up/down cycles on the engine.
+/// Drives one site through up/down cycles on the engine.  Mode weights
+/// must be non-negative and finite (contract-checked); an all-zero mix
+/// falls back to plain downtime (`weight_down` semantics) instead of
+/// selecting a mode from an undefined distribution.
 class FailureModel {
  public:
   FailureModel(sim::Engine& engine, Site& site, FailureConfig config, Rng rng);
 
   /// Begins the renewal process (applies permanent modes immediately).
   void start();
+
+  /// Attaches a flight recorder; outages and repairs are traced with
+  /// their failure mode.  Observation only.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
 
   [[nodiscard]] std::size_t outages() const noexcept { return outages_; }
   [[nodiscard]] const FailureConfig& config() const noexcept { return config_; }
@@ -45,12 +56,14 @@ class FailureModel {
   void schedule_failure();
   void fail();
   void repair();
+  void record_outage(const char* mode);
 
   sim::Engine& engine_;
   Site& site_;
   FailureConfig config_;
   Rng rng_;
   std::size_t outages_ = 0;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 /// Poisson background load from other grid users (the site's "dynamic

@@ -21,9 +21,15 @@ SiteId Grid::add_site(const SiteSpec& spec) {
   slot.background = std::make_unique<BackgroundLoad>(
       engine_, *slot.site, spec.background,
       seeds_.stream("background/" + spec.site.name));
+  slot.failure->set_recorder(recorder_);
   sites_.push_back(std::move(slot));
   ids_.push_back(id);
   return id;
+}
+
+void Grid::set_recorder(obs::Recorder* recorder) noexcept {
+  recorder_ = recorder;
+  for (Slot& slot : sites_) slot.failure->set_recorder(recorder);
 }
 
 void Grid::start() {

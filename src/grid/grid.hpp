@@ -39,6 +39,10 @@ class Grid {
   /// Starts failure models and background load for all sites.
   void start();
 
+  /// Attaches a flight recorder to every site's failure model (current
+  /// and future).  Observation only.
+  void set_recorder(obs::Recorder* recorder) noexcept;
+
   [[nodiscard]] Site& site(SiteId id);
   [[nodiscard]] const Site& site(SiteId id) const;
   /// Lookup by name; nullptr when absent.
@@ -66,6 +70,7 @@ class Grid {
   std::vector<Slot> sites_;  // index = id - 1
   std::vector<SiteId> ids_;
   bool started_ = false;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace sphinx::grid

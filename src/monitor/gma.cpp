@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace sphinx::monitor {
+
+MetricRegistry::MetricRegistry(std::size_t history_limit)
+    : history_limit_(history_limit) {
+  SPHINX_PRECONDITION(history_limit_ >= 1,
+                      "history_limit must retain at least one observation");
+}
+
+void MetricRegistry::set_history_limit(std::size_t history_limit) {
+  SPHINX_PRECONDITION(history_limit >= 1,
+                      "history_limit must retain at least one observation");
+  history_limit_ = history_limit;
+  for (auto& [key, bucket] : series_) {
+    while (bucket.size() > history_limit_) bucket.pop_front();
+  }
+}
 
 void MetricRegistry::publish(Metric metric) {
   SPHINX_ASSERT(!metric.name.empty(), "metric needs a name");
@@ -14,7 +30,7 @@ void MetricRegistry::publish(Metric metric) {
   while (bucket.size() > history_limit_) bucket.pop_front();
 
   for (const Subscriber& sub : subscribers_) {
-    if (sub.name != metric.name) continue;
+    if (sub.name != "*" && sub.name != metric.name) continue;
     if (sub.site.valid() && sub.site != metric.site) continue;
     sub.callback(metric);
   }

@@ -55,16 +55,25 @@ class MetricRegistry {
  public:
   using Callback = std::function<void(const Metric&)>;
 
-  /// \param history_limit observations retained per (name, site) series.
-  explicit MetricRegistry(std::size_t history_limit = 64)
-      : history_limit_(history_limit) {}
+  /// \param history_limit observations retained per (name, site) series;
+  /// must be >= 1 (contract-checked) -- the deques are bounded, eldest
+  /// evicted first, so long runs cannot grow the registry without limit.
+  explicit MetricRegistry(std::size_t history_limit = 64);
+
+  /// Retargets the per-series retention cap at runtime; series already
+  /// over the new cap are trimmed immediately (eldest first).
+  void set_history_limit(std::size_t history_limit);
+  [[nodiscard]] std::size_t history_limit() const noexcept {
+    return history_limit_;
+  }
 
   /// Producer API: publishes one observation and fans it out to matching
   /// subscribers.
   void publish(Metric metric);
 
   /// Consumer API: subscribes to every metric named `name`; a valid
-  /// `site` narrows to one site's series.
+  /// `site` narrows to one site's series.  The name "*" subscribes to
+  /// *every* metric regardless of name (the flight-recorder bridge).
   SubscriptionId subscribe(std::string name, Callback callback,
                            SiteId site = SiteId());
   /// Cancels a subscription (no-op for unknown ids).

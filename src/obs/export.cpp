@@ -1,0 +1,38 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <iostream>  // sphinx-lint-allow(iostream-include): "-" = stdout export
+
+namespace sphinx::obs {
+namespace {
+
+StatusOrError write_text(const std::string& text, const std::string& path) {
+  if (path == "-") {
+    std::cout << text << std::flush;
+    return {};
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return make_error("io_error", "cannot open " + path + " for writing");
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    return make_error("io_error", "short write to " + path);
+  }
+  return {};
+}
+
+}  // namespace
+
+StatusOrError write_trace_jsonl(const TraceSink& trace,
+                                const std::string& path) {
+  return write_text(trace.to_jsonl(), path);
+}
+
+StatusOrError write_metrics_json(const MetricSet& metrics,
+                                 const std::string& path) {
+  return write_text(metrics.to_json(), path);
+}
+
+}  // namespace sphinx::obs

@@ -1,0 +1,25 @@
+#pragma once
+/// \file export.hpp
+/// File export for the flight recorder: trace.jsonl + metrics.json.
+///
+/// Serialization itself lives on TraceSink/MetricSet (pure, in-memory,
+/// deterministic); this is only the I/O shim.  A path of "-" writes to
+/// stdout so tools can pipe a trace without touching the filesystem.
+
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sphinx::obs {
+
+/// Writes the trace as JSON Lines to `path` ("-" = stdout).
+[[nodiscard]] StatusOrError write_trace_jsonl(const TraceSink& trace,
+                                              const std::string& path);
+
+/// Writes the metric set as a JSON document to `path` ("-" = stdout).
+[[nodiscard]] StatusOrError write_metrics_json(const MetricSet& metrics,
+                                               const std::string& path);
+
+}  // namespace sphinx::obs

@@ -1,0 +1,94 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace sphinx::obs {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kSweepBegin: return "sweep_begin";
+    case TraceKind::kSweepEnd: return "sweep_end";
+    case TraceKind::kDagReceived: return "dag_received";
+    case TraceKind::kDagFinished: return "dag_finished";
+    case TraceKind::kJobTransition: return "job_transition";
+    case TraceKind::kPlanSent: return "plan_sent";
+    case TraceKind::kTrackerTimeout: return "tracker_timeout";
+    case TraceKind::kTrackerExtension: return "tracker_extension";
+    case TraceKind::kSiteOutage: return "site_outage";
+    case TraceKind::kSiteRepair: return "site_repair";
+    case TraceKind::kBusDelivery: return "bus_delivery";
+    case TraceKind::kMonitorSample: return "monitor_sample";
+  }
+  return "unknown";
+}
+
+std::string format_double(double value) {
+  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+  if (std::isnan(value)) return "\"nan\"";
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  SPHINX_INVARIANT(ec == std::errc{}, "double formatting cannot fail");
+  return std::string(buffer, ptr);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string TraceEvent::to_json() const {
+  std::string out = "{\"t\":";
+  out += format_double(at);
+  out += ",\"kind\":\"";
+  out += to_string(kind);
+  out += "\",\"src\":\"";
+  out += json_escape(source);
+  out += "\",\"subj\":\"";
+  out += json_escape(subject);
+  out += "\",\"detail\":\"";
+  out += json_escape(detail);
+  out += "\",\"v\":";
+  out += format_double(value);
+  out += "}";
+  return out;
+}
+
+void TraceSink::record(TraceEvent event) {
+  SPHINX_PRECONDITION(event.at >= last_at_,
+                      "trace events must arrive in sim-time order");
+  last_at_ = event.at;
+  events_.push_back(std::move(event));
+}
+
+std::string TraceSink::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += event.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sphinx::obs

@@ -1,0 +1,88 @@
+#pragma once
+/// \file trace.hpp
+/// Structured, sim-time-stamped trace events -- the flight recorder's
+/// timeline half.
+///
+/// Every layer of the scheduling pipeline appends typed events here:
+/// server sweeps, per-job state transitions with reasons, tracker
+/// timeouts and extensions, site outages and repairs, bus deliveries and
+/// monitoring samples.  Events carry only deterministic payloads (sim
+/// time, endpoint names, ids, reasons), so two same-seed runs produce
+/// byte-identical serialized output -- the property tools/check.sh's
+/// determinism gate enforces.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sphinx::obs {
+
+/// What happened.  One enumerator per instrumented decision point; the
+/// serialized name is to_string(kind).
+enum class TraceKind {
+  kSweepBegin,       ///< server sweep started; value = dirty-queue depth
+  kSweepEnd,         ///< server sweep finished; value = plans sent
+  kDagReceived,      ///< server accepted a DAG; value = job count
+  kDagFinished,      ///< server observed a DAG complete; value = turnaround
+  kJobTransition,    ///< warehouse job state change; detail = "old->new"
+  kPlanSent,         ///< planner emitted an execution plan; value = attempt
+  kTrackerTimeout,   ///< tracker cancelled a silent job; value = extensions used
+  kTrackerExtension, ///< tracker deferred a timeout; value = extension number
+  kSiteOutage,       ///< failure model took a site out; detail = mode
+  kSiteRepair,       ///< failure model restored a site
+  kBusDelivery,      ///< message delivered; value = delivery latency
+  kMonitorSample,    ///< GMA metric published; detail = metric name
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+/// One recorded event.  `source` is the emitting component (endpoint or
+/// subsystem name), `subject` the entity acted on ("job:42", "dag:7",
+/// "site:3"), `detail` a free-form reason string, `value` a numeric
+/// payload whose meaning depends on the kind.
+struct TraceEvent {
+  SimTime at = 0.0;
+  TraceKind kind = TraceKind::kJobTransition;
+  std::string source;
+  std::string subject;
+  std::string detail;
+  double value = 0.0;
+
+  /// One JSON object, fixed key order, deterministic float formatting.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Append-only event log.  Events must arrive in non-decreasing sim-time
+/// order (the engine guarantees this for anything recorded from event
+/// context); the sink enforces it as an invariant so a trace can always
+/// be merged or binary-searched by time.
+class TraceSink {
+ public:
+  void record(TraceEvent event);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// The whole log as JSON Lines (one event object per line).
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  SimTime last_at_ = 0.0;
+};
+
+/// Deterministic decimal rendering of a double: shortest round-trip form
+/// via std::to_chars, identical across same-seed runs and platforms with
+/// correct to_chars.  Shared by the trace and metrics serializers.
+[[nodiscard]] std::string format_double(double value);
+
+/// JSON string escaping for the few payloads that may carry quotes or
+/// backslashes (endpoint names, reasons).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace sphinx::obs

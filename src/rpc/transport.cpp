@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 namespace sphinx::rpc {
 
 MessageBus::MessageBus(sim::Engine& engine, Rng rng, Duration base_latency,
@@ -59,9 +61,16 @@ MessageId MessageBus::post(Envelope envelope) {
         const auto it = endpoints_.find(env.to);
         if (it == endpoints_.end()) {
           ++stats_.dropped;
+          if (recorder_ != nullptr) recorder_->count("bus", "bus.dropped");
           return;
         }
         ++stats_.delivered;
+        if (recorder_ != nullptr) {
+          const Duration latency = engine_.now() - env.sent_at;
+          recorder_->event(obs::TraceKind::kBusDelivery, env.from, env.to, "",
+                           latency);
+          recorder_->observe("bus", "bus.delivery_latency", latency);
+        }
         it->second(env);
       });
   return id;

@@ -18,6 +18,10 @@
 #include "rpc/gsi.hpp"
 #include "sim/engine.hpp"
 
+namespace sphinx::obs {
+class Recorder;
+}  // namespace sphinx::obs
+
 namespace sphinx::rpc {
 
 /// One message in flight.
@@ -64,6 +68,13 @@ class MessageBus {
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
 
+  /// Attaches a flight recorder; every delivery records its latency.
+  /// Pass nullptr to detach.  Observation only -- attaching a recorder
+  /// changes neither delivery timing nor the RNG stream.
+  void set_recorder(obs::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
   MessageId post(Envelope envelope);
 
@@ -74,6 +85,7 @@ class MessageBus {
   std::unordered_map<std::string, Handler> endpoints_;
   IdGenerator<MessageId> ids_;
   BusStats stats_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace sphinx::rpc

@@ -248,6 +248,64 @@ TEST(ServerProtocol, MidRunRecoveryRebuildsWorkState) {
   r.check_invariants();
 }
 
+TEST(ClientProtocol, TimeoutRearmsFromObservationWithFreshBudgetOnReplan) {
+  // Regression coverage for two tracker properties:
+  //  1. Extension checks are rearmed one full period after *each*
+  //     observation, so a progressing job is checked at t0+J, t0+2J, ...
+  //     and hard-killed at t0+4J (J = job_timeout, 3 extensions).
+  //  2. A replanned job starts with a fresh extensions budget and the
+  //     dead attempt's entry is dropped (tracked_jobs() never grows).
+  Scenario scenario(quiet());
+  TenantOptions options;
+  options.job_timeout = minutes(20);  // J = 1200 s
+  Tenant& tenant = scenario.add_tenant("t", options);
+
+  // One job that runs "forever": visibly progressing on a healthy site,
+  // so every timeout check grants an extension until the budget is gone.
+  workflow::Dag dag(DagId(1), "stuck");
+  workflow::JobSpec job;
+  job.id = JobId(1);
+  job.name = "stuck-job";
+  job.output = "lfn://stuck.out";
+  job.compute_time = hours(200);
+  dag.add_job(job);
+
+  scenario.start();
+  scenario.engine().schedule_at(1.0, "submit",
+                                [&] { tenant.client->submit(dag); });
+  const double J = minutes(20);
+  const auto& stats = tenant.client->tracker_stats();
+
+  // t = 3.5J: checks at ~J, ~2J, ~3J after submission each extended.
+  scenario.run(3.5 * J);
+  EXPECT_EQ(stats.extensions, 3u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(tenant.client->tracked_jobs(), 1u);
+
+  // t = 4.5J: the fourth check found the budget exhausted -> hard kill,
+  // cancellation reported, server replanned; the replacement attempt is
+  // tracked with a *fresh* budget (no extension due yet).
+  scenario.run(4.5 * J);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.extensions, 3u);
+  EXPECT_EQ(tenant.client->tracked_jobs(), 1u);
+  EXPECT_EQ(tenant.server->stats().replans, 1u);
+
+  // t = 9.5J: attempt 2 burned its own 3 extensions before its kill at
+  // ~8J; if the old attempt's used-up budget leaked into the new entry,
+  // the second timeout would have come 3J earlier with no extensions.
+  scenario.run(9.5 * J);
+  EXPECT_EQ(stats.timeouts, 2u);
+  EXPECT_GE(stats.extensions, 6u);
+  EXPECT_EQ(tenant.client->tracked_jobs(), 1u);  // dead entries dropped
+
+  // The flight recorder saw the same story under this client's endpoint.
+  const auto& recorder = scenario.recorder();
+  EXPECT_EQ(recorder.counter("tracker.timeouts", "sphinx-client/t"), 2u);
+  EXPECT_EQ(recorder.counter("tracker.extensions", "sphinx-client/t"),
+            stats.extensions);
+}
+
 TEST(ClientProtocol, RejectsBogusPlans) {
   Scenario scenario(quiet());
   Tenant& tenant = scenario.add_tenant("t", TenantOptions{});

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "grid/failure.hpp"
 #include "grid/grid.hpp"
 #include "grid/site.hpp"
@@ -311,6 +313,41 @@ TEST(FailureModel, CyclesThroughOutages) {
   model.start();
   engine.run_until(hours(10));
   EXPECT_GT(model.outages(), 10u);
+}
+
+TEST(FailureModel, AllZeroWeightsFallBackToPlainDowntime) {
+  // Regression: an all-zero mode mix used to select an outage mode from
+  // an undefined distribution.  It must degrade to weight_down semantics.
+  sim::Engine engine;
+  Site site(engine, SiteId(1), basic_config(), Rng(1));
+  FailureConfig config;
+  config.enabled = true;
+  config.mean_uptime = minutes(10);
+  config.mean_downtime = minutes(2);
+  config.weight_down = 0.0;
+  config.weight_black_hole = 0.0;
+  config.weight_degraded = 0.0;
+  FailureModel model(engine, site, config, Rng(2));
+  model.start();
+  // Step in small increments so we observe the site mid-outage, before
+  // the repair lands (mean downtime is two minutes).
+  while (model.outages() == 0 && engine.now() < hours(10)) {
+    engine.run_until(engine.now() + 1.0);
+  }
+  ASSERT_GT(model.outages(), 0u);
+  EXPECT_EQ(site.health(), SiteHealth::kDown);
+}
+
+TEST(FailureModel, NegativeOrNonFiniteWeightsRejected) {
+  sim::Engine engine;
+  Site site(engine, SiteId(1), basic_config(), Rng(1));
+  FailureConfig config;
+  config.enabled = true;
+  config.weight_black_hole = -0.5;
+  EXPECT_THROW(FailureModel(engine, site, config, Rng(2)), ContractViolation);
+  config.weight_black_hole = 0.0;
+  config.weight_degraded = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(FailureModel(engine, site, config, Rng(2)), ContractViolation);
 }
 
 TEST(FailureModel, DisabledNeverFails) {

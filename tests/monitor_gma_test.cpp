@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contracts.hpp"
 #include "grid/grid.hpp"
 #include "monitor/gma.hpp"
 #include "monitor/service.hpp"
@@ -53,6 +54,62 @@ TEST(MetricRegistry, HistoryBounded) {
   const auto all = registry.history("x", SiteId(1));
   EXPECT_EQ(all.size(), 8u);
   EXPECT_DOUBLE_EQ(all.front().value, 92.0);  // oldest retained
+}
+
+TEST(MetricRegistry, EvictionIsEldestFirst) {
+  MetricRegistry registry(3);
+  for (int i = 0; i < 5; ++i) {
+    registry.publish(metric("x", 1, i, i));
+  }
+  const auto all = registry.history("x", SiteId(1));
+  // Exactly the newest `limit` observations survive, oldest first.
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(all[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(all[2].value, 4.0);
+  // latest() is unaffected by eviction.
+  EXPECT_DOUBLE_EQ(registry.latest("x", SiteId(1))->value, 4.0);
+}
+
+TEST(MetricRegistry, SetHistoryLimitTrimsExistingSeries) {
+  MetricRegistry registry(16);
+  EXPECT_EQ(registry.history_limit(), 16u);
+  for (int i = 0; i < 10; ++i) {
+    registry.publish(metric("a", 1, i, i));
+    registry.publish(metric("b", 2, 100 + i, i));
+  }
+  registry.set_history_limit(4);
+  EXPECT_EQ(registry.history_limit(), 4u);
+  // Every series is trimmed immediately, eldest evicted first.
+  const auto a = registry.history("a", SiteId(1));
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.front().value, 6.0);
+  EXPECT_DOUBLE_EQ(a.back().value, 9.0);
+  const auto b = registry.history("b", SiteId(2));
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b.front().value, 106.0);
+  // New publishes honour the tighter cap.
+  registry.publish(metric("a", 1, 10, 10));
+  EXPECT_EQ(registry.history("a", SiteId(1)).size(), 4u);
+  EXPECT_DOUBLE_EQ(registry.history("a", SiteId(1)).front().value, 7.0);
+}
+
+TEST(MetricRegistry, HistoryLimitMustBePositive) {
+  EXPECT_THROW(MetricRegistry{0}, ContractViolation);
+  MetricRegistry registry(4);
+  EXPECT_THROW(registry.set_history_limit(0), ContractViolation);
+  EXPECT_EQ(registry.history_limit(), 4u);  // unchanged after the throw
+}
+
+TEST(MetricRegistry, WildcardSubscriptionSeesEveryName) {
+  MetricRegistry registry;
+  std::vector<std::string> seen;
+  registry.subscribe("*", [&](const Metric& m) { seen.push_back(m.name); });
+  registry.publish(metric("queue.length", 1, 1.0, 0.0));
+  registry.publish(metric("cpu.free", 2, 2.0, 0.0));
+  registry.publish(metric("site.alive", 1, 1.0, 1.0));
+  EXPECT_EQ(seen, (std::vector<std::string>{"queue.length", "cpu.free",
+                                            "site.alive"}));
 }
 
 TEST(MetricRegistry, SubscriptionsFanOut) {

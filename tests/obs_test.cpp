@@ -1,0 +1,238 @@
+// Tests for the flight recorder: trace serialization, metric
+// aggregation, recorder wiring, the GMA bridge, file export, and the
+// headline property -- two same-seed runs produce byte-identical
+// trace + metrics output.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "exp/runner.hpp"
+#include "monitor/gma.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::obs {
+namespace {
+
+// --- serialization primitives ---------------------------------------------
+
+TEST(FormatDouble, DeterministicShortestForm) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-2.5), "-2.5");
+  EXPECT_EQ(format_double(0.1), "0.1");
+  // Non-finite values are quoted strings so the JSON stays valid.
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()),
+            "\"nan\"");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(TraceEvent, JsonHasFixedKeyOrder) {
+  TraceEvent event;
+  event.at = 12.5;
+  event.kind = TraceKind::kPlanSent;
+  event.source = "sphinx-server/t";
+  event.subject = "job:7";
+  event.detail = "site:3";
+  event.value = 2.0;
+  EXPECT_EQ(event.to_json(),
+            "{\"t\":12.5,\"kind\":\"plan_sent\",\"src\":\"sphinx-server/t\","
+            "\"subj\":\"job:7\",\"detail\":\"site:3\",\"v\":2}");
+}
+
+TEST(TraceSink, EnforcesMonotonicTime) {
+  TraceSink sink;
+  TraceEvent event;
+  event.at = 10.0;
+  sink.record(event);
+  event.at = 10.0;  // equal timestamps are fine (same engine tick)
+  sink.record(event);
+  event.at = 20.0;
+  sink.record(event);
+  EXPECT_EQ(sink.size(), 3u);
+  event.at = 5.0;  // time travel is a contract violation
+  EXPECT_THROW(sink.record(event), ContractViolation);
+}
+
+TEST(TraceSink, JsonlIsOneObjectPerLine) {
+  TraceSink sink;
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent event;
+    event.at = i;
+    event.kind = TraceKind::kSweepBegin;
+    event.source = "s";
+    sink.record(event);
+  }
+  const std::string jsonl = sink.to_jsonl();
+  std::size_t lines = 0;
+  for (const char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(jsonl.find("\"t\":0"), 1u);  // first line starts at {"t":0
+}
+
+// --- metric set ------------------------------------------------------------
+
+TEST(MetricSet, CountersAndHistograms) {
+  MetricSet metrics;
+  EXPECT_EQ(metrics.counter("missing"), 0u);
+  EXPECT_EQ(metrics.histogram("missing"), nullptr);
+  metrics.add("a");
+  metrics.add("a", 4);
+  metrics.add("b");
+  EXPECT_EQ(metrics.counter("a"), 5u);
+  EXPECT_EQ(metrics.counter("b"), 1u);
+  metrics.observe("lat", 1.0);
+  metrics.observe("lat", 3.0);
+  const auto* histogram = metrics.histogram("lat");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(histogram->stats.mean(), 2.0);
+  EXPECT_EQ(histogram->samples.size(), 2u);
+}
+
+TEST(MetricSet, JsonIsOrderedAndStable) {
+  MetricSet metrics;
+  metrics.add("z.counter", 2);
+  metrics.add("a.counter", 1);
+  metrics.observe("h", 4.0);
+  const std::string json = metrics.to_json();
+  // std::map storage: "a.counter" serializes before "z.counter" no
+  // matter the insertion order.
+  EXPECT_LT(json.find("a.counter"), json.find("z.counter"));
+  EXPECT_NE(json.find("\"count\": 1, \"mean\": 4"), std::string::npos);
+  // Serialization is a pure function of the contents.
+  EXPECT_EQ(json, metrics.to_json());
+}
+
+// --- recorder --------------------------------------------------------------
+
+TEST(Recorder, QualifiedNamesAndEngineStamping) {
+  EXPECT_EQ(Recorder::qualified_name("n", "src"), "n@src");
+  EXPECT_EQ(Recorder::qualified_name("n", ""), "n");
+
+  sim::Engine engine;
+  Recorder recorder(engine);
+  engine.schedule_at(7.0, "emit", [&] {
+    recorder.event(TraceKind::kSweepBegin, "srv", "", "", 3.0);
+    recorder.count("srv", "sweeps");
+    recorder.observe("srv", "depth", 3.0);
+  });
+  engine.run_until();
+  ASSERT_EQ(recorder.trace().size(), 1u);
+  EXPECT_DOUBLE_EQ(recorder.trace().events().front().at, 7.0);
+  EXPECT_EQ(recorder.counter("sweeps", "srv"), 1u);
+  EXPECT_EQ(recorder.counter("sweeps", "other"), 0u);
+  const auto* histogram = recorder.histogram("depth", "srv");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_DOUBLE_EQ(histogram->stats.mean(), 3.0);
+}
+
+TEST(Recorder, BridgeMirrorsRegistryMetrics) {
+  sim::Engine engine;
+  Recorder recorder(engine);
+  monitor::MetricRegistry registry;
+  recorder.bridge(registry, "monitor");
+
+  registry.publish({"queue.length", SiteId(3), 5.0, 0.0, "test"});
+  registry.publish({"cpu.free", SiteId(1), 2.0, 0.0, "test"});
+
+  ASSERT_EQ(recorder.trace().size(), 2u);
+  const auto& first = recorder.trace().events().front();
+  EXPECT_EQ(first.kind, TraceKind::kMonitorSample);
+  EXPECT_EQ(first.subject, "site:3");
+  EXPECT_EQ(first.detail, "queue.length");
+  EXPECT_DOUBLE_EQ(first.value, 5.0);
+  const auto* histogram = recorder.histogram("queue.length", "monitor");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->stats.count(), 1u);
+}
+
+// --- export ----------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(file);
+  return out;
+}
+
+TEST(Export, WritesSerializedFormsVerbatim) {
+  TraceSink sink;
+  TraceEvent event;
+  event.at = 1.0;
+  event.source = "s";
+  sink.record(event);
+  MetricSet metrics;
+  metrics.add("c", 3);
+
+  const std::string trace_path = ::testing::TempDir() + "obs_trace.jsonl";
+  const std::string metrics_path = ::testing::TempDir() + "obs_metrics.json";
+  ASSERT_TRUE(write_trace_jsonl(sink, trace_path).ok());
+  ASSERT_TRUE(write_metrics_json(metrics, metrics_path).ok());
+  EXPECT_EQ(slurp(trace_path), sink.to_jsonl());
+  EXPECT_EQ(slurp(metrics_path), metrics.to_json());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Export, UnwritablePathReportsIoError) {
+  const auto result = write_trace_jsonl(TraceSink{}, "/nonexistent/dir/x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "io_error");
+}
+
+// --- the headline property -------------------------------------------------
+
+TEST(Determinism, SameSeedRunsProduceByteIdenticalRecordings) {
+  const auto record = [] {
+    exp::ExperimentConfig config;
+    config.scenario.seed = 11;
+    config.scenario.site_failures = true;   // exercise outage tracing
+    config.scenario.background_load = true;
+    config.dag_count = 2;
+    config.horizon = hours(6);
+    exp::TenantOptions no_feedback;
+    no_feedback.algorithm = core::Algorithm::kRoundRobin;
+    no_feedback.use_feedback = false;
+    exp::Experiment experiment(config);
+    (void)experiment.run(
+        {{"fb", exp::TenantOptions{}}, {"nofb", no_feedback}});
+    const auto& recorder = experiment.recorder();
+    EXPECT_FALSE(recorder.trace().empty());
+    return std::pair{recorder.trace().to_jsonl(),
+                     recorder.metrics().to_json()};
+  };
+  const auto a = record();
+  const auto b = record();
+  EXPECT_EQ(a.first, b.first);    // trace.jsonl
+  EXPECT_EQ(a.second, b.second);  // metrics.json
+}
+
+}  // namespace
+}  // namespace sphinx::obs

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
+#include "common/stats.hpp"
 #include "data/gridftp.hpp"
 #include "db/database.hpp"
 #include "grid/site.hpp"
@@ -228,6 +230,79 @@ TEST_P(SeededProperty, GeneratedWorkloadsAreWellFormed) {
       }
     }
   }
+}
+
+// --- stats edge cases -----------------------------------------------------
+
+TEST_P(SeededProperty, PercentileSingleSampleIsThatSample) {
+  Rng rng(GetParam());
+  const double x = rng.uniform(-1000.0, 1000.0);
+  // With one sample every quantile is the sample itself.
+  EXPECT_DOUBLE_EQ(percentile({x}, 0.0), x);
+  EXPECT_DOUBLE_EQ(percentile({x}, 0.5), x);
+  EXPECT_DOUBLE_EQ(percentile({x}, 1.0), x);
+}
+
+TEST_P(SeededProperty, PercentileExtremesAreMinAndMax) {
+  Rng rng(GetParam());
+  std::vector<double> samples;
+  double min = 0.0;
+  double max = 0.0;
+  const int n = static_cast<int>(rng.uniform_int(1, 50));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1e6, 1e6);
+    samples.push_back(x);
+    min = samples.size() == 1 ? x : std::min(min, x);
+    max = samples.size() == 1 ? x : std::max(max, x);
+  }
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), min);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), max);
+  // Quantiles are monotone in q.
+  EXPECT_LE(percentile(samples, 0.25), percentile(samples, 0.75));
+}
+
+TEST_P(SeededProperty, RunningStatsMergeWithEmptySideIsIdentity) {
+  Rng rng(GetParam());
+  RunningStats filled;
+  const int n = static_cast<int>(rng.uniform_int(1, 40));
+  for (int i = 0; i < n; ++i) filled.add(rng.uniform(-100.0, 100.0));
+
+  // empty.merge(filled) == filled.
+  RunningStats left;
+  left.merge(filled);
+  EXPECT_EQ(left.count(), filled.count());
+  EXPECT_DOUBLE_EQ(left.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(left.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(left.min(), filled.min());
+  EXPECT_DOUBLE_EQ(left.max(), filled.max());
+
+  // filled.merge(empty) leaves filled untouched.
+  RunningStats right = filled;
+  right.merge(RunningStats{});
+  EXPECT_EQ(right.count(), filled.count());
+  EXPECT_DOUBLE_EQ(right.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(right.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(right.min(), filled.min());
+  EXPECT_DOUBLE_EQ(right.max(), filled.max());
+}
+
+TEST_P(SeededProperty, RunningStatsMergeMatchesBulkAccumulation) {
+  Rng rng(GetParam());
+  RunningStats a;
+  RunningStats b;
+  RunningStats bulk;
+  const int n = static_cast<int>(rng.uniform_int(1, 60));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-50.0, 50.0);
+    (i % 2 == 0 ? a : b).add(x);
+    bulk.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(a.max(), bulk.max());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

@@ -17,6 +17,20 @@ echo "== sphinx-lint =="
 ./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
   --root . src tests bench examples
 
+echo "== flight-recorder determinism gate =="
+# Two same-seed failure-enabled runs must emit byte-identical trace and
+# metrics files; any nondeterminism in the pipeline shows up as a diff.
+det_dir=build/relwithdebinfo/determinism
+rm -rf "$det_dir"
+mkdir -p "$det_dir"
+./build/relwithdebinfo/tools/record/sphinx_record --seed 7 \
+  --trace "$det_dir/trace_a.jsonl" --metrics "$det_dir/metrics_a.json"
+./build/relwithdebinfo/tools/record/sphinx_record --seed 7 \
+  --trace "$det_dir/trace_b.jsonl" --metrics "$det_dir/metrics_b.json"
+diff "$det_dir/trace_a.jsonl" "$det_dir/trace_b.jsonl"
+diff "$det_dir/metrics_a.json" "$det_dir/metrics_b.json"
+echo "determinism gate: trace and metrics byte-identical"
+
 echo "== sweep-cost benchmark =="
 # The sweep must cost O(changed work): the 10,000-idle-DAG case should
 # stay within ~2x of the 100-DAG case.  Results land in BENCH_sweep.json.
