@@ -1,0 +1,85 @@
+/// Microbenchmarks for the chaos harness: schedule synthesis, the
+/// minimizer's candidate churn, and a full chaotic/baseline run pair
+/// (the unit of work a campaign fans out).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/minimize.hpp"
+#include "chaos/schedule.hpp"
+#include "exp/scenario.hpp"
+
+namespace {
+
+using namespace sphinx;
+
+void BM_ScheduleSynthesis(benchmark::State& state) {
+  chaos::ScheduleConfig config;
+  config.outages = static_cast<int>(state.range(0));
+  const std::vector<std::string> sites = exp::Scenario::site_names();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const chaos::ChaosSchedule schedule =
+        chaos::synthesize(seed++, config, sites);
+    benchmark::DoNotOptimize(schedule.outage_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ScheduleSynthesis)->Range(8, 256);
+
+void BM_ScheduleJsonRoundTrip(benchmark::State& state) {
+  chaos::ScheduleConfig config;
+  config.outages = static_cast<int>(state.range(0));
+  const chaos::ChaosSchedule schedule =
+      chaos::synthesize(42, config, exp::Scenario::site_names());
+  for (auto _ : state) {
+    const auto parsed = chaos::schedule_from_json(chaos::to_json(schedule));
+    benchmark::DoNotOptimize(parsed.has_value());
+  }
+}
+BENCHMARK(BM_ScheduleJsonRoundTrip)->Range(8, 256);
+
+void BM_MinimizeSyntheticPredicate(benchmark::State& state) {
+  // Predicate cost ~0: measures the minimizer's own candidate churn.
+  chaos::ScheduleConfig config;
+  config.outages = static_cast<int>(state.range(0));
+  config.crashes = 3;
+  const chaos::ChaosSchedule schedule =
+      chaos::synthesize(7, config, exp::Scenario::site_names());
+  const auto fails = [](const chaos::ChaosSchedule& candidate) {
+    return !candidate.crash_records.empty() &&
+           candidate.crash_records.back() >= 50;
+  };
+  for (auto _ : state) {
+    const chaos::ChaosSchedule minimized =
+        chaos::minimize_schedule(schedule, fails);
+    benchmark::DoNotOptimize(minimized.crash_records.size());
+  }
+}
+BENCHMARK(BM_MinimizeSyntheticPredicate)->Range(8, 64);
+
+void BM_ChaosRunPair(benchmark::State& state) {
+  chaos::ChaosRunConfig config;
+  config.seed = 5;
+  config.dag_count = 2;
+  config.jobs_per_dag = 4;
+  config.horizon = hours(10);
+  config.schedule.span = hours(4);
+  config.schedule.outages = 4;
+  config.schedule.crashes = 1;
+  config.schedule.min_crash_record = 30;
+  config.schedule.max_crash_record = 200;
+  const chaos::ChaosSchedule schedule = chaos::synthesize_schedule(config);
+  for (auto _ : state) {
+    const chaos::ChaosRunResult result =
+        chaos::run_chaos_pair(config, schedule);
+    benchmark::DoNotOptimize(result.digest);
+  }
+}
+BENCHMARK(BM_ChaosRunPair);
+
+}  // namespace

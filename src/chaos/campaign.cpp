@@ -1,0 +1,254 @@
+#include "chaos/campaign.hpp"
+
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "chaos/json.hpp"
+#include "chaos/minimize.hpp"
+#include "common/contracts.hpp"
+#include "exp/parallel.hpp"
+#include "exp/scenario.hpp"
+#include "obs/trace.hpp"
+
+namespace sphinx::chaos {
+namespace {
+
+constexpr SimTime kFirstSubmitAt = 10.0;
+constexpr Duration kSubmitSpacing = 15.0;
+
+/// One simulation: the outage schedule always applies; crash points only
+/// when `with_crashes` (the baseline runs the same grid uninterrupted).
+RunArtifacts run_once(const ChaosRunConfig& config,
+                      const ChaosSchedule& schedule, bool with_crashes,
+                      std::size_t* crashes_executed) {
+  exp::ScenarioConfig scenario_config;
+  scenario_config.seed = config.seed;
+  // The schedule owns all site misbehaviour; the seeded renewal process
+  // stays off so the baseline/chaotic pair differs only in crashes.
+  scenario_config.site_failures = false;
+  scenario_config.background_load = config.background_load;
+  scenario_config.outage_schedules = schedule.outages;
+  exp::Scenario scenario(scenario_config);
+
+  exp::TenantOptions options;
+  options.algorithm = config.algorithm;
+  // Single tenant: multiple tenants sweep at identical timestamps, and a
+  // crash+recovery would reorder equal-time events across tenants --
+  // byte-equality only holds within one tenant's event stream.
+  scenario.add_tenant("chaos", options);
+
+  workflow::WorkloadConfig workload;
+  workload.jobs_per_dag = config.jobs_per_dag;
+  auto generator = scenario.make_generator("chaos", workload);
+  const std::vector<workflow::Dag> dags =
+      generator.generate_batch("chaos", config.dag_count);
+
+  scenario.start();
+  for (std::size_t k = 0; k < dags.size(); ++k) {
+    const workflow::Dag& dag = dags[k];
+    scenario.engine().schedule_at(
+        kFirstSubmitAt + static_cast<double>(k) * kSubmitSpacing,
+        "submit:" + dag.name(),
+        [&scenario, &dag] { scenario.tenants()[0].client->submit(dag); });
+  }
+
+  // Crash chain: arm the next crash point on whatever server instance is
+  // currently alive; the hook defers the actual kill to a fresh engine
+  // event (a server cannot destroy itself from inside its own sweep),
+  // then recovery re-arms the following point on the new instance.
+  std::size_t next_crash = 0;
+  std::string crash_failure;
+  std::function<void()> arm_next = [&] {
+    if (!with_crashes || next_crash >= schedule.crash_records.size()) return;
+    const std::size_t records = schedule.crash_records[next_crash];
+    scenario.tenants()[0].server->arm_crash_hook(records, [&] {
+      sim::Engine& engine = scenario.engine();
+      engine.schedule_at(engine.now(), "chaos:crash", [&] {
+        ++next_crash;
+        if (const auto status = scenario.crash_and_recover_server(0);
+            !status.ok()) {
+          if (crash_failure.empty()) {
+            crash_failure = "recovery failed: " + status.error().to_string();
+          }
+          return;
+        }
+        if (config.inject_divergence) {
+          // Deliberate corruption for harness self-tests: one phantom
+          // completion report the baseline never saw.
+          scenario.tenants()[0].server->warehouse().record_completion(
+              SiteId(1), 1234.5);
+        }
+        arm_next();
+      });
+    });
+  };
+  arm_next();
+
+  const SimTime stopped = scenario.run(config.horizon);
+  if (crashes_executed != nullptr) *crashes_executed = next_crash;
+
+  const exp::Tenant& tenant = scenario.tenants()[0];
+  RunArtifacts artifacts;
+  artifacts.stopped_at = stopped;
+  artifacts.dags_total = tenant.client->dag_outcomes().size();
+  artifacts.dags_finished = tenant.client->dags_finished();
+  artifacts.journal_text = tenant.server->warehouse().journal().serialize();
+  artifacts.journal_records = tenant.server->warehouse().journal().size();
+  artifacts.trace_jsonl = scenario.recorder().trace().to_jsonl();
+  artifacts.invariant_violation = crash_failure;
+  if (artifacts.invariant_violation.empty()) {
+    try {
+      tenant.server->warehouse().check_invariants();
+      scenario.engine().check_invariants();
+    } catch (const std::exception& error) {
+      artifacts.invariant_violation = error.what();
+    }
+  }
+  return artifacts;
+}
+
+}  // namespace
+
+ChaosSchedule synthesize_schedule(const ChaosRunConfig& config) {
+  return synthesize(config.seed, config.schedule, exp::Scenario::site_names());
+}
+
+ChaosRunResult run_chaos_pair(const ChaosRunConfig& config,
+                              const ChaosSchedule& schedule) {
+  ChaosRunResult result;
+  result.seed = config.seed;
+  result.schedule = schedule;
+
+  const RunArtifacts chaotic =
+      run_once(config, schedule, true, &result.crashes_executed);
+  const RunArtifacts baseline = run_once(config, schedule, false, nullptr);
+
+  result.invariants = check_run_invariants(chaotic);
+  result.differential = check_differential(chaotic, baseline);
+  result.digest = fnv1a(chaotic.trace_jsonl, fnv1a(chaotic.journal_text));
+  result.journal_records = chaotic.journal_records;
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  std::vector<std::function<ChaosRunResult()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(config.runs));
+  for (int i = 0; i < config.runs; ++i) {
+    ChaosRunConfig run_config = config.base;
+    run_config.seed = config.base.seed + static_cast<std::uint64_t>(i);
+    tasks.emplace_back([run_config] {
+      return run_chaos_pair(run_config, synthesize_schedule(run_config));
+    });
+  }
+
+  CampaignResult campaign;
+  campaign.runs = config.runs;
+  campaign.results = exp::run_parallel(tasks, config.max_threads);
+
+  std::uint64_t digest = fnv1a("sphinx-chaos-campaign");
+  for (const ChaosRunResult& result : campaign.results) {
+    if (!result.ok()) ++campaign.failures;
+    digest = fnv1a(std::to_string(result.digest), digest);
+  }
+  campaign.digest = digest;
+
+  if (campaign.failures > 0 && config.minimize_failures) {
+    // Shrink the first failure only: minimization replays the run pair
+    // per candidate schedule, so one repro per campaign keeps the cost
+    // bounded while still leaving a deterministic artifact to replay.
+    for (const ChaosRunResult& result : campaign.results) {
+      if (result.ok()) continue;
+      ChaosRunConfig run_config = config.base;
+      run_config.seed = result.seed;
+      const ChaosSchedule minimized = minimize_schedule(
+          result.schedule, [&run_config](const ChaosSchedule& candidate) {
+            return !run_chaos_pair(run_config, candidate).ok();
+          });
+      ReproCase repro;
+      repro.config = run_config;
+      repro.schedule = minimized;
+      repro.violation = run_chaos_pair(run_config, minimized).violation();
+      campaign.repros.push_back(std::move(repro));
+      break;
+    }
+  }
+  return campaign;
+}
+
+std::string to_json(const ReproCase& repro) {
+  std::string out = "{\"config\":{";
+  out += "\"seed\":" + std::to_string(repro.config.seed);
+  out += ",\"dag_count\":" + std::to_string(repro.config.dag_count);
+  out += ",\"jobs_per_dag\":" + std::to_string(repro.config.jobs_per_dag);
+  out += ",\"algorithm\":\"";
+  out += core::to_string(repro.config.algorithm);
+  out += "\",\"horizon\":" + obs::format_double(repro.config.horizon);
+  out += ",\"background_load\":";
+  out += repro.config.background_load ? "true" : "false";
+  out += ",\"inject_divergence\":";
+  out += repro.config.inject_divergence ? "true" : "false";
+  out += "},\"violation\":\"" + obs::json_escape(repro.violation) + "\"";
+  out += ",\"schedule\":" + to_json(repro.schedule);
+  out += "}";
+  return out;
+}
+
+Expected<ReproCase> repro_from_json(const std::string& text) {
+  const auto bad = [](const std::string& what) {
+    return Unexpected<Error>{Error{"bad_repro", what}};
+  };
+  auto doc = parse_json(text);
+  if (!doc) return Unexpected<Error>{doc.error()};
+  const JsonValue* config = doc->find("config");
+  const JsonValue* schedule = doc->find("schedule");
+  if (config == nullptr || !config->is_object() || schedule == nullptr) {
+    return bad("expected {config, schedule}");
+  }
+
+  ReproCase repro;
+  const auto number = [&](const char* key, double fallback) {
+    const JsonValue* value = config->find(key);
+    return value != nullptr && value->is_number() ? value->number : fallback;
+  };
+  const auto flag = [&](const char* key) {
+    const JsonValue* value = config->find(key);
+    return value != nullptr && value->type == JsonValue::Type::kBool &&
+           value->boolean;
+  };
+  repro.config.seed = static_cast<std::uint64_t>(number("seed", 1));
+  repro.config.dag_count = static_cast<int>(number("dag_count", 3));
+  repro.config.jobs_per_dag = static_cast<int>(number("jobs_per_dag", 6));
+  repro.config.horizon = number("horizon", hours(24));
+  repro.config.background_load = flag("background_load");
+  repro.config.inject_divergence = flag("inject_divergence");
+  if (const JsonValue* algorithm = config->find("algorithm")) {
+    if (!algorithm->is_string()) return bad("algorithm: string");
+    if (algorithm->text == "round-robin") {
+      repro.config.algorithm = core::Algorithm::kRoundRobin;
+    } else if (algorithm->text == "num-cpus") {
+      repro.config.algorithm = core::Algorithm::kNumCpus;
+    } else if (algorithm->text == "queue-length") {
+      repro.config.algorithm = core::Algorithm::kQueueLength;
+    } else if (algorithm->text == "completion-time") {
+      repro.config.algorithm = core::Algorithm::kCompletionTime;
+    } else {
+      return bad("unknown algorithm: " + algorithm->text);
+    }
+  }
+  if (const JsonValue* violation = doc->find("violation");
+      violation != nullptr && violation->is_string()) {
+    repro.violation = violation->text;
+  }
+
+  auto parsed = schedule_from_value(*schedule);
+  if (!parsed) return Unexpected<Error>{parsed.error()};
+  repro.schedule = std::move(*parsed);
+  return repro;
+}
+
+ChaosRunResult replay(const ReproCase& repro) {
+  return run_chaos_pair(repro.config, repro.schedule);
+}
+
+}  // namespace sphinx::chaos

@@ -1,0 +1,112 @@
+#pragma once
+/// \file campaign.hpp
+/// The chaos-campaign engine: seeded fault-injection sweeps with
+/// crash-recovery differential oracles.
+///
+/// One chaos *run* is a pair of simulations sharing a seed: the chaotic
+/// run executes a synthesized ChaosSchedule (scheduled site outages plus
+/// mid-run server fail-stop + journal recovery), the baseline run
+/// executes the identical outage schedule uninterrupted.  Crash recovery
+/// is supposed to be semantically invisible, so the chaotic run's
+/// terminal warehouse state and trace (minus the harness's own crash
+/// markers) must match the baseline byte-for-byte -- that is the
+/// differential oracle; invariant oracles judge each run on its own.
+///
+/// A *campaign* fans runs out over exp::run_parallel, combines their
+/// digests deterministically, and on the first failing run auto-shrinks
+/// the schedule (see minimize.hpp) into a ReproCase that serializes to
+/// `chaos_repro.json` and replays exactly via tools/chaos/sphinx_chaos.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/oracle.hpp"
+#include "chaos/schedule.hpp"
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "core/state.hpp"
+
+namespace sphinx::chaos {
+
+/// Everything one chaos run needs (and everything a repro must pin).
+struct ChaosRunConfig {
+  std::uint64_t seed = 1;
+  ScheduleConfig schedule;  ///< synthesis knobs (ignored on replay)
+  int dag_count = 3;
+  int jobs_per_dag = 6;
+  core::Algorithm algorithm = core::Algorithm::kCompletionTime;
+  SimTime horizon = hours(24);
+  bool background_load = false;
+  /// Test hook: perturb the warehouse right after each recovery so the
+  /// differential oracle genuinely fails (exercises minimize + repro).
+  bool inject_divergence = false;
+};
+
+/// Verdict + artifacts digest of one chaotic/baseline pair.
+struct ChaosRunResult {
+  std::uint64_t seed = 0;
+  ChaosSchedule schedule;
+  OracleReport invariants;    ///< chaotic run judged on its own
+  OracleReport differential;  ///< chaotic vs baseline
+  std::uint64_t digest = 0;   ///< FNV over the chaotic run's artifacts
+  std::size_t crashes_executed = 0;
+  std::size_t journal_records = 0;  ///< chaotic run's final journal length
+
+  [[nodiscard]] bool ok() const noexcept {
+    return invariants.ok && differential.ok;
+  }
+  /// First violation ("" when ok()).
+  [[nodiscard]] const std::string& violation() const noexcept {
+    return invariants.ok ? differential.violation : invariants.violation;
+  }
+};
+
+/// Synthesizes the run's schedule from its seed (testbed site names).
+[[nodiscard]] ChaosSchedule synthesize_schedule(const ChaosRunConfig& config);
+
+/// Runs the chaotic run and its uninterrupted baseline, applies every
+/// oracle, and digests the chaotic artifacts.  Deterministic: same
+/// (config, schedule) in, byte-identical result out.
+[[nodiscard]] ChaosRunResult run_chaos_pair(const ChaosRunConfig& config,
+                                            const ChaosSchedule& schedule);
+
+/// A minimized, replayable failure.
+struct ReproCase {
+  ChaosRunConfig config;
+  ChaosSchedule schedule;
+  std::string violation;
+};
+
+/// Campaign-level configuration.  Run i uses seed `base.seed + i`.
+struct CampaignConfig {
+  ChaosRunConfig base;
+  int runs = 10;
+  unsigned max_threads = 0;  ///< 0 = hardware concurrency
+  /// Shrink the first failing run's schedule into `repro` (slow: each
+  /// minimization step replays the run pair).
+  bool minimize_failures = true;
+};
+
+/// Campaign verdict.  `digest` combines per-run digests in input order,
+/// so two invocations of the same campaign must report the same value.
+struct CampaignResult {
+  int runs = 0;
+  int failures = 0;
+  std::uint64_t digest = 0;
+  std::vector<ChaosRunResult> results;  ///< per run, input order
+  /// Minimized repro of the first failing run (when any failed and
+  /// minimization is on).
+  std::vector<ReproCase> repros;
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+/// `chaos_repro.json` round-trip.
+[[nodiscard]] std::string to_json(const ReproCase& repro);
+[[nodiscard]] Expected<ReproCase> repro_from_json(const std::string& text);
+
+/// Replays a repro exactly (explicit schedule, no synthesis).
+[[nodiscard]] ChaosRunResult replay(const ReproCase& repro);
+
+}  // namespace sphinx::chaos

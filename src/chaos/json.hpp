@@ -1,0 +1,52 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON document model + parser for the chaos harness.
+///
+/// The repro file (`chaos_repro.json`) must round-trip: the campaign
+/// writes it, the `sphinx_chaos` CLI reads it back and replays the run
+/// exactly.  The repo deliberately carries no third-party dependencies,
+/// so this is a small recursive-descent parser covering the JSON subset
+/// the harness emits (objects, arrays, strings, finite numbers, bools,
+/// null).  Writing stays with the emitting code (obs::json_escape /
+/// obs::format_double keep numbers deterministic); this file only reads.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sphinx::chaos {
+
+/// One parsed JSON value.  Object member order is preserved (the harness
+/// compares serializations byte-for-byte, so order matters).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+[[nodiscard]] Expected<JsonValue> parse_json(const std::string& input);
+
+}  // namespace sphinx::chaos

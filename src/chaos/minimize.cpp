@@ -1,0 +1,86 @@
+#include "chaos/minimize.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace sphinx::chaos {
+namespace {
+
+/// Tries removing one outage entry; returns true (and commits) when the
+/// failure survives without it.
+bool try_remove_outage(ChaosSchedule& schedule, const std::string& site,
+                       std::size_t index, const FailingPredicate& still_fails) {
+  ChaosSchedule candidate = schedule;
+  std::vector<grid::ScheduledOutage>& list = candidate.outages[site];
+  list.erase(list.begin() + static_cast<std::ptrdiff_t>(index));
+  if (list.empty()) candidate.outages.erase(site);
+  if (!still_fails(candidate)) return false;
+  schedule = std::move(candidate);
+  return true;
+}
+
+}  // namespace
+
+ChaosSchedule minimize_schedule(ChaosSchedule schedule,
+                                const FailingPredicate& still_fails) {
+  // Phase 1: greedy outage pruning, repeated until a full pass removes
+  // nothing (removing entry A can make entry B removable).
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    // Snapshot the site names: pruning mutates the map.
+    std::vector<std::string> sites;
+    sites.reserve(schedule.outages.size());
+    for (const auto& [site, list] : schedule.outages) sites.push_back(site);
+    for (const std::string& site : sites) {
+      std::size_t index = 0;
+      while (schedule.outages.contains(site) &&
+             index < schedule.outages[site].size()) {
+        if (try_remove_outage(schedule, site, index, still_fails)) {
+          shrunk = true;  // same index now names the next entry
+        } else {
+          ++index;
+        }
+      }
+    }
+  }
+
+  // Phase 2: crash point pruning -- a multi-crash failure often needs
+  // only one of its crashes.
+  std::size_t index = 0;
+  while (schedule.crash_records.size() > 1 &&
+         index < schedule.crash_records.size()) {
+    ChaosSchedule candidate = schedule;
+    candidate.crash_records.erase(candidate.crash_records.begin() +
+                                  static_cast<std::ptrdiff_t>(index));
+    if (still_fails(candidate)) {
+      schedule = std::move(candidate);
+    } else {
+      ++index;
+    }
+  }
+
+  // Phase 3: bisect each surviving crash point down to the smallest
+  // journal-record position that still reproduces.  The predicate is not
+  // monotone in general, so this is a heuristic descent; every accepted
+  // midpoint is re-verified, and the loop never accepts a non-failing
+  // candidate.
+  for (std::size_t c = 0; c < schedule.crash_records.size(); ++c) {
+    std::size_t lo = 1;
+    std::size_t hi = schedule.crash_records[c];
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      ChaosSchedule candidate = schedule;
+      candidate.crash_records[c] = mid;
+      if (still_fails(candidate)) {
+        schedule = std::move(candidate);
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace sphinx::chaos

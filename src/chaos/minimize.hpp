@@ -1,0 +1,31 @@
+#pragma once
+/// \file minimize.hpp
+/// Failure-schedule minimization (delta-debugging style).
+///
+/// When a chaos run trips an oracle, the raw schedule usually carries a
+/// dozen irrelevant outages around the one interaction that matters.
+/// minimize_schedule() shrinks it against a deterministic "does this
+/// still fail?" predicate: greedy one-at-a-time outage pruning, crash
+/// point pruning, then a bisection that walks each surviving crash point
+/// down to the smallest journal-record position that still reproduces.
+/// Every candidate the predicate accepts becomes the new baseline, so
+/// the result is a local minimum: removing any single remaining entry
+/// makes the failure disappear.
+
+#include <functional>
+
+#include "chaos/schedule.hpp"
+
+namespace sphinx::chaos {
+
+/// True when the candidate schedule still reproduces the failure.  Must
+/// be deterministic (same schedule, same verdict) -- the chaos pair
+/// runner is.
+using FailingPredicate = std::function<bool(const ChaosSchedule&)>;
+
+/// Shrinks `schedule` while `still_fails` holds.  The input schedule is
+/// assumed failing; the returned schedule is guaranteed failing.
+[[nodiscard]] ChaosSchedule minimize_schedule(
+    ChaosSchedule schedule, const FailingPredicate& still_fails);
+
+}  // namespace sphinx::chaos

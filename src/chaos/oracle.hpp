@@ -1,0 +1,59 @@
+#pragma once
+/// \file oracle.hpp
+/// Per-run correctness oracles for chaos campaigns.
+///
+/// Two families:
+///  - invariant oracles judge one run on its own: every submitted DAG
+///    reached a terminal state (no lost jobs, nothing stuck), the
+///    warehouse's check_invariants sweep passed, and the recorder trace
+///    is monotone in sim time;
+///  - the differential oracle compares a crashed-and-recovered run
+///    against the same seed run uninterrupted: terminal warehouse state
+///    (journal serialization) and the recorder trace -- minus the chaos
+///    harness's own crash/recovery marker events -- must match
+///    byte-for-byte.
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace sphinx::chaos {
+
+/// Everything an oracle needs from one finished run.
+struct RunArtifacts {
+  std::string journal_text;  ///< warehouse journal at end of run
+  std::string trace_jsonl;   ///< full recorder trace
+  std::size_t journal_records = 0;
+  std::size_t dags_total = 0;
+  std::size_t dags_finished = 0;
+  SimTime stopped_at = 0.0;
+  /// First warehouse/engine invariant violation caught during the run
+  /// ("" when clean).
+  std::string invariant_violation;
+};
+
+/// One oracle verdict; `violation` explains the first failure.
+struct OracleReport {
+  bool ok = true;
+  std::string violation;
+};
+
+/// Removes the chaos harness's own trace lines (server_crash /
+/// server_recovery events) so a recovered run's trace is comparable to
+/// the uninterrupted baseline's.
+[[nodiscard]] std::string strip_chaos_events(const std::string& trace_jsonl);
+
+/// Invariant oracles over one run (completeness, stored sweep verdict,
+/// monotone trace timestamps).
+[[nodiscard]] OracleReport check_run_invariants(const RunArtifacts& run);
+
+/// Differential oracle: recovered run vs uninterrupted baseline.
+[[nodiscard]] OracleReport check_differential(const RunArtifacts& chaotic,
+                                              const RunArtifacts& baseline);
+
+/// FNV-1a 64 over a byte string (campaign digests).
+[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes,
+                                  std::uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace sphinx::chaos

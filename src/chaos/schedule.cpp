@@ -1,0 +1,201 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "chaos/json.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
+
+namespace sphinx::chaos {
+namespace {
+
+/// Minimum gap between one site's repair and its next outage.  A zero
+/// gap would fire the next outage and the previous repair at the same
+/// timestamp, where event seq-order (outages are scheduled at t=0)
+/// recovers the site immediately after downing it.
+constexpr Duration kRepairGap = 1.0;
+
+grid::OutageMode draw_mode(Rng& rng, const ScheduleConfig& config) {
+  const double total = config.weight_down + config.weight_black_hole +
+                       config.weight_degraded;
+  if (total <= 0.0) return grid::OutageMode::kDown;
+  const double draw = rng.uniform(0.0, total);
+  if (draw < config.weight_down) return grid::OutageMode::kDown;
+  if (draw < config.weight_down + config.weight_black_hole) {
+    return grid::OutageMode::kBlackHole;
+  }
+  return grid::OutageMode::kDegraded;
+}
+
+grid::ScheduledOutage draw_outage(Rng& rng, const ScheduleConfig& config,
+                                  SimTime at) {
+  grid::ScheduledOutage outage;
+  outage.at = at;
+  outage.duration =
+      std::max(config.min_duration, rng.exponential(config.mean_duration));
+  outage.mode = draw_mode(rng, config);
+  return outage;
+}
+
+/// Sorts one site's list and pushes overlapping outages behind the
+/// previous repair, keeping every drawn entry.
+void normalize(std::vector<grid::ScheduledOutage>& list) {
+  std::sort(list.begin(), list.end(),
+            [](const grid::ScheduledOutage& a, const grid::ScheduledOutage& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.duration < b.duration;
+            });
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    const SimTime min_start =
+        list[i - 1].at + list[i - 1].duration + kRepairGap;
+    if (list[i].at < min_start) list[i].at = min_start;
+  }
+}
+
+Unexpected<Error> bad_schedule(const std::string& what) {
+  return Unexpected<Error>{Error{"bad_schedule", what}};
+}
+
+}  // namespace
+
+std::size_t ChaosSchedule::outage_count() const {
+  std::size_t n = 0;
+  for (const auto& [site, list] : outages) n += list.size();
+  return n;
+}
+
+ChaosSchedule synthesize(std::uint64_t seed, const ScheduleConfig& config,
+                         const std::vector<std::string>& sites) {
+  SPHINX_PRECONDITION(!sites.empty(), "schedule synthesis needs sites");
+  ChaosSchedule schedule;
+  const SeedTree seeds(seed);
+
+  Rng rng = seeds.stream("chaos/outages");
+  for (int i = 0; i < config.outages; ++i) {
+    const std::string& site = sites[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1))];
+    schedule.outages[site].push_back(
+        draw_outage(rng, config, rng.uniform(0.0, config.span)));
+  }
+
+  Rng burst_rng = seeds.stream("chaos/bursts");
+  const int burst_sites =
+      std::min<int>(config.burst_sites, static_cast<int>(sites.size()));
+  for (int b = 0; b < config.bursts; ++b) {
+    // Correlated multi-site event: same instant (within the window), same
+    // mode, distinct sites -- the "whole rack lost power" shape a renewal
+    // process essentially never produces.
+    const SimTime at = burst_rng.uniform(0.0, config.span);
+    const grid::OutageMode mode = draw_mode(burst_rng, config);
+    std::vector<std::size_t> indices(sites.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    for (int k = 0; k < burst_sites; ++k) {
+      // Partial Fisher-Yates: pick the k-th distinct site.
+      const std::size_t j = static_cast<std::size_t>(burst_rng.uniform_int(
+          k, static_cast<std::int64_t>(indices.size()) - 1));
+      std::swap(indices[static_cast<std::size_t>(k)], indices[j]);
+      grid::ScheduledOutage outage = draw_outage(
+          burst_rng, config, at + burst_rng.uniform(0.0, config.burst_window));
+      outage.mode = mode;
+      schedule.outages[sites[indices[static_cast<std::size_t>(k)]]].push_back(
+          outage);
+    }
+  }
+
+  for (auto& [site, list] : schedule.outages) normalize(list);
+
+  Rng crash_rng = seeds.stream("chaos/crashes");
+  for (int c = 0; c < config.crashes; ++c) {
+    schedule.crash_records.push_back(static_cast<std::size_t>(
+        crash_rng.uniform_int(static_cast<std::int64_t>(config.min_crash_record),
+                              static_cast<std::int64_t>(config.max_crash_record))));
+  }
+  std::sort(schedule.crash_records.begin(), schedule.crash_records.end());
+  for (std::size_t i = 1; i < schedule.crash_records.size(); ++i) {
+    // Strictly increasing, with room for the recovered server to make
+    // progress before the next crash.
+    if (schedule.crash_records[i] <= schedule.crash_records[i - 1]) {
+      schedule.crash_records[i] = schedule.crash_records[i - 1] + 25;
+    }
+  }
+  return schedule;
+}
+
+std::string to_json(const ChaosSchedule& schedule) {
+  std::string out = "{\"crash_records\":[";
+  for (std::size_t i = 0; i < schedule.crash_records.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(schedule.crash_records[i]);
+  }
+  out += "],\"outages\":{";
+  bool first_site = true;
+  for (const auto& [site, list] : schedule.outages) {
+    if (!first_site) out += ',';
+    first_site = false;
+    out += '"' + obs::json_escape(site) + "\":[";
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"at\":" + obs::format_double(list[i].at) +
+             ",\"duration\":" + obs::format_double(list[i].duration) +
+             ",\"mode\":\"" + grid::to_string(list[i].mode) + "\"}";
+    }
+    out += ']';
+  }
+  out += "}}";
+  return out;
+}
+
+Expected<ChaosSchedule> schedule_from_json(const std::string& text) {
+  auto doc = parse_json(text);
+  if (!doc) return Unexpected<Error>{doc.error()};
+  return schedule_from_value(*doc);
+}
+
+Expected<ChaosSchedule> schedule_from_value(const JsonValue& doc) {
+  if (!doc.is_object()) return bad_schedule("schedule must be an object");
+
+  ChaosSchedule schedule;
+  if (const JsonValue* crashes = doc.find("crash_records")) {
+    if (!crashes->is_array()) return bad_schedule("crash_records: array");
+    for (const JsonValue& entry : crashes->array) {
+      if (!entry.is_number() || entry.number < 0) {
+        return bad_schedule("crash_records: non-negative numbers");
+      }
+      schedule.crash_records.push_back(
+          static_cast<std::size_t>(entry.number));
+    }
+  }
+  if (const JsonValue* outages = doc.find("outages")) {
+    if (!outages->is_object()) return bad_schedule("outages: object");
+    for (const auto& [site, list] : outages->members) {
+      if (!list.is_array()) return bad_schedule("outage list: array");
+      for (const JsonValue& entry : list.array) {
+        const JsonValue* at = entry.find("at");
+        const JsonValue* duration = entry.find("duration");
+        const JsonValue* mode = entry.find("mode");
+        if (at == nullptr || !at->is_number() || duration == nullptr ||
+            !duration->is_number() || mode == nullptr || !mode->is_string()) {
+          return bad_schedule("outage entry: {at, duration, mode}");
+        }
+        grid::ScheduledOutage outage;
+        outage.at = at->number;
+        outage.duration = duration->number;
+        if (mode->text == "down") {
+          outage.mode = grid::OutageMode::kDown;
+        } else if (mode->text == "black_hole") {
+          outage.mode = grid::OutageMode::kBlackHole;
+        } else if (mode->text == "degraded") {
+          outage.mode = grid::OutageMode::kDegraded;
+        } else {
+          return bad_schedule("unknown outage mode: " + mode->text);
+        }
+        schedule.outages[site].push_back(outage);
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace sphinx::chaos

@@ -1,0 +1,86 @@
+#pragma once
+/// \file schedule.hpp
+/// Seeded synthesis of adversarial failure schedules.
+///
+/// A chaos run's entire misbehaviour plan is one ChaosSchedule: per-site
+/// outage lists (fed to grid::FailureModel's schedule-driven mode) plus
+/// the journal-record positions at which the SPHINX server is
+/// fail-stopped and journal-recovered mid-run.  Schedules are pure data:
+/// synthesize() is a deterministic function of (seed, config, site
+/// names), they serialize to JSON for the repro file, and the minimizer
+/// shrinks them entry-by-entry without re-deriving anything from the
+/// seed.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/json.hpp"
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "grid/failure.hpp"
+
+namespace sphinx::chaos {
+
+/// One run's complete failure plan.
+struct ChaosSchedule {
+  /// Outages per site name, each list sorted and non-overlapping
+  /// (FailureModel's schedule contract).
+  std::map<std::string, std::vector<grid::ScheduledOutage>> outages;
+  /// Journal-record counts at which the server is crashed, strictly
+  /// increasing.  Each entry arms a fail-stop for the first check point
+  /// at or past that many journal records; recovery happens in the same
+  /// engine event.
+  std::vector<std::size_t> crash_records;
+
+  [[nodiscard]] std::size_t outage_count() const;
+};
+
+/// Synthesis knobs.  Defaults give a mixed-mode schedule with one burst
+/// and one mid-run crash -- adversarial but quick to simulate.
+struct ScheduleConfig {
+  /// Outage starts are drawn in [0, span); repairs may run past it.
+  SimTime span = hours(8);
+  /// Independent single-site outage draws.
+  int outages = 10;
+  Duration mean_duration = minutes(30);
+  Duration min_duration = minutes(2);
+  /// Outage mode mix (normalized; all-zero degenerates to plain down).
+  double weight_down = 1.0;
+  double weight_black_hole = 0.4;
+  double weight_degraded = 0.4;
+  /// Correlated multi-site events: every burst picks `burst_sites`
+  /// distinct sites and starts an outage of the same mode on each within
+  /// `burst_window` of the burst instant.
+  int bursts = 1;
+  int burst_sites = 3;
+  Duration burst_window = minutes(5);
+  /// Mid-run server crash points, drawn uniformly from
+  /// [min_crash_record, max_crash_record] and kept strictly increasing.
+  /// Points past the run's final journal length never fire, so the
+  /// default range sits inside a default run's ~300-record journal.
+  int crashes = 1;
+  std::size_t min_crash_record = 40;
+  std::size_t max_crash_record = 260;
+};
+
+/// Deterministically synthesizes a schedule: same (seed, config, sites)
+/// always yields the identical schedule.  Per-site lists come out sorted
+/// and non-overlapping (overlaps from independent draws are resolved by
+/// pushing the later outage behind the earlier repair, 1 s apart).
+[[nodiscard]] ChaosSchedule synthesize(std::uint64_t seed,
+                                       const ScheduleConfig& config,
+                                       const std::vector<std::string>& sites);
+
+/// JSON round-trip for the repro file.  to_json is deterministic (map
+/// order, fixed key order, to_chars numbers).
+[[nodiscard]] std::string to_json(const ChaosSchedule& schedule);
+[[nodiscard]] Expected<ChaosSchedule> schedule_from_json(
+    const std::string& text);
+/// Same, from an already-parsed document subtree (repro files embed the
+/// schedule as one member of a larger object).
+[[nodiscard]] Expected<ChaosSchedule> schedule_from_value(
+    const JsonValue& value);
+
+}  // namespace sphinx::chaos

@@ -1,10 +1,24 @@
 #include "core/algorithms.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 #include "common/error.hpp"
 
 namespace sphinx::core {
+namespace {
+
+// Parses a decimal uint64 from [first, last); returns false (leaving
+// `out` untouched) on anything else.
+bool parse_u64(const char* first, const char* last, std::uint64_t& out) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
 
 std::unique_ptr<SchedulingAlgorithm> make_algorithm(Algorithm algorithm) {
   switch (algorithm) {
@@ -26,6 +40,14 @@ std::optional<SiteId> RoundRobinAlgorithm::select(
   const CandidateSite& pick =
       context.sites[cursor_++ % context.sites.size()];
   return pick.id;
+}
+
+std::string RoundRobinAlgorithm::save_state() const {
+  return std::to_string(cursor_);
+}
+
+void RoundRobinAlgorithm::restore_state(const std::string& state) {
+  parse_u64(state.data(), state.data() + state.size(), cursor_);
 }
 
 std::optional<SiteId> NumCpusAlgorithm::select(
@@ -121,6 +143,39 @@ std::optional<SiteId> CompletionTimeAlgorithm::select(
     return context.sites[warmup_cursor_++ % context.sites.size()].id;
   }
   return best;
+}
+
+std::string CompletionTimeAlgorithm::save_state() const {
+  // "<warmup_cursor>|<probed site ids, sorted, comma separated>" -- the
+  // sort makes equal states serialize identically regardless of the
+  // unordered_set's iteration order.
+  std::vector<std::uint64_t> ids(probed_.begin(), probed_.end());
+  std::sort(ids.begin(), ids.end());
+  std::string out = std::to_string(warmup_cursor_) + "|";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+void CompletionTimeAlgorithm::restore_state(const std::string& state) {
+  const std::size_t bar = state.find('|');
+  if (bar == std::string::npos) return;
+  std::uint64_t cursor = 0;
+  if (!parse_u64(state.data(), state.data() + bar, cursor)) return;
+  std::unordered_set<std::uint64_t> probed;
+  std::size_t pos = bar + 1;
+  while (pos < state.size()) {
+    std::size_t comma = state.find(',', pos);
+    if (comma == std::string::npos) comma = state.size();
+    std::uint64_t id = 0;
+    if (!parse_u64(state.data() + pos, state.data() + comma, id)) return;
+    probed.insert(id);
+    pos = comma + 1;
+  }
+  warmup_cursor_ = cursor;
+  probed_ = std::move(probed);
 }
 
 }  // namespace sphinx::core

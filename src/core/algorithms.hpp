@@ -52,6 +52,11 @@ struct PlanningContext {
 
 /// Strategy interface.  Implementations keep internal cursors (round
 /// robin position) but no per-job state.
+///
+/// Cursor state is *soft* but not *free*: a recovered server that resets
+/// it would diverge from the uninterrupted run.  save_state()/
+/// restore_state() serialize it to a short deterministic string the
+/// warehouse journals alongside the tables, closing that gap.
 class SchedulingAlgorithm {
  public:
   virtual ~SchedulingAlgorithm() = default;
@@ -61,6 +66,14 @@ class SchedulingAlgorithm {
       const PlanningContext& context) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Serializes internal cursors; "" for stateless strategies.  Equal
+  /// internal state must serialize identically (used for change checks).
+  [[nodiscard]] virtual std::string save_state() const { return ""; }
+
+  /// Restores state produced by save_state() on the same strategy type.
+  /// Unparseable or empty input leaves the strategy at its defaults.
+  virtual void restore_state(const std::string& state) { (void)state; }
 };
 
 /// Factory for the paper's strategies.
@@ -73,6 +86,8 @@ class RoundRobinAlgorithm final : public SchedulingAlgorithm {
   [[nodiscard]] std::optional<SiteId> select(
       const PlanningContext& context) override;
   [[nodiscard]] std::string name() const override { return "round-robin"; }
+  [[nodiscard]] std::string save_state() const override;
+  void restore_state(const std::string& state) override;
 
  private:
   std::uint64_t cursor_ = 0;
@@ -107,6 +122,8 @@ class CompletionTimeAlgorithm final : public SchedulingAlgorithm {
   [[nodiscard]] std::optional<SiteId> select(
       const PlanningContext& context) override;
   [[nodiscard]] std::string name() const override { return "completion-time"; }
+  [[nodiscard]] std::string save_state() const override;
+  void restore_state(const std::string& state) override;
 
  private:
   std::uint64_t warmup_cursor_ = 0;

@@ -22,6 +22,11 @@ Planner::Planner(DataWarehouse& warehouse, std::vector<CatalogSite> catalog,
       stats_(stats),
       algorithm_(make_algorithm(config.algorithm)) {
   SPHINX_ASSERT(!catalog_.empty(), "planner needs a non-empty site catalog");
+  // Strategy cursors are journaled soft state: pick up where a crashed
+  // planner left off (no-op on a fresh warehouse -- "" restores nothing).
+  saved_algorithm_state_ =
+      warehouse_.scheduler_state("algorithm:" + algorithm_->name());
+  algorithm_->restore_state(saved_algorithm_state_);
 }
 
 Planner::Outcome Planner::plan_dag(const DagRecord& dag, SimTime now) {
@@ -36,6 +41,11 @@ Planner::Outcome Planner::plan_dag(const DagRecord& dag, SimTime now) {
     if (!ready || !plan_job(dag, job, now, outcome.plans)) {
       outcome.jobs_left_unplanned = true;
     }
+  }
+  if (std::string state = algorithm_->save_state();
+      state != saved_algorithm_state_) {
+    warehouse_.set_scheduler_state("algorithm:" + algorithm_->name(), state);
+    saved_algorithm_state_ = std::move(state);
   }
   return outcome;
 }

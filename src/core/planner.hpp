@@ -63,6 +63,9 @@ class Planner {
   const ServerConfig& config_;
   ServerStats& stats_;
   std::unique_ptr<SchedulingAlgorithm> algorithm_;
+  /// Last strategy state persisted to the warehouse; skips the table
+  /// lookup when a pass changed nothing.
+  std::string saved_algorithm_state_;
 };
 
 }  // namespace sphinx::core

@@ -73,7 +73,28 @@ Expected<std::unique_ptr<SphinxServer>> SphinxServer::recover(
 SphinxServer::~SphinxServer() = default;
 
 void SphinxServer::start() { control_->start(); }
+void SphinxServer::start_at(SimTime t) { control_->start_at(t); }
 void SphinxServer::stop() { control_->stop(); }
+
+SimTime SphinxServer::next_sweep_at() const noexcept {
+  return control_->next_fire_at();
+}
+
+void SphinxServer::arm_crash_hook(std::size_t journal_records,
+                                  std::function<void()> hook) {
+  crash_at_records_ = journal_records;
+  crash_hook_ = std::move(hook);
+}
+
+void SphinxServer::maybe_crash() {
+  if (crash_hook_ == nullptr) return;
+  if (warehouse_->journal().size() < crash_at_records_) return;
+  // Move-out first: the hook typically schedules this server's own
+  // destruction and must never fire twice.
+  std::function<void()> hook = std::move(crash_hook_);
+  crash_hook_ = nullptr;
+  hook();
+}
 
 void SphinxServer::register_methods() {
   service_->register_method(
@@ -130,6 +151,7 @@ Expected<XrValue> SphinxServer::handle_submit_dag(
   }
   log_.debug("received dag ", dag->name(), " (", dag->size(), " jobs) from ",
              client, " [", proxy.principal(), "]");
+  maybe_crash();
   return XrValue(dag->id().value());
 }
 
@@ -144,6 +166,7 @@ Expected<XrValue> SphinxServer::handle_report(
       !status.ok()) {
     return Unexpected<Error>{status.error()};
   }
+  maybe_crash();
   return XrValue(true);
 }
 
@@ -157,6 +180,7 @@ Expected<XrValue> SphinxServer::handle_set_quota(
   set_quota(UserId(static_cast<std::uint64_t>(params[0].as_int())),
             SiteId(static_cast<std::uint64_t>(params[1].as_int())),
             params[2].as_string(), params[3].as_double());
+  maybe_crash();
   return XrValue(true);
 }
 
@@ -269,6 +293,10 @@ void SphinxServer::sweep() {
   for (const DagRecord& dag : drained) {
     warehouse_->check_dag_invariants(dag.id);
   }
+
+  // Chaos fail-stop point: crashes happen at event boundaries, after the
+  // sweep committed its journal records, never mid-transaction.
+  maybe_crash();
 }
 
 void SphinxServer::send_plan(const std::string& client,

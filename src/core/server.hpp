@@ -20,6 +20,7 @@
 /// O(total state).  The server itself only owns the wiring: the RPC
 /// endpoint, the outgoing client channel, and the periodic sweep.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,8 +69,22 @@ class SphinxServer {
 
   /// Starts the control process.
   void start();
+  /// Starts the control process with its first sweep at absolute time
+  /// `t` -- how a recovered server resumes the crashed instance's exact
+  /// sweep phase (see next_sweep_at()).
+  void start_at(SimTime t);
   /// Stops the control process (simulating an internal failure).
   void stop();
+  /// Absolute time of the next control sweep (meaningful while started).
+  [[nodiscard]] SimTime next_sweep_at() const noexcept;
+
+  /// Arms a fail-stop trigger for chaos testing: the first time the
+  /// warehouse journal holds at least `journal_records` entries at a
+  /// check point (end of a sweep or RPC handler), `hook` fires exactly
+  /// once.  The hook must NOT destroy the server synchronously -- it is
+  /// called from inside server code; schedule the teardown on the engine
+  /// at the current time instead.  Passing nullptr disarms.
+  void arm_crash_hook(std::size_t journal_records, std::function<void()> hook);
 
   /// One control-process sweep (also callable directly from tests):
   /// drains the dirty-DAG queue and walks each drained DAG through the
@@ -114,6 +129,8 @@ class SphinxServer {
 
   void maybe_finish_dag(DagId dag_id);
   void send_plan(const std::string& client, const ExecutionPlan& plan);
+  /// Fires the armed crash hook when the journal crossed the threshold.
+  void maybe_crash();
 
   rpc::MessageBus& bus_;
   ServerConfig config_;
@@ -126,6 +143,8 @@ class SphinxServer {
   std::unique_ptr<rpc::ClarensService> service_;
   std::unique_ptr<rpc::ClarensClient> out_;  ///< for server -> client calls
   std::unique_ptr<sim::PeriodicProcess> control_;
+  std::size_t crash_at_records_ = 0;
+  std::function<void()> crash_hook_;
   obs::Recorder* recorder_ = nullptr;
   Logger log_{"sphinx-server"};
 };

@@ -66,6 +66,19 @@ void DataWarehouse::create_schema() {
                                          {"resource", ValueType::kText},
                                          {"limit", ValueType::kReal},
                                          {"used", ValueType::kReal}}});
+  // Key/value store for scheduling-module soft state (strategy cursors).
+  // Journaled like everything else, so a recovered server's strategy
+  // resumes mid-rotation instead of resetting to job zero.
+  db_.create_table("scheduler_state",
+                   db::Schema{{indexed("key", ValueType::kText),
+                               {"value", ValueType::kText}}});
+  // One-row drain ledger.  The dirty queue itself is derived state, but
+  // *when* each sweep cleared it is history only the journal carries:
+  // rebuild_work_state() replays the enqueue rules over the journal and
+  // needs the clear points to land in order between them.
+  db::Table& work_queue =
+      db_.create_table("work_queue", db::Schema{{"drains", ValueType::kInt}});
+  work_queue.insert({Value(std::int64_t{0})});
 }
 
 Expected<std::unique_ptr<DataWarehouse>> DataWarehouse::recover_from(
@@ -106,22 +119,70 @@ void DataWarehouse::rebuild_work_state() {
     }
   });
 
-  // One pass over dags: a DAG is queued when its own state says work is
-  // pending (received, reduced) or when it is planning and still has an
-  // unplanned job -- exactly the set the crashed server would have
-  // revisited on its next sweep.
+  // The dirty queue is history, not state: "job completed, DAG queued,
+  // sweep pending" and "job completed, sweep already ran" leave
+  // identical tables, so no table scan can reconstruct it.  Replay the
+  // live enqueue/clear rules over the journal instead -- every enqueue
+  // rides a journaled write, and the drain ledger marks where each sweep
+  // cleared the queue -- so the recovered queue IS the crashed server's
+  // queue, not an approximation (the chaos harness's differential oracle
+  // compares the two runs byte-for-byte).
   const db::Table& dags = db_.table("dags");
   const std::size_t dag_id_col = dags.schema().index_of("dag_id");
   const std::size_t dag_state_col = dags.schema().index_of("state");
+  const std::string dag_finished = to_string(DagState::kFinished);
+  const std::string job_unplanned = to_string(JobState::kUnplanned);
+  const std::string job_completed = to_string(JobState::kCompleted);
+  for (const db::JournalEntry& entry : db_.journal().entries()) {
+    switch (entry.op) {
+      case db::JournalEntry::Op::kInsert:
+        // record_dag: a received DAG is work for the reducer.
+        if (entry.table == "dags") dirty_rows_.insert(entry.row);
+        break;
+      case db::JournalEntry::Op::kUpdate:
+        if (entry.table == "dags" && entry.column == dag_state_col) {
+          // set_dag_state / set_dag_finished: the next stage owns it,
+          // finished DAGs hold no pending work.
+          if (entry.cells[0].as_text() == dag_finished) {
+            dirty_rows_.erase(entry.row);
+          } else {
+            dirty_rows_.insert(entry.row);
+          }
+        } else if (entry.table == "jobs" && entry.column == job_state_col) {
+          // update_job_state: falling back to unplanned or completing
+          // creates planner work for the owning DAG.
+          const std::string& text = entry.cells[0].as_text();
+          if (text == job_unplanned || text == job_completed) {
+            const db::Row* job_row = jobs.find(entry.row);
+            if (job_row == nullptr) break;
+            const db::Row* dag_row = dags.find_first(
+                "dag_id", Value(job_row->cells[job_dag_col].as_int()));
+            if (dag_row != nullptr) dirty_rows_.insert(dag_row->id);
+          }
+        } else if (entry.table == "work_queue") {
+          dirty_rows_.clear();  // a sweep drained everything queued so far
+        }
+        break;
+      case db::JournalEntry::Op::kErase:
+        if (entry.table == "dags") dirty_rows_.erase(entry.row);
+        break;
+      case db::JournalEntry::Op::kCreateTable:
+        break;
+    }
+  }
+
+  // One enqueue has no journal footprint: the sweep re-marks any drained
+  // DAG whose planner left jobs unplanned (blocked, unplaceable or
+  // waiting on parents -- retried every sweep).  Such DAGs are therefore
+  // continuously dirty on a live server, so queueing every unfinished
+  // DAG that still holds an unplanned job reproduces those marks
+  // exactly.
   dags.for_each([&](const db::Row& row) {
-    const DagState state = dag_state_from(row.cells[dag_state_col].as_text());
-    const bool pending =
-        state == DagState::kReceived || state == DagState::kReduced;
-    const bool replanning =
-        state == DagState::kPlanning &&
-        dags_with_unplanned.contains(
-            static_cast<std::uint64_t>(row.cells[dag_id_col].as_int()));
-    if (pending || replanning) dirty_rows_.insert(row.id);
+    if (row.cells[dag_state_col].as_text() == dag_finished) return;
+    if (dags_with_unplanned.contains(
+            static_cast<std::uint64_t>(row.cells[dag_id_col].as_int()))) {
+      dirty_rows_.insert(row.id);
+    }
   });
 }
 
@@ -412,6 +473,20 @@ void DataWarehouse::mark_dag_dirty(DagId id) {
 }
 
 std::vector<DagRecord> DataWarehouse::drain_dirty_dags() {
+  if (!dirty_rows_.empty()) {
+    // Journal the drain point (empty sweeps write nothing): without it a
+    // recovered server cannot tell "enqueued, not yet swept" from
+    // "already swept" -- both leave identical tables.
+    db::Table& ledger = db_.table("work_queue");
+    db::RowId ledger_row = db::kInvalidRow;
+    std::int64_t drains = 0;
+    ledger.for_each([&ledger_row, &drains](const db::Row& row) {
+      ledger_row = row.id;
+      drains = row.cells[0].as_int();
+    });
+    SPHINX_ASSERT(ledger_row != db::kInvalidRow, "drain ledger row missing");
+    ledger.update(ledger_row, "drains", Value(drains + 1));
+  }
   const db::Table& dags = db_.table("dags");
   std::vector<DagRecord> out;
   out.reserve(dirty_rows_.size());
@@ -509,6 +584,27 @@ void DataWarehouse::record_cancellation(SiteId site,
 bool DataWarehouse::site_available(SiteId site) const {
   const SiteStats stats = site_stats(site);
   return stats.cancelled <= stats.completed;
+}
+
+// --- scheduler soft state ---------------------------------------------------
+
+void DataWarehouse::set_scheduler_state(const std::string& key,
+                                        const std::string& value) {
+  db::Table& table = db_.table("scheduler_state");
+  const db::Row* row = table.find_first("key", Value(key));
+  if (row == nullptr) {
+    table.insert({Value(key), Value(value)});
+    return;
+  }
+  if (table.get(row->id, "value").as_text() == value) return;
+  table.update(row->id, "value", Value(value));
+}
+
+std::string DataWarehouse::scheduler_state(const std::string& key) const {
+  const db::Table& table = db_.table("scheduler_state");
+  const db::Row* row = table.find_first("key", Value(key));
+  if (row == nullptr) return "";
+  return table.get(row->id, "value").as_text();
 }
 
 // --- quotas -----------------------------------------------------------------

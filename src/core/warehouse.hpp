@@ -169,6 +169,15 @@ class DataWarehouse {
   void refund_quota(UserId user, SiteId site, const std::string& resource,
                     double amount);
 
+  // --- scheduler soft state --------------------------------------------
+  /// Persists a scheduling-module key/value pair (e.g. a strategy's
+  /// cursor) into the journaled `scheduler_state` table.  Writing the
+  /// value already stored is a no-op, so unchanged state costs no
+  /// journal growth.
+  void set_scheduler_state(const std::string& key, const std::string& value);
+  /// The stored value, or "" when the key was never written.
+  [[nodiscard]] std::string scheduler_state(const std::string& key) const;
+
   [[nodiscard]] db::Database& database() noexcept { return db_; }
 
   /// Attaches a flight recorder; job transitions and planning decisions
@@ -198,8 +207,10 @@ class DataWarehouse {
  private:
   explicit DataWarehouse(bool create_schema);
   void create_schema();
-  /// Rebuilds the dirty queue and outstanding counters by scanning the
-  /// recovered tables (the inverse of the transition-time maintenance).
+  /// Rebuilds the outstanding counters from the recovered tables and the
+  /// dirty queue by replaying the enqueue/clear rules over the journal
+  /// (drain-ledger updates mark where sweeps cleared it) -- the queue is
+  /// history, not a function of the final tables.
   void rebuild_work_state();
   [[nodiscard]] static JobRecord decode_job(const db::Row& row);
   [[nodiscard]] static DagRecord decode_dag(const db::Row& row);

@@ -17,8 +17,11 @@
 namespace sphinx::exp {
 
 /// Runs every task (possibly concurrently) and returns results in input
-/// order.  `max_threads` 0 means hardware concurrency.  Exceptions thrown
-/// by tasks are rethrown (the first one, after all threads join).
+/// order.  `max_threads` 0 means hardware concurrency.  Every task runs
+/// to completion (or failure) even when another task throws; after all
+/// threads join, the exception of the *lowest-indexed* failing task is
+/// rethrown.  Which thread failed first is a race; the task index is
+/// not, so a sweep's reported failure is reproducible.
 template <typename R>
 [[nodiscard]] std::vector<R> run_parallel(
     const std::vector<std::function<R()>>& tasks,
@@ -49,8 +52,11 @@ template <typename R>
   for (unsigned i = 0; i < n; ++i) threads.emplace_back(worker);
   for (std::thread& thread : threads) thread.join();
 
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
+  // Deterministic error selection: errors[] is task-indexed, so scanning
+  // from slot 0 always surfaces the lowest-indexed failure regardless of
+  // which worker thread hit its exception first.
+  for (std::size_t index = 0; index < errors.size(); ++index) {
+    if (errors[index]) std::rethrow_exception(errors[index]);
   }
   return results;
 }

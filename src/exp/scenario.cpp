@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
+
 namespace sphinx::exp {
 namespace {
 
@@ -114,10 +116,23 @@ void Scenario::build_sites() {
         spec.failure.weight_degraded = row.flaky_degraded ? 1.0 : 0.0;
       }
     }
+    if (const auto it = config_.outage_schedules.find(row.name);
+        it != config_.outage_schedules.end()) {
+      // Schedule-driven injection overrides the renewal process for this
+      // site (FailureModel prefers a non-empty schedule).
+      spec.failure.schedule = it->second;
+    }
     const SiteId id = grid_.add_site(spec);
     transfers_.set_link(id, {row.link_mbps * kMB, row.link_mbps * kMB});
     storage_.add(id, 10e12);  // 10 TB storage element per site
   }
+}
+
+std::vector<std::string> Scenario::site_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kSites));
+  for (const SiteRow& row : kSites) names.emplace_back(row.name);
+  return names;
 }
 
 std::vector<core::CatalogSite> Scenario::catalog() const {
@@ -181,6 +196,47 @@ void Scenario::start() {
   grid_.start();
   monitoring_.start();
   for (Tenant& tenant : tenants_) tenant.server->start();
+}
+
+StatusOrError Scenario::crash_and_recover_server(std::size_t tenant_index) {
+  SPHINX_PRECONDITION(tenant_index < tenants_.size(),
+                      "crash target must name an existing tenant");
+  Tenant& tenant = tenants_[tenant_index];
+  SPHINX_PRECONDITION(tenant.server != nullptr,
+                      "crash target has no live server");
+
+  // Capture everything the recovered instance needs *before* destroying
+  // the crashed one: the journal (its whole durable state), the config,
+  // and the exact pending sweep time -- restarting at the literal time the
+  // crashed control process was going to fire avoids recomputing the
+  // phase in floating point and keeps the event order identical to an
+  // uninterrupted run.
+  const db::Journal journal = tenant.server->warehouse().journal();
+  const core::ServerConfig server_config = tenant.server->config();
+  const SimTime resume_at = tenant.server->next_sweep_at();
+
+  recorder_.event(obs::TraceKind::kServerCrash, server_config.endpoint, "",
+                  "fail-stop", static_cast<double>(journal.size()));
+  recorder_.count("chaos", "server.crashes");
+
+  // Fail-stop: the destructor unregisters the endpoint, so until the
+  // recovered instance re-registers (same engine event, same sim time)
+  // the server simply does not exist on the bus.
+  tenant.server.reset();
+
+  auto recovered = core::SphinxServer::recover(bus_, catalog(), rls_,
+                                               transfers_, &monitoring_,
+                                               server_config, journal);
+  if (!recovered) return Unexpected<Error>{recovered.error()};
+  tenant.server = std::move(*recovered);
+  tenant.server->set_recorder(&recorder_);
+  tenant.server->start_at(resume_at);
+
+  recorder_.event(obs::TraceKind::kServerRecovery, server_config.endpoint, "",
+                  "journal-replay",
+                  static_cast<double>(tenant.server->warehouse().journal().size()));
+  recorder_.count("chaos", "server.recoveries");
+  return {};
 }
 
 SimTime Scenario::run(SimTime horizon) {

@@ -12,6 +12,7 @@
 /// fault-tolerance results depend on.
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +44,12 @@ struct ScenarioConfig {
   Duration bus_jitter = 0.1;
   /// GMA registry retention per (metric, site) series.
   std::size_t metric_history_limit = 64;
+  /// Pre-planned outages per site name (chaos harness).  A named site
+  /// runs exactly this outage list instead of the seeded renewal process;
+  /// unnamed sites keep whatever `site_failures` gives them.  Applied
+  /// even when `site_failures` is false, so a chaos run can own all the
+  /// grid's misbehaviour.
+  std::map<std::string, std::vector<grid::ScheduledOutage>> outage_schedules;
 };
 
 /// One SPHINX deployment (server + client + gateway) sharing the grid
@@ -72,6 +79,10 @@ class Scenario {
   /// The static site catalog (id, name, CPUs) as SPHINX sees it.
   [[nodiscard]] std::vector<core::CatalogSite> catalog() const;
 
+  /// The testbed's site names in catalog order, without building a
+  /// scenario (schedule synthesis needs only the names).
+  [[nodiscard]] static std::vector<std::string> site_names();
+
   /// Creates one tenant.  Tenants must be created before start().
   Tenant& add_tenant(const std::string& label, const TenantOptions& options);
 
@@ -84,6 +95,16 @@ class Scenario {
 
   /// Starts grid dynamics, monitoring and every tenant's control process.
   void start();
+
+  /// Fail-stop crash + journal recovery of one tenant's server, in place,
+  /// within the current engine event: the old instance is destroyed (its
+  /// endpoint disappears from the bus), a new one is rebuilt from the
+  /// journal, re-registered under the same endpoint, and restarted at the
+  /// crashed control process's exact pending sweep time.  Call from an
+  /// engine event (e.g. a chaos crash hook), never re-entrantly from
+  /// inside the server being killed.
+  [[nodiscard]] StatusOrError crash_and_recover_server(
+      std::size_t tenant_index);
 
   /// Runs until `horizon`, stopping early once every tenant's client has
   /// finished all of its DAGs.  Returns the stop time.

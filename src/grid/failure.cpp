@@ -12,6 +12,15 @@ bool weight_ok(double w) { return std::isfinite(w) && w >= 0.0; }
 
 }  // namespace
 
+const char* to_string(OutageMode mode) noexcept {
+  switch (mode) {
+    case OutageMode::kDown: return "down";
+    case OutageMode::kBlackHole: return "black_hole";
+    case OutageMode::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
 FailureModel::FailureModel(sim::Engine& engine, Site& site,
                            FailureConfig config, Rng rng)
     : engine_(engine), site_(site), config_(config), rng_(std::move(rng)) {
@@ -25,6 +34,24 @@ void FailureModel::start() {
   if (config_.permanent_black_hole) {
     site_.become_black_hole();
     record_outage("black_hole(permanent)");
+    return;
+  }
+  if (!config_.schedule.empty()) {
+    // Deterministic, pre-planned outages (the chaos harness path).  The
+    // schedule is its own source of randomness, so the renewal process
+    // stays off even when `enabled` is set.
+    for (std::size_t i = 0; i < config_.schedule.size(); ++i) {
+      const ScheduledOutage& outage = config_.schedule[i];
+      SPHINX_PRECONDITION(outage.at >= 0.0 && outage.duration > 0.0,
+                          "scheduled outage needs t >= 0, duration > 0");
+      if (i > 0) {
+        const ScheduledOutage& prev = config_.schedule[i - 1];
+        SPHINX_PRECONDITION(prev.at + prev.duration <= outage.at,
+                            "scheduled outages must be sorted, non-overlap");
+      }
+      engine_.schedule_at(outage.at, "failure:" + site_.name() + ":fail",
+                          [this, i] { fail_scheduled(i); });
+    }
     return;
   }
   if (config_.enabled) schedule_failure();
@@ -44,43 +71,64 @@ void FailureModel::schedule_failure() {
                       [this] { fail(); });
 }
 
-void FailureModel::fail() {
+void FailureModel::apply_mode(OutageMode mode) {
   ++outages_;
+  switch (mode) {
+    case OutageMode::kDown: site_.go_down(); break;
+    case OutageMode::kBlackHole: site_.become_black_hole(); break;
+    case OutageMode::kDegraded: site_.degrade(); break;
+  }
+  record_outage(to_string(mode));
+}
+
+void FailureModel::fail() {
   const double total = config_.weight_down + config_.weight_black_hole +
                        config_.weight_degraded;
-  if (total <= 0.0) {
-    // All-zero mode mix: there is no distribution to draw from, so the
+  OutageMode mode = OutageMode::kDown;
+  if (total > 0.0) {
+    // An all-zero mode mix has no distribution to draw from, so the
     // outage takes the `weight_down` meaning (plain downtime) instead of
     // falling through to an arbitrary mode.
-    site_.go_down();
-    record_outage("down");
-  } else {
     const double draw = rng_.uniform(0.0, total);
     if (draw < config_.weight_down) {
-      site_.go_down();
-      record_outage("down");
+      mode = OutageMode::kDown;
     } else if (draw < config_.weight_down + config_.weight_black_hole) {
-      site_.become_black_hole();
-      record_outage("black_hole");
+      mode = OutageMode::kBlackHole;
     } else {
-      site_.degrade();
-      record_outage("degraded");
+      mode = OutageMode::kDegraded;
     }
   }
+  apply_mode(mode);
   const Duration downtime = rng_.exponential(config_.mean_downtime);
   engine_.schedule_in(downtime, "failure:" + site_.name() + ":repair",
                       [this] { repair(); });
 }
 
+void FailureModel::fail_scheduled(std::size_t index) {
+  const ScheduledOutage& outage = config_.schedule[index];
+  apply_mode(outage.mode);
+  engine_.schedule_at(outage.at + outage.duration,
+                      "failure:" + site_.name() + ":repair",
+                      [this] { repair_scheduled(); });
+}
+
+void FailureModel::repair_scheduled() {
+  site_.recover();
+  record_repair();
+}
+
 void FailureModel::repair() {
   site_.recover();
-  if (recorder_ != nullptr) {
-    recorder_->event(obs::TraceKind::kSiteRepair, "failure:" + site_.name(),
-                     "site:" + std::to_string(site_.id().value()), "",
-                     static_cast<double>(outages_));
-    recorder_->count("grid", "site.repairs");
-  }
+  record_repair();
   schedule_failure();
+}
+
+void FailureModel::record_repair() {
+  if (recorder_ == nullptr) return;
+  recorder_->event(obs::TraceKind::kSiteRepair, "failure:" + site_.name(),
+                   "site:" + std::to_string(site_.id().value()), "",
+                   static_cast<double>(outages_));
+  recorder_->count("grid", "site.repairs");
 }
 
 BackgroundLoad::BackgroundLoad(sim::Engine& engine, Site& site,

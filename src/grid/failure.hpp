@@ -10,6 +10,7 @@
 /// feedback experiments (Figures 2 and 8).
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "grid/site.hpp"
@@ -20,6 +21,22 @@ class Recorder;
 }  // namespace sphinx::obs
 
 namespace sphinx::grid {
+
+/// What an outage does to the site while it lasts.
+enum class OutageMode {
+  kDown,       ///< rejects submissions, running jobs stall
+  kBlackHole,  ///< accepts jobs, never completes them
+  kDegraded,   ///< slow responder: completes, but far slower
+};
+
+[[nodiscard]] const char* to_string(OutageMode mode) noexcept;
+
+/// One pre-planned outage for the schedule-driven injection mode.
+struct ScheduledOutage {
+  SimTime at = 0.0;       ///< absolute outage start
+  Duration duration = 0.0;  ///< strictly positive; repair at `at + duration`
+  OutageMode mode = OutageMode::kDown;
+};
 
 /// Failure behaviour of one site.
 struct FailureConfig {
@@ -32,6 +49,11 @@ struct FailureConfig {
   double weight_degraded = 0.0;
   /// If true the site starts and stays a black hole forever.
   bool permanent_black_hole = false;
+  /// Schedule-driven mode: when non-empty this exact outage list replaces
+  /// the exponential renewal process (and ignores `enabled`).  Entries
+  /// must be sorted by `at` and non-overlapping: each repair
+  /// (`at + duration`) must not run past the next entry's `at`.
+  std::vector<ScheduledOutage> schedule;
 };
 
 /// Drives one site through up/down cycles on the engine.  Mode weights
@@ -56,7 +78,11 @@ class FailureModel {
   void schedule_failure();
   void fail();
   void repair();
+  void apply_mode(OutageMode mode);
+  void fail_scheduled(std::size_t index);
+  void repair_scheduled();
   void record_outage(const char* mode);
+  void record_repair();
 
   sim::Engine& engine_;
   Site& site_;

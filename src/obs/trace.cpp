@@ -21,6 +21,8 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kSiteRepair: return "site_repair";
     case TraceKind::kBusDelivery: return "bus_delivery";
     case TraceKind::kMonitorSample: return "monitor_sample";
+    case TraceKind::kServerCrash: return "server_crash";
+    case TraceKind::kServerRecovery: return "server_recovery";
   }
   return "unknown";
 }

@@ -34,6 +34,8 @@ enum class TraceKind {
   kSiteRepair,       ///< failure model restored a site
   kBusDelivery,      ///< message delivered; value = delivery latency
   kMonitorSample,    ///< GMA metric published; detail = metric name
+  kServerCrash,      ///< chaos harness killed a server; value = journal size
+  kServerRecovery,   ///< journal-recovered server resumed; value = journal size
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

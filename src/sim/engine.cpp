@@ -120,9 +120,15 @@ PeriodicProcess::PeriodicProcess(Engine& engine, std::string label,
 PeriodicProcess::~PeriodicProcess() { stop(); }
 
 void PeriodicProcess::start() {
+  start_at(engine_.now() + jitter0_);
+}
+
+void PeriodicProcess::start_at(SimTime t) {
   if (running_) return;
   running_ = true;
-  next_ = engine_.schedule_in(jitter0_, label_, [this] { fire(); });
+  if (t < engine_.now()) t = engine_.now();
+  next_at_ = t;
+  next_ = engine_.schedule_at(t, label_, [this] { fire(); });
 }
 
 void PeriodicProcess::stop() {
@@ -135,7 +141,8 @@ void PeriodicProcess::stop() {
 void PeriodicProcess::fire() {
   if (!running_) return;
   // Reschedule first so the body may call stop() to terminate the chain.
-  next_ = engine_.schedule_in(period_, label_, [this] { fire(); });
+  next_at_ = engine_.now() + period_;
+  next_ = engine_.schedule_at(next_at_, label_, [this] { fire(); });
   body_();
 }
 

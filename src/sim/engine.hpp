@@ -134,11 +134,18 @@ class PeriodicProcess {
 
   /// Begins firing; idempotent.
   void start();
+  /// Begins firing with the first event at absolute time `t` (clamped to
+  /// >= now); idempotent while running.  Lets a restarted process resume
+  /// the exact firing phase of a predecessor (see next_fire_at()) instead
+  /// of recomputing it -- recomputation drifts in floating point.
+  void start_at(SimTime t);
   /// Stops firing; idempotent.
   void stop();
 
   [[nodiscard]] bool running() const noexcept { return running_; }
   [[nodiscard]] Duration period() const noexcept { return period_; }
+  /// Absolute time of the next pending firing (meaningful while running).
+  [[nodiscard]] SimTime next_fire_at() const noexcept { return next_at_; }
   /// Changes the period; takes effect at the next firing.
   void set_period(Duration period) noexcept { period_ = period; }
 
@@ -151,6 +158,7 @@ class PeriodicProcess {
   Body body_;
   Duration jitter0_;
   EventHandle next_;
+  SimTime next_at_ = 0.0;
   bool running_ = false;
 };
 

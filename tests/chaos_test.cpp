@@ -1,0 +1,238 @@
+// Chaos harness tests: crash-recovery kill-point sweeps, campaign
+// determinism, the schedule minimizer, and the chaos_repro.json
+// round-trip.  The injected-divergence tests prove the oracles actually
+// fire: a deliberately corrupted recovery must fail the differential
+// oracle, auto-minimize, and replay to the same failure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/minimize.hpp"
+#include "chaos/schedule.hpp"
+#include "exp/scenario.hpp"
+
+namespace sphinx {
+namespace {
+
+/// Small fixed-shape run: two DAGs, light outage plan, one crash.
+chaos::ChaosRunConfig tiny_chaos(std::uint64_t seed) {
+  chaos::ChaosRunConfig config;
+  config.seed = seed;
+  config.dag_count = 2;
+  config.jobs_per_dag = 4;
+  config.horizon = hours(10);
+  config.schedule.span = hours(4);
+  config.schedule.outages = 4;
+  config.schedule.bursts = 1;
+  config.schedule.burst_sites = 2;
+  config.schedule.crashes = 1;
+  config.schedule.min_crash_record = 30;
+  config.schedule.max_crash_record = 200;
+  return config;
+}
+
+// --- kill-point sweep -------------------------------------------------------
+
+TEST(ChaosKillPoints, RecoveryIsTransparentAtEveryNthRecord) {
+  // Probe the uninterrupted run's journal length, then crash/recover at
+  // every Nth record position and demand byte-equality with the
+  // baseline each time.
+  chaos::ChaosRunConfig config = tiny_chaos(91);
+  chaos::ChaosSchedule outages_only = chaos::synthesize_schedule(config);
+  outages_only.crash_records.clear();
+  const chaos::ChaosRunResult probe =
+      chaos::run_chaos_pair(config, outages_only);
+  ASSERT_TRUE(probe.ok()) << probe.violation();
+  const std::size_t total = probe.journal_records;
+  ASSERT_GT(total, 50u);
+
+  const std::size_t step = std::max<std::size_t>(total / 8, 1);
+  std::size_t crashes_seen = 0;
+  for (std::size_t at = step; at < total; at += step) {
+    chaos::ChaosSchedule schedule = outages_only;
+    schedule.crash_records = {at};
+    const chaos::ChaosRunResult result =
+        chaos::run_chaos_pair(config, schedule);
+    EXPECT_TRUE(result.ok())
+        << "crash at record " << at << ": " << result.violation();
+    crashes_seen += result.crashes_executed;
+  }
+  // The sweep actually exercised recovery (kill points within the
+  // journal's range all fire).
+  EXPECT_GE(crashes_seen, total / step - 1);
+}
+
+TEST(ChaosKillPoints, BackToBackCrashesRecover) {
+  chaos::ChaosRunConfig config = tiny_chaos(17);
+  chaos::ChaosSchedule schedule = chaos::synthesize_schedule(config);
+  schedule.crash_records = {40, 80, 120};
+  const chaos::ChaosRunResult result = chaos::run_chaos_pair(config, schedule);
+  EXPECT_TRUE(result.ok()) << result.violation();
+  EXPECT_EQ(result.crashes_executed, 3u);
+}
+
+// --- campaigns --------------------------------------------------------------
+
+TEST(ChaosCampaign, SmokeCampaignIsGreenAndByteIdentical) {
+  chaos::CampaignConfig config;
+  config.base = tiny_chaos(1);
+  config.runs = 6;
+  const chaos::CampaignResult first = chaos::run_campaign(config);
+  const chaos::CampaignResult second = chaos::run_campaign(config);
+
+  EXPECT_EQ(first.failures, 0);
+  for (const chaos::ChaosRunResult& result : first.results) {
+    EXPECT_TRUE(result.ok()) << "seed " << result.seed << ": "
+                             << result.violation();
+  }
+  // Same campaign, two invocations: identical digests run by run.
+  EXPECT_EQ(first.digest, second.digest);
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].digest, second.results[i].digest);
+  }
+}
+
+TEST(ChaosCampaign, FiftySeededRunsAllGreen) {
+  // The acceptance sweep: 50 seeded runs, every oracle green, and the
+  // combined digest reproducible across invocations.
+  chaos::CampaignConfig config;
+  config.base = tiny_chaos(1000);
+  config.runs = 50;
+  const chaos::CampaignResult first = chaos::run_campaign(config);
+  EXPECT_EQ(first.failures, 0);
+  EXPECT_TRUE(first.repros.empty());
+  const chaos::CampaignResult second = chaos::run_campaign(config);
+  EXPECT_EQ(first.digest, second.digest);
+}
+
+// --- minimizer --------------------------------------------------------------
+
+TEST(ChaosMinimize, ShrinksToThePlantedCore) {
+  // Synthetic predicate: the failure needs the "acdc" outage at t=100
+  // together with any crash at record >= 60.  Everything else is noise
+  // the minimizer must discard.
+  chaos::ChaosSchedule schedule;
+  for (int i = 0; i < 4; ++i) {
+    schedule.outages["fnal"].push_back(
+        {1000.0 + 200.0 * i, 50.0, grid::OutageMode::kDown});
+  }
+  schedule.outages["acdc"].push_back({100.0, 30.0, grid::OutageMode::kDown});
+  schedule.outages["acdc"].push_back({900.0, 30.0, grid::OutageMode::kDegraded});
+  schedule.crash_records = {45, 140, 700};
+
+  int evaluations = 0;
+  const auto fails = [&evaluations](const chaos::ChaosSchedule& candidate) {
+    ++evaluations;
+    bool has_outage = false;
+    if (const auto it = candidate.outages.find("acdc");
+        it != candidate.outages.end()) {
+      for (const auto& outage : it->second) {
+        if (outage.at == 100.0) has_outage = true;
+      }
+    }
+    bool has_crash = false;
+    for (const std::size_t record : candidate.crash_records) {
+      if (record >= 60) has_crash = true;
+    }
+    return has_outage && has_crash;
+  };
+
+  ASSERT_TRUE(fails(schedule));
+  const chaos::ChaosSchedule minimized =
+      chaos::minimize_schedule(schedule, fails);
+  EXPECT_TRUE(fails(minimized));
+  EXPECT_EQ(minimized.outage_count(), 1u);
+  ASSERT_EQ(minimized.crash_records.size(), 1u);
+  // Bisection walks the surviving crash down to the smallest failing
+  // record position.
+  EXPECT_EQ(minimized.crash_records[0], 60u);
+  EXPECT_GT(evaluations, 0);
+}
+
+// --- repro round-trip -------------------------------------------------------
+
+TEST(ChaosRepro, JsonRoundTripPreservesEverything) {
+  chaos::ReproCase repro;
+  repro.config = tiny_chaos(77);
+  repro.config.algorithm = core::Algorithm::kRoundRobin;
+  repro.config.background_load = true;
+  repro.config.inject_divergence = true;
+  repro.schedule = chaos::synthesize_schedule(repro.config);
+  repro.violation = "differential: journal diverged at line 3";
+
+  const std::string json = chaos::to_json(repro);
+  const auto parsed = chaos::repro_from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->config.seed, repro.config.seed);
+  EXPECT_EQ(parsed->config.dag_count, repro.config.dag_count);
+  EXPECT_EQ(parsed->config.jobs_per_dag, repro.config.jobs_per_dag);
+  EXPECT_EQ(parsed->config.algorithm, repro.config.algorithm);
+  EXPECT_EQ(parsed->config.horizon, repro.config.horizon);
+  EXPECT_EQ(parsed->config.background_load, repro.config.background_load);
+  EXPECT_EQ(parsed->config.inject_divergence, repro.config.inject_divergence);
+  EXPECT_EQ(parsed->violation, repro.violation);
+  // The schedule is the real payload: byte-identical re-serialization.
+  EXPECT_EQ(chaos::to_json(parsed->schedule), chaos::to_json(repro.schedule));
+  EXPECT_EQ(chaos::to_json(*parsed), json);
+}
+
+TEST(ChaosRepro, RejectsMalformedInput) {
+  EXPECT_FALSE(chaos::repro_from_json("not json").has_value());
+  EXPECT_FALSE(chaos::repro_from_json("{}").has_value());
+  EXPECT_FALSE(
+      chaos::repro_from_json(R"({"config":{},"schedule":[]})").has_value());
+  EXPECT_FALSE(chaos::schedule_from_json(R"({"crash_records":[-1]})")
+                   .has_value());
+  EXPECT_FALSE(
+      chaos::schedule_from_json(
+          R"({"outages":{"x":[{"at":0,"duration":1,"mode":"melted"}]}})")
+          .has_value());
+}
+
+// --- oracle end-to-end: injected divergence ---------------------------------
+
+TEST(ChaosOracles, InjectedDivergenceMinimizesToReplayableRepro) {
+  // Corrupt every recovery on purpose: the differential oracle must
+  // fail, the campaign must auto-minimize, and the written repro must
+  // replay to the same failure after a JSON round-trip.
+  chaos::CampaignConfig config;
+  config.base = tiny_chaos(7);
+  config.base.inject_divergence = true;
+  config.runs = 2;
+  const chaos::CampaignResult campaign = chaos::run_campaign(config);
+  EXPECT_GT(campaign.failures, 0);
+  ASSERT_EQ(campaign.repros.size(), 1u);
+
+  const chaos::ReproCase& repro = campaign.repros.front();
+  EXPECT_FALSE(repro.violation.empty());
+  // Minimization kept the failure reproducible and small: a corrupted
+  // recovery needs exactly one crash and no outage at all.
+  ASSERT_EQ(repro.schedule.crash_records.size(), 1u);
+  EXPECT_EQ(repro.schedule.outage_count(), 0u);
+
+  const auto parsed = chaos::repro_from_json(chaos::to_json(repro));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+  const chaos::ChaosRunResult replayed = chaos::replay(*parsed);
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.violation(), repro.violation);
+}
+
+TEST(ChaosOracles, DifferentialReportsFirstDivergingLine) {
+  chaos::ChaosRunConfig config = tiny_chaos(23);
+  config.inject_divergence = true;
+  chaos::ChaosSchedule schedule;
+  schedule.crash_records = {60};
+  const chaos::ChaosRunResult result = chaos::run_chaos_pair(config, schedule);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.invariants.ok) << result.invariants.violation;
+  EXPECT_FALSE(result.differential.ok);
+  EXPECT_NE(result.differential.violation.find("diverge"), std::string::npos)
+      << result.differential.violation;
+}
+
+}  // namespace
+}  // namespace sphinx

@@ -310,15 +310,52 @@ TEST(Warehouse, RecoveryRebuildsWorkState) {
   const auto recovered = DataWarehouse::recover_from(wh.journal());
   ASSERT_TRUE(recovered.has_value());
   const DataWarehouse& r = **recovered;
-  // The queue is rebuilt from the tables alone: DAGs with pending work
-  // (received, or planning with unplanned jobs), in submission order.
-  const std::vector<DagId> expected{DagId(100), DagId(300)};
-  EXPECT_EQ(r.dirty_dags(), expected);
+  // Recovery reproduces the live queue *exactly* -- not an approximation
+  // from the tables.  Nothing drained yet, so every unfinished DAG that
+  // was ever enqueued (100, 200, 300) is still queued; finished 400 is
+  // not.  The chaos differential oracle depends on this equality.
+  const std::vector<DagId> expected{DagId(100), DagId(200), DagId(300)};
+  EXPECT_EQ(wh.dirty_dags(), expected);
+  EXPECT_EQ(r.dirty_dags(), wh.dirty_dags());
   // Counters equal a from-scratch scan of the recovered jobs table.
   EXPECT_EQ(r.outstanding_by_site(), r.scan_outstanding_by_site());
   EXPECT_EQ(r.outstanding_on_site(SiteId(4)), 2);  // jobs 101, 201
   EXPECT_EQ(r.outstanding_on_site(SiteId(5)), 1);  // job 202
   r.check_invariants();
+}
+
+TEST(Warehouse, RecoveryReplaysDrainPoints) {
+  // "Enqueued, not yet swept" and "already swept" leave identical
+  // tables; only the journaled drain ledger separates them.  Recovery
+  // must land on the same side of the drain as the crashed server.
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(100), "c", UserId(1), 0.0);
+  wh.set_dag_state(DagId(100), DagState::kPlanning);
+  wh.set_job_planned(JobId(101), SiteId(4), 1.0);
+  wh.set_job_planned(JobId(102), SiteId(4), 1.0);
+
+  const auto dirty_after_recovery = [&wh] {
+    const auto recovered = DataWarehouse::recover_from(wh.journal());
+    EXPECT_TRUE(recovered.has_value());
+    return (*recovered)->dirty_dags();
+  };
+
+  // Sweep boundary: drained, fully planned, nothing to retry -> idle.
+  (void)wh.drain_dirty_dags();
+  EXPECT_EQ(dirty_after_recovery(), wh.dirty_dags());
+  EXPECT_TRUE(wh.dirty_dags().empty());
+
+  // A completion re-enqueues the DAG: a crash before the next sweep must
+  // recover it queued...
+  wh.set_job_state(JobId(101), JobState::kCompleted);
+  EXPECT_EQ(wh.dirty_dags(), std::vector<DagId>{DagId(100)});
+  EXPECT_EQ(dirty_after_recovery(), wh.dirty_dags());
+
+  // ...and a crash after that sweep must recover it idle again, even
+  // though the tables are byte-identical in both snapshots.
+  (void)wh.drain_dirty_dags();
+  EXPECT_TRUE(wh.dirty_dags().empty());
+  EXPECT_EQ(dirty_after_recovery(), wh.dirty_dags());
 }
 
 TEST(Warehouse, UnknownLookupsAreSafe) {

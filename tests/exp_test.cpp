@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "exp/parallel.hpp"
 #include "exp/report.hpp"
@@ -133,6 +136,69 @@ TEST(ParallelSweep, PropagatesExceptions) {
         "boom");
   });
   EXPECT_THROW((void)run_parallel(tasks, 2), std::runtime_error);
+}
+
+TEST(ParallelSweep, EveryTaskRunsDespiteAThrow) {
+  // One task failing must not strand the rest: the pool drains the
+  // whole queue before the exception is rethrown, so results (and side
+  // effects) of healthy tasks are complete.
+  std::atomic<int> ran{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 12; ++i) {
+    if (i == 3 || i == 7) {
+      tasks.push_back([]() -> int {
+        throw std::runtime_error(  // sphinx-lint-allow(naked-throw): test payload
+            "boom");
+      });
+    } else {
+      tasks.push_back([&ran] { return ++ran; });
+    }
+  }
+  EXPECT_THROW((void)run_parallel(tasks, 3), std::runtime_error);
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ParallelSweep, LowestIndexedExceptionWinsUnderContention) {
+  // Two tasks fail: a slow one at index 1 and an instant one at index
+  // 6.  Whichever thread *finishes* first is a race, but the rethrown
+  // exception is pinned to the lowest failing index -- reports stay
+  // deterministic across runs.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      if (i == 1) {
+        tasks.push_back([]() -> int {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          throw std::runtime_error(  // sphinx-lint-allow(naked-throw): test payload
+              "slow-low-index");
+        });
+      } else if (i == 6) {
+        tasks.push_back([]() -> int {
+          throw std::runtime_error(  // sphinx-lint-allow(naked-throw): test payload
+              "fast-high-index");
+        });
+      } else {
+        tasks.push_back([i] { return i; });
+      }
+    }
+    std::string message;
+    try {
+      (void)run_parallel(tasks, 8);
+    } catch (const std::runtime_error& error) {
+      message = error.what();
+    }
+    EXPECT_EQ(message, "slow-low-index") << "attempt " << attempt;
+  }
+}
+
+TEST(ParallelSweep, SingleThreadMatchesSerialOrder) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 16; ++i) tasks.push_back([i] { return 100 - i; });
+  const auto results = run_parallel(tasks, 1);
+  ASSERT_EQ(results.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], 100 - i);
+  }
 }
 
 TEST(ParallelSweep, MoreTasksThanThreads) {

@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
+#include "chaos/schedule.hpp"
 #include "common/stats.hpp"
 #include "data/gridftp.hpp"
 #include "db/database.hpp"
+#include "exp/scenario.hpp"
 #include "grid/site.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "workflow/generator.hpp"
 
@@ -230,6 +234,80 @@ TEST_P(SeededProperty, GeneratedWorkloadsAreWellFormed) {
       }
     }
   }
+}
+
+// --- chaos schedule synthesis ----------------------------------------------
+
+TEST_P(SeededProperty, ChaosSchedulesAreSortedAndNonOverlapping) {
+  chaos::ScheduleConfig config;
+  const auto schedule =
+      chaos::synthesize(GetParam(), config, exp::Scenario::site_names());
+  EXPECT_GT(schedule.outage_count(), 0u);
+  for (const auto& [site, list] : schedule.outages) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_GE(list[i].at, 0.0);
+      EXPECT_GE(list[i].duration, config.min_duration);
+      if (i > 0) {
+        // Next outage starts strictly after the previous repair (the
+        // FailureModel schedule contract, plus the 1 s seq-order gap).
+        EXPECT_GE(list[i].at,
+                  list[i - 1].at + list[i - 1].duration + 1.0);
+      }
+    }
+  }
+  for (std::size_t i = 1; i < schedule.crash_records.size(); ++i) {
+    EXPECT_GT(schedule.crash_records[i], schedule.crash_records[i - 1]);
+  }
+}
+
+TEST_P(SeededProperty, ChaosScheduleSynthesisIsSeedDeterministic) {
+  chaos::ScheduleConfig config;
+  const auto sites = exp::Scenario::site_names();
+  const auto a = chaos::synthesize(GetParam(), config, sites);
+  const auto b = chaos::synthesize(GetParam(), config, sites);
+  EXPECT_EQ(chaos::to_json(a), chaos::to_json(b));
+  const auto other = chaos::synthesize(GetParam() + 1000, config, sites);
+  EXPECT_NE(chaos::to_json(a), chaos::to_json(other));
+}
+
+TEST_P(SeededProperty, ScheduledOutagesAlternateWithRepairs) {
+  // Drive a real scenario from a synthesized schedule and read the
+  // flight recorder back: per site, outage and repair events must
+  // strictly alternate starting with an outage, and every repair lands
+  // after its outage.  (The final outage may still be open at horizon.)
+  chaos::ScheduleConfig config;
+  config.span = hours(3);
+  config.outages = 6;
+  config.bursts = 1;
+  config.burst_sites = 2;
+  const auto schedule =
+      chaos::synthesize(GetParam(), config, exp::Scenario::site_names());
+
+  exp::ScenarioConfig scenario_config;
+  scenario_config.seed = GetParam();
+  scenario_config.site_failures = false;
+  scenario_config.outage_schedules = schedule.outages;
+  exp::Scenario scenario(scenario_config);
+  scenario.add_tenant("alt", {});
+  scenario.start();
+  scenario.run(hours(12));
+
+  std::map<std::string, int> open;  // site -> currently-down?
+  std::map<std::string, SimTime> last_outage_at;
+  std::size_t outages_seen = 0;
+  for (const auto& event : scenario.recorder().trace().events()) {
+    if (event.kind == obs::TraceKind::kSiteOutage) {
+      EXPECT_EQ(open[event.source], 0) << event.source << " double outage";
+      open[event.source] = 1;
+      last_outage_at[event.source] = event.at;
+      ++outages_seen;
+    } else if (event.kind == obs::TraceKind::kSiteRepair) {
+      EXPECT_EQ(open[event.source], 1) << event.source << " repair w/o outage";
+      open[event.source] = 0;
+      EXPECT_GT(event.at, last_outage_at[event.source]);
+    }
+  }
+  EXPECT_EQ(outages_seen, schedule.outage_count());
 }
 
 // --- stats edge cases -----------------------------------------------------

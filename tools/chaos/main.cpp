@@ -1,0 +1,121 @@
+// sphinx_chaos: seeded chaos campaigns and repro replay.
+//
+//   sphinx_chaos campaign [--runs N] [--seed S] [--threads T]
+//                         [--crashes C] [--dags K] [--repro PATH]
+//                         [--inject-divergence] [--no-minimize]
+//   sphinx_chaos replay --repro PATH
+//
+// `campaign` sweeps N seeded chaos runs (randomized outage schedules +
+// mid-run server crash/recovery) and checks every run against the
+// invariant and differential oracles.  The report is deterministic:
+// same flags -> byte-identical stdout (tools/check.sh diffs two
+// invocations).  On failure the first failing run is minimized and
+// written to --repro as chaos_repro.json; `replay` re-executes such a
+// file exactly.  Exit status: 0 all green, 1 oracle violation, 2 usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+
+namespace {
+
+void print_run(const sphinx::chaos::ChaosRunResult& result) {
+  std::printf("  seed=%llu outages=%zu crashes=%zu digest=%016llx %s",
+              static_cast<unsigned long long>(result.seed),
+              result.schedule.outage_count(), result.crashes_executed,
+              static_cast<unsigned long long>(result.digest),
+              result.ok() ? "ok" : "FAIL");
+  if (!result.ok()) std::printf(" (%s)", result.violation().c_str());
+  std::printf("\n");
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sphinx_chaos campaign [--runs N] [--seed S] [--threads T]\n"
+      "                             [--crashes C] [--dags K] [--repro PATH]\n"
+      "                             [--inject-divergence] [--no-minimize]\n"
+      "       sphinx_chaos replay --repro PATH\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  sphinx::chaos::CampaignConfig config;
+  std::string repro_path = "chaos_repro.json";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (arg == "--runs" && value != nullptr) {
+      config.runs = std::atoi(value);
+      ++i;
+    } else if (arg == "--seed" && value != nullptr) {
+      config.base.seed = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--threads" && value != nullptr) {
+      config.max_threads = static_cast<unsigned>(std::atoi(value));
+      ++i;
+    } else if (arg == "--crashes" && value != nullptr) {
+      config.base.schedule.crashes = std::atoi(value);
+      ++i;
+    } else if (arg == "--dags" && value != nullptr) {
+      config.base.dag_count = std::atoi(value);
+      ++i;
+    } else if (arg == "--repro" && value != nullptr) {
+      repro_path = value;
+      ++i;
+    } else if (arg == "--inject-divergence") {
+      config.base.inject_divergence = true;
+    } else if (arg == "--no-minimize") {
+      config.minimize_failures = false;
+    } else {
+      return usage();
+    }
+  }
+
+  using namespace sphinx;
+  if (command == "replay") {
+    std::ifstream in(repro_path);
+    if (!in) {
+      std::fprintf(stderr, "sphinx_chaos: cannot read %s\n",
+                   repro_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto repro = chaos::repro_from_json(text.str());
+    if (!repro) {
+      std::fprintf(stderr, "sphinx_chaos: bad repro %s: %s\n",
+                   repro_path.c_str(), repro.error().to_string().c_str());
+      return 2;
+    }
+    const chaos::ChaosRunResult result = chaos::replay(*repro);
+    std::printf("sphinx_chaos replay: %s\n", repro_path.c_str());
+    print_run(result);
+    return result.ok() ? 0 : 1;
+  }
+
+  if (command != "campaign") return usage();
+  const chaos::CampaignResult campaign = chaos::run_campaign(config);
+  std::printf("sphinx_chaos campaign: runs=%d failures=%d digest=%016llx\n",
+              campaign.runs, campaign.failures,
+              static_cast<unsigned long long>(campaign.digest));
+  for (const chaos::ChaosRunResult& result : campaign.results) {
+    print_run(result);
+  }
+  if (!campaign.repros.empty()) {
+    const std::string json = chaos::to_json(campaign.repros.front());
+    std::ofstream out(repro_path, std::ios::trunc);
+    out << json << "\n";
+    std::printf("  minimized repro -> %s\n", repro_path.c_str());
+  }
+  return campaign.failures == 0 ? 0 : 1;
+}

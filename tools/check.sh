@@ -15,7 +15,7 @@ ctest --preset relwithdebinfo
 
 echo "== sphinx-lint =="
 ./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
-  --root . src tests bench examples
+  --root . src tests bench examples tools/chaos
 
 echo "== flight-recorder determinism gate =="
 # Two same-seed failure-enabled runs must emit byte-identical trace and
@@ -30,6 +30,20 @@ mkdir -p "$det_dir"
 diff "$det_dir/trace_a.jsonl" "$det_dir/trace_b.jsonl"
 diff "$det_dir/metrics_a.json" "$det_dir/metrics_b.json"
 echo "determinism gate: trace and metrics byte-identical"
+
+echo "== chaos smoke campaign =="
+# A fixed-seed 8-run chaos campaign (scheduled outages + mid-run server
+# crash/recovery, differential + invariant oracles) must pass and must
+# print a byte-identical report across two invocations.
+chaos_dir=build/relwithdebinfo/chaos
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+./build/relwithdebinfo/tools/chaos/sphinx_chaos campaign --runs 8 --seed 7 \
+  --repro "$chaos_dir/chaos_repro.json" > "$chaos_dir/report_a.txt"
+./build/relwithdebinfo/tools/chaos/sphinx_chaos campaign --runs 8 --seed 7 \
+  --repro "$chaos_dir/chaos_repro.json" > "$chaos_dir/report_b.txt"
+diff "$chaos_dir/report_a.txt" "$chaos_dir/report_b.txt"
+echo "chaos gate: campaign green and byte-identical"
 
 echo "== sweep-cost benchmark =="
 # The sweep must cost O(changed work): the 10,000-idle-DAG case should
