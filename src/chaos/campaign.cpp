@@ -29,6 +29,28 @@ RunArtifacts run_once(const ChaosRunConfig& config,
   scenario_config.site_failures = false;
   scenario_config.background_load = config.background_load;
   scenario_config.outage_schedules = schedule.outages;
+  // Network-fault windows apply to the chaotic AND the baseline run, so
+  // the differential oracle checks crash recovery *under* a lossy wire
+  // (same draws: the fault stream is seeded per scenario, and the two
+  // runs issue identical sends).
+  for (const NetFaultWindow& window : schedule.net_windows) {
+    rpc::LinkFaultRule rule;
+    rule.start = window.at;
+    rule.end = window.at + window.duration;
+    if (window.partition) {
+      // Sever client<->server; rule matching is symmetric, so both
+      // directions (and the "/out" reply endpoints) are covered.
+      rule.from_prefix = "sphinx-client";
+      rule.to_prefix = "sphinx-server";
+      rule.partition = true;
+    } else {
+      rule.loss = window.loss;
+      rule.duplicate = window.duplicate;
+      rule.reorder = window.reorder;
+      rule.reorder_spike = window.reorder_spike;
+    }
+    scenario_config.network_faults.rules.push_back(rule);
+  }
   exp::Scenario scenario(scenario_config);
 
   exp::TenantOptions options;

@@ -60,6 +60,21 @@ ChaosSchedule minimize_schedule(ChaosSchedule schedule,
     }
   }
 
+  // Phase 2b: network-window pruning -- same greedy shape as the outage
+  // pass; a wire-fault failure usually hinges on one window (often the
+  // partition), so drop every window the failure survives without.
+  index = 0;
+  while (index < schedule.net_windows.size()) {
+    ChaosSchedule candidate = schedule;
+    candidate.net_windows.erase(candidate.net_windows.begin() +
+                                static_cast<std::ptrdiff_t>(index));
+    if (still_fails(candidate)) {
+      schedule = std::move(candidate);
+    } else {
+      ++index;
+    }
+  }
+
   // Phase 3: bisect each surviving crash point down to the smallest
   // journal-record position that still reproduces.  The predicate is not
   // monotone in general, so this is a heuristic descent; every accepted

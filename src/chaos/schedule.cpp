@@ -120,6 +120,31 @@ ChaosSchedule synthesize(std::uint64_t seed, const ScheduleConfig& config,
       schedule.crash_records[i] = schedule.crash_records[i - 1] + 25;
     }
   }
+
+  Rng net_rng = seeds.stream("chaos/net");
+  for (int i = 0; i < config.net_windows; ++i) {
+    NetFaultWindow window;
+    window.at = net_rng.uniform(0.0, config.span);
+    window.duration = std::max(config.net_min_duration,
+                               net_rng.exponential(config.net_mean_duration));
+    window.loss = config.net_loss;
+    window.duplicate = config.net_duplicate;
+    window.reorder = config.net_reorder;
+    window.reorder_spike = config.net_reorder_spike;
+    schedule.net_windows.push_back(window);
+  }
+  for (int i = 0; i < config.net_partitions; ++i) {
+    NetFaultWindow window;
+    window.at = net_rng.uniform(0.0, config.span);
+    window.duration = config.net_partition_duration;
+    window.partition = true;
+    schedule.net_windows.push_back(window);
+  }
+  std::sort(schedule.net_windows.begin(), schedule.net_windows.end(),
+            [](const NetFaultWindow& a, const NetFaultWindow& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.duration < b.duration;
+            });
   return schedule;
 }
 
@@ -128,6 +153,18 @@ std::string to_json(const ChaosSchedule& schedule) {
   for (std::size_t i = 0; i < schedule.crash_records.size(); ++i) {
     if (i > 0) out += ',';
     out += std::to_string(schedule.crash_records[i]);
+  }
+  out += "],\"net_windows\":[";
+  for (std::size_t i = 0; i < schedule.net_windows.size(); ++i) {
+    const NetFaultWindow& w = schedule.net_windows[i];
+    if (i > 0) out += ',';
+    out += "{\"at\":" + obs::format_double(w.at) +
+           ",\"duration\":" + obs::format_double(w.duration) +
+           ",\"loss\":" + obs::format_double(w.loss) +
+           ",\"duplicate\":" + obs::format_double(w.duplicate) +
+           ",\"reorder\":" + obs::format_double(w.reorder) +
+           ",\"spike\":" + obs::format_double(w.reorder_spike) +
+           ",\"partition\":" + (w.partition ? "true" : "false") + "}";
   }
   out += "],\"outages\":{";
   bool first_site = true;
@@ -165,6 +202,33 @@ Expected<ChaosSchedule> schedule_from_value(const JsonValue& doc) {
       }
       schedule.crash_records.push_back(
           static_cast<std::size_t>(entry.number));
+    }
+  }
+  if (const JsonValue* windows = doc.find("net_windows")) {
+    if (!windows->is_array()) return bad_schedule("net_windows: array");
+    for (const JsonValue& entry : windows->array) {
+      const JsonValue* at = entry.find("at");
+      const JsonValue* duration = entry.find("duration");
+      if (at == nullptr || !at->is_number() || duration == nullptr ||
+          !duration->is_number()) {
+        return bad_schedule("net window: {at, duration, ...}");
+      }
+      NetFaultWindow window;
+      window.at = at->number;
+      window.duration = duration->number;
+      const auto number_or = [&entry](const char* key, double fallback) {
+        const JsonValue* v = entry.find(key);
+        return (v != nullptr && v->is_number()) ? v->number : fallback;
+      };
+      window.loss = number_or("loss", 0.0);
+      window.duplicate = number_or("duplicate", 0.0);
+      window.reorder = number_or("reorder", 0.0);
+      window.reorder_spike = number_or("spike", 5.0);
+      if (const JsonValue* partition = entry.find("partition")) {
+        window.partition = partition->type == JsonValue::Type::kBool &&
+                           partition->boolean;
+      }
+      schedule.net_windows.push_back(window);
     }
   }
   if (const JsonValue* outages = doc.find("outages")) {

@@ -23,6 +23,19 @@
 
 namespace sphinx::chaos {
 
+/// One network-fault window.  Loss/duplication/reorder windows apply to
+/// every RPC link; a partition window severs the client<->server links
+/// (both directions) for its whole duration.
+struct NetFaultWindow {
+  SimTime at = 0.0;
+  Duration duration = 0.0;
+  double loss = 0.0;        ///< P(message lost) per transmission
+  double duplicate = 0.0;   ///< P(message delivered twice)
+  double reorder = 0.0;     ///< P(jitter spike)
+  Duration reorder_spike = 5.0;
+  bool partition = false;
+};
+
 /// One run's complete failure plan.
 struct ChaosSchedule {
   /// Outages per site name, each list sorted and non-overlapping
@@ -33,6 +46,11 @@ struct ChaosSchedule {
   /// at or past that many journal records; recovery happens in the same
   /// engine event.
   std::vector<std::size_t> crash_records;
+  /// Network-fault windows (lossy wire + partitions), sorted by start.
+  /// Applied identically to the chaotic and baseline runs, so the
+  /// differential oracle checks recovery *under* an unreliable network
+  /// rather than comparing different networks.
+  std::vector<NetFaultWindow> net_windows;
 
   [[nodiscard]] std::size_t outage_count() const;
 };
@@ -63,6 +81,19 @@ struct ScheduleConfig {
   int crashes = 1;
   std::size_t min_crash_record = 40;
   std::size_t max_crash_record = 260;
+  /// Network-fault windows: `net_windows` lossy-wire spans drawn in
+  /// [0, span) with exponential durations, plus `net_partitions` fixed
+  /// 60 s client<->server partitions.  On by default: the crash/recovery
+  /// oracle should not assume a perfect wire.
+  int net_windows = 1;
+  double net_loss = 0.05;
+  double net_duplicate = 0.02;
+  double net_reorder = 0.05;
+  Duration net_reorder_spike = 5.0;
+  Duration net_mean_duration = minutes(10);
+  Duration net_min_duration = minutes(1);
+  int net_partitions = 1;
+  Duration net_partition_duration = 60.0;
 };
 
 /// Deterministically synthesizes a schedule: same (seed, config, sites)

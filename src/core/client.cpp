@@ -56,6 +56,17 @@ Expected<XrValue> SphinxClient::handle_execute_plan(
   if (params.size() != 1) return make_error("bad_request", "expected [plan]");
   auto plan = decode_plan(params[0]);
   if (!plan) return Unexpected<Error>{plan.error()};
+  // Duplicate-delivery guard: a replanned job always carries a fresh
+  // attempt number, so a repeated (job, attempt) pair is a retransmission
+  // that escaped the RPC dedup cache.  Acknowledge it without touching
+  // the tracker or the gateway -- a plan must never execute twice.
+  if (!submitted_attempts_.emplace(plan->job.value(), plan->attempt).second) {
+    ++tracker_.duplicate_plans;
+    if (recorder_ != nullptr) {
+      recorder_->count(config_.endpoint, "tracker.duplicate_plans");
+    }
+    return XrValue(true);
+  }
   ++tracker_.plans_received;
   if (recorder_ != nullptr) {
     recorder_->count(config_.endpoint, "tracker.plans_received");
@@ -118,6 +129,15 @@ Expected<XrValue> SphinxClient::handle_dag_done(
     return make_error("unknown_dag", "client never submitted this dag");
   }
   DagOutcome& outcome = outcomes_[it->second];
+  if (outcome.done()) {
+    // Duplicate notification: keep the first delivery's finish time so
+    // completion-time metrics are not skewed by the retransmission.
+    ++tracker_.duplicate_dag_done;
+    if (recorder_ != nullptr) {
+      recorder_->count(config_.endpoint, "tracker.duplicate_dag_done");
+    }
+    return XrValue(true);
+  }
   outcome.finished_at = bus_.engine().now();
   if (recorder_ != nullptr) {
     recorder_->count(config_.endpoint, "tracker.dags_done");

@@ -13,8 +13,10 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -69,6 +71,12 @@ struct TrackerStats {
   std::size_t held_or_failed = 0;    ///< site-initiated failures observed
   std::size_t completions = 0;
   std::size_t persisted_outputs = 0; ///< final outputs sent to archive
+  /// Re-delivered plans skipped by the (job, attempt) duplicate guard; a
+  /// duplicate must never reach the gateway as a second submission.
+  std::size_t duplicate_plans = 0;
+  /// Re-delivered dag_done notifications; the recorded finish time of
+  /// the first delivery is kept.
+  std::size_t duplicate_dag_done = 0;
 };
 
 class SphinxClient {
@@ -131,6 +139,13 @@ class SphinxClient {
     return tracked_.size();
   }
 
+  /// Distinct (job, attempt) pairs ever handed to the gateway.  On a
+  /// healthy run this equals tracker_stats().submissions -- the lossy
+  /// smoke gate asserts exactly that to prove no plan executed twice.
+  [[nodiscard]] std::size_t unique_submissions() const noexcept {
+    return submitted_attempts_.size();
+  }
+
  private:
   struct Tracked {
     ExecutionPlan plan;
@@ -156,6 +171,10 @@ class SphinxClient {
   std::unique_ptr<rpc::ClarensService> service_;
   std::unique_ptr<rpc::ClarensClient> rpc_;
   std::unordered_map<JobId, Tracked> tracked_;
+  /// Every (job, attempt) accepted for submission, for the duplicate-plan
+  /// guard.  Legitimate replans always carry a fresh attempt number, so
+  /// a repeat pair can only be a duplicate delivery.
+  std::set<std::pair<std::uint64_t, int>> submitted_attempts_;
   std::unordered_map<DagId, std::size_t> outcome_index_;
   std::vector<DagOutcome> outcomes_;
   TrackerStats tracker_;

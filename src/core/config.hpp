@@ -51,6 +51,10 @@ struct ServerStats {
   std::size_t reports_processed = 0;
   std::size_t jobs_reduced = 0;    ///< jobs eliminated by the DAG reducer
   std::size_t policy_rejections = 0;  ///< site filtered by quota at least once
+  /// Re-delivered submissions skipped by the ingress duplicate guard (a
+  /// retransmitted submit_dag that escaped the RPC dedup cache, e.g.
+  /// after a crash wiped it).
+  std::size_t duplicate_dags = 0;
 };
 
 }  // namespace sphinx::core

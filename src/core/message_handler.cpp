@@ -12,12 +12,17 @@ MessageHandler::MessageHandler(DataWarehouse& warehouse,
       stats_(stats),
       on_job_completed_(std::move(on_job_completed)) {}
 
-void MessageHandler::accept_dag(const workflow::Dag& dag,
+bool MessageHandler::accept_dag(const workflow::Dag& dag,
                                 const std::string& client, UserId user,
                                 SimTime now, double priority,
                                 SimTime deadline) {
+  if (warehouse_.dag(dag.id()).has_value()) {
+    ++stats_.duplicate_dags;
+    return false;
+  }
   warehouse_.insert_dag(dag, client, user, now, priority, deadline);
   ++stats_.dags_received;
+  return true;
 }
 
 StatusOrError MessageHandler::apply_report(const TrackerReport& report) {

@@ -35,9 +35,14 @@ class MessageHandler {
   MessageHandler(DataWarehouse& warehouse, const ServerConfig& config,
                  ServerStats& stats, JobCompletedHook on_job_completed);
 
-  /// Stores an incoming DAG in the warehouse (state: received).
-  void accept_dag(const workflow::Dag& dag, const std::string& client,
-                  UserId user, SimTime now, double priority, SimTime deadline);
+  /// Stores an incoming DAG in the warehouse (state: received).  Returns
+  /// false (and touches nothing) when the DAG id is already stored -- a
+  /// duplicate delivery of a submission that escaped the RPC-layer dedup
+  /// cache must not re-insert rows or re-dirty the DAG.
+  [[nodiscard]] bool accept_dag(const workflow::Dag& dag,
+                                const std::string& client, UserId user,
+                                SimTime now, double priority,
+                                SimTime deadline);
 
   /// Folds one tracker report into the warehouse: advances the job's
   /// state machine, maintains feedback statistics and quotas, and queues

@@ -1,6 +1,7 @@
 #include "core/server.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace sphinx::core {
 
@@ -46,6 +47,32 @@ SphinxServer::SphinxServer(rpc::MessageBus& bus,
       bus_.engine().now(), hours(24 * 365));
   out_ = std::make_unique<rpc::ClarensClient>(bus_, config_.endpoint + "/out",
                                               host_proxy);
+  // Outbound calls are journaled (rpc_outbox) so a journal-recovered
+  // server re-arms the identical retry schedule its predecessor had in
+  // flight; the sequence counter is persisted on each first transmission
+  // (retransmissions only refresh the existing row).
+  out_->set_outbox(
+      [this](std::uint64_t seq, const std::string& service,
+             const std::string& payload, int attempt, SimTime at) {
+        if (attempt == 1) {
+          warehouse_->set_scheduler_state("rpc.out_seq", std::to_string(seq));
+        }
+        warehouse_->outbox_upsert(seq, service, payload, attempt, at);
+      },
+      [this](std::uint64_t seq) { warehouse_->outbox_erase(seq); });
+  if (const std::string stored = warehouse_->scheduler_state("rpc.out_seq");
+      !stored.empty()) {
+    out_->set_next_seq(std::strtoull(stored.c_str(), nullptr, 10) + 1);
+  }
+  for (const OutboxEntry& entry : warehouse_->outbox_entries()) {
+    out_->restore_call(entry.seq, entry.service, entry.payload, entry.attempt,
+                       entry.last_sent_at, [this](auto result) {
+                         if (!result.has_value()) {
+                           log_.warn("restored call failed: ",
+                                     result.error().to_string());
+                         }
+                       });
+  }
   register_methods();
 
   control_ = std::make_unique<sim::PeriodicProcess>(
@@ -141,8 +168,17 @@ Expected<XrValue> SphinxServer::handle_submit_dag(
     deadline = params[4].as_double();
   }
 
-  message_handler_->accept_dag(*dag, client, user, bus_.engine().now(),
-                               priority, deadline);
+  const bool accepted = message_handler_->accept_dag(
+      *dag, client, user, bus_.engine().now(), priority, deadline);
+  if (!accepted) {
+    // Duplicate delivery (retransmission past a wiped dedup cache): the
+    // DAG is already stored.  Re-acknowledge with the identical reply and
+    // leave journal, trace and work queue untouched.
+    if (recorder_ != nullptr) {
+      recorder_->count(config_.endpoint, "server.duplicate_dags");
+    }
+    return XrValue(dag->id().value());
+  }
   if (recorder_ != nullptr) {
     recorder_->event(obs::TraceKind::kDagReceived, config_.endpoint,
                      "dag:" + std::to_string(dag->id().value()), dag->name(),

@@ -1,5 +1,6 @@
 #include "core/warehouse.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
@@ -72,6 +73,15 @@ void DataWarehouse::create_schema() {
   db_.create_table("scheduler_state",
                    db::Schema{{indexed("key", ValueType::kText),
                                {"value", ValueType::kText}}});
+  // In-flight calls of the server's outbound RPC client.  Journaled so a
+  // journal-recovered server re-arms the exact retry schedule the
+  // crashed instance had in flight (see ClarensClient::restore_call).
+  db_.create_table("rpc_outbox",
+                   db::Schema{{indexed("seq", ValueType::kInt),
+                               {"service", ValueType::kText},
+                               {"payload", ValueType::kText},
+                               {"attempt", ValueType::kInt},
+                               {"last_sent_at", ValueType::kReal}}});
   // One-row drain ledger.  The dirty queue itself is derived state, but
   // *when* each sweep cleared it is history only the journal carries:
   // rebuild_work_state() replays the enqueue rules over the journal and
@@ -584,6 +594,50 @@ void DataWarehouse::record_cancellation(SiteId site,
 bool DataWarehouse::site_available(SiteId site) const {
   const SiteStats stats = site_stats(site);
   return stats.cancelled <= stats.completed;
+}
+
+// --- RPC outbox -------------------------------------------------------------
+
+void DataWarehouse::outbox_upsert(std::uint64_t seq, const std::string& service,
+                                  const std::string& payload, int attempt,
+                                  SimTime last_sent_at) {
+  db::Table& table = db_.table("rpc_outbox");
+  const db::Row* row =
+      table.find_first("seq", Value(static_cast<std::int64_t>(seq)));
+  if (row == nullptr) {
+    table.insert({Value(static_cast<std::int64_t>(seq)), Value(service),
+                  Value(payload), Value(std::int64_t{attempt}),
+                  Value(last_sent_at)});
+    return;
+  }
+  table.update(row->id, "attempt", Value(std::int64_t{attempt}));
+  table.update(row->id, "last_sent_at", Value(last_sent_at));
+}
+
+void DataWarehouse::outbox_erase(std::uint64_t seq) {
+  db::Table& table = db_.table("rpc_outbox");
+  const db::Row* row =
+      table.find_first("seq", Value(static_cast<std::int64_t>(seq)));
+  if (row != nullptr) table.erase(row->id);
+}
+
+std::vector<OutboxEntry> DataWarehouse::outbox_entries() const {
+  const db::Table& table = db_.table("rpc_outbox");
+  std::vector<OutboxEntry> entries;
+  table.for_each([&](const db::Row& row) {
+    OutboxEntry entry;
+    entry.seq = static_cast<std::uint64_t>(row.cells[0].as_int());
+    entry.service = row.cells[1].as_text();
+    entry.payload = row.cells[2].as_text();
+    entry.attempt = static_cast<int>(row.cells[3].as_int());
+    entry.last_sent_at = row.cells[4].as_real();
+    entries.push_back(std::move(entry));
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const OutboxEntry& a, const OutboxEntry& b) {
+              return a.seq < b.seq;
+            });
+  return entries;
 }
 
 // --- scheduler soft state ---------------------------------------------------

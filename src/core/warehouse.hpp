@@ -66,6 +66,15 @@ struct JobRecord {
   int attempt = 0;
 };
 
+/// One in-flight outbound RPC call persisted for crash recovery.
+struct OutboxEntry {
+  std::uint64_t seq = 0;
+  std::string service;
+  std::string payload;   ///< serialized methodCall, retransmitted verbatim
+  int attempt = 0;
+  SimTime last_sent_at = 0.0;
+};
+
 /// A DAG row materialized from the warehouse.
 struct DagRecord {
   DagId id;
@@ -168,6 +177,16 @@ class DataWarehouse {
   /// Returns quota (used on replanning after a cancelled attempt).
   void refund_quota(UserId user, SiteId site, const std::string& resource,
                     double amount);
+
+  // --- RPC outbox (reliable outbound calls) -----------------------------
+  /// Inserts or refreshes the persisted state of one in-flight call.
+  void outbox_upsert(std::uint64_t seq, const std::string& service,
+                     const std::string& payload, int attempt,
+                     SimTime last_sent_at);
+  /// Drops a completed call.  No-op for an unknown sequence number.
+  void outbox_erase(std::uint64_t seq);
+  /// Every persisted in-flight call, ordered by sequence number.
+  [[nodiscard]] std::vector<OutboxEntry> outbox_entries() const;
 
   // --- scheduler soft state --------------------------------------------
   /// Persists a scheduling-module key/value pair (e.g. a strategy's

@@ -101,6 +101,10 @@ std::vector<TenantResult> Experiment::run(
     r.plans = tenant.server->stats().plans_sent;
     r.replans = tenant.server->stats().replans;
     r.policy_rejections = tenant.server->stats().policy_rejections;
+    r.submissions = tenant.client->tracker_stats().submissions;
+    r.unique_submissions = tenant.client->unique_submissions();
+    r.duplicate_plans = tenant.client->tracker_stats().duplicate_plans;
+    r.duplicate_dags = tenant.server->stats().duplicate_dags;
     for (const core::CatalogSite& site : scenario.catalog()) {
       const auto& observations = tenant.client->site_observations();
       const auto it = observations.find(site.id);

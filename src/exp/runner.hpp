@@ -47,6 +47,13 @@ struct TenantResult {
   std::size_t plans = 0;
   std::size_t replans = 0;
   std::size_t policy_rejections = 0;
+  /// Reliable-RPC accounting (lossy-network smoke gate): submissions and
+  /// the distinct (job, attempt) pairs ever handed to the gateway must
+  /// agree, or a duplicate delivery executed a plan twice.
+  std::size_t submissions = 0;
+  std::size_t unique_submissions = 0;
+  std::size_t duplicate_plans = 0;       ///< re-deliveries skipped by the guard
+  std::size_t duplicate_dags = 0;        ///< server-side duplicate submissions
   std::vector<SiteFigure> per_site;  ///< Figure 6
 };
 

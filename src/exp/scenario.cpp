@@ -70,6 +70,9 @@ Scenario::Scenario(ScenarioConfig config)
   // no RNG draws -- so a fixed-seed run's results are bit-identical with
   // or without the instrumentation.
   bus_.set_recorder(&recorder_);
+  if (!config_.network_faults.empty()) {
+    bus_.set_fault_model(config_.network_faults, seeds_.stream("bus/faults"));
+  }
   grid_.set_recorder(&recorder_);
   monitoring_.attach_registry(&registry_);
   recorder_.bridge(registry_, "monitor");

@@ -50,6 +50,10 @@ struct ScenarioConfig {
   /// even when `site_failures` is false, so a chaos run can own all the
   /// grid's misbehaviour.
   std::map<std::string, std::vector<grid::ScheduledOutage>> outage_schedules;
+  /// Network fault plan (loss, duplication, reorder spikes, partitions).
+  /// Draws come from the dedicated "bus/faults" stream, so an empty plan
+  /// leaves the run byte-identical to a build without the fault model.
+  rpc::NetworkFaultConfig network_faults;
 };
 
 /// One SPHINX deployment (server + client + gateway) sharing the grid

@@ -23,6 +23,11 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kMonitorSample: return "monitor_sample";
     case TraceKind::kServerCrash: return "server_crash";
     case TraceKind::kServerRecovery: return "server_recovery";
+    case TraceKind::kBusLoss: return "bus_loss";
+    case TraceKind::kBusDuplicate: return "bus_duplicate";
+    case TraceKind::kBusPartitionDrop: return "bus_partition_drop";
+    case TraceKind::kBusReorder: return "bus_reorder";
+    case TraceKind::kBusDrop: return "bus_drop";
   }
   return "unknown";
 }

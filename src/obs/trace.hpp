@@ -36,6 +36,11 @@ enum class TraceKind {
   kMonitorSample,    ///< GMA metric published; detail = metric name
   kServerCrash,      ///< chaos harness killed a server; value = journal size
   kServerRecovery,   ///< journal-recovered server resumed; value = journal size
+  kBusLoss,          ///< fault model lost a message on the wire
+  kBusDuplicate,     ///< fault model injected a duplicate delivery
+  kBusPartitionDrop, ///< message crossed a partitioned link; dropped
+  kBusReorder,       ///< fault model added a jitter spike; value = extra delay
+  kBusDrop,          ///< no recipient endpoint; detail = drop reason
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

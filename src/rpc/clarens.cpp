@@ -1,6 +1,31 @@
 #include "rpc/clarens.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace sphinx::rpc {
+namespace {
+
+/// Deterministic stateless jitter in [0, 1): FNV-1a over the endpoint
+/// name folded with splitmix64 over (seq, attempt).  No RNG stream is
+/// consumed, so a journal-recovered client re-arms byte-identical timers.
+double jitter01(const std::string& endpoint, std::uint64_t seq, int attempt) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : endpoint) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;
+  }
+  h ^= seq + 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(attempt) * 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 ClarensService::ClarensService(MessageBus& bus, std::string endpoint,
                                AuthzPolicy policy)
@@ -17,52 +42,84 @@ void ClarensService::register_method(const std::string& name, Method method) {
 }
 
 void ClarensService::handle(const Envelope& request) {
-  const auto respond = [&](const MethodResponse& response) {
-    bus_.reply(request, response.serialize());
-  };
+  const bool dedup = request.call_seq != 0 && dedup_capacity_ > 0;
+  std::string key;
+  if (dedup) {
+    key = request.from + '#' + std::to_string(request.call_seq);
+    const auto it = dedup_cache_.find(key);
+    if (it != dedup_cache_.end()) {
+      ++replayed_;
+      bus_.reply(request, it->second);
+      return;
+    }
+  }
+  std::string wire = process(request);
+  if (dedup) {
+    while (dedup_order_.size() >= dedup_capacity_) {
+      dedup_cache_.erase(dedup_order_.front());
+      dedup_order_.pop_front();
+    }
+    dedup_cache_.emplace(key, wire);
+    dedup_order_.push_back(std::move(key));
+  }
+  bus_.reply(request, std::move(wire));
+}
 
+std::string ClarensService::process(const Envelope& request) {
   auto call = MethodCall::parse(request.payload);
   if (!call) {
-    respond(MethodResponse::failure(
-        static_cast<std::int64_t>(ClarensFault::kParse), call.error().message));
-    return;
+    return MethodResponse::failure(
+               static_cast<std::int64_t>(ClarensFault::kParse),
+               call.error().message)
+        .serialize();
   }
 
   const AuthzDecision decision =
       policy_.check(request.proxy, call->method, bus_.engine().now());
   if (!decision.allowed) {
     ++denied_;
-    respond(MethodResponse::failure(
-        static_cast<std::int64_t>(ClarensFault::kDenied), decision.reason));
-    return;
+    return MethodResponse::failure(
+               static_cast<std::int64_t>(ClarensFault::kDenied),
+               decision.reason)
+        .serialize();
   }
 
   const auto it = methods_.find(call->method);
   if (it == methods_.end()) {
-    respond(MethodResponse::failure(
-        static_cast<std::int64_t>(ClarensFault::kNoSuchMethod),
-        "no such method: " + call->method));
-    return;
+    return MethodResponse::failure(
+               static_cast<std::int64_t>(ClarensFault::kNoSuchMethod),
+               "no such method: " + call->method)
+        .serialize();
   }
 
   ++served_;
   auto result = it->second(call->params, request.proxy);
   if (!result) {
-    respond(MethodResponse::failure(
-        static_cast<std::int64_t>(ClarensFault::kApplication),
-        result.error().to_string()));
-    return;
+    return MethodResponse::failure(
+               static_cast<std::int64_t>(ClarensFault::kApplication),
+               result.error().to_string())
+        .serialize();
   }
-  respond(MethodResponse::success(std::move(*result)));
+  return MethodResponse::success(std::move(*result)).serialize();
 }
 
-ClarensClient::ClarensClient(MessageBus& bus, std::string endpoint, Proxy proxy)
-    : bus_(bus), endpoint_(std::move(endpoint)), proxy_(std::move(proxy)) {
+ClarensClient::ClarensClient(MessageBus& bus, std::string endpoint, Proxy proxy,
+                             RetryPolicy retry)
+    : bus_(bus),
+      endpoint_(std::move(endpoint)),
+      proxy_(std::move(proxy)),
+      retry_(retry) {
+  SPHINX_ASSERT(retry_.timeout > 0, "retry timeout must be positive");
+  SPHINX_ASSERT(retry_.backoff >= 1, "backoff must not shrink the timeout");
+  SPHINX_ASSERT(retry_.max_attempts >= 1, "need at least one transmission");
   bus_.register_endpoint(endpoint_,
                          [this](const Envelope& env) { handle(env); });
 }
 
-ClarensClient::~ClarensClient() { bus_.unregister_endpoint(endpoint_); }
+ClarensClient::~ClarensClient() {
+  for (auto& [seq, state] : pending_) bus_.engine().cancel(state.timer);
+  bus_.unregister_endpoint(endpoint_);
+}
 
 void ClarensClient::call(const std::string& service, const std::string& method,
                          std::vector<XrValue> params, Callback callback) {
@@ -70,27 +127,143 @@ void ClarensClient::call(const std::string& service, const std::string& method,
   MethodCall mc;
   mc.method = method;
   mc.params = std::move(params);
-  const MessageId id = bus_.send(endpoint_, service, mc.serialize(), proxy_);
-  pending_.emplace(id, std::move(callback));
+  const std::uint64_t seq = next_seq_++;
+  CallState state;
+  state.service = service;
+  state.payload = mc.serialize();
+  state.callback = std::move(callback);
+  pending_.emplace(seq, std::move(state));
+  transmit(seq);
+}
+
+void ClarensClient::set_outbox(OutboxUpsert upsert, OutboxErase erase) {
+  outbox_upsert_ = std::move(upsert);
+  outbox_erase_ = std::move(erase);
+}
+
+void ClarensClient::restore_call(std::uint64_t seq, std::string service,
+                                 std::string payload, int attempt,
+                                 SimTime last_sent_at, Callback callback) {
+  SPHINX_ASSERT(callback != nullptr, "restore callback must not be null");
+  SPHINX_ASSERT(attempt >= 1, "restored call must have been transmitted");
+  SPHINX_ASSERT(!pending_.contains(seq), "sequence number already in flight");
+  CallState state;
+  state.service = std::move(service);
+  state.payload = std::move(payload);
+  state.callback = std::move(callback);
+  state.attempt = attempt;
+  state.last_sent_at = last_sent_at;
+  auto [it, inserted] = pending_.emplace(seq, std::move(state));
+  SPHINX_ASSERT(inserted, "sequence number already in flight");
+  // Do not retransmit now: the crashed instance already sent attempt N.
+  // Re-arm its timer where that instance would have fired it, clamped to
+  // the present, so the recovered wire schedule matches the original.
+  const SimTime fire_at =
+      std::max(bus_.engine().now(), last_sent_at + rto(seq, attempt));
+  it->second.timer = bus_.engine().schedule_at(
+      fire_at, "rpc-timeout:" + endpoint_, [this, seq]() { on_timeout(seq); });
+}
+
+Duration ClarensClient::rto(std::uint64_t seq, int attempt) const {
+  Duration base = retry_.timeout;
+  for (int i = 1; i < attempt && base < retry_.max_timeout; ++i) {
+    base *= retry_.backoff;
+  }
+  base = std::min(base, retry_.max_timeout);
+  const double swing = 2.0 * jitter01(endpoint_, seq, attempt) - 1.0;
+  return base * (1.0 + retry_.jitter * swing);
+}
+
+void ClarensClient::transmit(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  SPHINX_ASSERT(it != pending_.end(), "transmit of unknown call");
+  CallState& state = it->second;
+  ++state.attempt;
+  state.last_sent_at = bus_.engine().now();
+  bus_.send(endpoint_, state.service, state.payload, proxy_, seq);
+  if (outbox_upsert_ != nullptr) {
+    outbox_upsert_(seq, state.service, state.payload, state.attempt,
+                   state.last_sent_at);
+  }
+  arm_timer(seq);
+}
+
+void ClarensClient::arm_timer(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  SPHINX_ASSERT(it != pending_.end(), "arming timer for unknown call");
+  CallState& state = it->second;
+  state.timer = bus_.engine().schedule_in(rto(seq, state.attempt),
+                                          "rpc-timeout:" + endpoint_,
+                                          [this, seq]() { on_timeout(seq); });
+}
+
+void ClarensClient::on_timeout(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // response won the race; timer stale
+  if (it->second.attempt >= retry_.max_attempts) {
+    ++exhausted_;
+    complete(seq, make_error("rpc_timeout",
+                             "no response from " + it->second.service +
+                                 " after " +
+                                 std::to_string(it->second.attempt) +
+                                 " attempts"));
+    return;
+  }
+  ++retransmissions_;
+  transmit(seq);
+}
+
+void ClarensClient::remember_done(std::uint64_t seq) {
+  constexpr std::size_t kDoneCapacity = 1024;
+  if (done_set_.insert(seq).second) {
+    done_ring_.push_back(seq);
+    while (done_ring_.size() > kDoneCapacity) {
+      done_set_.erase(done_ring_.front());
+      done_ring_.pop_front();
+    }
+  }
+}
+
+void ClarensClient::complete(std::uint64_t seq, Expected<XrValue> result) {
+  auto it = pending_.find(seq);
+  SPHINX_ASSERT(it != pending_.end(), "completing unknown call");
+  bus_.engine().cancel(it->second.timer);
+  Callback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  remember_done(seq);
+  if (outbox_erase_ != nullptr) outbox_erase_(seq);
+  callback(std::move(result));
 }
 
 void ClarensClient::handle(const Envelope& response) {
-  const auto it = pending_.find(response.in_reply_to);
-  if (it == pending_.end()) return;  // unsolicited or duplicate; ignore
-  Callback callback = std::move(it->second);
-  pending_.erase(it);
+  const std::uint64_t seq = response.call_seq;
+  if (seq == 0) {
+    ++stray_replies_;  // unsequenced traffic cannot be one of our calls
+    return;
+  }
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    // A duplicate of a reply we already consumed, or noise.  Counted and
+    // dropped; the continuation never runs twice.
+    if (done_set_.contains(seq)) {
+      ++duplicate_replies_;
+    } else {
+      ++stray_replies_;
+    }
+    return;
+  }
 
   auto parsed = MethodResponse::parse(response.payload);
   if (!parsed) {
-    callback(Unexpected<Error>{parsed.error()});
+    complete(seq, Unexpected<Error>{parsed.error()});
     return;
   }
   if (parsed->is_fault) {
-    callback(make_error("fault:" + std::to_string(parsed->fault.code),
-                        parsed->fault.message));
+    complete(seq, make_error("fault:" + std::to_string(parsed->fault.code),
+                             parsed->fault.message));
     return;
   }
-  callback(std::move(parsed->value));
+  complete(seq, std::move(parsed->value));
 }
 
 }  // namespace sphinx::rpc

@@ -1,6 +1,7 @@
 #pragma once
 /// \file clarens.hpp
-/// Clarens-style GSI-authenticated XML-RPC services.
+/// Clarens-style GSI-authenticated XML-RPC services with at-least-once
+/// delivery.
 ///
 /// "SPHINX ... uses the communication protocol named Clarens for
 /// incorporating the concept of grid security" (paper section 3.1).  A
@@ -8,10 +9,23 @@
 /// ClarensClient issues calls and correlates asynchronous responses.
 /// Payloads really are serialized and re-parsed XML-RPC, so the wire
 /// format is exercised on every call.
+///
+/// The wire (transport.hpp's fault model) may lose, duplicate or delay
+/// envelopes.  The client therefore retransmits on a per-call timeout
+/// with capped exponential backoff plus deterministic jitter, tagging
+/// every transmission with the call's sequence number; the service keeps
+/// a bounded (caller, sequence) dedup cache and replays the cached reply
+/// for retransmissions instead of re-executing the handler.  Handlers
+/// thus stay effectively-once while the end-to-end delivery guarantee is
+/// at-least-once (until the retry budget is exhausted).
 
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.hpp"
 #include "rpc/gsi.hpp"
@@ -47,12 +61,24 @@ class ClarensService {
   [[nodiscard]] const std::string& endpoint() const noexcept { return endpoint_; }
   [[nodiscard]] std::size_t calls_served() const noexcept { return served_; }
   [[nodiscard]] std::size_t calls_denied() const noexcept { return denied_; }
+  /// Retransmissions answered from the dedup cache (handler not re-run).
+  [[nodiscard]] std::size_t calls_replayed() const noexcept {
+    return replayed_;
+  }
+
+  /// Bounds the dedup cache (FIFO eviction).  0 disables deduplication;
+  /// unsequenced requests (call_seq == 0) always bypass the cache.
+  void set_dedup_capacity(std::size_t capacity) noexcept {
+    dedup_capacity_ = capacity;
+  }
 
   /// Mutable policy access (e.g. to ban a subject at runtime).
   [[nodiscard]] AuthzPolicy& policy() noexcept { return policy_; }
 
  private:
   void handle(const Envelope& request);
+  /// Runs parse/authz/dispatch and returns the serialized response.
+  [[nodiscard]] std::string process(const Envelope& request);
 
   MessageBus& bus_;
   std::string endpoint_;
@@ -60,39 +86,125 @@ class ClarensService {
   std::unordered_map<std::string, Method> methods_;
   std::size_t served_ = 0;
   std::size_t denied_ = 0;
+  std::size_t replayed_ = 0;
+  /// Dedup cache: serialized reply by "caller#seq", FIFO-bounded.  Kept
+  /// in memory only -- a recovered server re-executes, which consumers
+  /// make idempotent (see DESIGN.md).
+  std::size_t dedup_capacity_ = 512;
+  std::unordered_map<std::string, std::string> dedup_cache_;
+  std::deque<std::string> dedup_order_;
 };
 
-/// Client side: sends calls, correlates responses, invokes callbacks.
+/// Client-side retry knobs.  Defaults survive a 60 s partition with
+/// margin: the capped schedule 5,10,20,30,30,... sums past four minutes
+/// over max_attempts transmissions.
+struct RetryPolicy {
+  Duration timeout = 5.0;      ///< first-attempt response timeout
+  double backoff = 2.0;        ///< multiplier per retry
+  Duration max_timeout = 30.0; ///< backoff cap
+  double jitter = 0.1;         ///< deterministic +/- fraction of the rto
+  int max_attempts = 10;       ///< transmissions before giving up
+};
+
+/// Client side: sends calls, retransmits on timeout, correlates responses
+/// by sequence number, invokes each continuation exactly once.
 class ClarensClient {
  public:
   /// Callback receives the decoded return value or the fault as an Error
-  /// (code = "fault:<code>").
+  /// (code = "fault:<code>"; code = "rpc_timeout" when the retry budget
+  /// is exhausted).
   using Callback = std::function<void(Expected<XrValue>)>;
+  /// Durable-outbox hooks: upsert(seq, service, payload, attempt,
+  /// last_sent_at) after every transmission, erase(seq) on completion.
+  using OutboxUpsert = std::function<void(
+      std::uint64_t, const std::string&, const std::string&, int, SimTime)>;
+  using OutboxErase = std::function<void(std::uint64_t)>;
 
-  ClarensClient(MessageBus& bus, std::string endpoint, Proxy proxy);
+  ClarensClient(MessageBus& bus, std::string endpoint, Proxy proxy,
+                RetryPolicy retry = {});
   ~ClarensClient();
 
   ClarensClient(const ClarensClient&) = delete;
   ClarensClient& operator=(const ClarensClient&) = delete;
 
-  /// Issues an asynchronous call.  The callback fires when the response
-  /// envelope is delivered.
+  /// Issues an asynchronous call.  The callback fires exactly once: when
+  /// a response arrives, or with "rpc_timeout" after max_attempts
+  /// transmissions went unanswered.
   void call(const std::string& service, const std::string& method,
             std::vector<XrValue> params, Callback callback);
+
+  /// Wires a durable outbox so a journal-recovered owner can re-arm
+  /// in-flight calls (see restore_call()).  Pass nullptrs to detach.
+  void set_outbox(OutboxUpsert upsert, OutboxErase erase);
+  /// Seeds the sequence counter (recovery: persisted last seq + 1).
+  void set_next_seq(std::uint64_t next) noexcept { next_seq_ = next; }
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  /// Re-registers a call restored from the outbox without sending: the
+  /// retry timer is re-armed where the crashed instance would have fired
+  /// it, so a recovered run replays the identical wire schedule.
+  void restore_call(std::uint64_t seq, std::string service,
+                    std::string payload, int attempt, SimTime last_sent_at,
+                    Callback callback);
 
   /// Replaces the proxy used for subsequent calls (e.g. after renewal).
   void set_proxy(Proxy proxy) noexcept { proxy_ = std::move(proxy); }
   [[nodiscard]] const Proxy& proxy() const noexcept { return proxy_; }
 
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+  [[nodiscard]] const RetryPolicy& retry() const noexcept { return retry_; }
   [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  /// Retransmissions issued (beyond each call's first transmission).
+  [[nodiscard]] std::size_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  /// Replies for an already-completed call, counted and dropped.
+  [[nodiscard]] std::size_t duplicate_replies() const noexcept {
+    return duplicate_replies_;
+  }
+  /// Replies matching no call this client ever completed.
+  [[nodiscard]] std::size_t stray_replies() const noexcept {
+    return stray_replies_;
+  }
+  /// Calls that exhausted the retry budget.
+  [[nodiscard]] std::size_t exhausted() const noexcept { return exhausted_; }
 
  private:
+  struct CallState {
+    std::string service;
+    std::string payload;  ///< serialized methodCall, reused verbatim
+    Callback callback;
+    int attempt = 0;      ///< transmissions so far
+    SimTime last_sent_at = 0.0;
+    sim::EventHandle timer;
+  };
+
   void handle(const Envelope& response);
+  void transmit(std::uint64_t seq);
+  void arm_timer(std::uint64_t seq);
+  void on_timeout(std::uint64_t seq);
+  void complete(std::uint64_t seq, Expected<XrValue> result);
+  [[nodiscard]] Duration rto(std::uint64_t seq, int attempt) const;
+  void remember_done(std::uint64_t seq);
 
   MessageBus& bus_;
   std::string endpoint_;
   Proxy proxy_;
-  std::unordered_map<MessageId, Callback> pending_;
+  RetryPolicy retry_;
+  std::uint64_t next_seq_ = 1;
+  /// Ordered so destruction/iteration order is deterministic.
+  std::map<std::uint64_t, CallState> pending_;
+  /// Recently completed sequence numbers (bounded ring + set) so a late
+  /// duplicate reply is told apart from a genuinely unsolicited one.
+  std::deque<std::uint64_t> done_ring_;
+  std::unordered_set<std::uint64_t> done_set_;
+  OutboxUpsert outbox_upsert_;
+  OutboxErase outbox_erase_;
+  std::size_t retransmissions_ = 0;
+  std::size_t duplicate_replies_ = 0;
+  std::size_t stray_replies_ = 0;
+  std::size_t exhausted_ = 0;
 };
 
 }  // namespace sphinx::rpc

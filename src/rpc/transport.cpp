@@ -1,5 +1,6 @@
 #include "rpc/transport.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/recorder.hpp"
@@ -19,6 +20,7 @@ MessageBus::MessageBus(sim::Engine& engine, Rng rng, Duration base_latency,
 void MessageBus::register_endpoint(const std::string& name, Handler handler) {
   SPHINX_ASSERT(handler != nullptr, "endpoint handler must not be null");
   endpoints_[name] = std::move(handler);
+  ever_registered_.insert(name);
 }
 
 void MessageBus::unregister_endpoint(const std::string& name) {
@@ -29,13 +31,30 @@ bool MessageBus::has_endpoint(const std::string& name) const noexcept {
   return endpoints_.contains(name);
 }
 
+void MessageBus::set_fault_model(NetworkFaultConfig config, Rng faults_rng) {
+  for (const LinkFaultRule& rule : config.rules) {
+    SPHINX_ASSERT(rule.loss >= 0 && rule.loss <= 1, "loss is a probability");
+    SPHINX_ASSERT(rule.duplicate >= 0 && rule.duplicate <= 1,
+                  "duplicate is a probability");
+    SPHINX_ASSERT(rule.reorder >= 0 && rule.reorder <= 1,
+                  "reorder is a probability");
+    SPHINX_ASSERT(rule.reorder_spike >= 0, "spike must be non-negative");
+    SPHINX_ASSERT(rule.end >= rule.start, "fault window must not be inverted");
+  }
+  faults_ = std::move(config);
+  faults_rng_ = std::move(faults_rng);
+  faults_enabled_ = !faults_.rules.empty();
+}
+
 MessageId MessageBus::send(const std::string& from, const std::string& to,
-                           std::string payload, Proxy proxy) {
+                           std::string payload, Proxy proxy,
+                           std::uint64_t call_seq) {
   Envelope env;
   env.from = from;
   env.to = to;
   env.payload = std::move(payload);
   env.proxy = std::move(proxy);
+  env.call_seq = call_seq;
   return post(std::move(env));
 }
 
@@ -45,23 +64,115 @@ MessageId MessageBus::reply(const Envelope& request, std::string payload) {
   env.to = request.from;
   env.payload = std::move(payload);
   env.in_reply_to = request.id;
+  env.call_seq = request.call_seq;
   return post(std::move(env));
+}
+
+bool MessageBus::rule_matches(const LinkFaultRule& rule, const Envelope& env,
+                              SimTime now) {
+  if (now < rule.start || now >= rule.end) return false;
+  const auto has_prefix = [](const std::string& name,
+                             const std::string& prefix) {
+    return prefix.empty() || name.rfind(prefix, 0) == 0;
+  };
+  // Symmetric: a (client, server) rule also hits server->client replies.
+  return (has_prefix(env.from, rule.from_prefix) &&
+          has_prefix(env.to, rule.to_prefix)) ||
+         (has_prefix(env.from, rule.to_prefix) &&
+          has_prefix(env.to, rule.from_prefix));
 }
 
 MessageId MessageBus::post(Envelope envelope) {
   envelope.id = ids_.next();
   envelope.sent_at = engine_.now();
   ++stats_.sent;
-  const Duration delay =
+  // The legacy latency-jitter draw comes first and always happens, so a
+  // bus with no fault model consumes the identical rng_ sequence as one
+  // that predates faults entirely.
+  Duration delay =
       base_latency_ + (jitter_ > 0 ? rng_.uniform(0.0, jitter_) : 0.0);
   const MessageId id = envelope.id;
+
+  if (faults_enabled_) {
+    const SimTime now = engine_.now();
+    bool partitioned = false;
+    double pass_loss = 1.0;
+    double pass_duplicate = 1.0;
+    double pass_reorder = 1.0;
+    Duration spike = 0.0;
+    for (const LinkFaultRule& rule : faults_.rules) {
+      if (!rule_matches(rule, envelope, now)) continue;
+      partitioned = partitioned || rule.partition;
+      pass_loss *= 1.0 - rule.loss;
+      pass_duplicate *= 1.0 - rule.duplicate;
+      if (rule.reorder > 0) {
+        pass_reorder *= 1.0 - rule.reorder;
+        spike = std::max(spike, rule.reorder_spike);
+      }
+    }
+    if (partitioned) {
+      ++stats_.partition_dropped;
+      if (recorder_ != nullptr) {
+        recorder_->event(obs::TraceKind::kBusPartitionDrop, envelope.from,
+                         envelope.to, "", 0.0);
+        recorder_->count("bus", "bus.partitioned");
+      }
+      return id;
+    }
+    if (pass_loss < 1.0 && faults_rng_.chance(1.0 - pass_loss)) {
+      ++stats_.lost_injected;
+      if (recorder_ != nullptr) {
+        recorder_->event(obs::TraceKind::kBusLoss, envelope.from, envelope.to,
+                         "", 0.0);
+        recorder_->count("bus", "bus.lost");
+      }
+      return id;
+    }
+    if (pass_duplicate < 1.0 && faults_rng_.chance(1.0 - pass_duplicate)) {
+      ++stats_.duplicated_injected;
+      if (recorder_ != nullptr) {
+        recorder_->event(obs::TraceKind::kBusDuplicate, envelope.from,
+                         envelope.to, "", 0.0);
+        recorder_->count("bus", "bus.duplicated");
+      }
+      // The duplicate's extra jitter comes from the fault stream so the
+      // legacy stream still sees exactly one draw per logical send.
+      const Duration dup_delay =
+          base_latency_ +
+          (jitter_ > 0 ? faults_rng_.uniform(0.0, jitter_) : 0.0);
+      deliver_in(dup_delay, envelope);
+    }
+    if (pass_reorder < 1.0 && faults_rng_.chance(1.0 - pass_reorder)) {
+      const Duration extra =
+          spike > 0 ? faults_rng_.uniform(0.0, spike) : 0.0;
+      delay += extra;
+      ++stats_.reordered_injected;
+      if (recorder_ != nullptr) {
+        recorder_->event(obs::TraceKind::kBusReorder, envelope.from,
+                         envelope.to, "", extra);
+        recorder_->count("bus", "bus.reordered");
+      }
+    }
+  }
+
+  deliver_in(delay, std::move(envelope));
+  return id;
+}
+
+void MessageBus::deliver_in(Duration delay, Envelope envelope) {
   engine_.schedule_in(
       delay, "bus:" + envelope.from + "->" + envelope.to,
       [this, env = std::move(envelope)]() {
         const auto it = endpoints_.find(env.to);
         if (it == endpoints_.end()) {
-          ++stats_.dropped;
-          if (recorder_ != nullptr) recorder_->count("bus", "bus.dropped");
+          ++stats_.dropped_no_endpoint;
+          const bool known = ever_registered_.contains(env.to);
+          if (recorder_ != nullptr) {
+            recorder_->count("bus", "bus.dropped_no_endpoint");
+            recorder_->event(
+                obs::TraceKind::kBusDrop, env.from, env.to,
+                known ? "endpoint_unregistered" : "missing_endpoint", 0.0);
+          }
           return;
         }
         ++stats_.delivered;
@@ -73,7 +184,6 @@ MessageId MessageBus::post(Envelope envelope) {
         }
         it->second(env);
       });
-  return id;
 }
 
 }  // namespace sphinx::rpc

@@ -1,16 +1,21 @@
 #pragma once
 /// \file transport.hpp
-/// In-simulation message bus with delivery latency.
+/// In-simulation message bus with delivery latency and injected faults.
 ///
 /// All client/server traffic (scheduling requests, planning decisions,
 /// tracker reports) travels as envelopes on this bus.  Delivery is
 /// asynchronous on the simulation engine with configurable latency and
 /// jitter, so message delay is part of every experiment, exactly as WAN
-/// latency was on Grid3.
+/// latency was on Grid3.  An optional NetworkFaultConfig turns the wire
+/// into a fault domain: per-link loss, duplication, reordering spikes and
+/// timed partition windows, all drawn from a dedicated seeded RNG stream
+/// so fault-free runs stay byte-identical to pre-fault-model builds.
 
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
@@ -33,13 +38,47 @@ struct Envelope {
   Proxy proxy;               ///< caller credential (GSI)
   MessageId in_reply_to;     ///< correlation id; invalid for requests
   SimTime sent_at = 0.0;
+  /// End-to-end call sequence number, stable across retransmissions of
+  /// the same logical call (the bus-level `id` is per transmission).
+  /// 0 = unsequenced legacy traffic; replies copy the request's value.
+  std::uint64_t call_seq = 0;
 };
 
-/// Bus delivery counters, exposed for tests and diagnostics.
+/// Bus delivery counters, exposed for tests and diagnostics.  Drops are
+/// split by cause: a missing endpoint is a wiring bug (or a crashed
+/// peer); everything else is a deliberately injected fault.
 struct BusStats {
   std::size_t sent = 0;
   std::size_t delivered = 0;
-  std::size_t dropped = 0;  ///< recipient endpoint missing at delivery time
+  std::size_t dropped_no_endpoint = 0;   ///< no handler at delivery time
+  std::size_t lost_injected = 0;         ///< fault model lost the message
+  std::size_t duplicated_injected = 0;   ///< extra deliveries scheduled
+  std::size_t partition_dropped = 0;     ///< link inside a partition window
+  std::size_t reordered_injected = 0;    ///< jitter spikes applied
+};
+
+/// One fault rule scoped to a link (endpoint-name prefix pair) and a time
+/// window.  Matching is symmetric -- a rule for (client, server) also
+/// affects server->client replies -- and an empty prefix matches every
+/// endpoint.  Probabilities are per transmission.
+struct LinkFaultRule {
+  std::string from_prefix;   ///< "" = any endpoint
+  std::string to_prefix;     ///< "" = any endpoint
+  SimTime start = 0.0;       ///< active while start <= now < end
+  SimTime end = kNever;
+  double loss = 0.0;         ///< P(message silently lost)
+  double duplicate = 0.0;    ///< P(message delivered twice)
+  double reorder = 0.0;      ///< P(extra uniform [0, reorder_spike) delay)
+  Duration reorder_spike = 5.0;
+  bool partition = false;    ///< drop everything on the link in-window
+};
+
+/// The whole fault plan for one bus: rules are evaluated in order and
+/// compose (loss probabilities combine as 1 - prod(1 - p)).
+struct NetworkFaultConfig {
+  std::vector<LinkFaultRule> rules;
+
+  [[nodiscard]] bool empty() const noexcept { return rules.empty(); }
 };
 
 /// Named-endpoint message bus.
@@ -59,32 +98,55 @@ class MessageBus {
   [[nodiscard]] bool has_endpoint(const std::string& name) const noexcept;
 
   /// Sends a request envelope.  Returns the message id for correlation.
+  /// `call_seq` threads the caller's end-to-end sequence number through
+  /// the wire (0 = unsequenced).
   MessageId send(const std::string& from, const std::string& to,
-                 std::string payload, Proxy proxy = {});
+                 std::string payload, Proxy proxy = {},
+                 std::uint64_t call_seq = 0);
 
-  /// Sends a reply correlated with `request`.
+  /// Sends a reply correlated with `request` (copies its call_seq).
   MessageId reply(const Envelope& request, std::string payload);
+
+  /// Installs the network fault model.  `faults_rng` must be a dedicated
+  /// stream (e.g. seeds.stream("bus/faults")): fault draws never touch
+  /// the latency-jitter stream, so enabling an all-zero config leaves
+  /// delivery timing byte-identical.
+  void set_fault_model(NetworkFaultConfig config, Rng faults_rng);
+  [[nodiscard]] const NetworkFaultConfig& fault_model() const noexcept {
+    return faults_;
+  }
 
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
 
-  /// Attaches a flight recorder; every delivery records its latency.
-  /// Pass nullptr to detach.  Observation only -- attaching a recorder
-  /// changes neither delivery timing nor the RNG stream.
+  /// Attaches a flight recorder; every delivery records its latency and
+  /// every injected fault records an observe-only event.  Pass nullptr
+  /// to detach.  Observation only -- attaching a recorder changes
+  /// neither delivery timing nor the RNG streams.
   void set_recorder(obs::Recorder* recorder) noexcept {
     recorder_ = recorder;
   }
 
  private:
   MessageId post(Envelope envelope);
+  void deliver_in(Duration delay, Envelope envelope);
+  [[nodiscard]] static bool rule_matches(const LinkFaultRule& rule,
+                                         const Envelope& env, SimTime now);
 
   sim::Engine& engine_;
   Rng rng_;
   Duration base_latency_;
   Duration jitter_;
   std::unordered_map<std::string, Handler> endpoints_;
+  /// Every name ever registered, so a delivery-time drop can distinguish
+  /// "endpoint_unregistered" (peer went away) from "missing_endpoint"
+  /// (never wired up -- a config bug).
+  std::unordered_set<std::string> ever_registered_;
   IdGenerator<MessageId> ids_;
   BusStats stats_;
+  NetworkFaultConfig faults_;
+  Rng faults_rng_{0};
+  bool faults_enabled_ = false;
   obs::Recorder* recorder_ = nullptr;
 };
 

@@ -153,6 +153,118 @@ TEST(ChaosMinimize, ShrinksToThePlantedCore) {
   EXPECT_GT(evaluations, 0);
 }
 
+// --- network-fault windows --------------------------------------------------
+
+TEST(ChaosNetWindows, SynthesisIsSeededSortedAndConfigurable) {
+  chaos::ChaosRunConfig config = tiny_chaos(33);
+  config.schedule.net_windows = 3;
+  config.schedule.net_partitions = 2;
+  const chaos::ChaosSchedule a = chaos::synthesize_schedule(config);
+  const chaos::ChaosSchedule b = chaos::synthesize_schedule(config);
+  EXPECT_EQ(chaos::to_json(a), chaos::to_json(b));
+  ASSERT_EQ(a.net_windows.size(), 5u);
+  std::size_t partitions = 0;
+  for (std::size_t i = 0; i < a.net_windows.size(); ++i) {
+    const chaos::NetFaultWindow& window = a.net_windows[i];
+    if (i > 0) {
+      EXPECT_LE(a.net_windows[i - 1].at, window.at);
+    }
+    EXPECT_GE(window.at, 0.0);
+    EXPECT_LT(window.at, config.schedule.span);
+    if (window.partition) {
+      ++partitions;
+      EXPECT_DOUBLE_EQ(window.duration,
+                       config.schedule.net_partition_duration);
+    } else {
+      EXPECT_GE(window.duration, config.schedule.net_min_duration);
+      EXPECT_DOUBLE_EQ(window.loss, config.schedule.net_loss);
+      EXPECT_DOUBLE_EQ(window.duplicate, config.schedule.net_duplicate);
+      EXPECT_DOUBLE_EQ(window.reorder, config.schedule.net_reorder);
+    }
+  }
+  EXPECT_EQ(partitions, 2u);
+
+  config.schedule.net_windows = 0;
+  config.schedule.net_partitions = 0;
+  EXPECT_TRUE(chaos::synthesize_schedule(config).net_windows.empty());
+}
+
+TEST(ChaosNetWindows, JsonRoundTripPreservesWindows) {
+  chaos::ChaosSchedule schedule;
+  chaos::NetFaultWindow lossy;
+  lossy.at = 120.5;
+  lossy.duration = 300.0;
+  lossy.loss = 0.08;
+  lossy.duplicate = 0.03;
+  lossy.reorder = 0.1;
+  lossy.reorder_spike = 7.5;
+  chaos::NetFaultWindow cut;
+  cut.at = 900.0;
+  cut.duration = 60.0;
+  cut.partition = true;
+  schedule.net_windows = {lossy, cut};
+
+  const std::string json = chaos::to_json(schedule);
+  const auto parsed = chaos::schedule_from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+  ASSERT_EQ(parsed->net_windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->net_windows[0].loss, 0.08);
+  EXPECT_DOUBLE_EQ(parsed->net_windows[0].reorder_spike, 7.5);
+  EXPECT_FALSE(parsed->net_windows[0].partition);
+  EXPECT_TRUE(parsed->net_windows[1].partition);
+  EXPECT_EQ(chaos::to_json(*parsed), json);
+}
+
+TEST(ChaosNetWindows, LossyWireRunStaysDifferentiallyClean) {
+  // An aggressive loss/duplication window plus a partition on top of the
+  // synthesized plan: recovery must still be byte-transparent because
+  // the same wire faults hit the chaotic and baseline runs alike.
+  chaos::ChaosRunConfig config = tiny_chaos(57);
+  chaos::ChaosSchedule schedule = chaos::synthesize_schedule(config);
+  chaos::NetFaultWindow storm;
+  storm.at = 60.0;
+  storm.duration = hours(1);
+  storm.loss = 0.2;
+  storm.duplicate = 0.1;
+  storm.reorder = 0.1;
+  chaos::NetFaultWindow cut;
+  cut.at = 600.0;
+  cut.duration = 60.0;
+  cut.partition = true;
+  schedule.net_windows.push_back(storm);
+  schedule.net_windows.push_back(cut);
+  const chaos::ChaosRunResult result = chaos::run_chaos_pair(config, schedule);
+  EXPECT_TRUE(result.ok()) << result.violation();
+}
+
+TEST(ChaosMinimize, PrunesIrrelevantNetWindows) {
+  chaos::ChaosSchedule schedule;
+  for (int i = 0; i < 3; ++i) {
+    chaos::NetFaultWindow noise;
+    noise.at = 100.0 * i;
+    noise.duration = 30.0;
+    noise.loss = 0.05;
+    schedule.net_windows.push_back(noise);
+  }
+  chaos::NetFaultWindow culprit;
+  culprit.at = 500.0;
+  culprit.duration = 60.0;
+  culprit.partition = true;
+  schedule.net_windows.push_back(culprit);
+
+  const auto fails = [](const chaos::ChaosSchedule& candidate) {
+    for (const chaos::NetFaultWindow& window : candidate.net_windows) {
+      if (window.partition) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(fails(schedule));
+  const chaos::ChaosSchedule minimized =
+      chaos::minimize_schedule(schedule, fails);
+  ASSERT_EQ(minimized.net_windows.size(), 1u);
+  EXPECT_TRUE(minimized.net_windows[0].partition);
+}
+
 // --- repro round-trip -------------------------------------------------------
 
 TEST(ChaosRepro, JsonRoundTripPreservesEverything) {

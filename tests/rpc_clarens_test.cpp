@@ -117,7 +117,8 @@ TEST_F(BusFixture, DropsToMissingEndpoint) {
   bus.send("c", "nobody", "lost");
   engine.run_until();
   EXPECT_EQ(bus.stats().sent, 1u);
-  EXPECT_EQ(bus.stats().dropped, 1u);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+  EXPECT_EQ(bus.stats().lost_injected, 0u);
   EXPECT_EQ(bus.stats().delivered, 0u);
 }
 
@@ -128,7 +129,7 @@ TEST_F(BusFixture, UnregisterDropsInflight) {
   bus.unregister_endpoint("s");
   engine.run_until();
   EXPECT_FALSE(delivered);
-  EXPECT_EQ(bus.stats().dropped, 1u);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
 }
 
 TEST_F(BusFixture, ReplyCorrelatesWithRequest) {

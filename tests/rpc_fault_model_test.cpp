@@ -1,0 +1,230 @@
+// Tests for the bus-level network fault model: injected loss,
+// duplication, reorder spikes, timed partition windows, the split drop
+// counters, and the byte-identity guarantee for fault-free configs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "rpc/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::rpc {
+namespace {
+
+class FaultBusFixture : public ::testing::Test {
+ protected:
+  /// Installs one rule and returns the bus for chaining.
+  MessageBus& with_rule(LinkFaultRule rule, std::uint64_t faults_seed = 42) {
+    NetworkFaultConfig config;
+    config.rules.push_back(rule);
+    bus.set_fault_model(config, Rng(faults_seed));
+    return bus;
+  }
+
+  /// Registers a sink endpoint that counts deliveries.
+  std::size_t* sink(const std::string& name) {
+    auto counter = std::make_unique<std::size_t>(0);
+    std::size_t* raw = counter.get();
+    counters_.push_back(std::move(counter));
+    bus.register_endpoint(name, [raw](const Envelope&) { ++*raw; });
+    return raw;
+  }
+
+  sim::Engine engine;
+  MessageBus bus{engine, Rng(1), 0.05, 0.0};
+
+ private:
+  std::vector<std::unique_ptr<std::size_t>> counters_;
+};
+
+TEST_F(FaultBusFixture, CertainLossDropsEveryMessage) {
+  LinkFaultRule rule;  // empty prefixes: all links
+  rule.loss = 1.0;
+  with_rule(rule);
+  std::size_t* got = sink("server");
+  for (int i = 0; i < 8; ++i) bus.send("client", "server", "m");
+  engine.run_until();
+  EXPECT_EQ(*got, 0u);
+  EXPECT_EQ(bus.stats().sent, 8u);
+  EXPECT_EQ(bus.stats().lost_injected, 8u);
+  EXPECT_EQ(bus.stats().delivered, 0u);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 0u);
+}
+
+TEST_F(FaultBusFixture, CertainDuplicationDeliversTwice) {
+  LinkFaultRule rule;
+  rule.duplicate = 1.0;
+  with_rule(rule);
+  std::size_t* got = sink("server");
+  bus.send("client", "server", "m");
+  engine.run_until();
+  EXPECT_EQ(*got, 2u);
+  EXPECT_EQ(bus.stats().sent, 1u);
+  EXPECT_EQ(bus.stats().duplicated_injected, 1u);
+  EXPECT_EQ(bus.stats().delivered, 2u);
+}
+
+TEST_F(FaultBusFixture, PartitionWindowIsHalfOpen) {
+  LinkFaultRule rule;
+  rule.partition = true;
+  rule.start = 10.0;
+  rule.end = 20.0;
+  with_rule(rule);
+  std::size_t* got = sink("server");
+  for (const SimTime at : {5.0, 10.0, 19.99, 20.0}) {
+    engine.schedule_at(at, "send", [this] { bus.send("c", "server", "m"); });
+  }
+  engine.run_until();
+  // Sends at t=10 and t=19.99 fall inside [start, end); 5.0 and 20.0 pass.
+  EXPECT_EQ(*got, 2u);
+  EXPECT_EQ(bus.stats().partition_dropped, 2u);
+  EXPECT_EQ(bus.stats().lost_injected, 0u);
+}
+
+TEST_F(FaultBusFixture, RuleMatchingIsSymmetricAndPrefixBased) {
+  LinkFaultRule rule;
+  rule.from_prefix = "client";
+  rule.to_prefix = "server";
+  rule.partition = true;
+  with_rule(rule);
+  std::size_t* to_server = sink("server/out");
+  std::size_t* to_client = sink("client-7");
+  std::size_t* to_other = sink("other");
+  bus.send("client-7", "server/out", "req");     // forward: partitioned
+  bus.send("server/out", "client-7", "reply");   // reverse: partitioned too
+  bus.send("client-7", "other", "side");         // unmatched link: delivered
+  engine.run_until();
+  EXPECT_EQ(*to_server, 0u);
+  EXPECT_EQ(*to_client, 0u);
+  EXPECT_EQ(*to_other, 1u);
+  EXPECT_EQ(bus.stats().partition_dropped, 2u);
+}
+
+TEST_F(FaultBusFixture, ReorderSpikeDelaysDelivery) {
+  LinkFaultRule rule;
+  rule.reorder = 1.0;
+  rule.reorder_spike = 100.0;
+  with_rule(rule);
+  std::vector<SimTime> delivered_at;
+  bus.register_endpoint("server", [&](const Envelope&) {
+    delivered_at.push_back(engine.now());
+  });
+  bus.send("client", "server", "m");
+  engine.run_until();
+  ASSERT_EQ(delivered_at.size(), 1u);
+  EXPECT_GT(delivered_at[0], 0.05);  // base latency plus a spike
+  EXPECT_LT(delivered_at[0], 100.05 + 1e-9);
+  EXPECT_EQ(bus.stats().reordered_injected, 1u);
+}
+
+TEST_F(FaultBusFixture, DropDetailDistinguishesUnregisteredFromMissing) {
+  obs::Recorder recorder(engine);
+  bus.set_recorder(&recorder);
+  std::size_t* got = sink("ephemeral");
+  bus.send("client", "ephemeral", "in-flight");
+  bus.unregister_endpoint("ephemeral");  // drop the in-flight message
+  bus.send("client", "never-wired", "lost cause");
+  engine.run_until();
+  EXPECT_EQ(*got, 0u);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 2u);
+  std::vector<std::string> details;
+  for (const obs::TraceEvent& e : recorder.trace().events()) {
+    if (e.kind == obs::TraceKind::kBusDrop) details.push_back(e.detail);
+  }
+  ASSERT_EQ(details.size(), 2u);
+  EXPECT_EQ(details[0], "endpoint_unregistered");
+  EXPECT_EQ(details[1], "missing_endpoint");
+  EXPECT_EQ(recorder.counter("bus.dropped_no_endpoint", "bus"), 2u);
+}
+
+TEST_F(FaultBusFixture, InjectedFaultsEmitObserveOnlyTraceEvents) {
+  obs::Recorder recorder(engine);
+  bus.set_recorder(&recorder);
+  LinkFaultRule loss;
+  loss.loss = 1.0;
+  loss.end = 1.0;
+  LinkFaultRule dup;
+  dup.duplicate = 1.0;
+  dup.start = 1.0;
+  dup.end = 2.0;
+  LinkFaultRule cut;
+  cut.partition = true;
+  cut.start = 2.0;
+  NetworkFaultConfig config;
+  config.rules = {loss, dup, cut};
+  bus.set_fault_model(config, Rng(9));
+  sink("server");
+  engine.schedule_at(0.5, "s", [this] { bus.send("c", "server", "a"); });
+  engine.schedule_at(1.5, "s", [this] { bus.send("c", "server", "b"); });
+  engine.schedule_at(2.5, "s", [this] { bus.send("c", "server", "c"); });
+  engine.run_until();
+  EXPECT_EQ(recorder.counter("bus.lost", "bus"), 1u);
+  EXPECT_EQ(recorder.counter("bus.duplicated", "bus"), 1u);
+  EXPECT_EQ(recorder.counter("bus.partitioned", "bus"), 1u);
+}
+
+// The fault model must be pay-for-what-you-use: installing a config whose
+// rules can never fire leaves delivery timing and stats byte-identical to
+// a bus with no model at all, because fault draws come from a dedicated
+// stream and zero-probability rules draw nothing that alters delivery.
+TEST(FaultModelDeterminism, InertConfigKeepsDeliveryTimingIdentical) {
+  auto run = [](bool install_inert_model) {
+    sim::Engine engine;
+    MessageBus bus{engine, Rng(1), 0.05, 0.02};
+    if (install_inert_model) {
+      NetworkFaultConfig config;
+      config.rules.push_back(LinkFaultRule{});  // all-zero probabilities
+      bus.set_fault_model(config, Rng(1234));
+    }
+    std::vector<SimTime> delivered_at;
+    bus.register_endpoint("server", [&](const Envelope&) {
+      delivered_at.push_back(engine.now());
+    });
+    for (int i = 0; i < 32; ++i) {
+      engine.schedule_at(static_cast<double>(i), "send", [&bus] {
+        bus.send("client", "server", "m");
+      });
+    }
+    engine.run_until();
+    return delivered_at;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultModelDeterminism, SameSeedSameFaultSequence) {
+  auto run = [] {
+    sim::Engine engine;
+    MessageBus bus{engine, Rng(1), 0.05, 0.0};
+    NetworkFaultConfig config;
+    LinkFaultRule rule;
+    rule.loss = 0.3;
+    rule.duplicate = 0.2;
+    rule.reorder = 0.2;
+    config.rules.push_back(rule);
+    bus.set_fault_model(config, Rng(77));
+    std::size_t delivered = 0;
+    bus.register_endpoint("server", [&](const Envelope&) { ++delivered; });
+    for (int i = 0; i < 64; ++i) {
+      engine.schedule_at(static_cast<double>(i), "send", [&bus] {
+        bus.send("client", "server", "m");
+      });
+    }
+    engine.run_until();
+    return std::tuple{delivered, bus.stats().lost_injected,
+                      bus.stats().duplicated_injected,
+                      bus.stats().reordered_injected};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::get<1>(a), 0u);  // the probabilities actually fired
+  EXPECT_GT(std::get<2>(a), 0u);
+}
+
+}  // namespace
+}  // namespace sphinx::rpc

@@ -2,10 +2,12 @@
 //
 //   sphinx_chaos campaign [--runs N] [--seed S] [--threads T]
 //                         [--crashes C] [--dags K] [--repro PATH]
+//                         [--net-windows W] [--net-partitions P]
 //                         [--inject-divergence] [--no-minimize]
 //   sphinx_chaos replay --repro PATH
 //
-// `campaign` sweeps N seeded chaos runs (randomized outage schedules +
+// `campaign` sweeps N seeded chaos runs (randomized outage schedules,
+// lossy-wire windows + client<->server partitions, and
 // mid-run server crash/recovery) and checks every run against the
 // invariant and differential oracles.  The report is deterministic:
 // same flags -> byte-identical stdout (tools/check.sh diffs two
@@ -24,9 +26,10 @@
 namespace {
 
 void print_run(const sphinx::chaos::ChaosRunResult& result) {
-  std::printf("  seed=%llu outages=%zu crashes=%zu digest=%016llx %s",
+  std::printf("  seed=%llu outages=%zu net=%zu crashes=%zu digest=%016llx %s",
               static_cast<unsigned long long>(result.seed),
-              result.schedule.outage_count(), result.crashes_executed,
+              result.schedule.outage_count(), result.schedule.net_windows.size(),
+              result.crashes_executed,
               static_cast<unsigned long long>(result.digest),
               result.ok() ? "ok" : "FAIL");
   if (!result.ok()) std::printf(" (%s)", result.violation().c_str());
@@ -38,6 +41,7 @@ int usage() {
       stderr,
       "usage: sphinx_chaos campaign [--runs N] [--seed S] [--threads T]\n"
       "                             [--crashes C] [--dags K] [--repro PATH]\n"
+      "                             [--net-windows W] [--net-partitions P]\n"
       "                             [--inject-divergence] [--no-minimize]\n"
       "       sphinx_chaos replay --repro PATH\n");
   return 2;
@@ -68,6 +72,12 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--dags" && value != nullptr) {
       config.base.dag_count = std::atoi(value);
+      ++i;
+    } else if (arg == "--net-windows" && value != nullptr) {
+      config.base.schedule.net_windows = std::atoi(value);
+      ++i;
+    } else if (arg == "--net-partitions" && value != nullptr) {
+      config.base.schedule.net_partitions = std::atoi(value);
       ++i;
     } else if (arg == "--repro" && value != nullptr) {
       repro_path = value;

@@ -15,7 +15,7 @@ ctest --preset relwithdebinfo
 
 echo "== sphinx-lint =="
 ./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
-  --root . src tests bench examples tools/chaos
+  --root . src tests bench examples tools/chaos tools/record
 
 echo "== flight-recorder determinism gate =="
 # Two same-seed failure-enabled runs must emit byte-identical trace and
@@ -30,6 +30,24 @@ mkdir -p "$det_dir"
 diff "$det_dir/trace_a.jsonl" "$det_dir/trace_b.jsonl"
 diff "$det_dir/metrics_a.json" "$det_dir/metrics_b.json"
 echo "determinism gate: trace and metrics byte-identical"
+
+echo "== lossy-network smoke gate =="
+# Same run under an unreliable wire: 5% loss, 2% duplication and a 60 s
+# client<->server partition.  sphinx_record itself asserts the delivery
+# contract (every DAG finishes, no plan executes twice); the diff then
+# proves the whole fault pipeline is deterministic.
+lossy_dir=build/relwithdebinfo/lossy
+rm -rf "$lossy_dir"
+mkdir -p "$lossy_dir"
+./build/relwithdebinfo/tools/record/sphinx_record --seed 7 \
+  --loss 0.05 --duplicate 0.02 --partition-at 600 --partition-duration 60 \
+  --trace "$lossy_dir/trace_a.jsonl" --metrics "$lossy_dir/metrics_a.json"
+./build/relwithdebinfo/tools/record/sphinx_record --seed 7 \
+  --loss 0.05 --duplicate 0.02 --partition-at 600 --partition-duration 60 \
+  --trace "$lossy_dir/trace_b.jsonl" --metrics "$lossy_dir/metrics_b.json"
+diff "$lossy_dir/trace_a.jsonl" "$lossy_dir/trace_b.jsonl"
+diff "$lossy_dir/metrics_a.json" "$lossy_dir/metrics_b.json"
+echo "lossy-network gate: delivery contract held, outputs byte-identical"
 
 echo "== chaos smoke campaign =="
 # A fixed-seed 8-run chaos campaign (scheduled outages + mid-run server
@@ -51,6 +69,12 @@ echo "== sweep-cost benchmark =="
 ./build/relwithdebinfo/bench/micro_scheduler \
   --benchmark_filter=BM_SweepCost \
   --benchmark_out=BENCH_sweep.json --benchmark_out_format=json
+
+echo "== rpc overhead benchmark =="
+# Dedup-cache lookup cost plus the reliable-stack A/B at 0% loss (the
+# overhead every fault-free run pays).  Results land in BENCH_rpc.json.
+./build/relwithdebinfo/bench/micro_rpc \
+  --benchmark_out=BENCH_rpc.json --benchmark_out_format=json
 
 if [ "${1:-}" != "fast" ]; then
   echo "== build + test (asan-ubsan) =="
