@@ -9,8 +9,13 @@
 /// subsystem adds or removes draws.
 
 #include <cstdint>
+#include <mutex>
 #include <random>
+#include <set>
+#include <string>
 #include <string_view>
+
+#include "common/contracts.hpp"
 
 namespace sphinx {
 
@@ -56,11 +61,35 @@ class Rng {
 
 /// Derives independent child seeds from a master seed and a label, so each
 /// subsystem gets its own stream (see file comment).
+///
+/// Stream labels are a contract, not a convenience: two call sites
+/// sharing a label share a generator, entangling their draw sequences in
+/// a way no test catches until a byte-diff oracle fails.  Each SeedTree
+/// instance therefore hands out a given label at most once -- a second
+/// stream() with the same label throws ContractViolation (when contracts
+/// are armed).  Copies inherit the issued set, so a tree forwarded by
+/// value into a subsystem still rejects labels the parent already used.
+/// The static half of the same contract lives in sphinx-lint's
+/// rng-stream-* rules and docs/rng_streams.md.
 class SeedTree {
  public:
   explicit SeedTree(std::uint64_t master) noexcept : master_(master) {}
 
-  /// Deterministic child seed for `label`.
+  SeedTree(const SeedTree& other) : master_(other.master_) {
+    const std::lock_guard<std::mutex> lock(other.issued_mutex_);
+    issued_ = other.issued_;
+  }
+  SeedTree& operator=(const SeedTree& other) {
+    if (this != &other) {
+      std::scoped_lock lock(issued_mutex_, other.issued_mutex_);
+      master_ = other.master_;
+      issued_ = other.issued_;
+    }
+    return *this;
+  }
+
+  /// Deterministic child seed for `label`.  Does not count as issuing a
+  /// stream: planners may probe child seeds freely.
   [[nodiscard]] std::uint64_t seed_for(std::string_view label) const noexcept {
     std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the label
     for (const char c : label) {
@@ -70,9 +99,33 @@ class SeedTree {
     return mix(master_ ^ h);
   }
 
-  /// Convenience: a ready-made Rng for `label`.
-  [[nodiscard]] Rng stream(std::string_view label) const noexcept {
+  /// Convenience: a ready-made Rng for `label`.  Throws
+  /// ContractViolation if this instance already issued `label`.
+  [[nodiscard]] Rng stream(std::string_view label) const {
+    {
+      const std::lock_guard<std::mutex> lock(issued_mutex_);
+      const bool fresh = issued_.emplace(label).second;
+      SPHINX_PRECONDITION(fresh, "rng stream label '" + std::string(label) +
+                                     "' issued twice from one SeedTree; "
+                                     "two streams sharing a label share a "
+                                     "generator -- rename one");
+    }
     return Rng(seed_for(label));
+  }
+
+  /// A replica of `label`'s stream: same seed on every call, exempt
+  /// from the issue-once contract.  For call sites that *want* several
+  /// identical generators (per-tenant structurally identical workloads);
+  /// the deliberate name keeps grep and the static registry honest about
+  /// where replication happens.
+  [[nodiscard]] Rng stream_replica(std::string_view label) const noexcept {
+    return Rng(seed_for(label));
+  }
+
+  /// Labels this instance has handed out, for registry cross-checks.
+  [[nodiscard]] std::set<std::string, std::less<>> issued() const {
+    const std::lock_guard<std::mutex> lock(issued_mutex_);
+    return issued_;
   }
 
   [[nodiscard]] std::uint64_t master() const noexcept { return master_; }
@@ -87,6 +140,10 @@ class SeedTree {
   }
 
   std::uint64_t master_;
+  /// Labels issued by stream(); mutable because issuing a stream is
+  /// conceptually read-only derivation, tracked only to police labels.
+  mutable std::set<std::string, std::less<>> issued_;
+  mutable std::mutex issued_mutex_;
 };
 
 }  // namespace sphinx

@@ -240,11 +240,13 @@ class DataWarehouse {
   db::Database db_;
   /// Dirty-DAG work queue, keyed by dags-table row id so draining yields
   /// insertion order.  Derived state: never journaled, rebuilt on
-  /// recovery by rebuild_work_state().
-  std::set<db::RowId> dirty_rows_;
+  /// recovery by rebuild_work_state().  The annotation below lets
+  /// sphinx-lint reject mutations from any other function -- a stray
+  /// write would make recovered state diverge from the journal replay.
+  std::set<db::RowId> dirty_rows_;  // sphinx-lint: derived(rebuild_work_state, insert_dag, set_dag_state, set_dag_finished, set_job_state, mark_dag_dirty, drain_dirty_dags)
   /// Live outstanding-jobs-per-site counters (zero entries erased so the
   /// map compares equal to a fresh scan).  Derived state like the queue.
-  std::unordered_map<SiteId, std::int64_t> outstanding_;
+  std::unordered_map<SiteId, std::int64_t> outstanding_;  // sphinx-lint: derived(rebuild_work_state, set_job_state, set_job_planned)
   obs::Recorder* recorder_ = nullptr;
   std::string recorder_source_;
 };

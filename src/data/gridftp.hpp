@@ -9,6 +9,7 @@
 /// makes the paper's jobs take "three or four minutes" instead of one.
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 
 #include "common/ids.hpp"
@@ -75,8 +76,11 @@ class TransferService {
   void schedule_next_completion();
 
   sim::Engine& engine_;
-  std::unordered_map<SiteId, LinkConfig> links_;
-  std::unordered_map<TransferId, Active> active_;
+  std::unordered_map<SiteId, LinkConfig> links_;  // looked up, never iterated
+  /// Ordered by id: iteration feeds stats accumulation, completion
+  /// scheduling and the due_ list, all of which must replay identically
+  /// under a fixed seed (rule ordered-escape).
+  std::map<TransferId, Active> active_;
   IdGenerator<TransferId> ids_;
   SimTime last_update_ = 0.0;
   sim::EventHandle next_completion_;

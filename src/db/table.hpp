@@ -168,8 +168,11 @@ class Table {
   Schema schema_;
   std::map<RowId, Row> rows_;  // ordered: insertion order == id order
   RowId next_id_ = 1;
-  // column index -> (value text+type key -> row ids)
-  std::unordered_map<std::size_t, std::unordered_map<std::string, std::vector<RowId>>>
+  // column index -> (value text+type key -> row ids).  The outer map is
+  // ordered so per-index maintenance loops replay identically (rule
+  // ordered-escape); the inner bucket map is only probed, never walked
+  // in an order-sensitive way.
+  std::map<std::size_t, std::unordered_map<std::string, std::vector<RowId>>>
       indexes_;
   TableObserver* observer_ = nullptr;
   mutable std::uint64_t full_scans_ = 0;

@@ -151,9 +151,12 @@ workflow::WorkloadGenerator Scenario::make_generator(
     const std::string& stream_label, const workflow::WorkloadConfig& workload) {
   // External inputs may live on any healthy-at-t0 site; including the
   // permanent black hole is fine (its storage still serves transfers).
-  return workflow::WorkloadGenerator(workload,
-                                     seeds_.stream("workload/" + stream_label),
-                                     ids_, rls_, grid_.site_ids());
+  // A replica stream, not stream(): the runner requests the same label
+  // for every tenant on purpose, so the workloads are structurally
+  // identical and only the ids differ.
+  return workflow::WorkloadGenerator(
+      workload, seeds_.stream_replica("workload/" + stream_label), ids_, rls_,
+      grid_.site_ids());
 }
 
 Tenant& Scenario::add_tenant(const std::string& label,

@@ -1,6 +1,7 @@
 #include "monitor/gma.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -79,14 +80,11 @@ std::optional<double> MetricRegistry::mean_since(const std::string& name,
 }
 
 std::vector<std::string> MetricRegistry::names() const {
-  std::vector<std::string> out;
-  for (const auto& [key, bucket] : series_) {
-    if (std::find(out.begin(), out.end(), key.name) == out.end()) {
-      out.push_back(key.name);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  // Collect through a std::set: series_ is hash-ordered, so the result
+  // must be rebuilt in a pinned order rather than iteration order.
+  std::set<std::string> unique;
+  for (const auto& [key, bucket] : series_) unique.insert(key.name);
+  return {unique.begin(), unique.end()};
 }
 
 }  // namespace sphinx::monitor

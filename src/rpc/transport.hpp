@@ -145,7 +145,9 @@ class MessageBus {
   IdGenerator<MessageId> ids_;
   BusStats stats_;
   NetworkFaultConfig faults_;
-  Rng faults_rng_{0};
+  // Placeholder seed, never drawn from: configuring faults move-assigns
+  // a stream-derived Rng over it.
+  Rng faults_rng_{0};  // sphinx-lint-allow(rng-raw)
   bool faults_enabled_ = false;
   obs::Recorder* recorder_ = nullptr;
 };

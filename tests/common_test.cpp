@@ -117,6 +117,48 @@ TEST(SeedTree, DifferentMastersDiffer) {
   EXPECT_NE(SeedTree(1).seed_for("x"), SeedTree(2).seed_for("x"));
 }
 
+TEST(SeedTree, DuplicateStreamLabelThrows) {
+  SeedTree tree(99);
+  (void)tree.stream("bus");
+#if SPHINX_CONTRACTS_ENABLED
+  EXPECT_THROW((void)tree.stream("bus"), sphinx::ContractViolation);
+#endif
+  // Distinct labels keep working after the violation.
+  (void)tree.stream("monitoring");
+}
+
+TEST(SeedTree, SeedForDoesNotCountAsIssuing) {
+  SeedTree tree(99);
+  (void)tree.seed_for("bus");
+  (void)tree.seed_for("bus");  // probing child seeds is free
+  (void)tree.stream("bus");    // first actual issue is fine
+  EXPECT_EQ(tree.issued().size(), 1u);
+}
+
+TEST(SeedTree, StreamReplicaIsExemptAndIdentical) {
+  SeedTree tree(99);
+  Rng a = tree.stream_replica("workload/shared");
+  Rng b = tree.stream_replica("workload/shared");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  }
+  EXPECT_TRUE(tree.issued().empty());
+}
+
+TEST(SeedTree, CopiesInheritTheIssuedSet) {
+  SeedTree parent(99);
+  (void)parent.stream("bus");
+  const SeedTree child = parent;
+  EXPECT_EQ(child.issued().size(), 1u);
+#if SPHINX_CONTRACTS_ENABLED
+  // A tree forwarded by value still rejects labels the parent used...
+  EXPECT_THROW((void)child.stream("bus"), sphinx::ContractViolation);
+#endif
+  // ...while fresh labels on the child do not affect the parent.
+  (void)child.stream("site/1");
+  EXPECT_EQ(parent.issued().size(), 1u);
+}
+
 TEST(Expected, HoldsValue) {
   Expected<int> e(42);
   ASSERT_TRUE(e.has_value());

@@ -6,15 +6,44 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "chaos/json.hpp"
 #include "linter.hpp"
 
 namespace {
 
 using sphinx::lint::Finding;
 using sphinx::lint::lint_source;
+
+/// A scratch tree on disk for analyze_tree() cases (cross-file taint,
+/// duplicate streams, the registry).  Each test uses its own name:
+/// gtest_discover_tests runs cases as separate processes, possibly in
+/// parallel.
+class TempTree {
+ public:
+  explicit TempTree(const std::string& name)
+      : root_(std::filesystem::temp_directory_path() /
+              ("sphinx_lint_test_" + name)) {
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  ~TempTree() { std::filesystem::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) const {
+    const std::filesystem::path p = root_ / rel;
+    std::filesystem::create_directories(p.parent_path());
+    std::ofstream(p, std::ios::binary) << content;
+  }
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path root_;
+};
 
 std::vector<std::string> rules_fired(const std::string& source,
                                      const std::string& path) {
@@ -186,6 +215,289 @@ TEST(SphinxLint, FindingsCarryPathLineAndRule) {
   EXPECT_EQ(findings[0].rule, "sim-random");
   EXPECT_NE(findings[0].to_string().find("src/core/foo.cpp:2:"),
             std::string::npos);
+}
+
+// --- ordered-escape ---------------------------------------------------
+
+TEST(SphinxLint, OrderedEscapeFlagsHashIterationIntoSequence) {
+  const auto rules = rules_fired(
+      "std::unordered_map<int, double> active_;\n"
+      "void f(std::vector<int>& out) {\n"
+      "  for (const auto& [id, rate] : active_) out.push_back(id);\n"
+      "}\n",
+      "src/core/foo.cpp");
+  EXPECT_TRUE(fired(rules, "ordered-escape"));
+}
+
+TEST(SphinxLint, OrderedEscapeFlagsAccumulationAndStreaming) {
+  const auto rules = rules_fired(
+      "std::unordered_set<int> ids_;\n"
+      "double g() {\n"
+      "  double total = 0.0;\n"
+      "  for (int id : ids_) total += weight(id);\n"
+      "  return total;\n"
+      "}\n",
+      "src/core/foo.cpp");
+  EXPECT_TRUE(fired(rules, "ordered-escape"));
+}
+
+TEST(SphinxLint, OrderedEscapeIgnoresCommutativeLoops) {
+  const auto rules = rules_fired(
+      "std::unordered_map<int, double> active_;\n"
+      "int count_hot() {\n"
+      "  int hot = 0;\n"
+      "  for (const auto& [id, rate] : active_) {\n"
+      "    if (rate > 1.0) ++hot;\n"
+      "  }\n"
+      "  return hot;\n"
+      "}\n",
+      "src/core/foo.cpp");
+  EXPECT_FALSE(fired(rules, "ordered-escape"));
+}
+
+TEST(SphinxLint, OrderedEscapeFlagsPointerKeyedOrderedMap) {
+  // std::map keyed by pointer iterates in address order -- just as
+  // unstable across runs as a hash container.
+  const auto rules = rules_fired(
+      "std::map<const Site*, int> by_site_;\n"
+      "void dump(std::vector<int>& out) {\n"
+      "  for (const auto& [site, n] : by_site_) out.push_back(n);\n"
+      "}\n",
+      "src/core/foo.cpp");
+  EXPECT_TRUE(fired(rules, "ordered-escape"));
+}
+
+TEST(SphinxLint, OrderedEscapeValueKeyedMapIsClean) {
+  const auto rules = rules_fired(
+      "std::map<int, int> by_id_;\n"
+      "void dump(std::vector<int>& out) {\n"
+      "  for (const auto& [id, n] : by_id_) out.push_back(n);\n"
+      "}\n",
+      "src/core/foo.cpp");
+  EXPECT_FALSE(fired(rules, "ordered-escape"));
+}
+
+TEST(SphinxLint, OrderedEscapeAckWaivesTheFile) {
+  const auto rules = rules_fired(
+      "// sphinx-lint: ordered-escape-checked -- sink is re-sorted below\n"
+      "std::unordered_map<int, double> active_;\n"
+      "void f(std::vector<int>& out) {\n"
+      "  for (const auto& [id, rate] : active_) out.push_back(id);\n"
+      "}\n",
+      "src/core/foo.cpp");
+  EXPECT_FALSE(fired(rules, "ordered-escape"));
+}
+
+TEST(SphinxLint, OrderedEscapeTaintCrossesHeaderSourcePairs) {
+  // The gridftp shape: the container is a member declared in the
+  // header, the escaping loop lives in the .cpp.
+  TempTree tree("cross_taint");
+  tree.write("src/core/track.hpp",
+             "#pragma once\n/// \\file track.hpp\n/// Fixture.\n"
+             "#include <unordered_map>\n"
+             "struct T { std::unordered_map<int, double> active_; };\n");
+  tree.write("src/core/track.cpp",
+             "/// \\file track.cpp\n"
+             "#include \"track.hpp\"\n"
+             "void T_dump(T& t, std::vector<int>& out) {\n"
+             "  for (const auto& [id, r] : t.active_) out.push_back(id);\n"
+             "}\n");
+  const auto report = sphinx::lint::analyze_tree(tree.root(), {"src"},
+                                                 {"ordered-escape"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].path, "src/core/track.cpp");
+  EXPECT_EQ(report.findings[0].rule, "ordered-escape");
+}
+
+// --- rng stream discipline --------------------------------------------
+
+TEST(SphinxLint, RngStreamLabelMustStartWithLiteral) {
+  EXPECT_TRUE(fired(rules_fired("auto r = seeds.stream(label);\n",
+                                "src/core/foo.cpp"),
+                    "rng-stream-literal"));
+  EXPECT_TRUE(fired(
+      rules_fired("auto r = seeds.stream(\"site\" + name);\n",
+                  "src/core/foo.cpp"),
+      "rng-stream-literal"));
+  EXPECT_FALSE(fired(rules_fired("auto r = seeds.stream(\"bus\");\n",
+                                 "src/core/foo.cpp"),
+                     "rng-stream-literal"));
+  EXPECT_FALSE(fired(
+      rules_fired("auto r = seeds.stream(\"site/\" + name);\n",
+                  "src/core/foo.cpp"),
+      "rng-stream-literal"));
+}
+
+TEST(SphinxLint, RngRawConstructionSpellings) {
+  EXPECT_TRUE(fired(rules_fired("auto r = Rng(7);\n", "src/core/foo.cpp"),
+                    "rng-raw"));
+  EXPECT_TRUE(fired(rules_fired("Rng rng(seed);\n", "src/core/foo.cpp"),
+                    "rng-raw"));
+  EXPECT_TRUE(fired(rules_fired("Rng rng{seed};\n", "src/core/foo.cpp"),
+                    "rng-raw"));
+  // Signatures returning Rng are not constructions.
+  EXPECT_FALSE(fired(
+      rules_fired("Rng make_stream(std::uint64_t seed);\n",
+                  "src/core/foo.cpp"),
+      "rng-raw"));
+  EXPECT_FALSE(fired(rules_fired("explicit Rng(std::uint64_t seed);\n",
+                                 "src/core/foo.cpp"),
+                     "rng-raw"));
+  // Tests drive units in isolation; raw Rng is fine there.
+  EXPECT_FALSE(fired(rules_fired("Rng rng(42);\n", "tests/foo_test.cpp"),
+                     "rng-raw"));
+}
+
+TEST(SphinxLint, DuplicateStreamAcrossModulesFires) {
+  TempTree tree("dup_streams");
+  const std::string user =
+      "struct S { int stream(const std::string& l) const; };\n"
+      "int f(const S& seeds) { return seeds.stream(\"shared\"); }\n";
+  tree.write("src/alpha/one.cpp", "/// \\file one.cpp\n" + user);
+  tree.write("src/beta/two.cpp", "/// \\file two.cpp\n" + user);
+  const auto report = sphinx::lint::analyze_tree(
+      tree.root(), {"src"}, {"rng-stream-duplicate"});
+  ASSERT_EQ(report.findings.size(), 2u);  // both declaring sites named
+  EXPECT_EQ(report.findings[0].rule, "rng-stream-duplicate");
+  // The registry still lists the stream once per declaring file.
+  ASSERT_EQ(report.streams.size(), 2u);
+  EXPECT_EQ(report.streams[0].name, "shared");
+}
+
+TEST(SphinxLint, SameStreamWithinOneModuleIsFine) {
+  TempTree tree("same_module_streams");
+  const std::string user =
+      "struct S { int stream(const std::string& l) const; };\n"
+      "int f(const S& seeds) { return seeds.stream(\"shared\"); }\n";
+  tree.write("src/alpha/one.cpp", "/// \\file one.cpp\n" + user);
+  tree.write("src/alpha/two.cpp", "/// \\file two.cpp\n" + user);
+  const auto report = sphinx::lint::analyze_tree(
+      tree.root(), {"src"}, {"rng-stream-duplicate"});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SphinxLint, RngRegistryMarkdownListsStreams) {
+  TempTree tree("registry");
+  tree.write("src/grid/g.cpp",
+             "/// \\file g.cpp\n"
+             "struct S { int stream(const std::string& l) const; };\n"
+             "int f(const S& seeds, const std::string& n) {\n"
+             "  return seeds.stream(\"site/\" + n) + seeds.stream(\"bus\");\n"
+             "}\n");
+  const auto report = sphinx::lint::analyze_tree(tree.root(), {"src"}, {});
+  const std::string md = sphinx::lint::rng_registry_markdown(report.streams);
+  EXPECT_NE(md.find("| `bus` | literal | src/grid | src/grid/g.cpp |"),
+            std::string::npos);
+  EXPECT_NE(md.find("| `site/*` | family | src/grid | src/grid/g.cpp |"),
+            std::string::npos);
+}
+
+// --- derived-state ----------------------------------------------------
+
+TEST(SphinxLint, DerivedStateMutationOutsideAllowedFunctionFires) {
+  const auto findings = lint_source(
+      "#pragma once\n"
+      "/// \\file cache.hpp\n"
+      "/// Fixture.\n"
+      "class C {\n"
+      " public:\n"
+      "  void rebuild() { dirty_.clear(); dirty_.insert(1); }\n"
+      "  void poke() { dirty_.insert(2); }\n"
+      "  std::size_t size() const { return dirty_.size(); }\n"
+      " private:\n"
+      "  std::set<int> dirty_;  // sphinx-lint: derived(rebuild)\n"
+      "};\n",
+      "src/core/cache.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "derived-state");
+  EXPECT_EQ(findings[0].line, 7u);  // the poke() mutation
+}
+
+TEST(SphinxLint, DerivedStateAnnotationCrossesHeaderSourcePairs) {
+  TempTree tree("derived_cross");
+  tree.write("src/core/cache.hpp",
+             "#pragma once\n/// \\file cache.hpp\n/// Fixture.\n"
+             "#include <set>\n"
+             "class Cache {\n"
+             " public:\n"
+             "  void rebuild();\n"
+             "  void poke();\n"
+             " private:\n"
+             "  std::set<int> dirty_;  // sphinx-lint: derived(rebuild)\n"
+             "};\n");
+  tree.write("src/core/cache.cpp",
+             "/// \\file cache.cpp\n"
+             "#include \"cache.hpp\"\n"
+             "void Cache::rebuild() { dirty_.clear(); }\n"
+             "void Cache::poke() { dirty_.insert(2); }\n");
+  const auto report = sphinx::lint::analyze_tree(tree.root(), {"src"},
+                                                 {"derived-state"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].path, "src/core/cache.cpp");
+  EXPECT_EQ(report.findings[0].line, 4u);
+}
+
+// --- observe-only -----------------------------------------------------
+
+TEST(SphinxLint, ObserveOnlyPolicesObsModule) {
+  const std::string rng_use = "Rng rng_;\n";
+  EXPECT_TRUE(fired(rules_fired(rng_use, "src/obs/spy.cpp"), "observe-only"));
+  EXPECT_FALSE(fired(rules_fired(rng_use, "src/grid/site.cpp"),
+                     "observe-only"));
+
+  EXPECT_TRUE(fired(
+      rules_fired("auto r = seeds.stream(\"obs/x\");\n", "src/obs/spy.cpp"),
+      "observe-only"));
+  EXPECT_TRUE(fired(
+      rules_fired("#include \"core/warehouse.hpp\"\n", "src/obs/spy.cpp"),
+      "observe-only"));
+  EXPECT_FALSE(fired(
+      rules_fired("double mean(double a, double b) { return (a + b) / 2; }\n",
+                  "src/obs/export.cpp"),
+      "observe-only"));
+}
+
+// --- catalog + JSON output --------------------------------------------
+
+TEST(SphinxLint, CatalogListsEveryRuleWithExplanation) {
+  const auto rules = sphinx::lint::rule_list();
+  ASSERT_GE(rules.size(), 13u);
+  for (const auto& [id, summary] : rules) {
+    EXPECT_FALSE(summary.empty()) << id;
+    EXPECT_FALSE(sphinx::lint::rule_explain(id).empty()) << id;
+  }
+  EXPECT_TRUE(sphinx::lint::rule_explain("no-such-rule").empty());
+}
+
+TEST(SphinxLint, FindingsJsonRoundTripsThroughRepoParser) {
+  const auto findings = lint_source(
+      "int a = rand();\n"
+      "auto r = Rng(7);\n",
+      "src/core/foo.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+
+  const std::string json = sphinx::lint::findings_json(findings);
+  const auto parsed = sphinx::chaos::parse_json(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  ASSERT_TRUE(parsed.value().is_array());
+  ASSERT_EQ(parsed.value().array.size(), findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& obj = parsed.value().array[i];
+    ASSERT_TRUE(obj.is_object());
+    EXPECT_EQ(obj.find("path")->text, findings[i].path);
+    EXPECT_EQ(static_cast<std::size_t>(obj.find("line")->number),
+              findings[i].line);
+    EXPECT_EQ(obj.find("rule")->text, findings[i].rule);
+    // Messages contain quotes (code suggestions); escaping must hold.
+    EXPECT_EQ(obj.find("message")->text, findings[i].message);
+  }
+}
+
+TEST(SphinxLint, EmptyFindingsJsonIsAnEmptyArray) {
+  const auto parsed = sphinx::chaos::parse_json(sphinx::lint::findings_json({}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed.value().is_array());
+  EXPECT_TRUE(parsed.value().array.empty());
 }
 
 }  // namespace

@@ -14,8 +14,24 @@ cmake --build --preset relwithdebinfo
 ctest --preset relwithdebinfo
 
 echo "== sphinx-lint =="
+# The full static pass: the 7 hygiene/determinism regex rules plus the
+# declaration-aware analyzer rules (ordered-escape taint, rng stream
+# discipline, derived-state, observe-only) over everything we compile.
 ./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
-  --root . src tests bench examples tools/chaos tools/record
+  --root . src tests bench examples tools
+
+echo "== rng stream registry gate =="
+# docs/rng_streams.md is generated from the seeds.stream() literals the
+# analyzer extracts; the committed copy must match byte-for-byte.
+./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
+  --root . --rng-registry src tests bench examples tools \
+  > build/relwithdebinfo/rng_streams.md
+diff docs/rng_streams.md build/relwithdebinfo/rng_streams.md || {
+  echo "rng registry drift: regenerate with" >&2
+  echo "  sphinx_lint --rng-registry > docs/rng_streams.md" >&2
+  exit 1
+}
+echo "rng registry: docs/rng_streams.md in sync"
 
 echo "== flight-recorder determinism gate =="
 # Two same-seed failure-enabled runs must emit byte-identical trace and

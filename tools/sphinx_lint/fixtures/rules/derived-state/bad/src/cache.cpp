@@ -1,0 +1,18 @@
+/// \file cache.cpp
+/// Fixture: mutating a derived member outside its declared rebuild
+/// function -- recovered state would diverge from a journal replay.
+
+#include "cache.hpp"
+
+namespace fixture {
+
+void Cache::rebuild() {
+  dirty_.clear();
+  dirty_.insert(1);
+}
+
+void Cache::poke() {
+  dirty_.insert(2);  // not in the annotation's allow list
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+#pragma once
+/// \file cache.hpp
+/// Fixture: a derived member annotated in the header; the stray
+/// mutation lives in cache.cpp (cross-file enforcement).
+
+#include <set>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void rebuild();
+  void poke();
+
+ private:
+  std::set<int> dirty_;  // sphinx-lint: derived(rebuild)
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+/// \file cache.cpp
+/// Fixture: compliant derived-state usage -- mutations only in allowed
+/// functions, reads anywhere.
+
+#include "cache.hpp"
+
+namespace fixture {
+
+void Cache::rebuild() {
+  dirty_.clear();
+  dirty_.insert(1);
+}
+
+void Cache::absorb(int row) { dirty_.insert(row); }
+
+std::size_t Cache::pending() const { return dirty_.size(); }
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+#pragma once
+/// \file cache.hpp
+/// Fixture: a derived member whose mutations all stay inside the
+/// functions its annotation names.
+
+#include <cstddef>
+#include <set>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void rebuild();
+  void absorb(int row);
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  std::set<int> dirty_;  // sphinx-lint: derived(rebuild, absorb)
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+/// \file spy.cpp
+/// Fixture: an observer that draws randomness and reaches into the
+/// warehouse -- observation must never feed back into the simulation.
+
+#include "core/warehouse.hpp"
+
+#include <string>
+
+namespace fixture::obs {
+
+struct Seeds {
+  int stream(const std::string& label) const;
+};
+
+int jittered_sample(const Seeds& seeds) {
+  return seeds.stream("obs/jitter");  // observers may not draw
+}
+
+void noisy(Rng& rng);  // naming Rng at all is an escape
+
+}  // namespace fixture::obs

@@ -1,0 +1,22 @@
+/// \file reporter.cpp
+/// Fixture: a compliant observer -- consumes values it is handed,
+/// aggregates, and emits; no randomness, no warehouse access.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture::obs {
+
+struct Sample {
+  std::string name;
+  double value = 0.0;
+};
+
+double mean(const std::vector<Sample>& samples) {
+  double sum = 0.0;
+  for (const Sample& s : samples) sum += s.value;
+  return samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+}
+
+}  // namespace fixture::obs

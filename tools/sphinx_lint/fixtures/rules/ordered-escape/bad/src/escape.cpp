@@ -1,0 +1,23 @@
+/// \file escape.cpp
+/// Fixture: hash-order iteration escaping into a sequence and into a
+/// floating-point accumulation.
+
+#include "escape.hpp"
+
+namespace fixture {
+
+void Tracker::snapshot(std::vector<std::uint64_t>& out) const {
+  for (const auto& [id, rate] : active_) {
+    out.push_back(id);  // escape: sequence order = hash order
+  }
+}
+
+double Tracker::drain() {
+  double total = 0.0;
+  for (const auto& [id, rate] : active_) {
+    total += rate * 0.5;  // escape: float sum order = hash order
+  }
+  return total;
+}
+
+}  // namespace fixture

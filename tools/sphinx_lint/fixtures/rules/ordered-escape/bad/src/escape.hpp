@@ -1,0 +1,22 @@
+#pragma once
+/// \file escape.hpp
+/// Fixture: the tainted container is declared in the header while the
+/// escaping loop lives in escape.cpp -- exercising the cross-file taint
+/// sharing (the gridftp shape that motivated the rule).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void snapshot(std::vector<std::uint64_t>& out) const;
+  double drain();
+
+ private:
+  std::unordered_map<std::uint64_t, double> active_;
+};
+
+}  // namespace fixture

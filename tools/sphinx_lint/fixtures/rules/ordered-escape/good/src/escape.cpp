@@ -1,0 +1,30 @@
+/// \file escape.cpp
+/// Fixture: compliant counterparts -- an ordered container may feed a
+/// sequence, and hash-order iteration is fine while it stays
+/// commutative.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::uint64_t> ordered_snapshot(
+    const std::map<std::uint64_t, double>& by_id) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, rate] : by_id) {
+    out.push_back(id);  // fine: std::map iterates in key order
+  }
+  return out;
+}
+
+std::size_t count_hot(const std::unordered_map<std::uint64_t, double>& active) {
+  std::size_t hot = 0;
+  for (const auto& [id, rate] : active) {
+    if (rate > 1.0) ++hot;  // fine: counting is commutative
+  }
+  return hot;
+}
+
+}  // namespace fixture

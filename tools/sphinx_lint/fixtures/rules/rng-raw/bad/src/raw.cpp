@@ -1,0 +1,26 @@
+/// \file raw.cpp
+/// Fixture: library code constructing Rng with hand-picked seeds, in
+/// the three spellings the rule recognises.
+
+#include <cstdint>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+};
+
+void temporaries() {
+  auto a = Rng(7);   // temporary
+  auto b = Rng{11};  // braced temporary
+  static_cast<void>(a);
+  static_cast<void>(b);
+}
+
+void declaration(std::uint64_t seed) {
+  Rng rng(seed);  // declaration with a raw seed
+  static_cast<void>(rng);
+}
+
+}  // namespace fixture

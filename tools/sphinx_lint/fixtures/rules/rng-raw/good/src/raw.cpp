@@ -1,0 +1,25 @@
+/// \file raw.cpp
+/// Fixture: compliant code -- streams come from the seed tree, and a
+/// function *returning* Rng (or taking parameters) is a signature, not
+/// a construction.
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+};
+
+struct Seeds {
+  Rng stream(const std::string& label) const;
+};
+
+Rng make_stream(const Seeds& seeds);          // declaration, no args named
+Rng for_label(const Seeds& seeds, std::string label);
+
+Rng make_stream(const Seeds& seeds) { return seeds.stream("bus"); }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+/// \file one.cpp
+/// Fixture: module src/alpha declares stream "shared-label"...
+
+#include <string>
+
+namespace fixture {
+
+struct Seeds {
+  int stream(const std::string& label) const;
+};
+
+int alpha_draw(const Seeds& seeds) { return seeds.stream("shared-label"); }
+
+}  // namespace fixture

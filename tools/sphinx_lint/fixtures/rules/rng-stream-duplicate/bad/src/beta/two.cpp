@@ -1,0 +1,15 @@
+/// \file two.cpp
+/// Fixture: ...and module src/beta declares the same label, entangling
+/// both modules' draw sequences.
+
+#include <string>
+
+namespace fixture {
+
+struct Seeds {
+  int stream(const std::string& label) const;
+};
+
+int beta_draw(const Seeds& seeds) { return seeds.stream("shared-label"); }
+
+}  // namespace fixture

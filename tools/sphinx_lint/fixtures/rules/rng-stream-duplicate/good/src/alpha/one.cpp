@@ -1,0 +1,14 @@
+/// \file one.cpp
+/// Fixture: module src/alpha owns stream "alpha-label".
+
+#include <string>
+
+namespace fixture {
+
+struct Seeds {
+  int stream(const std::string& label) const;
+};
+
+int alpha_draw(const Seeds& seeds) { return seeds.stream("alpha-label"); }
+
+}  // namespace fixture

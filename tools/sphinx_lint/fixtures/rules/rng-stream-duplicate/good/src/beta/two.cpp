@@ -1,0 +1,15 @@
+/// \file two.cpp
+/// Fixture: module src/beta owns a distinct label; reusing a label
+/// *within* one module (several call sites of one subsystem) is fine.
+
+#include <string>
+
+namespace fixture {
+
+struct Seeds {
+  int stream(const std::string& label) const;
+};
+
+int beta_draw(const Seeds& seeds) { return seeds.stream("beta-label"); }
+
+}  // namespace fixture

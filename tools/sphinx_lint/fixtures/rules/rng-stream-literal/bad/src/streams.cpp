@@ -1,0 +1,20 @@
+/// \file streams.cpp
+/// Fixture: stream labels the static registry cannot see.
+
+#include <string>
+
+namespace fixture {
+
+struct Seeds {
+  int stream(const std::string& label) const;
+};
+
+int opaque_label(const Seeds& seeds, const std::string& label) {
+  return seeds.stream(label);  // non-literal: invisible to the registry
+}
+
+int family_without_slash(const Seeds& seeds, const std::string& name) {
+  return seeds.stream("site" + name);  // family prefix must end in '/'
+}
+
+}  // namespace fixture

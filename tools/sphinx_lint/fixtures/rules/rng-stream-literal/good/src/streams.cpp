@@ -1,0 +1,19 @@
+/// \file streams.cpp
+/// Fixture: compliant stream labels -- whole-literal names and
+/// 'prefix/' + suffix families.
+
+#include <string>
+
+namespace fixture {
+
+struct Seeds {
+  int stream(const std::string& label) const;
+};
+
+int plain_label(const Seeds& seeds) { return seeds.stream("bus"); }
+
+int family_label(const Seeds& seeds, const std::string& name) {
+  return seeds.stream("site/" + name);
+}
+
+}  // namespace fixture

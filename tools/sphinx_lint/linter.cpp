@@ -1,372 +1,77 @@
+/// \file linter.cpp
+/// Rule orchestration: catalog assembly, per-file driving, and the
+/// cross-file phase (derived-state annotations across header/source
+/// pairs, the rng stream registry and its duplicate check).  The rules
+/// themselves live one family per translation unit under rules/.
+
 #include "linter.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
+#include <cstdio>
 #include <fstream>
-#include <regex>
+#include <map>
 #include <set>
 #include <sstream>
+
+#include "analyzer.hpp"
+#include "rule.hpp"
 
 namespace sphinx::lint {
 namespace {
 
-/// Files exempt from the determinism rules: the sanctioned time/rng
-/// abstractions themselves, and the logger (which may later timestamp
-/// real-world diagnostics without touching simulation results).
-constexpr std::array<std::string_view, 3> kDeterminismWhitelist = {
-    "src/common/time.hpp",
-    "src/common/rng.hpp",
-    "src/common/log.cpp",
-};
-
-[[nodiscard]] bool is_whitelisted(const std::string& rel_path) {
-  return std::find(kDeterminismWhitelist.begin(), kDeterminismWhitelist.end(),
-                   rel_path) != kDeterminismWhitelist.end();
+[[nodiscard]] bool rule_selected(const std::vector<std::string>& only,
+                                 std::string_view id) {
+  if (only.empty()) return true;
+  return std::find(only.begin(), only.end(), id) != only.end();
 }
 
-[[nodiscard]] bool is_header(const std::string& rel_path) {
-  return rel_path.ends_with(".hpp") || rel_path.ends_with(".h") ||
-         rel_path.ends_with(".hh");
+void run_rules(const FileContext& ctx, const std::vector<std::string>& only,
+               std::vector<Finding>& findings) {
+  const Reporter reporter(ctx, findings);
+  for (const Rule& rule : rule_catalog()) {
+    if (rule.check == nullptr) continue;
+    if (!rule_selected(only, rule.id)) continue;
+    rule.check(ctx, reporter);
+  }
 }
 
-[[nodiscard]] bool is_library_code(const std::string& rel_path) {
-  return rel_path.starts_with("src/");
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
 }
 
-/// Source text with comments and string/char literals blanked out
-/// (newlines preserved), plus the comment text per line so inline
-/// `sphinx-lint-allow(rule)` waivers can be honoured.
-struct Stripped {
-  std::string code;                        // blanked text, same offsets
-  std::vector<std::string> raw_lines;      // original lines
-  std::vector<std::set<std::string>> allow;  // per-line waived rules
-};
+/// Path stem shared by a header/source pair: "src/core/warehouse" for
+/// both warehouse.hpp and warehouse.cpp.
+[[nodiscard]] std::string stem_of(const std::string& rel_path) {
+  const std::size_t dot = rel_path.rfind('.');
+  return dot == std::string::npos ? rel_path : rel_path.substr(0, dot);
+}
 
-[[nodiscard]] Stripped strip(std::string_view content) {
-  enum class Mode {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-
-  Stripped out;
-  out.code.reserve(content.size());
-  std::string raw_line;
-  std::string comment_line;
-  Mode mode = Mode::kCode;
-  std::string raw_close;  // for raw strings: )delim"
-
-  auto parse_allows = [&] {
-    std::set<std::string> rules;
-    std::size_t pos = 0;
-    while ((pos = comment_line.find("sphinx-lint-allow(", pos)) !=
-           std::string::npos) {
-      pos += std::string_view("sphinx-lint-allow(").size();
-      std::string rule;
-      while (pos < comment_line.size() && comment_line[pos] != ')') {
-        const char c = comment_line[pos++];
-        if (c == ',') {
-          if (!rule.empty()) rules.insert(rule);
-          rule.clear();
-        } else if (!std::isspace(static_cast<unsigned char>(c))) {
-          rule.push_back(c);
-        }
-      }
-      if (!rule.empty()) rules.insert(rule);
-    }
-    return rules;
-  };
-
-  auto end_line = [&] {
-    out.raw_lines.push_back(raw_line);
-    out.allow.push_back(parse_allows());
-    raw_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (mode == Mode::kLineComment) mode = Mode::kCode;
-      out.code.push_back('\n');
-      end_line();
-      continue;
-    }
-    raw_line.push_back(c);
-    switch (mode) {
-      case Mode::kCode:
-        if (c == '/' && next == '/') {
-          mode = Mode::kLineComment;
-          out.code.append("  ");
-          raw_line.push_back(next);
-          ++i;
-        } else if (c == '/' && next == '*') {
-          mode = Mode::kBlockComment;
-          out.code.append("  ");
-          raw_line.push_back(next);
-          ++i;
-        } else if (c == 'R' && next == '"') {
-          // Raw string: R"delim( ... )delim".  Scan the delimiter.
-          std::string delim;
-          std::size_t j = i + 2;
-          while (j < content.size() && content[j] != '(' &&
-                 content[j] != '\n') {
-            delim.push_back(content[j++]);
-          }
-          if (j < content.size() && content[j] == '(') {
-            raw_close = ")" + delim + "\"";
-            mode = Mode::kRawString;
-            for (std::size_t k = i; k <= j; ++k) out.code.push_back(' ');
-            raw_line.append(content.substr(i + 1, j - i));
-            i = j;
-          } else {
-            out.code.push_back(c);  // not a raw string after all
-          }
-        } else if (c == '"') {
-          mode = Mode::kString;
-          out.code.push_back('"');
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are not character literals: a
-          // separator is always preceded by an alphanumeric character.
-          const char prev = out.code.empty() ? '\0' : out.code.back();
-          if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
-            out.code.push_back(' ');
-          } else {
-            mode = Mode::kChar;
-            out.code.push_back('\'');
-          }
+[[nodiscard]] std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
         } else {
-          out.code.push_back(c);
+          out.push_back(c);
         }
-        break;
-      case Mode::kLineComment:
-        comment_line.push_back(c);
-        out.code.push_back(' ');
-        break;
-      case Mode::kBlockComment:
-        if (c == '*' && next == '/') {
-          mode = Mode::kCode;
-          out.code.append("  ");
-          raw_line.push_back(next);
-          ++i;
-        } else {
-          comment_line.push_back(c);
-          out.code.push_back(' ');
-        }
-        break;
-      case Mode::kString:
-        if (c == '\\') {
-          out.code.append("  ");
-          if (next != '\0' && next != '\n') {
-            raw_line.push_back(next);
-            ++i;
-          }
-        } else if (c == '"') {
-          mode = Mode::kCode;
-          out.code.push_back('"');
-        } else {
-          out.code.push_back(' ');
-        }
-        break;
-      case Mode::kChar:
-        if (c == '\\') {
-          out.code.append("  ");
-          if (next != '\0' && next != '\n') {
-            raw_line.push_back(next);
-            ++i;
-          }
-        } else if (c == '\'') {
-          mode = Mode::kCode;
-          out.code.push_back('\'');
-        } else {
-          out.code.push_back(' ');
-        }
-        break;
-      case Mode::kRawString:
-        if (content.compare(i, raw_close.size(), raw_close) == 0) {
-          for (std::size_t k = 0; k < raw_close.size(); ++k) {
-            out.code.push_back(' ');
-          }
-          raw_line.append(content.substr(i + 1, raw_close.size() - 1));
-          i += raw_close.size() - 1;
-          mode = Mode::kCode;
-        } else {
-          out.code.push_back(' ');
-        }
-        break;
     }
   }
-  end_line();
   return out;
-}
-
-/// 1-based line number of a byte offset in `text`.
-[[nodiscard]] std::size_t line_of(std::string_view text, std::size_t offset) {
-  return static_cast<std::size_t>(
-             std::count(text.begin(), text.begin() + static_cast<long>(offset),
-                        '\n')) +
-         1;
-}
-
-struct RuleContext {
-  const Stripped& stripped;
-  const std::string& rel_path;
-  std::vector<Finding>& findings;
-
-  [[nodiscard]] bool allowed(std::size_t line, const std::string& rule) const {
-    if (line == 0 || line > stripped.allow.size()) return false;
-    const auto& rules = stripped.allow[line - 1];
-    return rules.contains(rule) || rules.contains("all");
-  }
-
-  void report(std::size_t line, std::string rule, std::string message) const {
-    if (allowed(line, rule)) return;
-    findings.push_back(
-        Finding{rel_path, line, std::move(rule), std::move(message)});
-  }
-};
-
-/// Scans the stripped text with `re`, reporting `rule` at every match.
-void scan(const RuleContext& ctx, const std::regex& re,
-          const std::string& rule, const std::string& message) {
-  const std::string_view text = ctx.stripped.code;
-  auto begin = std::cregex_iterator(text.data(), text.data() + text.size(), re);
-  for (auto it = begin; it != std::cregex_iterator(); ++it) {
-    ctx.report(line_of(text, static_cast<std::size_t>(it->position(0))), rule,
-               message);
-  }
-}
-
-void rule_sim_clock(const RuleContext& ctx) {
-  if (is_whitelisted(ctx.rel_path)) return;
-  static const std::regex re(
-      R"((\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\blocaltime\b|\bgmtime\b|\bgettimeofday\b|\bclock_gettime\b))");
-  static const std::regex time_re(
-      R"((^|[^\w.>])(time\s*\(\s*(NULL|nullptr|0)?\s*\)|clock\s*\(\s*\)))");
-  const std::string msg =
-      "wall-clock source; simulation time must come from the Engine clock "
-      "(src/common/time.hpp)";
-  scan(ctx, re, "sim-clock", msg);
-  const std::string_view text = ctx.stripped.code;
-  for (auto it = std::cregex_iterator(text.data(), text.data() + text.size(),
-                                      time_re);
-       it != std::cregex_iterator(); ++it) {
-    const std::size_t offset =
-        static_cast<std::size_t>(it->position(0)) +
-        static_cast<std::size_t>((*it)[1].length());
-    ctx.report(line_of(text, offset), "sim-clock", msg);
-  }
-}
-
-void rule_sim_random(const RuleContext& ctx) {
-  if (is_whitelisted(ctx.rel_path)) return;
-  static const std::regex re(
-      R"((\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bdrand48\b|\blrand48\b))");
-  scan(ctx, re, "sim-random",
-       "ambient randomness; draw from a seeded src/common/rng.hpp stream "
-       "instead");
-}
-
-void rule_discarded_status(const RuleContext& ctx) {
-  // Library code only: tests/benches/examples routinely discard handles
-  // (submission ids, selector picks) on purpose; in src/ a (void) cast
-  // is how a dropped Status hides.
-  if (!is_library_code(ctx.rel_path)) return;
-  static const std::regex re(
-      R"(\(\s*void\s*\)\s*[A-Za-z_:][A-Za-z0-9_:<>.*\[\]\->]*\()");
-  const std::string_view text = ctx.stripped.code;
-  for (auto it =
-           std::cregex_iterator(text.data(), text.data() + text.size(), re);
-       it != std::cregex_iterator(); ++it) {
-    const std::size_t offset = static_cast<std::size_t>(it->position(0));
-    const std::size_t line = line_of(text, offset);
-    // Deliberately invoking a throwing accessor inside a gtest assertion
-    // is not a discarded result.
-    const std::string& raw = ctx.stripped.raw_lines[line - 1];
-    if (raw.find("EXPECT_THROW") != std::string::npos ||
-        raw.find("ASSERT_THROW") != std::string::npos ||
-        raw.find("EXPECT_NO_THROW") != std::string::npos ||
-        raw.find("ASSERT_NO_THROW") != std::string::npos) {
-      continue;
-    }
-    ctx.report(line, "discarded-status",
-               "(void) cast discards a call result and defeats "
-               "[[nodiscard]] on Expected/Status; handle the result or "
-               "waive with sphinx-lint-allow(discarded-status)");
-  }
-}
-
-void rule_naked_throw(const RuleContext& ctx) {
-  static const std::regex re(R"(\bthrow\b\s*(;|[A-Za-z_:][\w:]*)?)");
-  const std::string_view text = ctx.stripped.code;
-  for (auto it =
-           std::cregex_iterator(text.data(), text.data() + text.size(), re);
-       it != std::cregex_iterator(); ++it) {
-    std::string token = (*it)[1].matched ? it->str(1) : std::string();
-    if (token == ";") continue;  // bare rethrow in a catch handler
-    static const std::set<std::string> kAllowed = {
-        "AssertionError",          "sphinx::AssertionError",
-        "::sphinx::AssertionError", "ContractViolation",
-        "sphinx::ContractViolation", "::sphinx::ContractViolation",
-    };
-    if (kAllowed.contains(token)) continue;
-    ctx.report(line_of(text, static_cast<std::size_t>(it->position(0))),
-               "naked-throw",
-               "only AssertionError/ContractViolation may be thrown; "
-               "operational failures travel as Expected/Status");
-  }
-}
-
-void rule_iostream_include(const RuleContext& ctx) {
-  if (!is_library_code(ctx.rel_path)) return;
-  if (ctx.rel_path == "src/common/log.cpp") return;  // the logger itself
-  // The flight recorder's export shim supports "-" (stdout) targets.
-  if (ctx.rel_path == "src/obs/export.cpp") return;
-  static const std::regex re(R"(^\s*#\s*include\s*<iostream>)");
-  std::istringstream lines{std::string(ctx.stripped.code)};
-  std::string line;
-  std::size_t n = 0;
-  while (std::getline(lines, line)) {
-    ++n;
-    if (std::regex_search(line, re)) {
-      ctx.report(n, "iostream-include",
-                 "library code must log through src/common/log.hpp, not "
-                 "<iostream>");
-    }
-  }
-}
-
-void rule_header_hygiene(const RuleContext& ctx) {
-  if (!is_header(ctx.rel_path)) return;
-  const auto& raw = ctx.stripped.raw_lines;
-  std::size_t first_nonempty = 0;
-  while (first_nonempty < raw.size() &&
-         raw[first_nonempty].find_first_not_of(" \t\r") == std::string::npos) {
-    ++first_nonempty;
-  }
-  if (first_nonempty >= raw.size() ||
-      raw[first_nonempty].rfind("#pragma once", 0) != 0) {
-    ctx.report(1, "pragma-once", "headers must start with #pragma once");
-  }
-  const std::size_t limit = std::min<std::size_t>(raw.size(), 5);
-  bool has_file_comment = false;
-  for (std::size_t i = 0; i < limit; ++i) {
-    const std::size_t start = raw[i].find_first_not_of(" \t");
-    if (start != std::string::npos &&
-        raw[i].compare(start, 9, "/// \\file") == 0) {
-      has_file_comment = true;
-      break;
-    }
-  }
-  if (!has_file_comment) {
-    ctx.report(1, "file-comment",
-               "headers must carry a `/// \\file` comment near the top");
-  }
 }
 
 }  // namespace
@@ -375,45 +80,68 @@ std::string Finding::to_string() const {
   return path + ":" + std::to_string(line) + ": [" + rule + "] " + message;
 }
 
+const std::vector<Rule>& rule_catalog() {
+  static const std::vector<Rule> kCatalog = [] {
+    std::vector<Rule> all;
+    for (auto family :
+         {&determinism_rules, &status_rules, &hygiene_rules,
+          &ordered_escape_rules, &rng_stream_rules, &derived_state_rules,
+          &observe_only_rules}) {
+      for (Rule& rule : family()) all.push_back(rule);
+    }
+    return all;
+  }();
+  return kCatalog;
+}
+
 std::vector<std::pair<std::string, std::string>> rule_list() {
-  return {
-      {"sim-clock", "no wall-clock sources outside the whitelist"},
-      {"sim-random", "no ambient randomness outside the whitelist"},
-      {"discarded-status", "no (void) casts of call results"},
-      {"naked-throw", "throw only AssertionError/ContractViolation"},
-      {"iostream-include", "no <iostream> in library code (src/)"},
-      {"pragma-once", "headers start with #pragma once"},
-      {"file-comment", "headers carry a /// \\file comment"},
-  };
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const Rule& rule : rule_catalog()) {
+    out.emplace_back(rule.id, rule.summary);
+  }
+  return out;
+}
+
+std::string rule_explain(const std::string& rule) {
+  for (const Rule& entry : rule_catalog()) {
+    if (rule == entry.id) return entry.explain;
+  }
+  return "";
 }
 
 std::vector<Finding> lint_source(std::string_view content,
                                  const std::string& rel_path) {
-  const Stripped stripped = strip(content);
+  return lint_source_rules(content, rel_path, {});
+}
+
+std::vector<Finding> lint_source_rules(std::string_view content,
+                                       const std::string& rel_path,
+                                       const std::vector<std::string>& only) {
+  const FileContext ctx = parse_file(content, rel_path);
   std::vector<Finding> findings;
-  const RuleContext ctx{stripped, rel_path, findings};
-  rule_sim_clock(ctx);
-  rule_sim_random(ctx);
-  rule_discarded_status(ctx);
-  rule_naked_throw(ctx);
-  rule_iostream_include(ctx);
-  rule_header_hygiene(ctx);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
+  run_rules(ctx, only, findings);
+  sort_findings(findings);
   return findings;
 }
 
-std::vector<Finding> lint_tree(const std::filesystem::path& root,
-                               const std::vector<std::string>& entries,
-                               std::vector<std::string>* errors) {
+TreeReport analyze_tree(const std::filesystem::path& root,
+                        const std::vector<std::string>& entries,
+                        const std::vector<std::string>& only) {
   namespace fs = std::filesystem;
+  TreeReport report;
+
   const auto lintable = [](const fs::path& p) {
     const std::string ext = p.extension().string();
     return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
            ext == ".h" || ext == ".hh";
+  };
+  // The linter's own rule fixtures are deliberate violations; never
+  // treat them as part of a tree under analysis (they are still
+  // lintable when a fixture directory is the scan root itself, which is
+  // how the per-rule ctest cases drive them).
+  const auto fixture = [&root](const fs::path& p) {
+    return fs::relative(p, root).generic_string().find("fixtures/") !=
+           std::string::npos;
   };
 
   std::vector<fs::path> files;
@@ -425,32 +153,169 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
     } else if (fs::is_directory(base, ec)) {
       for (auto it = fs::recursive_directory_iterator(base, ec);
            !ec && it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file() && lintable(it->path())) {
+        if (it->is_regular_file() && lintable(it->path()) &&
+            !fixture(it->path())) {
           files.push_back(it->path());
         }
       }
-    } else if (errors != nullptr) {
-      errors->push_back("no such file or directory: " + base.string());
+    } else {
+      report.errors.push_back("no such file or directory: " + base.string());
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
+  // Phase 1: parse everything.
+  std::vector<FileContext> contexts;
+  contexts.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
-      if (errors != nullptr) errors->push_back("cannot read " + file.string());
+      report.errors.push_back("cannot read " + file.string());
       continue;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const std::string rel =
         fs::relative(file, root).generic_string();  // '/'-separated
-    for (Finding& f : lint_source(buffer.str(), rel)) {
-      findings.push_back(std::move(f));
+    contexts.push_back(parse_file(buffer.str(), rel));
+  }
+
+  // Phase 2: share declaration knowledge across header/source pairs
+  // (same path stem) -- derived-state annotations and ordered-escape
+  // taint both live on member declarations in the .hpp but matter in
+  // the loops of the .cpp.
+  std::map<std::string, std::map<std::string, std::set<std::string>>> by_stem;
+  std::map<std::string, std::set<std::string>> taint_vars_by_stem;
+  std::map<std::string, std::set<std::string>> taint_fns_by_stem;
+  for (const FileContext& ctx : contexts) {
+    const std::string stem = stem_of(ctx.rel_path);
+    for (const auto& [member, fns] : ctx.derived) {
+      by_stem[stem][member] = fns;
+    }
+    taint_vars_by_stem[stem].insert(ctx.tainted_vars.begin(),
+                                    ctx.tainted_vars.end());
+    taint_fns_by_stem[stem].insert(ctx.tainted_fns.begin(),
+                                   ctx.tainted_fns.end());
+  }
+  for (FileContext& ctx : contexts) {
+    const std::string stem = stem_of(ctx.rel_path);
+    const auto it = by_stem.find(stem);
+    if (it != by_stem.end()) {
+      for (const auto& [member, fns] : it->second) {
+        ctx.derived.emplace(member, fns);  // own annotations win
+      }
+    }
+    const auto vars = taint_vars_by_stem.find(stem);
+    if (vars != taint_vars_by_stem.end()) {
+      ctx.tainted_vars.insert(vars->second.begin(), vars->second.end());
+    }
+    const auto fns = taint_fns_by_stem.find(stem);
+    if (fns != taint_fns_by_stem.end()) {
+      ctx.tainted_fns.insert(fns->second.begin(), fns->second.end());
     }
   }
-  return findings;
+
+  // Phase 3: per-file rules + stream extraction.
+  for (const FileContext& ctx : contexts) {
+    run_rules(ctx, only, report.findings);
+    for (StreamUse& use : extract_streams(ctx)) {
+      report.streams.push_back(std::move(use));
+    }
+  }
+  std::sort(report.streams.begin(), report.streams.end(),
+            [](const StreamUse& a, const StreamUse& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.path != b.path) return a.path < b.path;
+              return a.line < b.line;
+            });
+
+  // Phase 4: duplicate stream names across modules.
+  if (rule_selected(only, "rng-stream-duplicate")) {
+    std::map<std::string, std::set<std::string>> modules_of;
+    for (const StreamUse& use : report.streams) {
+      modules_of[use.name].insert(use.module);
+    }
+    std::map<std::string, const FileContext*> ctx_of;
+    for (const FileContext& ctx : contexts) ctx_of[ctx.rel_path] = &ctx;
+    for (const StreamUse& use : report.streams) {
+      const std::set<std::string>& modules = modules_of[use.name];
+      if (modules.size() < 2) continue;
+      const FileContext* ctx = ctx_of[use.path];
+      if (ctx != nullptr && ctx->allowed(use.line, "rng-stream-duplicate")) {
+        continue;
+      }
+      std::string others;
+      for (const std::string& m : modules) {
+        if (m == use.module) continue;
+        if (!others.empty()) others += ", ";
+        others += m;
+      }
+      report.findings.push_back(Finding{
+          use.path, use.line, "rng-stream-duplicate",
+          "stream '" + use.name + "' is also declared in module(s) " +
+              others +
+              "; two modules sharing a label share a generator and "
+              "entangle their draw sequences -- rename one"});
+    }
+  }
+
+  sort_findings(report.findings);
+  return report;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const std::vector<std::string>& entries,
+                               std::vector<std::string>* errors) {
+  TreeReport report = analyze_tree(root, entries);
+  if (errors != nullptr) {
+    for (std::string& error : report.errors) {
+      errors->push_back(std::move(error));
+    }
+  }
+  return std::move(report.findings);
+}
+
+std::string findings_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"path\": \"" + json_escape(f.path) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string rng_registry_markdown(const std::vector<StreamUse>& streams) {
+  std::string out;
+  out +=
+      "# RNG stream registry\n"
+      "\n"
+      "Every `seeds.stream(\"...\")` label in the tree, extracted by\n"
+      "`sphinx_lint --rng-registry`.  Do not edit by hand: tools/check.sh\n"
+      "regenerates this file and fails on drift.\n"
+      "\n"
+      "A *family* (name ending in `*`) is a literal prefix plus a runtime\n"
+      "suffix -- one independent stream per entity.  Stream names are\n"
+      "unique per module (rule rng-stream-duplicate); at runtime, SeedTree\n"
+      "throws ContractViolation if one instance hands out the same label\n"
+      "twice.\n"
+      "\n"
+      "| stream | kind | module | declared in |\n"
+      "|---|---|---|---|\n";
+  std::string last_key;
+  for (const StreamUse& use : streams) {
+    const std::string key = use.name + "\n" + use.path;
+    if (key == last_key) continue;  // several uses on one line / same file
+    last_key = key;
+    out += "| `" + use.name + "` | " + (use.family ? "family" : "literal") +
+           " | " + use.module + " | " + use.path + " |\n";
+  }
+  return out;
 }
 
 }  // namespace sphinx::lint

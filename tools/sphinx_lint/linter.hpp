@@ -1,28 +1,43 @@
 #pragma once
 /// \file linter.hpp
-/// sphinx-lint: the project's determinism / error-discipline checker.
+/// sphinx-lint: the project's determinism / state-discipline checker.
 ///
-/// A token/regex-level linter (deliberately no libclang dependency) that
-/// enforces the rules the simulator's credibility rests on:
+/// A token-stream, declaration-aware static analyzer (deliberately no
+/// libclang dependency) that enforces the rules the simulator's
+/// credibility rests on.  The byte-diff oracles -- the flight-recorder
+/// determinism gate, the chaos differential oracle, the lossy-network
+/// gate -- all assume a fixed-seed run is byte-identical; these rules
+/// prove the common ways of silently breaking that property are absent
+/// from the tree:
 ///
-///   sim-clock         no wall-clock sources in simulation code; sim time
-///                     comes from src/common/time.hpp via the Engine
-///   sim-random        no ambient randomness (rand, random_device, ...);
-///                     draws come from seeded src/common/rng.hpp streams
-///   discarded-status  no `(void)` casts of call results in library code
-///                     (src/) -- they defeat [[nodiscard]] on
-///                     Expected/Status; tests/benches may discard handles
-///   naked-throw       throw only AssertionError/ContractViolation
-///                     (operational failures travel as Expected/Status)
-///   iostream-include  library code (src/) logs via src/common/log.hpp,
-///                     never #include <iostream>
-///   pragma-once       headers start with #pragma once
-///   file-comment      headers carry a `/// \file` comment near the top
+///   sim-clock            no wall-clock sources; sim time comes from
+///                        src/common/time.hpp via the Engine
+///   sim-random           no ambient randomness (rand, random_device, …)
+///   discarded-status     no `(void)` casts of call results in src/
+///   naked-throw          throw only AssertionError/ContractViolation
+///   iostream-include     library code logs via src/common/log.hpp
+///   pragma-once          headers start with #pragma once
+///   file-comment         headers carry a `/// \file` comment
+///   ordered-escape       iteration over unordered containers (or
+///                        pointer-keyed ordered ones) must not escape
+///                        into journal writes, trace events, serialized
+///                        output or accumulation order
+///   rng-stream-literal   seeds.stream() labels start with a string
+///                        literal so the static registry can see them
+///   rng-stream-duplicate one stream name, one module
+///   rng-raw              library code never constructs Rng directly;
+///                        streams come from SeedTree::stream
+///   derived-state        members annotated `sphinx-lint: derived(...)`
+///                        are only mutated by the functions named
+///   observe-only         src/obs/ never draws randomness, requests
+///                        streams, schedules events or reaches into
+///                        warehouse/db state
 ///
-/// Comments and string literals (including raw strings) are stripped
-/// before matching, so documentation may mention rand() freely.  A
-/// deliberate exception is declared inline with a comment containing
-/// `sphinx-lint-allow(<rule>)` on the offending line.
+/// Comments and string literals are stripped before regex matching, so
+/// documentation may mention rand() freely.  Escapes:
+///   - one line:  `// sphinx-lint-allow(<rule>): reason`
+///   - one file:  `// sphinx-lint: ordered-escape-checked -- reason`
+///     (audited iteration sites; the tag is rule-specific)
 
 #include <filesystem>
 #include <string>
@@ -41,21 +56,64 @@ struct Finding {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// One `seeds.stream(...)` call site, as seen by the static pass.
+struct StreamUse {
+  std::string name;    ///< literal label; families end in "*"
+  bool family = false; ///< literal prefix + runtime suffix ("site/" + name)
+  std::string path;    ///< file declaring the stream
+  std::size_t line = 0;
+  std::string module;  ///< uniqueness scope, e.g. "src/exp"
+};
+
+/// Result of analysing a whole tree: findings from the per-file rules
+/// plus the cross-file phase, and the extracted rng stream registry.
+struct TreeReport {
+  std::vector<Finding> findings;
+  std::vector<StreamUse> streams;  ///< sorted by (name, path, line)
+  std::vector<std::string> errors; ///< IO problems
+};
+
 /// Rule identifiers with one-line descriptions, for --list-rules.
 [[nodiscard]] std::vector<std::pair<std::string, std::string>> rule_list();
 
+/// Long-form description of one rule, or "" for an unknown id.
+[[nodiscard]] std::string rule_explain(const std::string& rule);
+
 /// Lints one translation unit given its contents and scan-root-relative
 /// path (path scoping: some rules apply only under src/, and the
-/// determinism whitelist names specific src/common/ files).
+/// determinism whitelist names specific src/common/ files).  Runs every
+/// per-file rule; cross-file rules need analyze_tree().
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view content,
                                                const std::string& rel_path);
 
-/// Walks `entries` (directories or files, relative to `root`) and lints
-/// every C++ source/header found, in sorted order for deterministic
-/// output.  IO problems are reported into `errors` (if non-null) rather
-/// than thrown.
+/// As lint_source, but restricted to the rules named in `only` (empty =
+/// all).  Unknown rule names simply never fire.
+[[nodiscard]] std::vector<Finding> lint_source_rules(
+    std::string_view content, const std::string& rel_path,
+    const std::vector<std::string>& only);
+
+/// Walks `entries` (directories or files, relative to `root`) and runs
+/// the full analysis: per-file rules, then the cross-file phase
+/// (duplicate stream names across modules; derived-state annotations
+/// declared in a header enforced in the sibling source file).  Files
+/// are visited in sorted order for deterministic output.  `only`
+/// restricts the rule set (empty = all).
+[[nodiscard]] TreeReport analyze_tree(
+    const std::filesystem::path& root, const std::vector<std::string>& entries,
+    const std::vector<std::string>& only = {});
+
+/// Compatibility wrapper: analyze_tree's findings only.
 [[nodiscard]] std::vector<Finding> lint_tree(
     const std::filesystem::path& root, const std::vector<std::string>& entries,
     std::vector<std::string>* errors = nullptr);
+
+/// Findings as a JSON array (stable key order: path, line, rule,
+/// message), for CI consumption.  Ends with a newline.
+[[nodiscard]] std::string findings_json(const std::vector<Finding>& findings);
+
+/// The rng stream registry as the committed docs/rng_streams.md
+/// markdown: deterministic, sorted, suitable for byte-diffing.
+[[nodiscard]] std::string rng_registry_markdown(
+    const std::vector<StreamUse>& streams);
 
 }  // namespace sphinx::lint

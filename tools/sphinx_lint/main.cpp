@@ -2,12 +2,17 @@
 /// sphinx-lint command-line driver.
 ///
 /// Usage:
-///   sphinx_lint [--root DIR] [--list-rules] [DIR-OR-FILE...]
+///   sphinx_lint [--root DIR] [--list-rules] [--explain RULE]
+///               [--only RULE[,RULE...]] [--json] [--rng-registry]
+///               [DIR-OR-FILE...]
 ///
-/// Scans the given directories/files (default: src tests bench examples,
-/// skipping any that do not exist) relative to --root (default: the
-/// current directory).  Prints one line per finding and exits 1 if any
-/// rule fired, 0 on a clean tree, 2 on usage or IO errors.
+/// Scans the given directories/files (default: src tests bench examples
+/// tools, skipping any that do not exist) relative to --root (default:
+/// the current directory).  Prints one line per finding -- or a JSON
+/// array with --json -- and exits 1 if any rule fired, 0 on a clean
+/// tree, 2 on usage or IO errors.  --rng-registry instead prints the
+/// extracted stream registry as the markdown committed to
+/// docs/rng_streams.md (the check.sh gate diffs the two).
 
 #include <filesystem>
 #include <iostream>
@@ -16,12 +21,34 @@
 
 #include "linter.hpp"
 
+namespace {
+
+std::vector<std::string> split_commas(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : arg) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   using sphinx::lint::Finding;
 
   fs::path root = ".";
   std::vector<std::string> entries;
+  std::vector<std::string> only;
+  bool json = false;
+  bool registry = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
@@ -35,9 +62,40 @@ int main(int argc, char** argv) {
         std::cout << rule << "\t" << description << "\n";
       }
       return 0;
+    } else if (arg == "--explain") {
+      if (i + 1 >= argc) {
+        std::cerr << "sphinx-lint: --explain needs a rule id\n";
+        return 2;
+      }
+      const std::string text = sphinx::lint::rule_explain(argv[++i]);
+      if (text.empty()) {
+        std::cerr << "sphinx-lint: unknown rule " << argv[i]
+                  << " (see --list-rules)\n";
+        return 2;
+      }
+      std::cout << text << "\n";
+      return 0;
+    } else if (arg == "--only") {
+      if (i + 1 >= argc) {
+        std::cerr << "sphinx-lint: --only needs a rule list\n";
+        return 2;
+      }
+      for (std::string& rule : split_commas(argv[++i])) {
+        if (sphinx::lint::rule_explain(rule).empty()) {
+          std::cerr << "sphinx-lint: unknown rule " << rule
+                    << " (see --list-rules)\n";
+          return 2;
+        }
+        only.push_back(std::move(rule));
+      }
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--rng-registry") {
+      registry = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: sphinx_lint [--root DIR] [--list-rules] "
-                   "[DIR-OR-FILE...]\n";
+                   "[--explain RULE] [--only RULE[,RULE...]] [--json] "
+                   "[--rng-registry] [DIR-OR-FILE...]\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "sphinx-lint: unknown option " << arg << "\n";
@@ -47,7 +105,8 @@ int main(int argc, char** argv) {
     }
   }
   if (entries.empty()) {
-    for (const char* candidate : {"src", "tests", "bench", "examples"}) {
+    for (const char* candidate : {"src", "tests", "bench", "examples",
+                                  "tools"}) {
       std::error_code ec;
       if (fs::is_directory(root / candidate, ec)) {
         entries.emplace_back(candidate);
@@ -59,19 +118,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<std::string> errors;
-  const std::vector<Finding> findings =
-      sphinx::lint::lint_tree(root, entries, &errors);
-  for (const std::string& error : errors) {
+  const sphinx::lint::TreeReport report =
+      sphinx::lint::analyze_tree(root, entries, only);
+  for (const std::string& error : report.errors) {
     std::cerr << "sphinx-lint: " << error << "\n";
   }
-  for (const Finding& finding : findings) {
-    std::cout << finding.to_string() << "\n";
+  if (registry) {
+    std::cout << sphinx::lint::rng_registry_markdown(report.streams);
+    return report.errors.empty() ? 0 : 2;
   }
-  if (!findings.empty()) {
-    std::cout << "sphinx-lint: " << findings.size() << " problem(s)\n";
-    return 1;
+  if (json) {
+    std::cout << sphinx::lint::findings_json(report.findings);
+  } else {
+    for (const Finding& finding : report.findings) {
+      std::cout << finding.to_string() << "\n";
+    }
+    if (!report.findings.empty()) {
+      std::cout << "sphinx-lint: " << report.findings.size()
+                << " problem(s)\n";
+    }
   }
-  if (!errors.empty()) return 2;
+  if (!report.findings.empty()) return 1;
+  if (!report.errors.empty()) return 2;
   return 0;
 }

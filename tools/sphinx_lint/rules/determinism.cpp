@@ -1,0 +1,72 @@
+/// \file determinism.cpp
+/// sim-clock / sim-random: no ambient time or randomness.  Regex passes
+/// over the comment/string-stripped text.
+
+#include <regex>
+#include <string>
+
+#include "rule.hpp"
+
+namespace sphinx::lint {
+namespace {
+
+/// Scans the stripped text with `re`, reporting `rule` at every match.
+void scan(const FileContext& file, const Reporter& out, const std::regex& re,
+          const std::string& rule, const std::string& message) {
+  const std::string_view text = file.stripped.code;
+  auto begin = std::cregex_iterator(text.data(), text.data() + text.size(), re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    out.report(line_of(text, static_cast<std::size_t>(it->position(0))), rule,
+               message);
+  }
+}
+
+void rule_sim_clock(const FileContext& file, const Reporter& out) {
+  if (determinism_whitelisted(file.rel_path)) return;
+  static const std::regex re(
+      R"((\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\blocaltime\b|\bgmtime\b|\bgettimeofday\b|\bclock_gettime\b))");
+  static const std::regex time_re(
+      R"((^|[^\w.>])(time\s*\(\s*(NULL|nullptr|0)?\s*\)|clock\s*\(\s*\)))");
+  const std::string msg =
+      "wall-clock source; simulation time must come from the Engine clock "
+      "(src/common/time.hpp)";
+  scan(file, out, re, "sim-clock", msg);
+  const std::string_view text = file.stripped.code;
+  for (auto it = std::cregex_iterator(text.data(), text.data() + text.size(),
+                                      time_re);
+       it != std::cregex_iterator(); ++it) {
+    const std::size_t offset =
+        static_cast<std::size_t>(it->position(0)) +
+        static_cast<std::size_t>((*it)[1].length());
+    out.report(line_of(text, offset), "sim-clock", msg);
+  }
+}
+
+void rule_sim_random(const FileContext& file, const Reporter& out) {
+  if (determinism_whitelisted(file.rel_path)) return;
+  static const std::regex re(
+      R"((\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bdrand48\b|\blrand48\b))");
+  scan(file, out, re, "sim-random",
+       "ambient randomness; draw from a seeded src/common/rng.hpp stream "
+       "instead");
+}
+
+}  // namespace
+
+std::vector<Rule> determinism_rules() {
+  return {
+      Rule{"sim-clock", "no wall-clock sources outside the whitelist",
+           "Simulation results must be a pure function of the seed, so no "
+           "code may consult system_clock, steady_clock, time(), ... -- the "
+           "only clock is the Engine's (src/common/time.hpp).  Whitelisted: "
+           "the time/rng abstractions themselves and the logger.",
+           &rule_sim_clock},
+      Rule{"sim-random", "no ambient randomness outside the whitelist",
+           "rand(), std::random_device, drand48 and friends draw entropy the "
+           "seed does not control, breaking same-seed reproducibility.  Draw "
+           "from a seeded src/common/rng.hpp stream instead.",
+           &rule_sim_random},
+  };
+}
+
+}  // namespace sphinx::lint

@@ -1,0 +1,84 @@
+/// \file hygiene.cpp
+/// iostream-include / pragma-once / file-comment: source hygiene.
+
+#include <algorithm>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include "rule.hpp"
+
+namespace sphinx::lint {
+namespace {
+
+void rule_iostream_include(const FileContext& file, const Reporter& out) {
+  if (!is_library_code(file.rel_path)) return;
+  if (file.rel_path == "src/common/log.cpp") return;  // the logger itself
+  // The flight recorder's export shim supports "-" (stdout) targets.
+  if (file.rel_path == "src/obs/export.cpp") return;
+  static const std::regex re(R"(^\s*#\s*include\s*<iostream>)");
+  std::istringstream lines{std::string(file.stripped.code)};
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    if (std::regex_search(line, re)) {
+      out.report(n, "iostream-include",
+                 "library code must log through src/common/log.hpp, not "
+                 "<iostream>");
+    }
+  }
+}
+
+void rule_pragma_once(const FileContext& file, const Reporter& out) {
+  if (!is_header(file.rel_path)) return;
+  const auto& raw = file.stripped.raw_lines;
+  std::size_t first_nonempty = 0;
+  while (first_nonempty < raw.size() &&
+         raw[first_nonempty].find_first_not_of(" \t\r") == std::string::npos) {
+    ++first_nonempty;
+  }
+  if (first_nonempty >= raw.size() ||
+      raw[first_nonempty].rfind("#pragma once", 0) != 0) {
+    out.report(1, "pragma-once", "headers must start with #pragma once");
+  }
+}
+
+void rule_file_comment(const FileContext& file, const Reporter& out) {
+  if (!is_header(file.rel_path)) return;
+  const auto& raw = file.stripped.raw_lines;
+  const std::size_t limit = std::min<std::size_t>(raw.size(), 5);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const std::size_t start = raw[i].find_first_not_of(" \t");
+    if (start != std::string::npos &&
+        raw[i].compare(start, 9, "/// \\file") == 0) {
+      return;
+    }
+  }
+  out.report(1, "file-comment",
+             "headers must carry a `/// \\file` comment near the top");
+}
+
+}  // namespace
+
+std::vector<Rule> hygiene_rules() {
+  return {
+      Rule{"iostream-include", "no <iostream> in library code (src/)",
+           "Library code logs through src/common/log.hpp so output routing "
+           "and verbosity stay centralized; <iostream> also drags in static "
+           "initialization order concerns.  The logger itself and the "
+           "recorder's stdout export shim are exempt.",
+           &rule_iostream_include},
+      Rule{"pragma-once", "headers start with #pragma once",
+           "House style: include guards are #pragma once, as the first "
+           "non-blank line of every header.",
+           &rule_pragma_once},
+      Rule{"file-comment", "headers carry a /// \\file comment",
+           "Every header documents its purpose with a `/// \\file` comment "
+           "within the first five lines, so a reader (and doc tooling) can "
+           "tell what a module is for without reading it.",
+           &rule_file_comment},
+  };
+}
+
+}  // namespace sphinx::lint

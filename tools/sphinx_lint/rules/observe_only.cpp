@@ -1,0 +1,81 @@
+/// \file observe_only.cpp
+/// observe-only: the flight recorder watches, it never touches.
+///
+/// Everything under src/obs/ is instrumentation: attaching or detaching
+/// it must leave a fixed-seed run byte-identical.  That guarantee dies
+/// the moment observation code draws randomness, requests a seed
+/// stream, schedules engine events, or reaches into warehouse/db
+/// state.  This rule makes the guarantee structural: src/obs/ cannot
+/// even *name* those facilities.
+
+#include <regex>
+#include <string>
+
+#include "rule.hpp"
+
+namespace sphinx::lint {
+namespace {
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+void rule_observe_only(const FileContext& file, const Reporter& out) {
+  if (!file.rel_path.starts_with("src/obs/")) return;
+  const std::vector<Token>& t = file.tokens;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& id = t[i].text;
+    if (id == "Rng" || id == "SeedTree") {
+      out.report(t[i].line, "observe-only",
+                 "observation code must not use randomness ('" + id +
+                     "'); the recorder only watches, it never draws");
+      continue;
+    }
+    const bool member_call =
+        i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")) &&
+        i + 1 < t.size() && is_punct(t[i + 1], "(");
+    if (!member_call) continue;
+    if (id == "stream") {
+      out.report(t[i].line, "observe-only",
+                 "observation code must not request rng streams");
+    } else if (id == "schedule_in" || id == "schedule_at" ||
+               id == "schedule") {
+      out.report(t[i].line, "observe-only",
+                 "observation code must not schedule engine events; event "
+                 "creation order is simulation state");
+    }
+  }
+
+  // Reaching for warehouse/db headers is how mutation starts.
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s*"(db/|core/warehouse))");
+  for (std::size_t i = 0; i < file.stripped.raw_lines.size(); ++i) {
+    if (std::regex_search(file.stripped.raw_lines[i], include_re)) {
+      out.report(i + 1, "observe-only",
+                 "observation code must not include warehouse/db headers; "
+                 "state flows *into* the recorder, never back out");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Rule> observe_only_rules() {
+  return {
+      Rule{"observe-only",
+           "src/obs/ observes: no rng, no streams, no events, no "
+           "warehouse/db access",
+           "The determinism gates compare runs with the recorder attached; "
+           "the chaos oracles compare runs with it detached from different "
+           "crash points.  Both assume observation is free of side effects "
+           "on the simulation.  This rule bans, structurally, everything "
+           "in src/obs/ that could perturb a run: naming Rng/SeedTree, "
+           "calling .stream(), scheduling engine events, or including "
+           "db/warehouse headers.",
+           &rule_observe_only},
+  };
+}
+
+}  // namespace sphinx::lint

@@ -1,0 +1,270 @@
+/// \file ordered_escape.cpp
+/// ordered-escape: the nondeterminism taint rule.
+///
+/// The byte-diff oracles (flight-recorder gate, chaos differential
+/// oracle) assume a fixed-seed run serializes identically every time.
+/// Iterating a hash container -- or an ordered container keyed by
+/// pointer values -- yields an order the simulation contract does not
+/// pin down: it depends on libstdc++ internals, allocator addresses and
+/// ASLR.  Such iteration is fine while it stays commutative (counting,
+/// lookups, per-element mutation) but must not *escape* into anything
+/// order-sensitive: journal writes, trace events, serialized output,
+/// event scheduling, or accumulation into a sequence / running sum.
+///
+/// The pass is declaration-aware: it taints names declared as
+/// std::unordered_{map,set,multimap,multiset} (and std::map/std::set
+/// keyed by a pointer type), including functions *returning* such
+/// types, then inspects every range-for / iterator-for over a tainted
+/// name for sink operations in the loop body.
+///
+/// Audited sites are acknowledged per file with a comment:
+///   // sphinx-lint: ordered-escape-checked -- <why the order is safe>
+/// or per line with sphinx-lint-allow(ordered-escape).
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "rule.hpp"
+
+namespace sphinx::lint {
+namespace {
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] std::string lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Skips a balanced template argument list starting at the `<` at `i`.
+/// Returns the index one past the closing `>`, treating `>>` as two
+/// closers.  npos when unbalanced.
+[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& t,
+                                             std::size_t i) {
+  if (i >= t.size() || !is_punct(t[i], "<")) return std::string::npos;
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(t[i], "<")) ++depth;
+    else if (is_punct(t[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(t[i], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (is_punct(t[i], ";") || is_punct(t[i], "{")) {
+      return std::string::npos;  // not a template argument list after all
+    }
+  }
+  return std::string::npos;
+}
+
+/// True when the first template argument (tokens in (open, close)) ends
+/// in `*` -- a pointer-keyed container.
+[[nodiscard]] bool first_arg_is_pointer(const std::vector<Token>& t,
+                                        std::size_t open, std::size_t close) {
+  int depth = 0;
+  std::size_t last = open;  // last meaningful token of the first argument
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (is_punct(t[i], "<") || is_punct(t[i], "(")) ++depth;
+    else if (is_punct(t[i], ">") || is_punct(t[i], ")")) --depth;
+    else if (is_punct(t[i], ",") && depth == 0) break;
+    last = i;
+  }
+  return last > open && is_punct(t[last], "*");
+}
+
+}  // namespace
+
+void extract_unordered(const std::vector<Token>& t,
+                       std::set<std::string>& vars,
+                       std::set<std::string>& fns) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  static const std::set<std::string> kOrdered = {"map", "set", "multimap",
+                                                 "multiset"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const bool unordered = kUnordered.contains(t[i].text);
+    const bool ordered = kOrdered.contains(t[i].text);
+    if (!unordered && !ordered) continue;
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "<")) continue;
+    const std::size_t after = skip_template_args(t, i + 1);
+    if (after == std::string::npos) continue;
+    // Ordered assoc containers are only hazardous when keyed by pointer
+    // (iteration order = address order).
+    if (ordered && !first_arg_is_pointer(t, i + 1, after - 1)) continue;
+    // Skip refs/ptrs/cv between the type and the declared name.
+    std::size_t j = after;
+    while (j < t.size() &&
+           (is_punct(t[j], "&") || is_punct(t[j], "*") ||
+            is_ident(t[j], "const"))) {
+      ++j;
+    }
+    if (j >= t.size() || t[j].kind != TokenKind::kIdentifier) continue;
+    if (j + 1 < t.size() && is_punct(t[j + 1], "(")) {
+      fns.insert(t[j].text);
+    } else {
+      vars.insert(t[j].text);
+    }
+  }
+}
+
+namespace {
+
+/// A sink inside a tainted loop body, or empty when the body stays
+/// commutative.
+[[nodiscard]] std::string find_sink(const std::vector<Token>& t,
+                                    std::size_t begin, std::size_t end) {
+  static const std::set<std::string> kAppenders = {"push_back", "emplace_back",
+                                                   "append"};
+  static const std::set<std::string> kSerializeHints = {
+      "journal", "trace", "record", "serialize", "to_json",
+      "jsonl",   "emit",  "write",  "schedule"};
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokenKind::kIdentifier) {
+      if (kAppenders.contains(tok.text)) {
+        return "appends to a sequence ('" + tok.text +
+               "') in iteration order";
+      }
+      const std::string low = lower(tok.text);
+      for (const std::string& hint : kSerializeHints) {
+        if (low.find(hint) != std::string::npos) {
+          return "reaches an order-sensitive operation ('" + tok.text + "')";
+        }
+      }
+    } else if (is_punct(tok, "<<")) {
+      return "streams output ('<<') in iteration order";
+    } else if (is_punct(tok, "+=") || is_punct(tok, "-=")) {
+      return "accumulates ('" + tok.text + "') in iteration order";
+    }
+  }
+  return "";
+}
+
+void rule_ordered_escape(const FileContext& file, const Reporter& out) {
+  if (file.acknowledged("ordered-escape-checked")) return;
+  const std::vector<Token>& t = file.tokens;
+  // The taint sets live on the context so analyze_tree() can merge a
+  // header's member declarations into the sibling .cpp (parse_file
+  // seeds them with this file's own declarations).
+  const std::set<std::string>& tainted_vars = file.tainted_vars;
+  const std::set<std::string>& tainted_fns = file.tainted_fns;
+  if (tainted_vars.empty() && tainted_fns.empty()) return;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i], "for") || i + 1 >= t.size() ||
+        !is_punct(t[i + 1], "(")) {
+      continue;
+    }
+    // Find the matching ')' of the for-header.
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    std::size_t colon = std::string::npos;  // range-for separator
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (is_punct(t[j], "(")) ++depth;
+      else if (is_punct(t[j], ")")) {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (is_punct(t[j], ":") && depth == 1 &&
+                 colon == std::string::npos) {
+        colon = j;
+      }
+    }
+    if (close == std::string::npos) continue;
+
+    // Is the loop tainted?
+    std::string container;
+    if (colon != std::string::npos) {
+      for (std::size_t j = colon + 1; j < close && container.empty(); ++j) {
+        if (t[j].kind != TokenKind::kIdentifier) continue;
+        const bool call = j + 1 < t.size() && is_punct(t[j + 1], "(");
+        if (!call && tainted_vars.contains(t[j].text)) container = t[j].text;
+        if (call && tainted_fns.contains(t[j].text)) {
+          container = t[j].text + "()";
+        }
+      }
+    } else {
+      // Iterator loop: `x = tainted.begin()` somewhere in the header.
+      for (std::size_t j = i + 2; j + 2 < close && container.empty(); ++j) {
+        if (t[j].kind == TokenKind::kIdentifier &&
+            tainted_vars.contains(t[j].text) && is_punct(t[j + 1], ".") &&
+            is_ident(t[j + 2], "begin")) {
+          container = t[j].text;
+        }
+      }
+    }
+    if (container.empty()) continue;
+
+    // Loop body extent.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end = body_begin;
+    if (body_begin < t.size() && is_punct(t[body_begin], "{")) {
+      int b = 0;
+      for (std::size_t j = body_begin; j < t.size(); ++j) {
+        if (is_punct(t[j], "{")) ++b;
+        else if (is_punct(t[j], "}") && --b == 0) {
+          body_end = j;
+          break;
+        }
+      }
+    } else {
+      int b = 0;
+      for (std::size_t j = body_begin; j < t.size(); ++j) {
+        if (is_punct(t[j], "(") || is_punct(t[j], "{")) ++b;
+        else if (is_punct(t[j], ")") || is_punct(t[j], "}")) --b;
+        else if (is_punct(t[j], ";") && b == 0) {
+          body_end = j;
+          break;
+        }
+      }
+    }
+
+    const std::string sink = find_sink(t, body_begin, body_end);
+    if (sink.empty()) continue;
+    out.report(t[i].line, "ordered-escape",
+               "iteration over hash-ordered container '" + container + "' " +
+                   sink +
+                   "; the order is not part of the simulation contract -- "
+                   "use std::map / a sorted vector, or acknowledge an "
+                   "audited file with `// sphinx-lint: "
+                   "ordered-escape-checked -- <reason>`");
+  }
+}
+
+}  // namespace
+
+std::vector<Rule> ordered_escape_rules() {
+  return {
+      Rule{"ordered-escape",
+           "unordered-container iteration must not escape into ordered "
+           "output",
+           "Flags range-for / iterator loops over std::unordered_map/set "
+           "(or std::map/set keyed by a pointer) whose body appends to a "
+           "sequence, accumulates (+=/-=), streams (<<), schedules events "
+           "or calls anything that looks like "
+           "journal/trace/record/serialize/write.  Hash iteration order is "
+           "an implementation detail; letting it reach the journal, the "
+           "flight recorder or any serialized artifact silently breaks the "
+           "byte-diff determinism oracles.  Fix with an ordered container "
+           "or sort-before-emit; acknowledge an audited file with "
+           "`// sphinx-lint: ordered-escape-checked -- reason` or one line "
+           "with sphinx-lint-allow(ordered-escape).",
+           &rule_ordered_escape},
+  };
+}
+
+}  // namespace sphinx::lint

@@ -1,0 +1,183 @@
+/// \file rng_streams.cpp
+/// RNG stream discipline: every random draw in the simulator comes from
+/// a SeedTree stream with a statically visible label.
+///
+///   rng-stream-literal    `seeds.stream(...)` labels must start with a
+///                         string literal ("bus", or "site/" + name for
+///                         per-entity families) so this pass can build
+///                         the stream registry (docs/rng_streams.md)
+///   rng-stream-duplicate  a stream name may be declared in one module
+///                         only; two modules sharing a label would share
+///                         a generator and entangle their draw sequences
+///                         (fires from the cross-file phase)
+///   rng-raw               library code never constructs Rng(seed)
+///                         directly -- a raw seed bypasses the registry
+///                         and the SeedTree duplicate-label contract
+///
+/// The runtime counterpart lives in src/common/rng.hpp: SeedTree
+/// records every label it hands out and throws ContractViolation on a
+/// duplicate, so the registry this pass emits and the labels a run
+/// actually uses cannot drift apart silently.
+
+#include <string>
+
+#include "rule.hpp"
+
+namespace sphinx::lint {
+namespace {
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Calls `use(i_stream_token, literal_or_empty, family)` for every
+/// `.stream(...)` / `->stream(...)` / `.stream_replica(...)` call.
+/// `literal` is empty when the first argument does not start with a
+/// string literal.  Replicas share the label namespace (same seed
+/// derivation), so the registry and the literal rule treat them alike.
+template <typename Fn>
+void scan_stream_calls(const FileContext& file, Fn&& use) {
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier ||
+        (t[i].text != "stream" && t[i].text != "stream_replica")) {
+      continue;
+    }
+    if (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->")) continue;
+    if (!is_punct(t[i + 1], "(")) continue;
+    if (i + 2 >= t.size()) continue;
+    const Token& arg = t[i + 2];
+    if (arg.kind != TokenKind::kString) {
+      use(i, std::string(), false);
+      continue;
+    }
+    const bool family = !(i + 3 < t.size() && is_punct(t[i + 3], ")"));
+    use(i, arg.text, family);
+  }
+}
+
+void rule_rng_stream_literal(const FileContext& file, const Reporter& out) {
+  // Library code + tools: tests drive private SeedTree instances whose
+  // labels never land in the production registry.
+  if (!is_library_code(file.rel_path) && !file.rel_path.starts_with("tools/"))
+    return;
+  if (determinism_whitelisted(file.rel_path)) return;
+  scan_stream_calls(file, [&](std::size_t i, const std::string& literal,
+                              bool family) {
+    const std::size_t line = file.tokens[i].line;
+    if (literal.empty()) {
+      out.report(line, "rng-stream-literal",
+                 "stream label must start with a string literal "
+                 "(\"name\" or \"family/\" + suffix) so the static "
+                 "registry (docs/rng_streams.md) can see it");
+      return;
+    }
+    if (family && !literal.ends_with("/")) {
+      out.report(line, "rng-stream-literal",
+                 "per-entity stream families must use a 'prefix/' literal "
+                 "followed by the entity suffix, e.g. seeds.stream(\"site/\" "
+                 "+ name)");
+    }
+  });
+}
+
+void rule_rng_raw(const FileContext& file, const Reporter& out) {
+  // Library code only (src/ and tools/): tests and benches construct
+  // Rng(seed) directly to drive a unit in isolation, which is fine --
+  // those draws never reach a recorded artifact.
+  if (!is_library_code(file.rel_path) && !file.rel_path.starts_with("tools/"))
+    return;
+  if (determinism_whitelisted(file.rel_path)) return;
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || t[i].text != "Rng") continue;
+    // The class's own declarations are not constructions: `explicit
+    // Rng(seed)`, `~Rng()`, `Rng::Rng(...)`.
+    if (i > 0 && t[i - 1].kind == TokenKind::kIdentifier &&
+        (t[i - 1].text == "explicit" || t[i - 1].text == "class" ||
+         t[i - 1].text == "struct")) {
+      continue;
+    }
+    if (i > 0 && (is_punct(t[i - 1], "~") || is_punct(t[i - 1], "::"))) {
+      continue;
+    }
+    // Temporary: `Rng(seed)` / `Rng{seed}`.
+    bool construct = is_punct(t[i + 1], "(") || is_punct(t[i + 1], "{");
+    // Declaration-with-init: `Rng rng(seed)` / `Rng rng{seed}`.  The
+    // paren form is ambiguous with a function declaration returning Rng
+    // (`Rng make(std::uint64_t seed)`); a parameter list starts with a
+    // type, so skip when the first argument token is followed by
+    // something type-ish (identifier, ::, <, &, *) or the list is empty.
+    if (!construct && t[i + 1].kind == TokenKind::kIdentifier &&
+        i + 2 < t.size()) {
+      if (is_punct(t[i + 2], "{")) {
+        construct = true;
+      } else if (is_punct(t[i + 2], "(") && i + 3 < t.size() &&
+                 !is_punct(t[i + 3], ")")) {
+        const bool type_ish =
+            t[i + 3].kind == TokenKind::kIdentifier && i + 4 < t.size() &&
+            (t[i + 4].kind == TokenKind::kIdentifier ||
+             is_punct(t[i + 4], "::") || is_punct(t[i + 4], "<") ||
+             is_punct(t[i + 4], "&") || is_punct(t[i + 4], "*"));
+        construct = !type_ish;
+      }
+    }
+    if (!construct) continue;
+    out.report(t[i].line, "rng-raw",
+               "library code must not construct Rng directly; derive the "
+               "stream with seeds.stream(\"label\") so the label lands in "
+               "the registry and the duplicate-label contract applies");
+  }
+}
+
+}  // namespace
+
+std::vector<StreamUse> extract_streams(const FileContext& file) {
+  std::vector<StreamUse> uses;
+  // The registry documents production streams; tests and benches spin
+  // up private SeedTrees whose labels are out of scope.
+  if (!is_library_code(file.rel_path)) return uses;
+  scan_stream_calls(file, [&](std::size_t i, const std::string& literal,
+                              bool family) {
+    if (literal.empty()) return;  // reported by rng-stream-literal
+    StreamUse use;
+    use.name = family ? literal + "*" : literal;
+    use.family = family;
+    use.path = file.rel_path;
+    use.line = file.tokens[i].line;
+    use.module = module_of(file.rel_path);
+    uses.push_back(std::move(use));
+  });
+  return uses;
+}
+
+std::vector<Rule> rng_stream_rules() {
+  return {
+      Rule{"rng-stream-literal",
+           "seeds.stream() labels start with a string literal",
+           "The rng stream registry (docs/rng_streams.md) is extracted "
+           "statically from seeds.stream(\"...\") call sites.  A label the "
+           "analyzer cannot see is a label no-one can audit for collisions, "
+           "so the first argument must begin with a string literal: either "
+           "the whole label (\"bus\") or a family prefix ending in '/' "
+           "(\"site/\" + site.name).",
+           &rule_rng_stream_literal},
+      Rule{"rng-stream-duplicate", "one stream name, one module",
+           "Two modules requesting the same stream label would derive the "
+           "same generator seed and entangle their draw sequences: adding a "
+           "draw in one silently shifts the other, which is exactly the "
+           "coupling SeedTree exists to prevent.  Fires from the cross-file "
+           "phase (analyze_tree); the runtime counterpart is SeedTree's "
+           "duplicate-label ContractViolation.",
+           nullptr},
+      Rule{"rng-raw", "library code never constructs Rng directly",
+           "Rng(seed) with a hand-picked seed bypasses the SeedTree: the "
+           "stream has no label, appears in no registry, and two such sites "
+           "can silently share a seed.  Library code (src/, tools/) derives "
+           "every stream via seeds.stream(\"label\"); tests and benches may "
+           "construct Rng directly to drive units in isolation.",
+           &rule_rng_raw},
+  };
+}
+
+}  // namespace sphinx::lint

@@ -1,0 +1,83 @@
+/// \file status.cpp
+/// discarded-status / naked-throw: the error-discipline rules.
+
+#include <regex>
+#include <set>
+#include <string>
+
+#include "rule.hpp"
+
+namespace sphinx::lint {
+namespace {
+
+void rule_discarded_status(const FileContext& file, const Reporter& out) {
+  // Library code only: tests/benches/examples routinely discard handles
+  // (submission ids, selector picks) on purpose; in src/ a (void) cast
+  // is how a dropped Status hides.
+  if (!is_library_code(file.rel_path)) return;
+  static const std::regex re(
+      R"(\(\s*void\s*\)\s*[A-Za-z_:][A-Za-z0-9_:<>.*\[\]\->]*\()");
+  const std::string_view text = file.stripped.code;
+  for (auto it =
+           std::cregex_iterator(text.data(), text.data() + text.size(), re);
+       it != std::cregex_iterator(); ++it) {
+    const std::size_t offset = static_cast<std::size_t>(it->position(0));
+    const std::size_t line = line_of(text, offset);
+    // Deliberately invoking a throwing accessor inside a gtest assertion
+    // is not a discarded result.
+    const std::string& raw = file.stripped.raw_lines[line - 1];
+    if (raw.find("EXPECT_THROW") != std::string::npos ||
+        raw.find("ASSERT_THROW") != std::string::npos ||
+        raw.find("EXPECT_NO_THROW") != std::string::npos ||
+        raw.find("ASSERT_NO_THROW") != std::string::npos) {
+      continue;
+    }
+    out.report(line, "discarded-status",
+               "(void) cast discards a call result and defeats "
+               "[[nodiscard]] on Expected/Status; handle the result or "
+               "waive with sphinx-lint-allow(discarded-status)");
+  }
+}
+
+void rule_naked_throw(const FileContext& file, const Reporter& out) {
+  static const std::regex re(R"(\bthrow\b\s*(;|[A-Za-z_:][\w:]*)?)");
+  const std::string_view text = file.stripped.code;
+  for (auto it =
+           std::cregex_iterator(text.data(), text.data() + text.size(), re);
+       it != std::cregex_iterator(); ++it) {
+    std::string token = (*it)[1].matched ? it->str(1) : std::string();
+    if (token == ";") continue;  // bare rethrow in a catch handler
+    static const std::set<std::string> kAllowed = {
+        "AssertionError",          "sphinx::AssertionError",
+        "::sphinx::AssertionError", "ContractViolation",
+        "sphinx::ContractViolation", "::sphinx::ContractViolation",
+    };
+    if (kAllowed.contains(token)) continue;
+    out.report(line_of(text, static_cast<std::size_t>(it->position(0))),
+               "naked-throw",
+               "only AssertionError/ContractViolation may be thrown; "
+               "operational failures travel as Expected/Status");
+  }
+}
+
+}  // namespace
+
+std::vector<Rule> status_rules() {
+  return {
+      Rule{"discarded-status", "no (void) casts of call results",
+           "A `(void)f(...)` cast in library code silences [[nodiscard]] on "
+           "Expected/Status and drops an error on the floor.  Handle the "
+           "result, or waive a deliberate discard with "
+           "sphinx-lint-allow(discarded-status).  Tests/benches/examples "
+           "are exempt -- they discard handles on purpose.",
+           &rule_discarded_status},
+      Rule{"naked-throw", "throw only AssertionError/ContractViolation",
+           "Operational failures (a site is down, a file is missing) travel "
+           "as Expected/Status values; exceptions are reserved for "
+           "programming errors via AssertionError/ContractViolation.  A "
+           "bare rethrow (`throw;`) in a catch handler is fine.",
+           &rule_naked_throw},
+  };
+}
+
+}  // namespace sphinx::lint
