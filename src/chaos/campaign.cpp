@@ -1,8 +1,10 @@
 #include "chaos/campaign.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "chaos/json.hpp"
 #include "chaos/minimize.hpp"
@@ -55,6 +57,7 @@ RunArtifacts run_once(const ChaosRunConfig& config,
 
   exp::TenantOptions options;
   options.algorithm = config.algorithm;
+  options.checkpoint_every_records = config.checkpoint_every;
   // Single tenant: multiple tenants sweep at identical timestamps, and a
   // crash+recovery would reorder equal-time events across tenants --
   // byte-equality only holds within one tenant's event stream.
@@ -79,12 +82,32 @@ RunArtifacts run_once(const ChaosRunConfig& config,
   // currently alive; the hook defers the actual kill to a fresh engine
   // event (a server cannot destroy itself from inside its own sweep),
   // then recovery re-arms the following point on the new instance.
+  // Regular and mid-checkpoint points merge into one chain ordered by
+  // record threshold (regular first on a tie: the stable sort keeps the
+  // insertion order below).
+  struct CrashPoint {
+    std::size_t records;
+    bool mid_checkpoint;
+  };
+  std::vector<CrashPoint> crash_points;
+  crash_points.reserve(schedule.crash_records.size() +
+                       schedule.mid_ckpt_crashes.size());
+  for (const std::size_t records : schedule.crash_records) {
+    crash_points.push_back({records, false});
+  }
+  for (const std::size_t records : schedule.mid_ckpt_crashes) {
+    crash_points.push_back({records, true});
+  }
+  std::stable_sort(crash_points.begin(), crash_points.end(),
+                   [](const CrashPoint& a, const CrashPoint& b) {
+                     return a.records < b.records;
+                   });
   std::size_t next_crash = 0;
   std::string crash_failure;
   std::function<void()> arm_next = [&] {
-    if (!with_crashes || next_crash >= schedule.crash_records.size()) return;
-    const std::size_t records = schedule.crash_records[next_crash];
-    scenario.tenants()[0].server->arm_crash_hook(records, [&] {
+    if (!with_crashes || next_crash >= crash_points.size()) return;
+    const CrashPoint& point = crash_points[next_crash];
+    scenario.tenants()[0].server->arm_crash_hook(point.records, [&] {
       sim::Engine& engine = scenario.engine();
       engine.schedule_at(engine.now(), "chaos:crash", [&] {
         ++next_crash;
@@ -103,7 +126,7 @@ RunArtifacts run_once(const ChaosRunConfig& config,
         }
         arm_next();
       });
-    });
+    }, point.mid_checkpoint);
   };
   arm_next();
 
@@ -116,7 +139,9 @@ RunArtifacts run_once(const ChaosRunConfig& config,
   artifacts.dags_total = tenant.client->dag_outcomes().size();
   artifacts.dags_finished = tenant.client->dags_finished();
   artifacts.journal_text = tenant.server->warehouse().journal().serialize();
-  artifacts.journal_records = tenant.server->warehouse().journal().size();
+  artifacts.journal_records = static_cast<std::size_t>(
+      tenant.server->warehouse().journal().next_seq());
+  artifacts.journal_live_records = tenant.server->warehouse().journal().size();
   artifacts.trace_jsonl = scenario.recorder().trace().to_jsonl();
   artifacts.invariant_violation = crash_failure;
   if (artifacts.invariant_violation.empty()) {
@@ -150,6 +175,7 @@ ChaosRunResult run_chaos_pair(const ChaosRunConfig& config,
   result.differential = check_differential(chaotic, baseline);
   result.digest = fnv1a(chaotic.trace_jsonl, fnv1a(chaotic.journal_text));
   result.journal_records = chaotic.journal_records;
+  result.journal_live_records = chaotic.journal_live_records;
   return result;
 }
 
@@ -208,6 +234,8 @@ std::string to_json(const ReproCase& repro) {
   out += "\",\"horizon\":" + obs::format_double(repro.config.horizon);
   out += ",\"background_load\":";
   out += repro.config.background_load ? "true" : "false";
+  out += ",\"checkpoint_every\":" +
+         std::to_string(repro.config.checkpoint_every);
   out += ",\"inject_divergence\":";
   out += repro.config.inject_divergence ? "true" : "false";
   out += "},\"violation\":\"" + obs::json_escape(repro.violation) + "\"";
@@ -243,6 +271,9 @@ Expected<ReproCase> repro_from_json(const std::string& text) {
   repro.config.jobs_per_dag = static_cast<int>(number("jobs_per_dag", 6));
   repro.config.horizon = number("horizon", hours(24));
   repro.config.background_load = flag("background_load");
+  repro.config.checkpoint_every = static_cast<std::size_t>(
+      number("checkpoint_every",
+             static_cast<double>(repro.config.checkpoint_every)));
   repro.config.inject_divergence = flag("inject_divergence");
   if (const JsonValue* algorithm = config->find("algorithm")) {
     if (!algorithm->is_string()) return bad("algorithm: string");

@@ -38,6 +38,12 @@ struct ChaosRunConfig {
   core::Algorithm algorithm = core::Algorithm::kCompletionTime;
   SimTime horizon = hours(24);
   bool background_load = false;
+  /// Server checkpoint policy: checkpoint + compact every this many
+  /// journal records.  On by default -- checkpointed recovery is the
+  /// production configuration, so it is what campaigns exercise; set 0
+  /// for the legacy full-replay configuration (mid-checkpoint crash
+  /// points then never fire and block any later points in the chain).
+  std::size_t checkpoint_every = 64;
   /// Test hook: perturb the warehouse right after each recovery so the
   /// differential oracle genuinely fails (exercises minimize + repro).
   bool inject_divergence = false;
@@ -51,7 +57,13 @@ struct ChaosRunResult {
   OracleReport differential;  ///< chaotic vs baseline
   std::uint64_t digest = 0;   ///< FNV over the chaotic run's artifacts
   std::size_t crashes_executed = 0;
-  std::size_t journal_records = 0;  ///< chaotic run's final journal length
+  /// Chaotic run's total journal records ever appended (next_seq) --
+  /// crash thresholds are expressed in this unit.
+  std::size_t journal_records = 0;
+  /// Records actually retained at end of run (== journal_records with
+  /// checkpointing off; the live suffix after the last compaction with
+  /// it on).
+  std::size_t journal_live_records = 0;
 
   [[nodiscard]] bool ok() const noexcept {
     return invariants.ok && differential.ok;

@@ -46,13 +46,29 @@ ChaosSchedule minimize_schedule(ChaosSchedule schedule,
   }
 
   // Phase 2: crash point pruning -- a multi-crash failure often needs
-  // only one of its crashes.
+  // only one of its crashes.  Regular and mid-checkpoint points prune
+  // against the combined count, so minimization can land on either kind
+  // alone (but never on a schedule with no crash at all: such a failure
+  // is not a recovery failure and belongs to the invariant oracles).
+  const auto total_crashes = [&schedule] {
+    return schedule.crash_records.size() + schedule.mid_ckpt_crashes.size();
+  };
   std::size_t index = 0;
-  while (schedule.crash_records.size() > 1 &&
-         index < schedule.crash_records.size()) {
+  while (total_crashes() > 1 && index < schedule.crash_records.size()) {
     ChaosSchedule candidate = schedule;
     candidate.crash_records.erase(candidate.crash_records.begin() +
                                   static_cast<std::ptrdiff_t>(index));
+    if (still_fails(candidate)) {
+      schedule = std::move(candidate);
+    } else {
+      ++index;
+    }
+  }
+  index = 0;
+  while (total_crashes() > 1 && index < schedule.mid_ckpt_crashes.size()) {
+    ChaosSchedule candidate = schedule;
+    candidate.mid_ckpt_crashes.erase(candidate.mid_ckpt_crashes.begin() +
+                                     static_cast<std::ptrdiff_t>(index));
     if (still_fails(candidate)) {
       schedule = std::move(candidate);
     } else {
@@ -87,6 +103,25 @@ ChaosSchedule minimize_schedule(ChaosSchedule schedule,
       const std::size_t mid = lo + (hi - lo) / 2;
       ChaosSchedule candidate = schedule;
       candidate.crash_records[c] = mid;
+      if (still_fails(candidate)) {
+        schedule = std::move(candidate);
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+  // Same descent for mid-checkpoint points.  Their firing position also
+  // depends on the checkpoint cadence (the arm only triggers inside a
+  // checkpoint), but the predicate re-verifies every candidate, so the
+  // descent simply stops where reproduction stops.
+  for (std::size_t c = 0; c < schedule.mid_ckpt_crashes.size(); ++c) {
+    std::size_t lo = 1;
+    std::size_t hi = schedule.mid_ckpt_crashes[c];
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      ChaosSchedule candidate = schedule;
+      candidate.mid_ckpt_crashes[c] = mid;
       if (still_fails(candidate)) {
         schedule = std::move(candidate);
         hi = mid;

@@ -24,7 +24,12 @@ namespace sphinx::chaos {
 struct RunArtifacts {
   std::string journal_text;  ///< warehouse journal at end of run
   std::string trace_jsonl;   ///< full recorder trace
+  /// Total journal records ever appended (next_seq): the unit crash
+  /// thresholds use, immune to checkpoint compaction.
   std::size_t journal_records = 0;
+  /// Records retained at end of run (the suffix after the last
+  /// compaction; equals journal_records with checkpointing off).
+  std::size_t journal_live_records = 0;
   std::size_t dags_total = 0;
   std::size_t dags_finished = 0;
   SimTime stopped_at = 0.0;

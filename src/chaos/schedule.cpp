@@ -121,6 +121,23 @@ ChaosSchedule synthesize(std::uint64_t seed, const ScheduleConfig& config,
     }
   }
 
+  // Mid-checkpoint crash points ride the same stream *after* the regular
+  // draws: changing their count never perturbs the regular points, so a
+  // minimized repro's regular crashes stay where the original run put
+  // them.
+  for (int c = 0; c < config.mid_ckpt_crashes; ++c) {
+    schedule.mid_ckpt_crashes.push_back(static_cast<std::size_t>(
+        crash_rng.uniform_int(static_cast<std::int64_t>(config.min_crash_record),
+                              static_cast<std::int64_t>(config.max_crash_record))));
+  }
+  std::sort(schedule.mid_ckpt_crashes.begin(),
+            schedule.mid_ckpt_crashes.end());
+  for (std::size_t i = 1; i < schedule.mid_ckpt_crashes.size(); ++i) {
+    if (schedule.mid_ckpt_crashes[i] <= schedule.mid_ckpt_crashes[i - 1]) {
+      schedule.mid_ckpt_crashes[i] = schedule.mid_ckpt_crashes[i - 1] + 25;
+    }
+  }
+
   Rng net_rng = seeds.stream("chaos/net");
   for (int i = 0; i < config.net_windows; ++i) {
     NetFaultWindow window;
@@ -153,6 +170,11 @@ std::string to_json(const ChaosSchedule& schedule) {
   for (std::size_t i = 0; i < schedule.crash_records.size(); ++i) {
     if (i > 0) out += ',';
     out += std::to_string(schedule.crash_records[i]);
+  }
+  out += "],\"mid_ckpt_crashes\":[";
+  for (std::size_t i = 0; i < schedule.mid_ckpt_crashes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(schedule.mid_ckpt_crashes[i]);
   }
   out += "],\"net_windows\":[";
   for (std::size_t i = 0; i < schedule.net_windows.size(); ++i) {
@@ -201,6 +223,16 @@ Expected<ChaosSchedule> schedule_from_value(const JsonValue& doc) {
         return bad_schedule("crash_records: non-negative numbers");
       }
       schedule.crash_records.push_back(
+          static_cast<std::size_t>(entry.number));
+    }
+  }
+  if (const JsonValue* mid = doc.find("mid_ckpt_crashes")) {
+    if (!mid->is_array()) return bad_schedule("mid_ckpt_crashes: array");
+    for (const JsonValue& entry : mid->array) {
+      if (!entry.is_number() || entry.number < 0) {
+        return bad_schedule("mid_ckpt_crashes: non-negative numbers");
+      }
+      schedule.mid_ckpt_crashes.push_back(
           static_cast<std::size_t>(entry.number));
     }
   }

@@ -41,11 +41,19 @@ struct ChaosSchedule {
   /// Outages per site name, each list sorted and non-overlapping
   /// (FailureModel's schedule contract).
   std::map<std::string, std::vector<grid::ScheduledOutage>> outages;
-  /// Journal-record counts at which the server is crashed, strictly
-  /// increasing.  Each entry arms a fail-stop for the first check point
-  /// at or past that many journal records; recovery happens in the same
-  /// engine event.
+  /// Journal-record counts (total ever appended, compaction-immune) at
+  /// which the server is crashed, strictly increasing.  Each entry arms
+  /// a fail-stop for the first check point at or past that many journal
+  /// records; recovery happens in the same engine event.
   std::vector<std::size_t> crash_records;
+  /// Like crash_records, but the fail-stop fires *inside* the first
+  /// eligible checkpoint: between image publication and journal
+  /// truncation, the window where durable state is an image plus an
+  /// uncompacted journal.  No-ops when the run has checkpointing off.
+  /// Strictly increasing within this list; a collision with a
+  /// crash_records entry is fine (the campaign arms points one at a
+  /// time, regular before mid on a tie).
+  std::vector<std::size_t> mid_ckpt_crashes;
   /// Network-fault windows (lossy wire + partitions), sorted by start.
   /// Applied identically to the chaotic and baseline runs, so the
   /// differential oracle checks recovery *under* an unreliable network
@@ -81,6 +89,10 @@ struct ScheduleConfig {
   int crashes = 1;
   std::size_t min_crash_record = 40;
   std::size_t max_crash_record = 260;
+  /// Mid-checkpoint crash points, drawn from the same record range (and
+  /// the same RNG stream, after the regular crash draws, so raising this
+  /// leaves the regular points unchanged).
+  int mid_ckpt_crashes = 1;
   /// Network-fault windows: `net_windows` lossy-wire spans drawn in
   /// [0, span) with exponential durations, plus `net_partitions` fixed
   /// 60 s client<->server partitions.  On by default: the crash/recovery

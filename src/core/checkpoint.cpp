@@ -1,0 +1,68 @@
+#include "core/checkpoint.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "db/encoding.hpp"
+
+namespace sphinx::core {
+
+std::string CheckpointImage::serialize() const {
+  // Header + dirty-queue line, then the database snapshot verbatim.  The
+  // sim time reuses the journal's real encoding so the bit pattern
+  // round-trips.
+  std::string out = "#ckpt\t1\t";
+  out += std::to_string(seq);
+  out += '\t';
+  out += db::encode_value(db::Value(at));
+  out += "\nD";
+  for (const db::RowId row : dirty_rows) {
+    out += '\t';
+    out += std::to_string(row);
+  }
+  out += '\n';
+  out += database;
+  return out;
+}
+
+Expected<CheckpointImage> CheckpointImage::parse(const std::string& text) {
+  const auto fail = [](const std::string& what) {
+    return Unexpected<Error>{Error{"checkpoint_parse", what}};
+  };
+  std::istringstream in(text);
+  CheckpointImage image;
+  std::string line;
+  if (!std::getline(in, line)) return fail("empty checkpoint");
+  const std::vector<std::string> header = split(line, '\t');
+  if (header.size() != 4 || header[0] != "#ckpt" || header[1] != "1") {
+    return fail("bad checkpoint header: " + line);
+  }
+  try {
+    image.seq = std::stoull(header[2]);
+  } catch (const std::exception&) {
+    return fail("bad checkpoint seq: " + header[2]);
+  }
+  auto at = db::decode_value(header[3]);
+  if (!at) return Unexpected<Error>{at.error()};
+  image.at = at->as_real();
+  if (!std::getline(in, line)) return fail("missing dirty-queue line");
+  const std::vector<std::string> dirty = split(line, '\t');
+  if (dirty.empty() || dirty[0] != "D") {
+    return fail("bad dirty-queue line: " + line);
+  }
+  for (std::size_t i = 1; i < dirty.size(); ++i) {
+    try {
+      image.dirty_rows.push_back(std::stoull(dirty[i]));
+    } catch (const std::exception&) {
+      return fail("bad dirty row id: " + dirty[i]);
+    }
+  }
+  // The rest is the database snapshot, byte-for-byte.
+  const std::string::size_type second_newline =
+      text.find('\n', text.find('\n') + 1);
+  image.database =
+      second_newline == std::string::npos ? "" : text.substr(second_newline + 1);
+  return image;
+}
+
+}  // namespace sphinx::core

@@ -75,6 +75,15 @@ SphinxServer::SphinxServer(rpc::MessageBus& bus,
   }
   register_methods();
 
+  // A recovered warehouse carries the crashed instance's checkpoint
+  // image; resuming the policy cursors from it keeps the recovered
+  // server checkpointing in lockstep with an uncrashed baseline run.
+  // A fresh warehouse has no image, and the cursors stay at zero.
+  if (const auto& image = warehouse_->checkpoint_image(); image.has_value()) {
+    last_checkpoint_seq_ = image->seq;
+    last_checkpoint_at_ = image->at;
+  }
+
   control_ = std::make_unique<sim::PeriodicProcess>(
       bus_.engine(), config_.endpoint + ":control", config_.sweep_period,
       [this] { sweep(); });
@@ -97,6 +106,18 @@ Expected<std::unique_ptr<SphinxServer>> SphinxServer::recover(
       std::move(*warehouse)));
 }
 
+Expected<std::unique_ptr<SphinxServer>> SphinxServer::recover(
+    rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
+    data::ReplicaLocationService& rls, data::TransferService& transfers,
+    const monitor::MonitoringService* monitoring, ServerConfig config,
+    const CheckpointImage& checkpoint, const db::Journal& journal) {
+  auto warehouse = DataWarehouse::recover_from(checkpoint, journal);
+  if (!warehouse) return Unexpected<Error>{warehouse.error()};
+  return std::unique_ptr<SphinxServer>(new SphinxServer(
+      bus, std::move(catalog), rls, transfers, monitoring, std::move(config),
+      std::move(*warehouse)));
+}
+
 SphinxServer::~SphinxServer() = default;
 
 void SphinxServer::start() { control_->start(); }
@@ -108,19 +129,75 @@ SimTime SphinxServer::next_sweep_at() const noexcept {
 }
 
 void SphinxServer::arm_crash_hook(std::size_t journal_records,
-                                  std::function<void()> hook) {
+                                  std::function<void()> hook,
+                                  bool mid_checkpoint) {
   crash_at_records_ = journal_records;
   crash_hook_ = std::move(hook);
+  crash_mid_checkpoint_ = mid_checkpoint && crash_hook_ != nullptr;
 }
 
 void SphinxServer::maybe_crash() {
-  if (crash_hook_ == nullptr) return;
-  if (warehouse_->journal().size() < crash_at_records_) return;
+  // Mid-checkpoint arms fire only from inside maybe_checkpoint()'s hook
+  // window, never at regular event boundaries.
+  if (crash_hook_ == nullptr || crash_mid_checkpoint_) return;
+  // Thresholds count total records ever appended (next_seq), not the
+  // retained suffix, so a crash point means the same thing whether or
+  // not compaction ran before it.
+  if (warehouse_->journal().next_seq() < crash_at_records_) return;
   // Move-out first: the hook typically schedules this server's own
   // destruction and must never fire twice.
   std::function<void()> hook = std::move(crash_hook_);
   crash_hook_ = nullptr;
   hook();
+}
+
+void SphinxServer::maybe_checkpoint() {
+  const std::uint64_t next_seq = warehouse_->journal().next_seq();
+  const SimTime now = bus_.engine().now();
+  const bool by_records =
+      config_.checkpoint_every_records > 0 &&
+      next_seq >= last_checkpoint_seq_ + config_.checkpoint_every_records;
+  const bool by_period =
+      config_.checkpoint_period > 0 &&
+      now >= last_checkpoint_at_ + config_.checkpoint_period;
+  if (!by_records && !by_period) return;
+  if (next_seq == last_checkpoint_seq_) {
+    // Nothing appended since the last image; a new one would be
+    // identical.  Re-arm the period trigger so idle stretches do not
+    // checkpoint every sweep.
+    last_checkpoint_at_ = now;
+    return;
+  }
+
+  const DataWarehouse::CheckpointStats stats = warehouse_->checkpoint(
+      now, [this](const CheckpointImage& image) {
+        // Observability rides publication, before the mid-checkpoint kill
+        // window below, so baseline and crashed-here traces agree on
+        // every event up to the crash itself.
+        if (recorder_ != nullptr) {
+          const auto compacted =
+              static_cast<double>(warehouse_->journal().size());
+          recorder_->event(obs::TraceKind::kCheckpoint, config_.endpoint,
+                           "", "seq:" + std::to_string(image.seq), compacted);
+          recorder_->count(config_.endpoint, "server.checkpoints");
+          recorder_->observe(config_.endpoint,
+                             "server.checkpoint_snapshot_bytes",
+                             static_cast<double>(image.database.size()));
+          recorder_->observe(config_.endpoint, "server.checkpoint_compacted",
+                             compacted);
+        }
+        if (crash_mid_checkpoint_ && crash_hook_ != nullptr &&
+            warehouse_->journal().next_seq() >= crash_at_records_) {
+          std::function<void()> hook = std::move(crash_hook_);
+          crash_hook_ = nullptr;
+          crash_mid_checkpoint_ = false;
+          hook();
+          return true;  // crashing: leave the journal untruncated
+        }
+        return false;
+      });
+  last_checkpoint_seq_ = stats.seq;
+  last_checkpoint_at_ = now;
 }
 
 void SphinxServer::register_methods() {
@@ -329,6 +406,12 @@ void SphinxServer::sweep() {
   for (const DagRecord& dag : drained) {
     warehouse_->check_dag_invariants(dag.id);
   }
+
+  // Checkpoint before the crash point: a sweep that crosses a checkpoint
+  // trigger publishes its image even if a fail-stop lands on the same
+  // boundary -- matching a real server, which checkpoints as part of its
+  // sweep and can die right after.
+  maybe_checkpoint();
 
   // Chaos fail-stop point: crashes happen at event boundaries, after the
   // sweep committed its journal records, never mid-transaction.

@@ -63,6 +63,17 @@ class SphinxServer {
       const monitor::MonitoringService* monitoring, ServerConfig config,
       const db::Journal& journal);
 
+  /// Checkpoint-aware recovery: restores the crashed instance's last
+  /// checkpoint image and replays only the journal suffix past it --
+  /// O(state + suffix) instead of O(history).  Required once the journal
+  /// has been compacted (the full-replay overload above refuses a
+  /// journal whose base sequence is non-zero).
+  static Expected<std::unique_ptr<SphinxServer>> recover(
+      rpc::MessageBus& bus, std::vector<CatalogSite> catalog,
+      data::ReplicaLocationService& rls, data::TransferService& transfers,
+      const monitor::MonitoringService* monitoring, ServerConfig config,
+      const CheckpointImage& checkpoint, const db::Journal& journal);
+
   ~SphinxServer();
   SphinxServer(const SphinxServer&) = delete;
   SphinxServer& operator=(const SphinxServer&) = delete;
@@ -79,12 +90,18 @@ class SphinxServer {
   [[nodiscard]] SimTime next_sweep_at() const noexcept;
 
   /// Arms a fail-stop trigger for chaos testing: the first time the
-  /// warehouse journal holds at least `journal_records` entries at a
-  /// check point (end of a sweep or RPC handler), `hook` fires exactly
-  /// once.  The hook must NOT destroy the server synchronously -- it is
-  /// called from inside server code; schedule the teardown on the engine
-  /// at the current time instead.  Passing nullptr disarms.
-  void arm_crash_hook(std::size_t journal_records, std::function<void()> hook);
+  /// journal's total appended records (next_seq -- immune to compaction)
+  /// reaches `journal_records` at a check point, `hook` fires exactly
+  /// once.  With `mid_checkpoint` false the check points are event
+  /// boundaries (end of a sweep or RPC handler); with it true the hook
+  /// instead fires inside the next eligible checkpoint, between image
+  /// publication and journal truncation -- the window where a crash
+  /// leaves a published image alongside an uncompacted journal.  The
+  /// hook must NOT destroy the server synchronously -- it is called from
+  /// inside server code; schedule the teardown on the engine at the
+  /// current time instead.  Passing nullptr disarms.
+  void arm_crash_hook(std::size_t journal_records, std::function<void()> hook,
+                      bool mid_checkpoint = false);
 
   /// One control-process sweep (also callable directly from tests):
   /// drains the dirty-DAG queue and walks each drained DAG through the
@@ -131,6 +148,11 @@ class SphinxServer {
   void send_plan(const std::string& client, const ExecutionPlan& plan);
   /// Fires the armed crash hook when the journal crossed the threshold.
   void maybe_crash();
+  /// End-of-sweep checkpoint policy: publishes an image and compacts the
+  /// journal when either ServerConfig trigger (records since last image,
+  /// sim-time period) has elapsed.  Also hosts the mid-checkpoint kill
+  /// point (see arm_crash_hook).
+  void maybe_checkpoint();
 
   rpc::MessageBus& bus_;
   ServerConfig config_;
@@ -145,6 +167,13 @@ class SphinxServer {
   std::unique_ptr<sim::PeriodicProcess> control_;
   std::size_t crash_at_records_ = 0;
   std::function<void()> crash_hook_;
+  bool crash_mid_checkpoint_ = false;  ///< armed hook fires inside a checkpoint
+  /// Checkpoint-policy cursors.  Initialized to sequence 0 / sim time 0
+  /// and re-derived from a recovered warehouse's carried image, so a
+  /// recovered server stays in checkpoint lockstep with an uncrashed
+  /// baseline run (the differential oracle compares their traces).
+  std::uint64_t last_checkpoint_seq_ = 0;  // sphinx-lint: derived(maybe_checkpoint, SphinxServer)
+  SimTime last_checkpoint_at_ = 0.0;  // sphinx-lint: derived(maybe_checkpoint, SphinxServer)
   obs::Recorder* recorder_ = nullptr;
   Logger log_{"sphinx-server"};
 };

@@ -93,6 +93,12 @@ void DataWarehouse::create_schema() {
 
 Expected<std::unique_ptr<DataWarehouse>> DataWarehouse::recover_from(
     const db::Journal& journal) {
+  if (journal.base_seq() != 0) {
+    return Unexpected<Error>{
+        Error{"recover_suffix",
+              "journal is a compacted suffix; recovery needs its "
+              "checkpoint image"}};
+  }
   // Construct without a schema: the journal replays table creation, and
   // the journaled schema declares the indexes, so replay rebuilds those
   // too.  Only the derived work state needs explicit reconstruction.
@@ -106,8 +112,70 @@ Expected<std::unique_ptr<DataWarehouse>> DataWarehouse::recover_from(
   return warehouse;
 }
 
+Expected<std::unique_ptr<DataWarehouse>> DataWarehouse::recover_from(
+    const CheckpointImage& checkpoint, const db::Journal& journal) {
+  auto warehouse =
+      std::unique_ptr<DataWarehouse>(new DataWarehouse(false));
+  if (const auto status = warehouse->db_.restore(checkpoint.database);
+      !status.ok()) {
+    return Unexpected<Error>{status.error()};
+  }
+  // Replay only the post-checkpoint suffix.  When the crash landed
+  // between image publication and truncation the journal still holds the
+  // compacted prefix; skipping entries below checkpoint.seq completes
+  // the interrupted truncation.
+  if (const auto status = warehouse->db_.recover(journal, checkpoint.seq);
+      !status.ok()) {
+    return Unexpected<Error>{status.error()};
+  }
+  // Carry the image so rebuild_work_state() can seed the dirty queue
+  // from it and so a later crash can pair the (now compacted) journal
+  // with the image that anchors its sequence numbers.
+  warehouse->checkpoint_ = checkpoint;
+  warehouse->rebuild_work_state();
+  warehouse->check_invariants();
+  return warehouse;
+}
+
+DataWarehouse::CheckpointStats DataWarehouse::checkpoint(
+    SimTime now, const std::function<bool(const CheckpointImage&)>& mid_hook) {
+  CheckpointImage image;
+  image.seq = db_.journal().next_seq();
+  image.at = now;
+  image.database = db_.snapshot();
+  image.dirty_rows.assign(dirty_rows_.begin(), dirty_rows_.end());
+
+  CheckpointStats stats;
+  stats.seq = image.seq;
+  stats.compacted_records = db_.journal().size();
+  stats.snapshot_bytes = image.database.size();
+
+  // Publish first: from here on a recovered instance no longer needs the
+  // journal prefix, whether or not the truncation below completes.
+  checkpoint_ = std::move(image);
+  if (mid_hook && mid_hook(*checkpoint_)) {
+    return stats;  // crashing mid-checkpoint; journal left untruncated
+  }
+  db_.truncate_journal(checkpoint_->seq);
+  stats.truncated = true;
+  SPHINX_POSTCONDITION(db_.journal().base_seq() == checkpoint_->seq,
+                       "compaction must advance the journal base to the "
+                       "checkpoint sequence");
+  return stats;
+}
+
 void DataWarehouse::rebuild_work_state() {
+  // With a checkpoint image carried, the journal is (or is treated as) a
+  // suffix: drain points and enqueues at or before the checkpoint were
+  // compacted away, so the queue replay below must start from the
+  // image's dirty queue rather than empty.  The drain-ledger exactness
+  // argument is unchanged -- the image captured the live queue at the
+  // checkpoint, and the suffix carries every enqueue/drain after it.
   dirty_rows_.clear();
+  if (checkpoint_.has_value()) {
+    dirty_rows_.insert(checkpoint_->dirty_rows.begin(),
+                       checkpoint_->dirty_rows.end());
+  }
   outstanding_.clear();
 
   // One pass over jobs: rebuild the outstanding counters and note which

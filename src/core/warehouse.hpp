@@ -19,7 +19,15 @@
 ///    instead of recomputed by a per-sweep scan of the jobs table.
 /// Both are rebuilt from the recovered tables in recover_from(), so a
 /// restarted server resumes exactly where the crashed one stopped.
+///
+/// Recovery is O(state), not O(history): checkpoint() publishes a
+/// CheckpointImage (database snapshot + dirty queue + sequence number)
+/// and compacts the journal prefix it covers, and recover_from(image,
+/// journal) restores the snapshot then replays only the post-checkpoint
+/// suffix.  Full-history replay remains as the image-less path.
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -31,6 +39,7 @@
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "core/checkpoint.hpp"
 #include "core/state.hpp"
 #include "data/lfn.hpp"
 #include "db/database.hpp"
@@ -94,12 +103,51 @@ class DataWarehouse {
   /// Creates the schema in a fresh database.
   DataWarehouse();
 
-  /// Rebuilds a warehouse from a crashed instance's journal.
+  /// Rebuilds a warehouse from a crashed instance's journal by full
+  /// replay.  The journal must start at sequence 0; once checkpointing
+  /// compacted it, recovery must go through the image overload below.
   [[nodiscard]] static Expected<std::unique_ptr<DataWarehouse>> recover_from(
       const db::Journal& journal);
 
+  /// Rebuilds a warehouse from a checkpoint image plus the crashed
+  /// instance's journal: restores the snapshot, replays only the entries
+  /// with sequence >= image.seq, and seeds the work-state rebuild from
+  /// the image's dirty queue.  Handles both a compacted journal (crash
+  /// after truncation) and an untruncated one (crash between snapshot
+  /// publication and truncation -- recovery completes the truncation).
+  [[nodiscard]] static Expected<std::unique_ptr<DataWarehouse>> recover_from(
+      const CheckpointImage& checkpoint, const db::Journal& journal);
+
   /// The journal to persist elsewhere for crash recovery.
   [[nodiscard]] const db::Journal& journal() const { return db_.journal(); }
+
+  // --- checkpointing ----------------------------------------------------
+  /// Result of one checkpoint() call, for the caller's observability.
+  struct CheckpointStats {
+    std::uint64_t seq = 0;              ///< sequence the image reflects
+    std::size_t compacted_records = 0;  ///< journal entries the image covers
+    std::size_t snapshot_bytes = 0;     ///< size of the database snapshot
+    bool truncated = false;  ///< false when mid_hook fail-stopped the run
+  };
+
+  /// Publishes a checkpoint image of the current state (database
+  /// snapshot + dirty queue at the journal's next_seq) and truncates the
+  /// journal prefix it covers.  `mid_hook`, when provided, runs between
+  /// publication and truncation -- the chaos harness's mid-checkpoint
+  /// kill point; returning true marks the instance as crashing and
+  /// leaves the journal untruncated (the recovered instance finishes the
+  /// truncation via recover_from, so a crash here is invisible).
+  CheckpointStats checkpoint(
+      SimTime now,
+      const std::function<bool(const CheckpointImage&)>& mid_hook = {});
+
+  /// The most recent checkpoint image: published by checkpoint() and
+  /// carried across recover_from(), so a crash handler can always pair
+  /// journal() with the image that anchors its sequence numbers.
+  [[nodiscard]] const std::optional<CheckpointImage>& checkpoint_image()
+      const noexcept {
+    return checkpoint_;
+  }
 
   // --- DAG lifecycle --------------------------------------------------
   void insert_dag(const workflow::Dag& dag, const std::string& client,
@@ -247,6 +295,10 @@ class DataWarehouse {
   /// Live outstanding-jobs-per-site counters (zero entries erased so the
   /// map compares equal to a fresh scan).  Derived state like the queue.
   std::unordered_map<SiteId, std::int64_t> outstanding_;  // sphinx-lint: derived(rebuild_work_state, set_job_state, set_job_planned)
+  /// Last published checkpoint image.  Written only when a checkpoint is
+  /// published or carried across recovery -- any other write would let
+  /// the image drift from the journal sequence it anchors.
+  std::optional<CheckpointImage> checkpoint_;  // sphinx-lint: derived(checkpoint, recover_from)
   obs::Recorder* recorder_ = nullptr;
   std::string recorder_source_;
 };

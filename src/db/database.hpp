@@ -36,19 +36,42 @@ class Database : private TableObserver {
   /// The journal of all mutations since construction (or last checkpoint).
   [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
 
-  /// Drops the journal prefix (after a successful checkpoint elsewhere).
+  /// Drops the retained journal entries, advancing the sequence base
+  /// (after a checkpoint captured the prefix's effects elsewhere).
   void truncate_journal() noexcept { journal_.clear(); }
 
+  /// Compacts the journal prefix below `seq` (see
+  /// Journal::truncate_before) -- the checkpoint path, where `seq` is
+  /// the sequence the published image reflects.
+  void truncate_journal(std::uint64_t seq) { journal_.truncate_before(seq); }
+
   /// Enables/disables journaling (enabled by default).  Replay-into-self
-  /// would double-log, so recover() disables it internally.
+  /// would double-log, so recover() and restore() disable it internally.
   void set_journaling(bool on) noexcept { journaling_ = on; }
 
-  /// Rebuilds database content by replaying `journal` into this (empty)
-  /// database.  Returns an error if this database already has tables or if
-  /// the journal is inconsistent.  On success the replayed operations are
-  /// re-recorded into this database's own journal so a recovered server
-  /// remains recoverable.
-  [[nodiscard]] StatusOrError recover(const Journal& journal);
+  /// Deterministic, byte-stable image of the whole store: table schemas
+  /// (creation order, with their index declarations), rows (id order)
+  /// and each table's id-allocation cursor.  A pure function of the
+  /// store's logical state -- equal tables yield identical bytes no
+  /// matter what mutation history produced them.  Round-trips through
+  /// restore() using the journal's line-oriented text building blocks.
+  [[nodiscard]] std::string snapshot() const;
+
+  /// Rebuilds tables from a snapshot() image into this empty database.
+  /// The snapshot is state, not history: nothing is journaled and the
+  /// journal is left empty -- the caller pairs the image with the
+  /// journal suffix it wants replayed on top (see recover()).
+  [[nodiscard]] StatusOrError restore(const std::string& snapshot);
+
+  /// Rebuilds database content by replaying the entries of `journal`
+  /// whose sequence number is >= from_seq.  With from_seq == 0 (full
+  /// replay) this database must be empty; with from_seq > 0 it replays a
+  /// post-checkpoint suffix onto tables a restore() just rebuilt.  On
+  /// success the replayed suffix is adopted wholesale as this database's
+  /// own journal -- byte-identical to the crashed journal's retained
+  /// entries -- so a recovered server remains recoverable.
+  [[nodiscard]] StatusOrError recover(const Journal& journal,
+                                      std::uint64_t from_seq = 0);
 
   /// Structural sweep across the store: every table passes its own
   /// check_invariants(), the name map and creation order agree, and

@@ -2,139 +2,160 @@
 
 #include <sstream>
 
+#include "common/contracts.hpp"
 #include "common/strings.hpp"
+#include "db/encoding.hpp"
 
 namespace sphinx::db {
 namespace {
 
-/// Escapes tabs/newlines/backslashes so records stay line-oriented.
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '\t': out += "\\t"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
+std::size_t digit_count(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++n;
   }
-  return out;
+  return n;
 }
 
-Expected<std::string> unescape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\') {
-      out += s[i];
-      continue;
-    }
-    if (i + 1 >= s.size()) {
-      return make_error("journal_parse", "dangling escape");
-    }
-    switch (s[++i]) {
-      case '\\': out += '\\'; break;
-      case 't': out += '\t'; break;
-      case 'n': out += '\n'; break;
-      default: return make_error("journal_parse", "unknown escape");
-    }
-  }
-  return out;
-}
-
-/// Serializes a value as "type:payload".
-std::string encode_value(const Value& v) {
+/// Byte length encode_value(v) would produce.  Numeric payloads are
+/// formatted to measure them (their width is format-defined); text is
+/// measured without building the escaped copy.
+std::size_t value_text_size(const Value& v) {
   switch (v.type()) {
-    case ValueType::kNull: return "n:";
-    case ValueType::kInt: return "i:" + std::to_string(v.as_int());
-    case ValueType::kReal: {
-      std::ostringstream oss;
-      oss.precision(17);
-      oss << v.as_real();
-      return "r:" + oss.str();
-    }
-    case ValueType::kText: return "s:" + escape(v.as_text());
-    case ValueType::kBool: return std::string("b:") + (v.as_bool() ? "1" : "0");
-  }
-  return "n:";
-}
-
-Expected<Value> decode_value(const std::string& s) {
-  if (s.size() < 2 || s[1] != ':') {
-    return make_error("journal_parse", "bad value encoding: " + s);
-  }
-  const std::string payload = s.substr(2);
-  switch (s[0]) {
-    case 'n': return Value();
-    case 'i': {
-      try {
-        return Value(static_cast<std::int64_t>(std::stoll(payload)));
-      } catch (const std::exception&) {
-        return make_error("journal_parse", "bad int: " + payload);
-      }
-    }
-    case 'r': {
-      try {
-        return Value(std::stod(payload));
-      } catch (const std::exception&) {
-        return make_error("journal_parse", "bad real: " + payload);
-      }
-    }
-    case 's': {
-      auto text = unescape(payload);
-      if (!text) return Unexpected<Error>{text.error()};
-      return Value(std::move(*text));
-    }
-    case 'b': return Value(payload == "1");
-    default: return make_error("journal_parse", "unknown value tag");
+    case ValueType::kNull: return 2;
+    case ValueType::kText: return 2 + escaped_size(v.as_text());
+    case ValueType::kBool: return 3;
+    default: return encode_value(v).size();
   }
 }
 
-Expected<ValueType> decode_type(const std::string& s) {
-  if (s == "null") return ValueType::kNull;
-  if (s == "int") return ValueType::kInt;
-  if (s == "real") return ValueType::kReal;
-  if (s == "text") return ValueType::kText;
-  if (s == "bool") return ValueType::kBool;
-  return make_error("journal_parse", "unknown column type: " + s);
+/// Serialized line length of one entry, matching append_entry_text.
+std::size_t entry_text_size(const JournalEntry& e) {
+  // Every op starts "X\t<table>" and ends "\n".
+  std::size_t n = 1 + 1 + escaped_size(e.table) + 1;
+  switch (e.op) {
+    case JournalEntry::Op::kCreateTable:
+      for (const Column& col : e.schema) {
+        n += 1 + escaped_size(col.name) + 1 +
+             std::char_traits<char>::length(to_string(col.type)) +
+             (col.indexed ? 1 : 0);
+      }
+      break;
+    case JournalEntry::Op::kInsert:
+      n += 1 + digit_count(e.row);
+      for (const Value& v : e.cells) n += 1 + value_text_size(v);
+      break;
+    case JournalEntry::Op::kUpdate:
+      n += 1 + digit_count(e.row) + 1 + digit_count(e.column) + 1 +
+           value_text_size(e.cells.at(0));
+      break;
+    case JournalEntry::Op::kErase:
+      n += 1 + digit_count(e.row);
+      break;
+  }
+  return n;
+}
+
+void append_entry_text(const JournalEntry& e, std::string& out) {
+  switch (e.op) {
+    case JournalEntry::Op::kCreateTable: {
+      out += 'C';
+      out += '\t';
+      out += escape_field(e.table);
+      for (const Column& col : e.schema) {
+        out += '\t';
+        out += encode_column(col);
+      }
+      break;
+    }
+    case JournalEntry::Op::kInsert: {
+      out += 'I';
+      out += '\t';
+      out += escape_field(e.table);
+      out += '\t';
+      out += std::to_string(e.row);
+      for (const Value& v : e.cells) {
+        out += '\t';
+        out += encode_value(v);
+      }
+      break;
+    }
+    case JournalEntry::Op::kUpdate: {
+      out += 'U';
+      out += '\t';
+      out += escape_field(e.table);
+      out += '\t';
+      out += std::to_string(e.row);
+      out += '\t';
+      out += std::to_string(e.column);
+      out += '\t';
+      out += encode_value(e.cells.at(0));
+      break;
+    }
+    case JournalEntry::Op::kErase: {
+      out += 'E';
+      out += '\t';
+      out += escape_field(e.table);
+      out += '\t';
+      out += std::to_string(e.row);
+      break;
+    }
+  }
+  out += '\n';
+}
+
+std::size_t header_text_size(std::uint64_t base_seq) noexcept {
+  // "#seq\t<base>\n", emitted only once the journal has been truncated.
+  return base_seq == 0 ? 0 : 4 + 1 + digit_count(base_seq) + 1;
 }
 
 }  // namespace
 
+void Journal::truncate_before(std::uint64_t seq) {
+  if (seq <= base_seq_) return;
+  const std::uint64_t limit = next_seq();
+  if (seq > limit) seq = limit;
+  entries_.erase(entries_.begin(),
+                 entries_.begin() +
+                     static_cast<std::ptrdiff_t>(seq - base_seq_));
+  base_seq_ = seq;
+}
+
+void Journal::clear() noexcept {
+  base_seq_ += entries_.size();
+  entries_.clear();
+}
+
+void Journal::adopt_suffix(const Journal& src, std::uint64_t from_seq) {
+  entries_.clear();
+  base_seq_ = std::max(from_seq, src.base_seq_);
+  const std::uint64_t limit = src.next_seq();
+  SPHINX_PRECONDITION(base_seq_ <= limit,
+                      "adopt_suffix start past the source journal's end");
+  entries_.assign(
+      src.entries_.begin() +
+          static_cast<std::ptrdiff_t>(base_seq_ - src.base_seq_),
+      src.entries_.end());
+}
+
+std::size_t Journal::size_bytes() const noexcept {
+  std::size_t n = header_text_size(base_seq_);
+  for (const JournalEntry& e : entries_) n += entry_text_size(e);
+  return n;
+}
+
 std::string Journal::serialize() const {
   std::string out;
-  for (const JournalEntry& e : entries_) {
-    std::vector<std::string> fields;
-    switch (e.op) {
-      case JournalEntry::Op::kCreateTable: {
-        fields = {"C", escape(e.table)};
-        for (const Column& col : e.schema) {
-          // A trailing '!' marks an indexed column, so recovery rebuilds
-          // the same hash indexes the original schema declared.
-          fields.push_back(escape(col.name) + "=" + to_string(col.type) +
-                           (col.indexed ? "!" : ""));
-        }
-        break;
-      }
-      case JournalEntry::Op::kInsert: {
-        fields = {"I", escape(e.table), std::to_string(e.row)};
-        for (const Value& v : e.cells) fields.push_back(encode_value(v));
-        break;
-      }
-      case JournalEntry::Op::kUpdate: {
-        fields = {"U", escape(e.table), std::to_string(e.row),
-                  std::to_string(e.column), encode_value(e.cells.at(0))};
-        break;
-      }
-      case JournalEntry::Op::kErase: {
-        fields = {"E", escape(e.table), std::to_string(e.row)};
-        break;
-      }
-    }
-    out += join(fields, "\t");
+  out.reserve(size_bytes());
+  if (base_seq_ != 0) {
+    out += "#seq\t";
+    out += std::to_string(base_seq_);
     out += '\n';
   }
+  for (const JournalEntry& e : entries_) append_entry_text(e, out);
+  SPHINX_POSTCONDITION(out.size() == size_bytes(),
+                       "size_bytes() disagrees with serialize()");
   return out;
 }
 
@@ -144,12 +165,27 @@ Expected<Journal> Journal::parse(const std::string& text) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Header line: "#seq\t<base>".  Legacy (pre-compaction) logs have
+      // no header and parse with base 0.
+      const std::vector<std::string> fields = split(line, '\t');
+      if (fields.size() != 2 || fields[0] != "#seq" ||
+          !journal.entries_.empty() || journal.base_seq_ != 0) {
+        return make_error("journal_parse", "bad header: " + line);
+      }
+      try {
+        journal.base_seq_ = std::stoull(fields[1]);
+      } catch (const std::exception&) {
+        return make_error("journal_parse", "bad header seq: " + fields[1]);
+      }
+      continue;
+    }
     const std::vector<std::string> fields = split(line, '\t');
     if (fields.size() < 2) {
       return make_error("journal_parse", "short record: " + line);
     }
     JournalEntry entry;
-    auto table = unescape(fields[1]);
+    auto table = unescape_field(fields[1]);
     if (!table) return Unexpected<Error>{table.error()};
     entry.table = std::move(*table);
 
@@ -157,18 +193,9 @@ Expected<Journal> Journal::parse(const std::string& text) {
     if (op == "C") {
       entry.op = JournalEntry::Op::kCreateTable;
       for (std::size_t i = 2; i < fields.size(); ++i) {
-        const auto eq = fields[i].rfind('=');
-        if (eq == std::string::npos) {
-          return make_error("journal_parse", "bad column spec: " + fields[i]);
-        }
-        auto name = unescape(fields[i].substr(0, eq));
-        if (!name) return Unexpected<Error>{name.error()};
-        std::string type_text = fields[i].substr(eq + 1);
-        const bool is_indexed = !type_text.empty() && type_text.back() == '!';
-        if (is_indexed) type_text.pop_back();
-        auto type = decode_type(type_text);
-        if (!type) return Unexpected<Error>{type.error()};
-        entry.schema.push_back(Column{std::move(*name), *type, is_indexed});
+        auto column = decode_column(fields[i]);
+        if (!column) return Unexpected<Error>{column.error()};
+        entry.schema.push_back(std::move(*column));
       }
     } else if (op == "I") {
       if (fields.size() < 3) return make_error("journal_parse", "short insert");

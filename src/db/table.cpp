@@ -139,7 +139,7 @@ std::vector<RowId> Table::find_by(const std::string& column,
   if (const auto it = indexes_.find(col); it != indexes_.end()) {
     const auto bucket = it->second.find(index_key(value));
     if (bucket == it->second.end()) return {};
-    return bucket->second;  // maintained in insertion order
+    return bucket->second;  // maintained in id order
   }
   note_full_scan(col);
   std::vector<RowId> out;
@@ -216,6 +216,11 @@ void Table::check_invariants() const {
     for (const auto& [key, ids] : index) {
       SPHINX_INVARIANT(!ids.empty(),
                        "empty index bucket in table " + name_);
+      SPHINX_INVARIANT(std::adjacent_find(ids.begin(), ids.end(),
+                                          std::greater_equal<RowId>()) ==
+                           ids.end(),
+                       "index bucket not strictly id-ordered in table " +
+                           name_);
       for (const RowId id : ids) {
         const auto it = rows_.find(id);
         SPHINX_INVARIANT(it != rows_.end(),
@@ -231,9 +236,25 @@ void Table::check_invariants() const {
 #endif
 }
 
+void Table::restore_next_id(RowId next_id) {
+  SPHINX_PRECONDITION(next_id >= next_id_,
+                      "allocation cursor cannot move backwards");
+  next_id_ = next_id;
+}
+
 void Table::index_insert(const Row& row) {
   for (auto& [col, index] : indexes_) {
-    index[index_key(row.cells[col])].push_back(row.id);
+    auto& ids = index[index_key(row.cells[col])];
+    // Buckets stay id-ordered (not touch-ordered): query order must be
+    // derivable from table state so a snapshot-restored table iterates
+    // identically to the live one.  Inserts allocate increasing ids, so
+    // the common case is an O(1) append; only an update that moves an
+    // old row between buckets pays the ordered insert.
+    if (ids.empty() || ids.back() < row.id) {
+      ids.push_back(row.id);
+      continue;
+    }
+    ids.insert(std::upper_bound(ids.begin(), ids.end(), row.id), row.id);
   }
 }
 

@@ -103,6 +103,17 @@ class Table {
   /// Inserts preserving a specific id -- used only by journal replay.
   void insert_with_id(RowId id, std::vector<Value> cells);
 
+  /// The id the next insert() will allocate.  Part of the table's
+  /// persistent state: erasing the newest row does not rewind it, so a
+  /// checkpoint snapshot must carry it explicitly.
+  [[nodiscard]] RowId next_id() const noexcept { return next_id_; }
+
+  /// Restores the allocation cursor from a checkpoint snapshot.  Only
+  /// ever moves the cursor forward (row inserts already advanced it to
+  /// max(id)+1; the snapshot cursor can sit higher when tail rows were
+  /// erased before the snapshot).
+  void restore_next_id(RowId next_id);
+
   /// Updates one cell.  Returns false if the row does not exist.
   bool update(RowId id, const std::string& column, Value value);
   bool update(RowId id, std::size_t column, Value value);
@@ -120,7 +131,11 @@ class Table {
   void create_index(const std::string& column);
 
   /// All row ids whose `column` equals `value`.  Uses the index when one
-  /// exists, otherwise scans.  Ids are returned in insertion order.
+  /// exists, otherwise scans.  Ids are returned in id (= insertion)
+  /// order on both paths: index buckets are kept id-ordered so query
+  /// results are a function of table *state*, never of update history
+  /// (checkpoint restore rebuilds buckets from rows alone and must
+  /// reproduce the live instance's iteration order exactly).
   [[nodiscard]] std::vector<RowId> find_by(const std::string& column,
                                            const Value& value) const;
 

@@ -175,6 +175,8 @@ Tenant& Scenario::add_tenant(const std::string& label,
   server_config.use_feedback = options.use_feedback;
   server_config.use_policy = options.use_policy;
   server_config.use_qos_ordering = options.use_qos_ordering;
+  server_config.checkpoint_every_records = options.checkpoint_every_records;
+  server_config.checkpoint_period = options.checkpoint_period;
   tenant.server = std::make_unique<core::SphinxServer>(
       bus_, catalog(), rls_, transfers_, &monitoring_, server_config);
   tenant.server->set_recorder(&recorder_);
@@ -218,6 +220,12 @@ StatusOrError Scenario::crash_and_recover_server(std::size_t tenant_index) {
   // phase in floating point and keeps the event order identical to an
   // uninterrupted run.
   const db::Journal journal = tenant.server->warehouse().journal();
+  // With checkpointing on, the journal alone is not enough: it may be a
+  // compacted suffix whose sequence base only the last published image
+  // anchors.  Capture the image alongside it -- together they are the
+  // crashed instance's complete durable state.
+  const std::optional<core::CheckpointImage> checkpoint =
+      tenant.server->warehouse().checkpoint_image();
   const core::ServerConfig server_config = tenant.server->config();
   const SimTime resume_at = tenant.server->next_sweep_at();
 
@@ -230,16 +238,21 @@ StatusOrError Scenario::crash_and_recover_server(std::size_t tenant_index) {
   // the server simply does not exist on the bus.
   tenant.server.reset();
 
-  auto recovered = core::SphinxServer::recover(bus_, catalog(), rls_,
-                                               transfers_, &monitoring_,
-                                               server_config, journal);
+  auto recovered =
+      checkpoint.has_value()
+          ? core::SphinxServer::recover(bus_, catalog(), rls_, transfers_,
+                                        &monitoring_, server_config,
+                                        *checkpoint, journal)
+          : core::SphinxServer::recover(bus_, catalog(), rls_, transfers_,
+                                        &monitoring_, server_config, journal);
   if (!recovered) return Unexpected<Error>{recovered.error()};
   tenant.server = std::move(*recovered);
   tenant.server->set_recorder(&recorder_);
   tenant.server->start_at(resume_at);
 
   recorder_.event(obs::TraceKind::kServerRecovery, server_config.endpoint, "",
-                  "journal-replay",
+                  checkpoint.has_value() ? "checkpoint+suffix"
+                                         : "journal-replay",
                   static_cast<double>(tenant.server->warehouse().journal().size()));
   recorder_.count("chaos", "server.recoveries");
   return {};

@@ -74,6 +74,11 @@ struct TenantOptions {
   bool use_policy = false;
   bool use_qos_ordering = true;  ///< priority + earliest-deadline planning
   Duration job_timeout = minutes(20);
+  /// Server checkpoint policy (see ServerConfig): checkpoint every N
+  /// journal records / every M sim-seconds.  0/0 (default) disables
+  /// checkpointing and keeps recovery on full-history replay.
+  std::size_t checkpoint_every_records = 0;
+  Duration checkpoint_period = 0.0;
 };
 
 class Scenario {

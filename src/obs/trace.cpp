@@ -28,6 +28,7 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kBusPartitionDrop: return "bus_partition_drop";
     case TraceKind::kBusReorder: return "bus_reorder";
     case TraceKind::kBusDrop: return "bus_drop";
+    case TraceKind::kCheckpoint: return "checkpoint";
   }
   return "unknown";
 }

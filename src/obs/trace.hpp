@@ -41,6 +41,11 @@ enum class TraceKind {
   kBusPartitionDrop, ///< message crossed a partitioned link; dropped
   kBusReorder,       ///< fault model added a jitter spike; value = extra delay
   kBusDrop,          ///< no recipient endpoint; detail = drop reason
+  kCheckpoint,       ///< warehouse checkpoint published; detail = "seq:<n>",
+                     ///< value = journal records compacted.  Emitted at
+                     ///< image publication (before truncation), so a
+                     ///< mid-checkpoint crash cannot make the chaotic
+                     ///< trace diverge from the baseline's.
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

@@ -74,6 +74,73 @@ TEST(ChaosKillPoints, BackToBackCrashesRecover) {
   EXPECT_EQ(result.crashes_executed, 3u);
 }
 
+TEST(ChaosKillPoints, BackToBackCrashesWithMidCheckpointSecond) {
+  // Two crashes in sequence where the second lands inside the checkpoint
+  // window -- after the image is published, before the journal is
+  // truncated.  The second recovery therefore starts from a server that
+  // was itself recovered from a checkpoint.
+  chaos::ChaosRunConfig config = tiny_chaos(17);
+  config.checkpoint_every = 32;
+  chaos::ChaosSchedule schedule = chaos::synthesize_schedule(config);
+  schedule.crash_records = {40};
+  schedule.mid_ckpt_crashes = {80};
+  const chaos::ChaosRunResult result = chaos::run_chaos_pair(config, schedule);
+  EXPECT_TRUE(result.ok()) << result.violation();
+  EXPECT_EQ(result.crashes_executed, 2u);
+}
+
+TEST(ChaosKillPoints, MidCheckpointCrashSweepIsTransparent) {
+  // Sweep the mid-checkpoint kill window across the run: at each probed
+  // position, the kill fires between checkpoint publication and journal
+  // truncation, so recovery must complete the truncation itself and
+  // still match the baseline byte for byte.
+  chaos::ChaosRunConfig config = tiny_chaos(91);
+  config.checkpoint_every = 32;
+  chaos::ChaosSchedule outages_only = chaos::synthesize_schedule(config);
+  outages_only.crash_records.clear();
+  outages_only.mid_ckpt_crashes.clear();
+  const chaos::ChaosRunResult probe =
+      chaos::run_chaos_pair(config, outages_only);
+  ASSERT_TRUE(probe.ok()) << probe.violation();
+  const std::size_t total = probe.journal_records;
+  ASSERT_GT(total, 50u);
+  // Compaction held on the probe itself: the live journal is a strict
+  // suffix of the history (memory is O(state), not O(history)).
+  EXPECT_LT(probe.journal_live_records, probe.journal_records);
+
+  const std::size_t step = std::max<std::size_t>(total / 6, 1);
+  std::size_t crashes_seen = 0;
+  for (std::size_t at = step; at < total; at += step) {
+    chaos::ChaosSchedule schedule = outages_only;
+    schedule.mid_ckpt_crashes = {at};
+    const chaos::ChaosRunResult result =
+        chaos::run_chaos_pair(config, schedule);
+    EXPECT_TRUE(result.ok())
+        << "mid-checkpoint crash at record " << at << ": "
+        << result.violation();
+    crashes_seen += result.crashes_executed;
+  }
+  // Positions in the run's tail may never see another checkpoint, but
+  // the sweep as a whole must actually exercise the window.
+  EXPECT_GE(crashes_seen, 2u);
+}
+
+TEST(ChaosKillPoints, FullReplayModeStillRecovers) {
+  // checkpoint_every = 0 is the legacy configuration: no checkpoints,
+  // recovery replays the whole history.  It must stay green -- the
+  // refactor adds a path, it does not retire one.
+  chaos::ChaosRunConfig config = tiny_chaos(17);
+  config.checkpoint_every = 0;
+  chaos::ChaosSchedule schedule = chaos::synthesize_schedule(config);
+  schedule.crash_records = {40, 80};
+  schedule.mid_ckpt_crashes.clear();  // can never fire without checkpoints
+  const chaos::ChaosRunResult result = chaos::run_chaos_pair(config, schedule);
+  EXPECT_TRUE(result.ok()) << result.violation();
+  EXPECT_EQ(result.crashes_executed, 2u);
+  // Without compaction the live journal is the full history.
+  EXPECT_EQ(result.journal_live_records, result.journal_records);
+}
+
 // --- campaigns --------------------------------------------------------------
 
 TEST(ChaosCampaign, SmokeCampaignIsGreenAndByteIdentical) {
@@ -151,6 +218,31 @@ TEST(ChaosMinimize, ShrinksToThePlantedCore) {
   // record position.
   EXPECT_EQ(minimized.crash_records[0], 60u);
   EXPECT_GT(evaluations, 0);
+}
+
+TEST(ChaosMinimize, PrunesAndBisectsMidCheckpointCrashes) {
+  // A failure that hinges on one mid-checkpoint kill: the minimizer must
+  // discard the outage noise and every regular crash, keep a single mid
+  // point, and bisect it down to the smallest record that reproduces.
+  chaos::ChaosSchedule schedule;
+  schedule.outages["fnal"].push_back({100.0, 50.0, grid::OutageMode::kDown});
+  schedule.crash_records = {45, 700};
+  schedule.mid_ckpt_crashes = {90, 500};
+
+  const auto fails = [](const chaos::ChaosSchedule& candidate) {
+    for (const std::size_t record : candidate.mid_ckpt_crashes) {
+      if (record >= 70) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(fails(schedule));
+  const chaos::ChaosSchedule minimized =
+      chaos::minimize_schedule(schedule, fails);
+  EXPECT_TRUE(fails(minimized));
+  EXPECT_EQ(minimized.outage_count(), 0u);
+  EXPECT_TRUE(minimized.crash_records.empty());
+  ASSERT_EQ(minimized.mid_ckpt_crashes.size(), 1u);
+  EXPECT_EQ(minimized.mid_ckpt_crashes[0], 70u);
 }
 
 // --- network-fault windows --------------------------------------------------
@@ -273,6 +365,8 @@ TEST(ChaosRepro, JsonRoundTripPreservesEverything) {
   repro.config.algorithm = core::Algorithm::kRoundRobin;
   repro.config.background_load = true;
   repro.config.inject_divergence = true;
+  repro.config.checkpoint_every = 17;
+  repro.config.schedule.mid_ckpt_crashes = 2;
   repro.schedule = chaos::synthesize_schedule(repro.config);
   repro.violation = "differential: journal diverged at line 3";
 
@@ -286,6 +380,10 @@ TEST(ChaosRepro, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(parsed->config.horizon, repro.config.horizon);
   EXPECT_EQ(parsed->config.background_load, repro.config.background_load);
   EXPECT_EQ(parsed->config.inject_divergence, repro.config.inject_divergence);
+  EXPECT_EQ(parsed->config.checkpoint_every, repro.config.checkpoint_every);
+  EXPECT_EQ(parsed->schedule.mid_ckpt_crashes,
+            repro.schedule.mid_ckpt_crashes);
+  ASSERT_EQ(parsed->schedule.mid_ckpt_crashes.size(), 2u);
   EXPECT_EQ(parsed->violation, repro.violation);
   // The schedule is the real payload: byte-identical re-serialization.
   EXPECT_EQ(chaos::to_json(parsed->schedule), chaos::to_json(repro.schedule));
@@ -298,6 +396,8 @@ TEST(ChaosRepro, RejectsMalformedInput) {
   EXPECT_FALSE(
       chaos::repro_from_json(R"({"config":{},"schedule":[]})").has_value());
   EXPECT_FALSE(chaos::schedule_from_json(R"({"crash_records":[-1]})")
+                   .has_value());
+  EXPECT_FALSE(chaos::schedule_from_json(R"({"mid_ckpt_crashes":[-1]})")
                    .has_value());
   EXPECT_FALSE(
       chaos::schedule_from_json(

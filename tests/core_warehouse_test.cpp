@@ -358,6 +358,131 @@ TEST(Warehouse, RecoveryReplaysDrainPoints) {
   EXPECT_EQ(dirty_after_recovery(), wh.dirty_dags());
 }
 
+TEST(Warehouse, CheckpointRecoveryPreservesEverything) {
+  // The checkpoint + suffix mirror of RecoveryPreservesEverything: half
+  // the history lands in the image, half in the journal suffix, and the
+  // recovered warehouse must be indistinguishable from a full replay.
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "client-x", UserId(3), 5.0);
+  wh.set_job_planned(JobId(101), SiteId(2), 8.0);
+  wh.record_completion(SiteId(2), 250.0);
+
+  const auto stats = wh.checkpoint(9.0);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_GT(stats.compacted_records, 0u);
+  EXPECT_TRUE(wh.journal().empty());  // O(state): prefix discarded
+  EXPECT_EQ(wh.journal().base_seq(), stats.seq);
+
+  wh.set_job_state(JobId(101), JobState::kRunning);
+  wh.record_cancellation(SiteId(9), 900.0);
+  wh.set_quota(UserId(3), SiteId(2), "cpu_seconds", 5000.0);
+  wh.consume_quota(UserId(3), SiteId(2), "cpu_seconds", 60.0);
+
+  // The compacted journal alone is not recoverable -- it needs its image.
+  const auto replay_only = DataWarehouse::recover_from(wh.journal());
+  ASSERT_FALSE(replay_only.has_value());
+  EXPECT_EQ(replay_only.error().code, "recover_suffix");
+
+  ASSERT_TRUE(wh.checkpoint_image().has_value());
+  auto recovered =
+      DataWarehouse::recover_from(*wh.checkpoint_image(), wh.journal());
+  ASSERT_TRUE(recovered.has_value());
+  DataWarehouse& r = **recovered;
+  EXPECT_EQ(r.dag(DagId(100))->client, "client-x");
+  EXPECT_EQ(r.job(JobId(101))->state, JobState::kRunning);
+  EXPECT_EQ(r.job(JobId(101))->attempt, 1);
+  EXPECT_DOUBLE_EQ(r.site_stats(SiteId(2)).avg_completion, 250.0);
+  EXPECT_EQ(r.site_stats(SiteId(9)).cancelled, 1);
+  EXPECT_DOUBLE_EQ(r.quota_remaining(UserId(3), SiteId(2), "cpu_seconds"),
+                   4940.0);
+  EXPECT_EQ(r.outstanding_by_site(), r.scan_outstanding_by_site());
+  EXPECT_EQ(r.dirty_dags(), wh.dirty_dags());
+  // The recovered journal is the crashed journal, byte for byte -- the
+  // recovered server is itself recoverable the same way (chain).
+  EXPECT_EQ(r.journal().serialize(), wh.journal().serialize());
+  r.record_completion(SiteId(2), 100.0);
+  ASSERT_TRUE(r.checkpoint_image().has_value());  // carried across recovery
+  auto second =
+      DataWarehouse::recover_from(*r.checkpoint_image(), r.journal());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ((*second)->site_stats(SiteId(2)).samples, 2);
+  r.check_invariants();
+}
+
+TEST(Warehouse, MidCheckpointCrashLeavesJournalRecoverable) {
+  // A crash between image publication and journal truncation: the image
+  // exists but the journal still holds the full history.  Recovery must
+  // skip the already-snapshotted prefix and complete the truncation.
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(), "c", UserId(1), 0.0);
+  wh.set_job_planned(JobId(101), SiteId(4), 1.0);
+
+  const auto stats = wh.checkpoint(2.0, [](const CheckpointImage&) {
+    return true;  // simulate the kill inside the window
+  });
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(wh.journal().base_seq(), 0u);  // untruncated
+  EXPECT_GT(wh.journal().size(), 0u);
+
+  wh.set_job_state(JobId(101), JobState::kCompleted);  // post-window suffix
+
+  ASSERT_TRUE(wh.checkpoint_image().has_value());
+  const auto recovered =
+      DataWarehouse::recover_from(*wh.checkpoint_image(), wh.journal());
+  ASSERT_TRUE(recovered.has_value());
+  const DataWarehouse& r = **recovered;
+  EXPECT_EQ(r.job(JobId(101))->state, JobState::kCompleted);
+  EXPECT_EQ(r.dirty_dags(), wh.dirty_dags());
+  // Recovery finished what the crash interrupted: the journal it carries
+  // is the compacted suffix, based at the image's sequence.
+  EXPECT_EQ(r.journal().base_seq(), wh.checkpoint_image()->seq);
+  EXPECT_EQ(r.journal().next_seq(), wh.journal().next_seq());
+  r.check_invariants();
+}
+
+TEST(Warehouse, DrainLedgerStaysExactAcrossCheckpoints) {
+  // The drain-ledger regression: "completion-dirtied, not yet swept" is
+  // invisible to the tables (no unplanned job, DAG still planning), so
+  // the final re-mark pass cannot reconstruct it.  The image must carry
+  // the live queue exactly, on whichever side of the checkpoint the
+  // drain and the re-dirtying completion fall.
+  DataWarehouse wh;
+  wh.insert_dag(two_job_dag(100), "c", UserId(1), 0.0);
+  wh.set_dag_state(DagId(100), DagState::kPlanning);
+  wh.set_job_planned(JobId(101), SiteId(4), 1.0);
+  wh.set_job_planned(JobId(102), SiteId(4), 1.0);
+  (void)wh.drain_dirty_dags();  // drain point precedes every checkpoint
+
+  const auto dirty_after_checkpoint_recovery = [&wh] {
+    const auto recovered =
+        DataWarehouse::recover_from(*wh.checkpoint_image(), wh.journal());
+    EXPECT_TRUE(recovered.has_value());
+    (*recovered)->check_invariants();
+    return (*recovered)->dirty_dags();
+  };
+
+  // Completion lands *after* the checkpoint: image says idle, the
+  // journal suffix re-marks the DAG.
+  wh.checkpoint(2.0);
+  wh.set_job_state(JobId(101), JobState::kCompleted);
+  EXPECT_EQ(wh.dirty_dags(), std::vector<DagId>{DagId(100)});
+  EXPECT_EQ(dirty_after_checkpoint_recovery(), wh.dirty_dags());
+
+  // Completion precedes the *next* checkpoint: the suffix is empty and
+  // only the image's captured queue knows the DAG is still pending.
+  wh.checkpoint(3.0);
+  EXPECT_TRUE(wh.journal().empty());
+  EXPECT_EQ(wh.dirty_dags(), std::vector<DagId>{DagId(100)});
+  EXPECT_EQ(dirty_after_checkpoint_recovery(), wh.dirty_dags());
+
+  // And after the sweep drains it, a checkpointed recovery lands idle
+  // again, even though the tables are identical to the pending case.
+  (void)wh.drain_dirty_dags();
+  wh.checkpoint(4.0);
+  EXPECT_TRUE(wh.dirty_dags().empty());
+  EXPECT_EQ(dirty_after_checkpoint_recovery(), wh.dirty_dags());
+}
+
 TEST(Warehouse, UnknownLookupsAreSafe) {
   DataWarehouse wh;
   EXPECT_FALSE(wh.dag(DagId(1)).has_value());

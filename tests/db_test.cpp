@@ -382,5 +382,183 @@ TEST(Journal, CreateTableCarriesIndexFlags) {
   }
 }
 
+TEST(Journal, SequenceNumbersSurviveTruncation) {
+  Database d;
+  Table& t = d.create_table("jobs", jobs_schema());
+  std::vector<RowId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(t.insert({Value("j" + std::to_string(i)), Value("ready"),
+                            Value(i), Value(0.0), Value(false)}));
+  }
+  // create + 5 inserts: sequences 0..5, next is 6.
+  EXPECT_EQ(d.journal().base_seq(), 0u);
+  EXPECT_EQ(d.journal().next_seq(), 6u);
+
+  d.truncate_journal(4);
+  EXPECT_EQ(d.journal().base_seq(), 4u);
+  EXPECT_EQ(d.journal().next_seq(), 6u);
+  EXPECT_EQ(d.journal().size(), 2u);
+
+  // New mutations keep numbering from where the prefix left off.
+  t.update(ids[0], "state", Value("planned"));
+  EXPECT_EQ(d.journal().next_seq(), 7u);
+
+  // Truncating before the base or past the end clamps, never throws.
+  Journal j = d.journal();
+  j.truncate_before(1);
+  EXPECT_EQ(j.base_seq(), 4u);
+  j.truncate_before(99);
+  EXPECT_EQ(j.base_seq(), 7u);
+  EXPECT_TRUE(j.empty());
+}
+
+TEST(Journal, SerializedSizeMatchesAndHeaderRoundTrips) {
+  Database d;
+  Table& t = d.create_table("jobs", jobs_schema());
+  const RowId id = t.insert({Value("tab\tand\nnewline"), Value("ready"),
+                             Value(-3), Value(2.5), Value(true)});
+  t.update(id, "state", Value("planned"));
+  EXPECT_EQ(d.journal().size_bytes(), d.journal().serialize().size());
+
+  // Untruncated journals serialize headerless (legacy byte format).
+  EXPECT_EQ(d.journal().serialize().front(), 'C');
+
+  d.truncate_journal(2);
+  const std::string text = d.journal().serialize();
+  EXPECT_EQ(text.rfind("#seq\t2\n", 0), 0u);
+  EXPECT_EQ(d.journal().size_bytes(), text.size());
+
+  const auto parsed = Journal::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->base_seq(), 2u);
+  EXPECT_EQ(parsed->next_seq(), d.journal().next_seq());
+  EXPECT_EQ(parsed->serialize(), text);
+
+  // A header anywhere but the very start is corruption.
+  EXPECT_FALSE(Journal::parse("C\tjobs\tname=text\n#seq\t2\n").has_value());
+  EXPECT_FALSE(Journal::parse("#seq\tnope\n").has_value());
+}
+
+TEST(Database, SnapshotRestoreRoundTripIsByteStable) {
+  Database original;
+  Table& jobs = original.create_table("jobs", jobs_schema());
+  original.create_table("empty", jobs_schema());
+  std::vector<RowId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(jobs.insert({Value("job-" + std::to_string(i)),
+                               Value(i % 2 == 0 ? "ready" : "planned"),
+                               Value(i), Value(1.5 * i), Value(false)}));
+  }
+  jobs.update(ids[2], "state", Value("completed"));
+  jobs.erase(ids[7]);  // tail erase: next_id exceeds the max live id
+
+  const std::string image = original.snapshot();
+  Database restored;
+  ASSERT_TRUE(restored.restore(image).ok());
+
+  // Restore is state, not history: the journal starts empty for the
+  // caller to pair with a suffix.
+  EXPECT_TRUE(restored.journal().empty());
+
+  // The restored store is logically identical, snapshots to the same
+  // bytes, and keeps allocating row ids past the erased tail.
+  EXPECT_EQ(restored.snapshot(), image);
+  EXPECT_EQ(restored.table("jobs").size(), 7u);
+  EXPECT_EQ(restored.table("jobs").get(ids[2], "state").as_text(),
+            "completed");
+  const RowId fresh = restored.table("jobs").insert(
+      {Value("new"), Value("ready"), Value(9), Value(0.0), Value(false)});
+  EXPECT_GT(fresh, ids[7]);
+  EXPECT_FALSE(restored.restore(image).ok());  // non-empty target refused
+}
+
+TEST(Database, SnapshotCarriesIndexDeclarations) {
+  Database original;
+  Table& t = original.create_table("jobs", indexed_jobs_schema());
+  t.insert({Value("a"), Value("ready"), Value(1), Value(0.0), Value(false)});
+
+  Database restored;
+  ASSERT_TRUE(restored.restore(original.snapshot()).ok());
+  Table& rt = restored.table("jobs");
+  EXPECT_EQ(rt.find_by("state", Value("ready")).size(), 1u);
+  EXPECT_EQ(rt.full_scans(), 0u);  // the index came back with the schema
+}
+
+TEST(Database, SuffixRecoveryReproducesCrashedJournalBytes) {
+  // The checkpoint + suffix path: snapshot mid-history, keep mutating,
+  // truncate, then recover a new database from (image, suffix).  The
+  // recovered journal must be byte-identical to the crashed one -- the
+  // recovered server must itself remain recoverable.
+  Database crashed;
+  Table& jobs = crashed.create_table("jobs", jobs_schema());
+  std::vector<RowId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(jobs.insert({Value("j" + std::to_string(i)), Value("ready"),
+                               Value(i), Value(0.0), Value(false)}));
+  }
+  const std::string image = crashed.snapshot();
+  const std::uint64_t seq = crashed.journal().next_seq();
+  jobs.update(ids[1], "state", Value("completed"));
+  jobs.erase(ids[4]);
+  crashed.truncate_journal(seq);
+
+  Database recovered;
+  ASSERT_TRUE(recovered.restore(image).ok());
+  ASSERT_TRUE(recovered.recover(crashed.journal(), seq).ok());
+  EXPECT_EQ(recovered.journal().serialize(), crashed.journal().serialize());
+  EXPECT_EQ(recovered.snapshot(), crashed.snapshot());
+  EXPECT_EQ(recovered.journal().base_seq(), seq);
+
+  // The same suffix also replays from an *untruncated* crashed journal
+  // (a crash between image publication and truncation): entries below
+  // `seq` are skipped and the adopted journal is the compacted suffix.
+  Database crashed_untruncated;
+  Table& jobs2 = crashed_untruncated.create_table("jobs", jobs_schema());
+  for (int i = 0; i < 6; ++i) {
+    jobs2.insert({Value("j" + std::to_string(i)), Value("ready"), Value(i),
+                  Value(0.0), Value(false)});
+  }
+  jobs2.update(ids[1], "state", Value("completed"));
+  jobs2.erase(ids[4]);
+  Database completed;
+  ASSERT_TRUE(completed.restore(image).ok());
+  ASSERT_TRUE(completed.recover(crashed_untruncated.journal(), seq).ok());
+  EXPECT_EQ(completed.journal().serialize(), crashed.journal().serialize());
+  EXPECT_EQ(completed.snapshot(), crashed.snapshot());
+
+  // A suffix starting past the requested replay point is unusable.
+  Journal too_new = crashed.journal();
+  too_new.truncate_before(seq + 1);
+  Database refused;
+  ASSERT_TRUE(refused.restore(image).ok());
+  const auto status = refused.recover(too_new, seq);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "recover_suffix");
+}
+
+TEST(Database, RestoreRejectsCorruptImages) {
+  Database d;
+  EXPECT_FALSE(d.restore("not a snapshot").ok());
+  EXPECT_FALSE(d.restore("#db\t9\n").ok());          // unknown version
+  EXPECT_FALSE(d.restore("#db\t1\nR\t1\tn\n").ok()); // row before table
+}
+
+TEST(Table, IndexBucketsStayInIdOrder) {
+  // Updates must not move a row to the back of its index bucket: query
+  // iteration order is a function of table state, not update history --
+  // the property that makes snapshot/restore order-preserving.
+  Table t("jobs", indexed_jobs_schema());
+  std::vector<RowId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(t.insert({Value("j" + std::to_string(i)), Value("ready"),
+                            Value(i), Value(0.0), Value(false)}));
+  }
+  t.update(ids[0], "site", Value(9));  // same state: erase + reinsert
+  t.update(ids[2], "state", Value("planned"));
+  t.update(ids[2], "state", Value("ready"));
+  EXPECT_EQ(t.find_by("state", Value("ready")),
+            (std::vector<RowId>{ids[0], ids[1], ids[2], ids[3]}));
+}
+
 }  // namespace
 }  // namespace sphinx::db

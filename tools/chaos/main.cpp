@@ -1,14 +1,17 @@
 // sphinx_chaos: seeded chaos campaigns and repro replay.
 //
 //   sphinx_chaos campaign [--runs N] [--seed S] [--threads T]
-//                         [--crashes C] [--dags K] [--repro PATH]
+//                         [--crashes C] [--mid-ckpt-crashes M]
+//                         [--checkpoint-every R] [--dags K] [--repro PATH]
 //                         [--net-windows W] [--net-partitions P]
 //                         [--inject-divergence] [--no-minimize]
 //   sphinx_chaos replay --repro PATH
 //
 // `campaign` sweeps N seeded chaos runs (randomized outage schedules,
 // lossy-wire windows + client<->server partitions, and
-// mid-run server crash/recovery) and checks every run against the
+// mid-run server crash/recovery -- checkpointed by default, including
+// crash points that land between checkpoint publication and journal
+// truncation) and checks every run against the
 // invariant and differential oracles.  The report is deterministic:
 // same flags -> byte-identical stdout (tools/check.sh diffs two
 // invocations).  On failure the first failing run is minimized and
@@ -40,7 +43,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sphinx_chaos campaign [--runs N] [--seed S] [--threads T]\n"
-      "                             [--crashes C] [--dags K] [--repro PATH]\n"
+      "                             [--crashes C] [--mid-ckpt-crashes M]\n"
+      "                             [--checkpoint-every R] [--dags K]\n"
+      "                             [--repro PATH]\n"
       "                             [--net-windows W] [--net-partitions P]\n"
       "                             [--inject-divergence] [--no-minimize]\n"
       "       sphinx_chaos replay --repro PATH\n");
@@ -69,6 +74,13 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--crashes" && value != nullptr) {
       config.base.schedule.crashes = std::atoi(value);
+      ++i;
+    } else if (arg == "--mid-ckpt-crashes" && value != nullptr) {
+      config.base.schedule.mid_ckpt_crashes = std::atoi(value);
+      ++i;
+    } else if (arg == "--checkpoint-every" && value != nullptr) {
+      config.base.checkpoint_every =
+          static_cast<std::size_t>(std::atoi(value));
       ++i;
     } else if (arg == "--dags" && value != nullptr) {
       config.base.dag_count = std::atoi(value);

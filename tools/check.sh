@@ -68,7 +68,11 @@ echo "lossy-network gate: delivery contract held, outputs byte-identical"
 echo "== chaos smoke campaign =="
 # A fixed-seed 8-run chaos campaign (scheduled outages + mid-run server
 # crash/recovery, differential + invariant oracles) must pass and must
-# print a byte-identical report across two invocations.
+# print a byte-identical report across two invocations.  Checkpointing
+# is the campaign default (checkpoint every 64 records), and each
+# schedule includes a mid-checkpoint crash point -- a kill between
+# checkpoint publication and journal truncation -- so the gate covers
+# checkpoint + suffix recovery, not just full replay.
 chaos_dir=build/relwithdebinfo/chaos
 rm -rf "$chaos_dir"
 mkdir -p "$chaos_dir"
@@ -85,6 +89,14 @@ echo "== sweep-cost benchmark =="
 ./build/relwithdebinfo/bench/micro_scheduler \
   --benchmark_filter=BM_SweepCost \
   --benchmark_out=BENCH_sweep.json --benchmark_out_format=json
+
+echo "== recovery benchmark =="
+# Checkpoint + suffix recovery vs full-history replay at 1k/10k/100k
+# journal records.  The checkpointed path should win by well over an
+# order of magnitude at 100k and retain only the post-checkpoint journal
+# suffix.  Results land in BENCH_recovery.json.
+./build/relwithdebinfo/bench/micro_recovery \
+  --benchmark_out=BENCH_recovery.json --benchmark_out_format=json
 
 echo "== rpc overhead benchmark =="
 # Dedup-cache lookup cost plus the reliable-stack A/B at 0% loss (the

@@ -4,6 +4,7 @@
 //   sphinx_record [--seed N] [--dags K] [--trace PATH] [--metrics PATH]
 //                 [--loss P] [--duplicate P] [--reorder P]
 //                 [--partition-at T] [--partition-duration D]
+//                 [--checkpoint-every R]
 //
 // Same seed -> byte-identical outputs; tools/check.sh runs this twice
 // and diffs the files as the determinism gate, and again with --loss /
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   double reorder = 0.0;
   double partition_at = -1.0;
   double partition_duration = 60.0;
+  std::size_t checkpoint_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--partition-duration" && value != nullptr) {
       partition_duration = std::atof(value);
       ++i;
+    } else if (arg == "--checkpoint-every" && value != nullptr) {
+      checkpoint_every = static_cast<std::size_t>(std::atoi(value));
+      ++i;
     } else {
       std::fprintf(stderr,
                    "usage: sphinx_record [--seed N] [--dags K] "
@@ -67,7 +72,8 @@ int main(int argc, char** argv) {
                    "                     [--loss P] [--duplicate P] "
                    "[--reorder P]\n"
                    "                     [--partition-at T] "
-                   "[--partition-duration D]\n");
+                   "[--partition-duration D]\n"
+                   "                     [--checkpoint-every R]\n");
       return 2;
     }
   }
@@ -105,6 +111,8 @@ int main(int argc, char** argv) {
   exp::TenantOptions no_feedback;
   no_feedback.algorithm = core::Algorithm::kRoundRobin;
   no_feedback.use_feedback = false;
+  with_feedback.checkpoint_every_records = checkpoint_every;
+  no_feedback.checkpoint_every_records = checkpoint_every;
   exp::Experiment experiment(config);
   const auto results = experiment.run(
       {{"feedback", with_feedback}, {"no-feedback", no_feedback}});
