@@ -1,0 +1,222 @@
+#include "chaos/failover.hpp"
+
+#include <exception>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "ctrl/coordinator.hpp"
+#include "ctrl/heartbeat.hpp"
+#include "ctrl/shard.hpp"
+#include "exp/scenario.hpp"
+
+namespace sphinx::chaos {
+namespace {
+
+constexpr SimTime kFirstSubmitAt = 10.0;
+constexpr Duration kSubmitSpacing = 15.0;
+/// First-beat offset: off the integer grid the monitor (x.5) and the
+/// sweeps (multiples of 2.5) occupy, so no ctrl event ever shares an
+/// engine timestamp with a core one.
+constexpr Duration kHeartbeatPhase = 0.25;
+constexpr Duration kMonitorPhase = 0.5;
+
+struct FailoverArtifacts {
+  RunArtifacts run;
+  std::size_t adoptions = 0;
+  std::size_t expirations = 0;
+};
+
+FailoverArtifacts run_once(const FailoverConfig& config, bool with_crash) {
+  SPHINX_PRECONDITION(config.shards >= 2,
+                      "failover needs a surviving peer to adopt the shard");
+  SPHINX_PRECONDITION(config.crash_shard < config.shards,
+                      "crash_shard must name one of the shards");
+
+  exp::ScenarioConfig scenario_config;
+  scenario_config.seed = config.seed;
+  // The failover harness owns all misbehaviour: no seeded site failures,
+  // and the only network fault is the planned partition window, applied
+  // to the chaotic AND the baseline run so the pair differs only in the
+  // crash itself.
+  scenario_config.site_failures = false;
+  scenario_config.background_load = false;
+  {
+    rpc::LinkFaultRule rule;
+    rule.from_prefix = "sphinx-client";
+    rule.to_prefix = "sphinx-server";
+    rule.start = config.partition_start;
+    rule.end = config.partition_end;
+    rule.partition = true;
+    scenario_config.network_faults.rules.push_back(rule);
+  }
+  exp::Scenario scenario(scenario_config);
+
+  // One tenant per shard, sweep phases staggered across the period so no
+  // two shards sweep at the same engine timestamp (see file comment).
+  std::unordered_map<std::string, std::size_t> shard_index;
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    exp::TenantOptions options;
+    options.algorithm = config.algorithm;
+    options.checkpoint_every_records = config.checkpoint_every;
+    options.sweep_phase =
+        static_cast<double>(i) *
+        (core::ServerConfig{}.sweep_period / static_cast<double>(config.shards));
+    scenario.add_tenant("failover#" + std::to_string(i), options);
+    shard_index.emplace(ctrl::shard_name(i), i);
+  }
+
+  ctrl::CoordinatorConfig coordinator_config;
+  coordinator_config.lease_ttl = config.lease_ttl;
+  coordinator_config.monitor_period = config.monitor_period;
+  coordinator_config.monitor_phase = kMonitorPhase;
+  ctrl::LeaseCoordinator coordinator(scenario.bus(), coordinator_config);
+  coordinator.set_recorder(&scenario.recorder());
+
+  const rpc::Proxy ctrl_proxy(
+      rpc::Identity{"/CN=sphinx-control-plane", "/CN=iGOC CA"},
+      coordinator_config.control_vo, {}, scenario.engine().now(),
+      hours(24 * 365));
+
+  ctrl::HeartbeatConfig heartbeat_config;
+  heartbeat_config.coordinator = coordinator_config.endpoint;
+  heartbeat_config.period = config.heartbeat_period;
+  heartbeat_config.phase = kHeartbeatPhase;
+
+  std::vector<std::unique_ptr<ctrl::HeartbeatAgent>> agents(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    const std::uint64_t epoch =
+        coordinator.grant(ctrl::shard_name(i), ctrl::scheduler_name(i));
+    agents[i] = std::make_unique<ctrl::HeartbeatAgent>(
+        scenario.bus(), ctrl::shard_name(i), ctrl::scheduler_name(i), epoch,
+        heartbeat_config, ctrl_proxy);
+  }
+
+  std::string failure;
+  coordinator.set_adopt_handler(
+      [&](const std::string& shard, const std::string& /*dead_owner*/,
+          const std::string& /*new_owner*/) -> StatusOrError {
+        const std::size_t idx = shard_index.at(shard);
+        // Mark the deliberate ownership transfer before the endpoint
+        // comes back: any drop in the (here instantaneous) window reads
+        // "endpoint_handoff", not "endpoint_unregistered".
+        scenario.bus().expect_handoff("sphinx-server/failover#" +
+                                      std::to_string(idx));
+        auto recovered = scenario.recover_server(idx);
+        if (!recovered.ok() && failure.empty()) {
+          failure = "adoption failed: " + recovered.error().to_string();
+        }
+        return recovered;
+      });
+  coordinator.set_adopted_callback([&](const std::string& shard,
+                                       const std::string& new_owner,
+                                       std::uint64_t epoch) {
+    // The adopter starts heartbeating the shard under the new epoch; the
+    // dead owner's agent object is already gone (the crash destroyed it).
+    const std::size_t idx = shard_index.at(shard);
+    agents[idx] = std::make_unique<ctrl::HeartbeatAgent>(
+        scenario.bus(), shard, new_owner, epoch, heartbeat_config, ctrl_proxy);
+    agents[idx]->start();
+  });
+
+  // Workload: DAGs routed round-robin across the shards.
+  workflow::WorkloadConfig workload;
+  workload.jobs_per_dag = config.jobs_per_dag;
+  auto generator = scenario.make_generator("failover", workload);
+  const std::vector<workflow::Dag> dags =
+      generator.generate_batch("failover", config.dag_count);
+
+  scenario.start();
+  coordinator.start();
+  for (auto& agent : agents) agent->start();
+
+  for (std::size_t k = 0; k < dags.size(); ++k) {
+    const workflow::Dag& dag = dags[k];
+    const std::size_t shard = ctrl::shard_of(k, config.shards);
+    scenario.engine().schedule_at(
+        kFirstSubmitAt + static_cast<double>(k) * kSubmitSpacing,
+        "submit:" + dag.name(), [&scenario, &dag, shard] {
+          scenario.tenants()[shard].client->submit(dag);
+        });
+  }
+
+  if (with_crash) {
+    scenario.engine().schedule_at(
+        config.crash_at, "failover:crash", [&scenario, &agents, &config] {
+          // Fail-stop of the whole scheduler process: the server AND its
+          // heartbeat agent die together -- the ensuing lease silence is
+          // exactly what the monitor detects.
+          agents[config.crash_shard].reset();
+          scenario.crash_server(config.crash_shard);
+        });
+  }
+
+  const SimTime stopped = scenario.run(config.horizon);
+
+  FailoverArtifacts out;
+  out.run.stopped_at = stopped;
+  out.run.invariant_violation = failure;
+  out.adoptions = coordinator.stats().adoptions;
+  out.expirations = coordinator.stats().expirations;
+  for (const exp::Tenant& tenant : scenario.tenants()) {
+    out.run.dags_total += tenant.client->dag_outcomes().size();
+    out.run.dags_finished += tenant.client->dags_finished();
+    if (tenant.server == nullptr) {
+      if (out.run.invariant_violation.empty()) {
+        out.run.invariant_violation =
+            "shard " + tenant.label + " was never adopted";
+      }
+      continue;
+    }
+    out.run.journal_text += "== " + tenant.label + " ==\n";
+    out.run.journal_text += tenant.server->warehouse().journal().serialize();
+    out.run.journal_records += static_cast<std::size_t>(
+        tenant.server->warehouse().journal().next_seq());
+    out.run.journal_live_records += tenant.server->warehouse().journal().size();
+  }
+  out.run.trace_jsonl = scenario.recorder().trace().to_jsonl();
+  if (out.run.invariant_violation.empty()) {
+    try {
+      for (const exp::Tenant& tenant : scenario.tenants()) {
+        tenant.server->warehouse().check_invariants();
+      }
+      coordinator.leases().check_invariants();
+      scenario.engine().check_invariants();
+    } catch (const std::exception& error) {
+      out.run.invariant_violation = error.what();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FailoverRunResult::violation() const {
+  if (!invariants.ok) return invariants.violation;
+  if (!differential.ok) return differential.violation;
+  if (adoptions == 0) return "no shard adoption occurred in the chaotic run";
+  if (baseline_adoptions != 0) return "baseline run adopted a shard";
+  return "";
+}
+
+FailoverRunResult run_failover_pair(const FailoverConfig& config) {
+  FailoverRunResult result;
+  result.seed = config.seed;
+
+  const FailoverArtifacts chaotic = run_once(config, true);
+  const FailoverArtifacts baseline = run_once(config, false);
+
+  result.invariants = check_run_invariants(chaotic.run);
+  result.differential = check_failover_differential(chaotic.run, baseline.run);
+  result.adoptions = chaotic.adoptions;
+  result.expirations = chaotic.expirations;
+  result.baseline_adoptions = baseline.adoptions;
+  result.journal_records = chaotic.run.journal_records;
+  result.stopped_at = chaotic.run.stopped_at;
+  result.digest = fnv1a(chaotic.run.trace_jsonl, fnv1a(chaotic.run.journal_text));
+  return result;
+}
+
+}  // namespace sphinx::chaos

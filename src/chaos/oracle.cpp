@@ -48,6 +48,28 @@ bool is_chaos_line(std::string_view line) {
          line.find("\"kind\":\"server_recovery\"") != std::string_view::npos;
 }
 
+bool is_ctrl_line(std::string_view line) {
+  return line.find("\"kind\":\"lease_granted\"") != std::string_view::npos ||
+         line.find("\"kind\":\"lease_expired\"") != std::string_view::npos ||
+         line.find("\"kind\":\"lease_fenced\"") != std::string_view::npos ||
+         line.find("\"kind\":\"shard_adopted\"") != std::string_view::npos ||
+         line.find("\"src\":\"ctrl/") != std::string_view::npos ||
+         line.find("\"subj\":\"ctrl/") != std::string_view::npos;
+}
+
+OracleReport diff_traces(const std::string& chaotic_trace,
+                         const std::string& baseline_trace) {
+  if (chaotic_trace == baseline_trace) return OracleReport{};
+  const auto a = split_lines(chaotic_trace);
+  const auto b = split_lines(baseline_trace);
+  std::size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  return violate("trace diverged at line " + std::to_string(i + 1) +
+                 ": recovered=\"" + snippet(i < a.size() ? a[i] : "<end>") +
+                 "\" baseline=\"" + snippet(i < b.size() ? b[i] : "<end>") +
+                 "\"");
+}
+
 }  // namespace
 
 std::string strip_chaos_events(const std::string& trace_jsonl) {
@@ -55,6 +77,17 @@ std::string strip_chaos_events(const std::string& trace_jsonl) {
   out.reserve(trace_jsonl.size());
   for (const std::string_view line : split_lines(trace_jsonl)) {
     if (line.empty() || is_chaos_line(line)) continue;
+    out.append(line);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string strip_failover_events(const std::string& trace_jsonl) {
+  std::string out;
+  out.reserve(trace_jsonl.size());
+  for (const std::string_view line : split_lines(trace_jsonl)) {
+    if (line.empty() || is_chaos_line(line) || is_ctrl_line(line)) continue;
     out.append(line);
     out += '\n';
   }
@@ -103,19 +136,25 @@ OracleReport check_differential(const RunArtifacts& chaotic,
         snippet(i < a.size() ? a[i] : "<end>") + "\" baseline=\"" +
         snippet(i < b.size() ? b[i] : "<end>") + "\"");
   }
-  const std::string chaotic_trace = strip_chaos_events(chaotic.trace_jsonl);
-  const std::string baseline_trace = strip_chaos_events(baseline.trace_jsonl);
-  if (chaotic_trace != baseline_trace) {
-    const auto a = split_lines(chaotic_trace);
-    const auto b = split_lines(baseline_trace);
+  return diff_traces(strip_chaos_events(chaotic.trace_jsonl),
+                     strip_chaos_events(baseline.trace_jsonl));
+}
+
+OracleReport check_failover_differential(const RunArtifacts& chaotic,
+                                         const RunArtifacts& baseline) {
+  if (chaotic.journal_text != baseline.journal_text) {
+    const auto a = split_lines(chaotic.journal_text);
+    const auto b = split_lines(baseline.journal_text);
     std::size_t i = 0;
     while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
-    return violate("trace diverged at line " + std::to_string(i + 1) +
-                   ": recovered=\"" + snippet(i < a.size() ? a[i] : "<end>") +
-                   "\" baseline=\"" + snippet(i < b.size() ? b[i] : "<end>") +
-                   "\"");
+    return violate(
+        "terminal warehouse state diverged at journal record " +
+        std::to_string(i + 1) + ": recovered=\"" +
+        snippet(i < a.size() ? a[i] : "<end>") + "\" baseline=\"" +
+        snippet(i < b.size() ? b[i] : "<end>") + "\"");
   }
-  return OracleReport{};
+  return diff_traces(strip_failover_events(chaotic.trace_jsonl),
+                     strip_failover_events(baseline.trace_jsonl));
 }
 
 std::uint64_t fnv1a(const std::string& bytes, std::uint64_t seed) {

@@ -49,6 +49,15 @@ struct OracleReport {
 /// the uninterrupted baseline's.
 [[nodiscard]] std::string strip_chaos_events(const std::string& trace_jsonl);
 
+/// Failover-aware stripping: chaos marker events, lease lifecycle events
+/// (lease_granted / lease_expired / lease_fenced / shard_adopted), and
+/// every line whose src or subj lives under the "ctrl/" prefix.  The
+/// control plane's traffic differs between a failover run and its
+/// baseline *by design* (the dead owner stops beating, the survivor
+/// adopts), so the differential oracle judges only the scheduling-layer
+/// residue, which must still match byte-for-byte.
+[[nodiscard]] std::string strip_failover_events(const std::string& trace_jsonl);
+
 /// Invariant oracles over one run (completeness, stored sweep verdict,
 /// monotone trace timestamps).
 [[nodiscard]] OracleReport check_run_invariants(const RunArtifacts& run);
@@ -56,6 +65,13 @@ struct OracleReport {
 /// Differential oracle: recovered run vs uninterrupted baseline.
 [[nodiscard]] OracleReport check_differential(const RunArtifacts& chaotic,
                                               const RunArtifacts& baseline);
+
+/// Differential oracle for failover runs: identical to check_differential
+/// except the trace comparison uses strip_failover_events (the journal
+/// comparison stays exact -- adoption must not perturb a single
+/// scheduling-state byte).
+[[nodiscard]] OracleReport check_failover_differential(
+    const RunArtifacts& chaotic, const RunArtifacts& baseline);
 
 /// FNV-1a 64 over a byte string (campaign digests).
 [[nodiscard]] std::uint64_t fnv1a(const std::string& bytes,

@@ -35,6 +35,11 @@ struct ServerConfig {
   /// requests are planned in pure submission order (priority ignored).
   bool use_qos_ordering = true;
   Duration sweep_period = 5.0;
+  /// Offset of the first sweep after start().  Multi-server deployments
+  /// stagger shard phases with this: two shards sweeping at the same
+  /// instant would tie on engine timestamps, and recovery-rescheduled
+  /// events break such ties differently than the original schedule did.
+  Duration sweep_phase = 0.0;
   /// Planner step 4: when set, final outputs (outputs no other job in the
   /// DAG consumes) are copied to this site's persistent storage after the
   /// producing job completes.

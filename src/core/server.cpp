@@ -86,7 +86,7 @@ SphinxServer::SphinxServer(rpc::MessageBus& bus,
 
   control_ = std::make_unique<sim::PeriodicProcess>(
       bus_.engine(), config_.endpoint + ":control", config_.sweep_period,
-      [this] { sweep(); });
+      [this] { sweep(); }, config_.sweep_phase);
 }
 
 Expected<std::unique_ptr<SphinxServer>> SphinxServer::recover(

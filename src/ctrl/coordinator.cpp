@@ -1,0 +1,151 @@
+#include "ctrl/coordinator.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/trace.hpp"
+
+namespace sphinx::ctrl {
+
+LeaseCoordinator::LeaseCoordinator(rpc::MessageBus& bus,
+                                   CoordinatorConfig config)
+    : LeaseCoordinator(bus, std::move(config), /*deferred_recovery=*/false) {}
+
+LeaseCoordinator::LeaseCoordinator(rpc::MessageBus& bus,
+                                   CoordinatorConfig config,
+                                   bool /*deferred_recovery*/)
+    : bus_(bus), config_(std::move(config)) {
+  SPHINX_PRECONDITION(config_.lease_ttl > 0, "lease ttl must be positive");
+  SPHINX_PRECONDITION(config_.monitor_period > 0,
+                      "monitor period must be positive");
+  register_methods();
+  monitor_ = std::make_unique<sim::PeriodicProcess>(
+      bus_.engine(), "ctrl-monitor:" + config_.endpoint,
+      config_.monitor_period, [this] { monitor_sweep(); },
+      config_.monitor_phase);
+}
+
+Expected<std::unique_ptr<LeaseCoordinator>> LeaseCoordinator::recover(
+    rpc::MessageBus& bus, CoordinatorConfig config,
+    const db::Journal& journal) {
+  auto coordinator = std::unique_ptr<LeaseCoordinator>(new LeaseCoordinator(
+      bus, std::move(config), /*deferred_recovery=*/true));
+  if (auto replayed = coordinator->leases_.recover_from(journal); !replayed) {
+    return Unexpected<Error>{replayed.error()};
+  }
+  coordinator->leases_.check_invariants();
+  return coordinator;
+}
+
+LeaseCoordinator::~LeaseCoordinator() = default;
+
+void LeaseCoordinator::register_methods() {
+  rpc::AuthzPolicy policy;
+  policy.allow_vo("*", config_.control_vo);
+  service_ = std::make_unique<rpc::ClarensService>(bus_, config_.endpoint,
+                                                   std::move(policy));
+  service_->register_method(
+      "ctrl.renew", [this](const std::vector<rpc::XrValue>& params,
+                           const rpc::Proxy&) { return handle_renew(params); });
+}
+
+std::uint64_t LeaseCoordinator::grant(const std::string& shard,
+                                      const std::string& owner) {
+  const std::uint64_t epoch =
+      leases_.grant(shard, owner, bus_.engine().now(), config_.lease_ttl);
+  if (recorder_ != nullptr) {
+    recorder_->event(obs::TraceKind::kLeaseGranted, config_.endpoint, shard,
+                     owner, static_cast<double>(epoch));
+    recorder_->count("ctrl", "ctrl.leases_granted");
+  }
+  return epoch;
+}
+
+void LeaseCoordinator::set_adopt_handler(AdoptHandler handler) {
+  adopt_handler_ = std::move(handler);
+}
+
+void LeaseCoordinator::set_adopted_callback(AdoptedCallback callback) {
+  adopted_callback_ = std::move(callback);
+}
+
+void LeaseCoordinator::start() { monitor_->start(); }
+void LeaseCoordinator::stop() { monitor_->stop(); }
+
+Expected<rpc::XrValue> LeaseCoordinator::handle_renew(
+    const std::vector<rpc::XrValue>& params) {
+  if (params.size() != 3 || !params[0].is_string() || !params[1].is_string() ||
+      !params[2].is_int()) {
+    return make_error("bad_request", "ctrl.renew(shard, owner, epoch)");
+  }
+  const std::string& shard = params[0].as_string();
+  const std::string& owner = params[1].as_string();
+  const auto epoch = static_cast<std::uint64_t>(params[2].as_int());
+  switch (leases_.renew(shard, owner, epoch, bus_.engine().now(),
+                        config_.lease_ttl)) {
+    case RenewOutcome::kRenewed:
+      ++stats_.renewals;
+      if (recorder_ != nullptr) recorder_->count("ctrl", "ctrl.lease_renewals");
+      return rpc::XrValue("renewed");
+    case RenewOutcome::kFenced:
+      ++stats_.fenced;
+      if (recorder_ != nullptr) {
+        recorder_->event(obs::TraceKind::kLeaseFenced, config_.endpoint, shard,
+                         owner, static_cast<double>(epoch));
+        recorder_->count("ctrl", "ctrl.lease_fenced");
+      }
+      return rpc::XrValue("fenced");
+    case RenewOutcome::kUnknownShard:
+      break;
+  }
+  return rpc::XrValue("unknown");
+}
+
+void LeaseCoordinator::monitor_sweep() {
+  const SimTime now = bus_.engine().now();
+  // Phase 1: declare newly overdue leases dead.  mark_expired() flips
+  // them out of expired()'s view, so each missed deadline is announced
+  // exactly once no matter how often the monitor sweeps.
+  for (const Lease& lease : leases_.expired(now)) {
+    leases_.mark_expired(lease.shard);
+    ++stats_.expirations;
+    if (recorder_ != nullptr) {
+      recorder_->event(obs::TraceKind::kLeaseExpired, config_.endpoint,
+                       lease.shard, lease.owner,
+                       static_cast<double>(lease.epoch));
+      recorder_->count("ctrl", "ctrl.lease_expired");
+    }
+  }
+  // Phase 2: adopt every dead shard that has a candidate.  dead() is the
+  // standing work-list -- a shard whose adoption fails (no survivor, or
+  // the handler refused) simply comes back on the next sweep.
+  for (const Lease& lease : leases_.dead()) {
+    const std::optional<std::string> adopter =
+        leases_.first_live_owner(now, lease.owner);
+    if (!adopter.has_value()) {
+      ++stats_.failed_adoptions;
+      continue;
+    }
+    if (adopt_handler_ != nullptr) {
+      if (auto adopted = adopt_handler_(lease.shard, lease.owner, *adopter);
+          !adopted) {
+        ++stats_.failed_adoptions;
+        continue;
+      }
+    }
+    const std::uint64_t epoch =
+        leases_.transfer(lease.shard, *adopter, now, config_.lease_ttl);
+    ++stats_.adoptions;
+    if (recorder_ != nullptr) {
+      recorder_->event(obs::TraceKind::kShardAdopted, config_.endpoint,
+                       lease.shard, lease.owner + "->" + *adopter,
+                       static_cast<double>(epoch));
+      recorder_->count("ctrl", "ctrl.shard_adoptions");
+    }
+    if (adopted_callback_ != nullptr) {
+      adopted_callback_(lease.shard, *adopter, epoch);
+    }
+  }
+}
+
+}  // namespace sphinx::ctrl

@@ -1,0 +1,80 @@
+#pragma once
+/// \file heartbeat.hpp
+/// The owner-side half of the lease protocol: periodic renewals.
+///
+/// Each scheduler instance runs one HeartbeatAgent per shard it owns.
+/// The agent beats on a fixed period, sending `ctrl.renew` to the
+/// coordinator over the ordinary at-least-once Clarens layer -- the same
+/// wire, latency model and GSI authorization every other SPHINX call
+/// uses.  Its endpoint lives under the "ctrl/" prefix, so the bus routes
+/// its latency draws onto the dedicated control stream and the
+/// differential oracle can strip its traffic wholesale (heartbeat volume
+/// differs between a failover run and its baseline by design).
+///
+/// A beat is best-effort: max_attempts = 1, because the next beat
+/// supersedes any retransmission the retry machinery could make.  When
+/// the coordinator answers "fenced" the agent stops itself -- a fenced
+/// owner lost the shard to adoption and must not keep acting on it.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/time.hpp"
+#include "rpc/clarens.hpp"
+#include "rpc/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace sphinx::ctrl {
+
+/// Heartbeat knobs.
+struct HeartbeatConfig {
+  std::string coordinator = "ctrl/coordinator";
+  Duration period = 1.0;
+  /// Offset of the first beat after start() (staggers agents so beats
+  /// never share an engine timestamp with each other).
+  Duration phase = 0.0;
+};
+
+class HeartbeatAgent {
+ public:
+  /// \param shard the shard whose lease this agent renews; \param owner
+  /// the scheduler instance name the lease is bound to; \param epoch the
+  /// epoch the lease was granted (or transferred) at.
+  HeartbeatAgent(rpc::MessageBus& bus, std::string shard, std::string owner,
+                 std::uint64_t epoch, HeartbeatConfig config, rpc::Proxy proxy);
+  ~HeartbeatAgent();
+
+  HeartbeatAgent(const HeartbeatAgent&) = delete;
+  HeartbeatAgent& operator=(const HeartbeatAgent&) = delete;
+
+  void start();
+  /// Stops beating -- the crash harness calls this when it kills the
+  /// owning scheduler, which is exactly what lets the lease expire.
+  void stop();
+
+  [[nodiscard]] const std::string& shard() const noexcept { return shard_; }
+  [[nodiscard]] const std::string& owner() const noexcept { return owner_; }
+  [[nodiscard]] bool running() const noexcept { return beat_->running(); }
+  /// True once the coordinator rejected a renewal as stale; the agent has
+  /// stopped itself and must not be restarted.
+  [[nodiscard]] bool fenced() const noexcept { return fenced_; }
+  [[nodiscard]] std::size_t renewals() const noexcept { return renewals_; }
+  /// Beats that got no usable answer (timeout, unknown shard, wire error).
+  [[nodiscard]] std::size_t missed() const noexcept { return missed_; }
+
+ private:
+  void beat();
+
+  std::string shard_;
+  std::string owner_;
+  std::uint64_t epoch_;
+  HeartbeatConfig config_;
+  std::unique_ptr<rpc::ClarensClient> client_;
+  std::unique_ptr<sim::PeriodicProcess> beat_;
+  bool fenced_ = false;
+  std::size_t renewals_ = 0;
+  std::size_t missed_ = 0;
+};
+
+}  // namespace sphinx::ctrl

@@ -1,0 +1,13 @@
+#include "ctrl/shard.hpp"
+
+namespace sphinx::ctrl {
+
+std::string shard_name(std::size_t index) {
+  return "shard:" + std::to_string(index);
+}
+
+std::string scheduler_name(std::size_t index) {
+  return "scheduler#" + std::to_string(index);
+}
+
+}  // namespace sphinx::ctrl

@@ -73,6 +73,11 @@ Scenario::Scenario(ScenarioConfig config)
   if (!config_.network_faults.empty()) {
     bus_.set_fault_model(config_.network_faults, seeds_.stream("bus/faults"));
   }
+  // Control-plane traffic (heartbeats, lease renewals -- every endpoint
+  // under "ctrl/") rides a dedicated latency stream and bypasses the
+  // probabilistic fault draws.  Unconditional: with no ctrl endpoints the
+  // stream is simply never drawn from, and runs stay byte-identical.
+  bus_.set_control_stream("ctrl/", seeds_.stream("bus/ctrl"));
   grid_.set_recorder(&recorder_);
   monitoring_.attach_registry(&registry_);
   recorder_.bridge(registry_, "monitor");
@@ -177,6 +182,7 @@ Tenant& Scenario::add_tenant(const std::string& label,
   server_config.use_qos_ordering = options.use_qos_ordering;
   server_config.checkpoint_every_records = options.checkpoint_every_records;
   server_config.checkpoint_period = options.checkpoint_period;
+  server_config.sweep_phase = options.sweep_phase;
   tenant.server = std::make_unique<core::SphinxServer>(
       bus_, catalog(), rls_, transfers_, &monitoring_, server_config);
   tenant.server->set_recorder(&recorder_);
@@ -207,6 +213,11 @@ void Scenario::start() {
 }
 
 StatusOrError Scenario::crash_and_recover_server(std::size_t tenant_index) {
+  crash_server(tenant_index);
+  return recover_server(tenant_index);
+}
+
+void Scenario::crash_server(std::size_t tenant_index) {
   SPHINX_PRECONDITION(tenant_index < tenants_.size(),
                       "crash target must name an existing tenant");
   Tenant& tenant = tenants_[tenant_index];
@@ -219,42 +230,62 @@ StatusOrError Scenario::crash_and_recover_server(std::size_t tenant_index) {
   // crashed control process was going to fire avoids recomputing the
   // phase in floating point and keeps the event order identical to an
   // uninterrupted run.
-  const db::Journal journal = tenant.server->warehouse().journal();
+  DurableServerState durable;
+  durable.journal = tenant.server->warehouse().journal();
   // With checkpointing on, the journal alone is not enough: it may be a
   // compacted suffix whose sequence base only the last published image
   // anchors.  Capture the image alongside it -- together they are the
   // crashed instance's complete durable state.
-  const std::optional<core::CheckpointImage> checkpoint =
-      tenant.server->warehouse().checkpoint_image();
-  const core::ServerConfig server_config = tenant.server->config();
-  const SimTime resume_at = tenant.server->next_sweep_at();
+  durable.checkpoint = tenant.server->warehouse().checkpoint_image();
+  durable.config = tenant.server->config();
+  durable.resume_at = tenant.server->next_sweep_at();
 
-  recorder_.event(obs::TraceKind::kServerCrash, server_config.endpoint, "",
-                  "fail-stop", static_cast<double>(journal.size()));
+  recorder_.event(obs::TraceKind::kServerCrash, durable.config.endpoint, "",
+                  "fail-stop", static_cast<double>(durable.journal.size()));
   recorder_.count("chaos", "server.crashes");
 
-  // Fail-stop: the destructor unregisters the endpoint, so until the
-  // recovered instance re-registers (same engine event, same sim time)
-  // the server simply does not exist on the bus.
+  // Fail-stop: the destructor unregisters the endpoint, so until
+  // recover_server() re-registers it the server simply does not exist on
+  // the bus.  The classic chaos path recovers within the same engine
+  // event; a failover leaves the endpoint dark until a surviving peer's
+  // monitor sweep adopts the shard.
   tenant.server.reset();
+  tenant.durable = std::move(durable);
+}
+
+StatusOrError Scenario::recover_server(std::size_t tenant_index) {
+  SPHINX_PRECONDITION(tenant_index < tenants_.size(),
+                      "recovery target must name an existing tenant");
+  Tenant& tenant = tenants_[tenant_index];
+  SPHINX_PRECONDITION(tenant.durable.has_value(),
+                      "recovery target has no captured durable state");
+  SPHINX_PRECONDITION(tenant.server == nullptr,
+                      "recovery target still has a live server");
+  const DurableServerState& durable = *tenant.durable;
 
   auto recovered =
-      checkpoint.has_value()
+      durable.checkpoint.has_value()
           ? core::SphinxServer::recover(bus_, catalog(), rls_, transfers_,
-                                        &monitoring_, server_config,
-                                        *checkpoint, journal)
+                                        &monitoring_, durable.config,
+                                        *durable.checkpoint, durable.journal)
           : core::SphinxServer::recover(bus_, catalog(), rls_, transfers_,
-                                        &monitoring_, server_config, journal);
+                                        &monitoring_, durable.config,
+                                        durable.journal);
   if (!recovered) return Unexpected<Error>{recovered.error()};
   tenant.server = std::move(*recovered);
   tenant.server->set_recorder(&recorder_);
-  tenant.server->start_at(resume_at);
+  // A resume time in the dead past (the pending sweep elapsed while the
+  // endpoint was dark) is clamped to now by start_at; sweep content only
+  // depends on warehouse state, so the late sweep does what the missed
+  // one would have.
+  tenant.server->start_at(durable.resume_at);
 
-  recorder_.event(obs::TraceKind::kServerRecovery, server_config.endpoint, "",
-                  checkpoint.has_value() ? "checkpoint+suffix"
-                                         : "journal-replay",
+  recorder_.event(obs::TraceKind::kServerRecovery, durable.config.endpoint, "",
+                  durable.checkpoint.has_value() ? "checkpoint+suffix"
+                                                 : "journal-replay",
                   static_cast<double>(tenant.server->warehouse().journal().size()));
   recorder_.count("chaos", "server.recoveries");
+  tenant.durable.reset();
   return {};
 }
 

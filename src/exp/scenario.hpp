@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,17 @@ struct ScenarioConfig {
   rpc::NetworkFaultConfig network_faults;
 };
 
+/// A crashed server's complete durable state, captured at the instant of
+/// the crash: everything a surviving peer needs to adopt the shard later
+/// (journal + optional checkpoint image + config + the crashed control
+/// process's pending sweep time).
+struct DurableServerState {
+  db::Journal journal;
+  std::optional<core::CheckpointImage> checkpoint;
+  core::ServerConfig config;
+  SimTime resume_at = 0.0;
+};
+
 /// One SPHINX deployment (server + client + gateway) sharing the grid
 /// with the other tenants -- the paper's "multiple instances of SPHINX
 /// servers ... started at the same time so that they can compete for the
@@ -65,6 +77,9 @@ struct Tenant {
   std::unique_ptr<submit::CondorG> gateway;
   std::unique_ptr<core::SphinxServer> server;
   std::unique_ptr<core::SphinxClient> client;
+  /// Set between crash_server() and recover_server(): the dead shard's
+  /// durable state, waiting for an adopter.
+  std::optional<DurableServerState> durable;
 };
 
 /// Per-tenant scheduling options.
@@ -79,6 +94,10 @@ struct TenantOptions {
   /// checkpointing and keeps recovery on full-history replay.
   std::size_t checkpoint_every_records = 0;
   Duration checkpoint_period = 0.0;
+  /// First-sweep offset (ServerConfig::sweep_phase).  Multi-shard
+  /// deployments stagger phases so no two shards sweep at the same
+  /// engine timestamp.
+  Duration sweep_phase = 0.0;
 };
 
 class Scenario {
@@ -114,6 +133,20 @@ class Scenario {
   /// inside the server being killed.
   [[nodiscard]] StatusOrError crash_and_recover_server(
       std::size_t tenant_index);
+
+  /// The crash half alone: captures the server's durable state into
+  /// Tenant::durable and destroys the instance.  The endpoint stays dark
+  /// until recover_server() -- failover's real dead window, where the
+  /// control plane must notice the silence and arrange adoption.
+  void crash_server(std::size_t tenant_index);
+
+  /// The recovery half: rebuilds the tenant's server from the durable
+  /// state crash_server() captured (checkpoint image + journal suffix
+  /// when an image exists), re-registers the endpoint, re-arms the
+  /// rpc_outbox without resending, and resumes the crashed instance's
+  /// exact sweep phase.  Runs in the caller's engine event -- for a
+  /// failover this is the adopting peer's monitor sweep.
+  [[nodiscard]] StatusOrError recover_server(std::size_t tenant_index);
 
   /// Runs until `horizon`, stopping early once every tenant's client has
   /// finished all of its DAGs.  Returns the stop time.

@@ -29,6 +29,10 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kBusReorder: return "bus_reorder";
     case TraceKind::kBusDrop: return "bus_drop";
     case TraceKind::kCheckpoint: return "checkpoint";
+    case TraceKind::kLeaseGranted: return "lease_granted";
+    case TraceKind::kLeaseExpired: return "lease_expired";
+    case TraceKind::kLeaseFenced: return "lease_fenced";
+    case TraceKind::kShardAdopted: return "shard_adopted";
   }
   return "unknown";
 }

@@ -46,6 +46,13 @@ enum class TraceKind {
                      ///< image publication (before truncation), so a
                      ///< mid-checkpoint crash cannot make the chaotic
                      ///< trace diverge from the baseline's.
+  kLeaseGranted,     ///< control plane granted a shard lease; detail = owner,
+                     ///< value = lease epoch
+  kLeaseExpired,     ///< heartbeats stopped; lease declared dead; value = epoch
+  kLeaseFenced,      ///< stale-epoch renewal rejected; detail = owner,
+                     ///< value = stale epoch presented
+  kShardAdopted,     ///< surviving peer adopted a dead shard; detail =
+                     ///< "old_owner->new_owner", value = new epoch
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

@@ -41,11 +41,38 @@ void ClarensService::register_method(const std::string& name, Method method) {
   methods_[name] = std::move(method);
 }
 
+void ClarensService::set_dedup_capacity(std::size_t capacity) {
+  dedup_capacity_ = capacity;
+  // Trim eagerly.  Eviction used to run only on the next insert, so a
+  // shrink (and especially a shrink to zero, which stops inserts -- the
+  // only eviction point -- entirely) left the over-capacity tail cached
+  // forever, replaying stale replies for retransmissions.
+  while (dedup_order_.size() > dedup_capacity_) {
+    dedup_cache_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
+std::string ClarensService::dedup_key(const std::string& from,
+                                      std::uint64_t seq) {
+  // Length-prefix the caller name: "<len>:<from>#<seq>".  A bare
+  // "<from>#<seq>" concatenation cannot distinguish where a '#'-bearing
+  // shard-qualified name ends and the sequence number begins, so two
+  // distinct (from, seq) pairs could alias one cache slot and replay the
+  // wrong caller's reply.
+  std::string key = std::to_string(from.size());
+  key += ':';
+  key += from;
+  key += '#';
+  key += std::to_string(seq);
+  return key;
+}
+
 void ClarensService::handle(const Envelope& request) {
   const bool dedup = request.call_seq != 0 && dedup_capacity_ > 0;
   std::string key;
   if (dedup) {
-    key = request.from + '#' + std::to_string(request.call_seq);
+    key = dedup_key(request.from, request.call_seq);
     const auto it = dedup_cache_.find(key);
     if (it != dedup_cache_.end()) {
       ++replayed_;

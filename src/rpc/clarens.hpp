@@ -68,9 +68,23 @@ class ClarensService {
 
   /// Bounds the dedup cache (FIFO eviction).  0 disables deduplication;
   /// unsequenced requests (call_seq == 0) always bypass the cache.
-  void set_dedup_capacity(std::size_t capacity) noexcept {
-    dedup_capacity_ = capacity;
+  /// Shrinking trims eagerly: cached replies beyond the new capacity are
+  /// evicted right here, not lazily on the next insert -- with the old
+  /// lazy scheme a shrink-to-zero left stale replies cached forever
+  /// (inserts, the only eviction point, stop happening at capacity 0).
+  void set_dedup_capacity(std::size_t capacity);
+
+  /// Current dedup cache occupancy (for tests and diagnostics).
+  [[nodiscard]] std::size_t dedup_size() const noexcept {
+    return dedup_order_.size();
   }
+
+  /// The cache key for one (caller, sequence) pair.  Length-prefixed so
+  /// the key is injective even when endpoint names contain the '#'
+  /// separator (shard-qualified names like "sphinx-server/chaos#2"): no
+  /// two distinct (from, seq) pairs can alias one cache entry.
+  [[nodiscard]] static std::string dedup_key(const std::string& from,
+                                             std::uint64_t seq);
 
   /// Mutable policy access (e.g. to ban a subject at runtime).
   [[nodiscard]] AuthzPolicy& policy() noexcept { return policy_; }

@@ -21,10 +21,21 @@ void MessageBus::register_endpoint(const std::string& name, Handler handler) {
   SPHINX_ASSERT(handler != nullptr, "endpoint handler must not be null");
   endpoints_[name] = std::move(handler);
   ever_registered_.insert(name);
+  // Registration completes a planned handoff: the name has an owner
+  // again, so later drops (if any) are back to crash semantics.
+  handoff_pending_.erase(name);
 }
 
 void MessageBus::unregister_endpoint(const std::string& name) {
   endpoints_.erase(name);
+}
+
+void MessageBus::expect_handoff(const std::string& name) {
+  handoff_pending_.insert(name);
+}
+
+bool MessageBus::handoff_pending(const std::string& name) const noexcept {
+  return handoff_pending_.contains(name);
 }
 
 bool MessageBus::has_endpoint(const std::string& name) const noexcept {
@@ -44,6 +55,12 @@ void MessageBus::set_fault_model(NetworkFaultConfig config, Rng faults_rng) {
   faults_ = std::move(config);
   faults_rng_ = std::move(faults_rng);
   faults_enabled_ = !faults_.rules.empty();
+}
+
+void MessageBus::set_control_stream(std::string prefix, Rng rng) {
+  control_prefix_ = std::move(prefix);
+  control_rng_ = std::move(rng);
+  control_enabled_ = !control_prefix_.empty();
 }
 
 MessageId MessageBus::send(const std::string& from, const std::string& to,
@@ -86,11 +103,21 @@ MessageId MessageBus::post(Envelope envelope) {
   envelope.id = ids_.next();
   envelope.sent_at = engine_.now();
   ++stats_.sent;
+  // Control-plane traffic draws its latency from a dedicated stream and
+  // skips the probabilistic faults below: its volume differs by design
+  // between a failover run and its baseline, so letting it touch rng_ or
+  // faults_rng_ would desynchronize every later core draw.
+  const auto has_prefix = [this](const std::string& name) {
+    return name.rfind(control_prefix_, 0) == 0;
+  };
+  const bool control =
+      control_enabled_ && (has_prefix(envelope.from) || has_prefix(envelope.to));
   // The legacy latency-jitter draw comes first and always happens, so a
   // bus with no fault model consumes the identical rng_ sequence as one
   // that predates faults entirely.
+  Rng& latency_rng = control ? control_rng_ : rng_;
   Duration delay =
-      base_latency_ + (jitter_ > 0 ? rng_.uniform(0.0, jitter_) : 0.0);
+      base_latency_ + (jitter_ > 0 ? latency_rng.uniform(0.0, jitter_) : 0.0);
   const MessageId id = envelope.id;
 
   if (faults_enabled_) {
@@ -117,6 +144,14 @@ MessageId MessageBus::post(Envelope envelope) {
                          envelope.to, "", 0.0);
         recorder_->count("bus", "bus.partitioned");
       }
+      return id;
+    }
+    // Partitions (above) are deterministic and apply to everything, the
+    // control plane included -- a severed link severs heartbeats too.
+    // The probabilistic faults below consume faults_rng_ draws, so
+    // control traffic must not reach them (see set_control_stream()).
+    if (control) {
+      deliver_in(delay, std::move(envelope));
       return id;
     }
     if (pass_loss < 1.0 && faults_rng_.chance(1.0 - pass_loss)) {
@@ -165,6 +200,18 @@ void MessageBus::deliver_in(Duration delay, Envelope envelope) {
       [this, env = std::move(envelope)]() {
         const auto it = endpoints_.find(env.to);
         if (it == endpoints_.end()) {
+          // A planned-handoff window is not a crash: the old owner
+          // unregistered deliberately and a new owner is on the way, so
+          // the drop gets its own counter and detail.
+          if (handoff_pending_.contains(env.to)) {
+            ++stats_.dropped_handoff;
+            if (recorder_ != nullptr) {
+              recorder_->count("bus", "bus.dropped_handoff");
+              recorder_->event(obs::TraceKind::kBusDrop, env.from, env.to,
+                               "endpoint_handoff", 0.0);
+            }
+            return;
+          }
           ++stats_.dropped_no_endpoint;
           const bool known = ever_registered_.contains(env.to);
           if (recorder_ != nullptr) {

@@ -51,6 +51,9 @@ struct BusStats {
   std::size_t sent = 0;
   std::size_t delivered = 0;
   std::size_t dropped_no_endpoint = 0;   ///< no handler at delivery time
+  /// Dropped while the endpoint was in a *planned* handoff window (see
+  /// expect_handoff()) -- deliberate ownership transfer, not a crash.
+  std::size_t dropped_handoff = 0;
   std::size_t lost_injected = 0;         ///< fault model lost the message
   std::size_t duplicated_injected = 0;   ///< extra deliveries scheduled
   std::size_t partition_dropped = 0;     ///< link inside a partition window
@@ -91,11 +94,23 @@ class MessageBus {
   MessageBus(sim::Engine& engine, Rng rng, Duration base_latency = 0.05,
              Duration jitter = 0.05);
 
-  /// Registers (or replaces) an endpoint handler.
+  /// Registers (or replaces) an endpoint handler.  Registration closes
+  /// any pending handoff window for the name (see expect_handoff()).
   void register_endpoint(const std::string& name, Handler handler);
   /// Removes an endpoint; in-flight messages to it will be dropped.
   void unregister_endpoint(const std::string& name);
   [[nodiscard]] bool has_endpoint(const std::string& name) const noexcept;
+
+  /// Opens a *planned handoff* window for an endpoint: until the name is
+  /// registered again, in-flight messages to it are dropped with detail
+  /// "endpoint_handoff" and counted in BusStats::dropped_handoff instead
+  /// of "endpoint_unregistered" / dropped_no_endpoint.  The control
+  /// plane marks a dead shard here before adoption re-registers it, so
+  /// drops during a deliberate ownership transfer are distinguishable
+  /// from drops caused by a crashed peer.
+  void expect_handoff(const std::string& name);
+  /// True while `name` has an open handoff window.
+  [[nodiscard]] bool handoff_pending(const std::string& name) const noexcept;
 
   /// Sends a request envelope.  Returns the message id for correlation.
   /// `call_seq` threads the caller's end-to-end sequence number through
@@ -115,6 +130,17 @@ class MessageBus {
   [[nodiscard]] const NetworkFaultConfig& fault_model() const noexcept {
     return faults_;
   }
+
+  /// Routes control-plane traffic -- envelopes whose sender or recipient
+  /// name starts with `prefix` -- onto a dedicated latency stream and
+  /// exempts it from the *probabilistic* fault model (loss, duplication,
+  /// reorder; partition windows still apply -- they are deterministic
+  /// and consume no draws).  Rationale: heartbeat/lease traffic differs
+  /// by design between a failover run and its uncrashed baseline, so its
+  /// draws must never interleave with the core streams or the
+  /// differential oracle's byte-equality breaks.  `rng` must be a
+  /// dedicated stream (e.g. seeds.stream("bus/ctrl")).
+  void set_control_stream(std::string prefix, Rng rng);
 
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
@@ -142,6 +168,9 @@ class MessageBus {
   /// "endpoint_unregistered" (peer went away) from "missing_endpoint"
   /// (never wired up -- a config bug).
   std::unordered_set<std::string> ever_registered_;
+  /// Endpoints inside a planned-handoff window (expect_handoff() opened
+  /// it, re-registration closes it).  Probed only, never iterated.
+  std::unordered_set<std::string> handoff_pending_;
   IdGenerator<MessageId> ids_;
   BusStats stats_;
   NetworkFaultConfig faults_;
@@ -149,6 +178,11 @@ class MessageBus {
   // a stream-derived Rng over it.
   Rng faults_rng_{0};  // sphinx-lint-allow(rng-raw)
   bool faults_enabled_ = false;
+  // Placeholder seed like faults_rng_: set_control_stream() move-assigns
+  // a stream-derived Rng over it.
+  Rng control_rng_{0};  // sphinx-lint-allow(rng-raw)
+  std::string control_prefix_;
+  bool control_enabled_ = false;
   obs::Recorder* recorder_ = nullptr;
 };
 

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/oracle.hpp"
 #include "exp/scenario.hpp"
 #include "workflow/generator.hpp"
 
@@ -321,6 +326,83 @@ TEST(ClientProtocol, RejectsBogusPlans) {
   r = caller.call("sphinx-client/t", "sphinx_client.dag_done",
                   {rpc::XrValue(424242), rpc::XrValue(1.0)});
   EXPECT_FALSE(r.has_value());
+}
+
+// --- checkpoint-timer edges across failover ---------------------------------
+
+std::vector<SimTime> checkpoint_times(const Scenario& scenario) {
+  std::vector<SimTime> times;
+  for (const obs::TraceEvent& e : scenario.recorder().trace().events()) {
+    if (e.kind == obs::TraceKind::kCheckpoint) times.push_back(e.at);
+  }
+  return times;
+}
+
+TEST(ServerCheckpoint, PeriodFiresExactlyOnTheSweepBoundary) {
+  // checkpoint_period = 2 sweeps: the deciding sweep lands at *exactly*
+  // last_checkpoint_at_ + period.  The trigger is `now >= last + period`;
+  // a strict `>` would slip every period checkpoint one sweep late.
+  Scenario scenario(quiet());
+  TenantOptions options;
+  options.checkpoint_period = 10.0;  // sweep_period is 5.0
+  Tenant& tenant = scenario.add_tenant("t", options);
+  auto generator = scenario.make_generator("w", workflow::WorkloadConfig{});
+  const auto dag = generator.generate("boundary");
+  scenario.start();
+  scenario.engine().schedule_at(1.0, "submit",
+                                [&tenant, dag] { tenant.client->submit(dag); });
+  scenario.engine().run_until(minutes(1));
+
+  const std::vector<SimTime> times = checkpoint_times(scenario);
+  ASSERT_GE(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    // Every checkpoint lands on a period boundary, never a sweep late.
+    EXPECT_DOUBLE_EQ(times[i], 10.0 + 10.0 * static_cast<double>(i));
+  }
+}
+
+TEST(ServerCheckpoint, AdoptedShardKeepsPeriodCheckpointsInLockstep) {
+  // An adopted shard re-derives last_checkpoint_at_/last_checkpoint_seq_
+  // from the carried CheckpointImage (src/core/server.cpp), so its
+  // post-adoption period checkpoints fire at exactly the times the
+  // uncrashed baseline's do -- pinned by byte-diffing the terminal
+  // journal and the chaos-stripped trace.
+  auto run = [](bool crash) {
+    auto scenario = std::make_unique<Scenario>(quiet(23));
+    TenantOptions options;
+    options.checkpoint_period = 10.0;
+    Tenant& tenant = scenario->add_tenant("t", options);
+    auto generator =
+        scenario->make_generator("w", workflow::WorkloadConfig{});
+    scenario->start();
+    for (int i = 0; i < 4; ++i) {
+      const auto dag = generator.generate("lockstep-" + std::to_string(i));
+      scenario->engine().schedule_at(
+          minutes(i), "submit", [&tenant, dag] { tenant.client->submit(dag); });
+    }
+    if (crash) {
+      // Mid-period kill (not on a sweep boundary), well after the first
+      // images published: the recovered cursors come from a real image.
+      scenario->engine().schedule_at(97.0, "crash", [&scenario] {
+        scenario->crash_server(0);
+        ASSERT_TRUE(scenario->recover_server(0).ok());
+      });
+    }
+    scenario->engine().run_until(minutes(30));
+    return scenario;
+  };
+
+  const auto baseline = run(false);
+  const auto adopted = run(true);
+  const std::vector<SimTime> baseline_times = checkpoint_times(*baseline);
+  ASSERT_GE(baseline_times.size(), 3u);
+  EXPECT_EQ(checkpoint_times(*adopted), baseline_times);
+  EXPECT_EQ(adopted->tenants()[0].server->warehouse().journal().serialize(),
+            baseline->tenants()[0].server->warehouse().journal().serialize());
+  EXPECT_EQ(
+      chaos::strip_chaos_events(adopted->recorder().trace().to_jsonl()),
+      chaos::strip_chaos_events(baseline->recorder().trace().to_jsonl()));
 }
 
 }  // namespace

@@ -142,6 +142,148 @@ TEST_F(FaultBusFixture, DropDetailDistinguishesUnregisteredFromMissing) {
   EXPECT_EQ(recorder.counter("bus.dropped_no_endpoint", "bus"), 2u);
 }
 
+TEST_F(FaultBusFixture, HandoffWindowDistinguishesPlannedDropsFromCrash) {
+  obs::Recorder recorder(engine);
+  bus.set_recorder(&recorder);
+  std::size_t* got = sink("sphinx-server/shard0");
+  bus.send("client", "sphinx-server/shard0", "in-flight");
+
+  // Planned ownership transfer: announce the handoff, then take the
+  // endpoint down.  The in-flight reply is dropped -- but as
+  // "endpoint_handoff", counted separately from crash-style drops.
+  bus.expect_handoff("sphinx-server/shard0");
+  EXPECT_TRUE(bus.handoff_pending("sphinx-server/shard0"));
+  bus.unregister_endpoint("sphinx-server/shard0");
+  engine.run_until();
+  EXPECT_EQ(*got, 0u);
+  EXPECT_EQ(bus.stats().dropped_handoff, 1u);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 0u);
+
+  std::vector<std::string> details;
+  for (const obs::TraceEvent& e : recorder.trace().events()) {
+    if (e.kind == obs::TraceKind::kBusDrop) details.push_back(e.detail);
+  }
+  ASSERT_EQ(details.size(), 1u);
+  EXPECT_EQ(details[0], "endpoint_handoff");
+  EXPECT_EQ(recorder.counter("bus.dropped_handoff", "bus"), 1u);
+}
+
+TEST_F(FaultBusFixture, ReRegistrationClosesTheHandoffWindow) {
+  obs::Recorder recorder(engine);
+  bus.set_recorder(&recorder);
+  bus.expect_handoff("sphinx-server/shard0");
+
+  // The new owner registering the endpoint completes the handoff; a
+  // later unregister is a plain crash again, not a handoff remnant.
+  std::size_t* got = sink("sphinx-server/shard0");
+  EXPECT_FALSE(bus.handoff_pending("sphinx-server/shard0"));
+  bus.send("client", "sphinx-server/shard0", "post-handoff");
+  engine.run_until();
+  EXPECT_EQ(*got, 1u);
+  EXPECT_EQ(bus.stats().dropped_handoff, 0u);
+
+  bus.send("client", "sphinx-server/shard0", "in-flight");
+  bus.unregister_endpoint("sphinx-server/shard0");
+  engine.run_until();
+  EXPECT_EQ(bus.stats().dropped_handoff, 0u);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+  std::vector<std::string> details;
+  for (const obs::TraceEvent& e : recorder.trace().events()) {
+    if (e.kind == obs::TraceKind::kBusDrop) details.push_back(e.detail);
+  }
+  ASSERT_EQ(details.size(), 1u);
+  EXPECT_EQ(details[0], "endpoint_unregistered");
+}
+
+// --- control-plane lane -----------------------------------------------------
+
+// Control traffic (names under the configured prefix) must not perturb
+// the core latency stream: a run with heartbeats interleaved delivers
+// the core messages at exactly the times a heartbeat-free run does.
+TEST(ControlStream, ControlTrafficNeverShiftsCoreLatencyDraws) {
+  auto run = [](bool with_ctrl_traffic) {
+    sim::Engine engine;
+    MessageBus bus{engine, Rng(1), 0.05, 0.05};
+    bus.set_control_stream("ctrl/", Rng(99));
+    std::vector<SimTime> delivered_at;
+    bus.register_endpoint("server", [&](const Envelope&) {
+      delivered_at.push_back(engine.now());
+    });
+    bus.register_endpoint("ctrl/coordinator", [](const Envelope&) {});
+    for (int i = 0; i < 16; ++i) {
+      engine.schedule_at(static_cast<double>(i), "send", [&bus] {
+        bus.send("client", "server", "core");
+      });
+      if (with_ctrl_traffic) {
+        engine.schedule_at(static_cast<double>(i) + 0.5, "beat", [&bus] {
+          bus.send("ctrl/hb/s0", "ctrl/coordinator", "renew");
+        });
+      }
+    }
+    engine.run_until();
+    return delivered_at;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Control traffic is exempt from probabilistic faults (loss here), and
+// its draws never consume from the faults stream either.
+TEST(ControlStream, ControlTrafficIsExemptFromProbabilisticFaults) {
+  sim::Engine engine;
+  MessageBus bus{engine, Rng(1), 0.05, 0.0};
+  bus.set_control_stream("ctrl/", Rng(99));
+  NetworkFaultConfig config;
+  LinkFaultRule rule;
+  rule.loss = 1.0;
+  config.rules.push_back(rule);
+  bus.set_fault_model(config, Rng(7));
+  std::size_t ctrl_delivered = 0;
+  bus.register_endpoint("ctrl/coordinator",
+                        [&](const Envelope&) { ++ctrl_delivered; });
+  std::size_t core_delivered = 0;
+  bus.register_endpoint("server", [&](const Envelope&) { ++core_delivered; });
+  for (int i = 0; i < 8; ++i) {
+    bus.send("ctrl/hb/s0", "ctrl/coordinator", "renew");
+    bus.send("client", "server", "core");
+  }
+  engine.run_until();
+  EXPECT_EQ(ctrl_delivered, 8u);
+  EXPECT_EQ(core_delivered, 0u);
+  EXPECT_EQ(bus.stats().lost_injected, 8u);
+}
+
+// Partitions are deterministic (no RNG draw), so the control lane still
+// honors them: a partition covering the coordinator severs heartbeats.
+TEST(ControlStream, ControlTrafficStillHonorsPartitions) {
+  sim::Engine engine;
+  MessageBus bus{engine, Rng(1), 0.05, 0.0};
+  bus.set_control_stream("ctrl/", Rng(99));
+  NetworkFaultConfig config;
+  LinkFaultRule cut;
+  cut.from_prefix = "ctrl/hb/";
+  cut.to_prefix = "ctrl/coordinator";
+  cut.start = 1.0;
+  cut.end = 2.0;
+  cut.partition = true;
+  config.rules.push_back(cut);
+  bus.set_fault_model(config, Rng(7));
+  std::size_t delivered = 0;
+  bus.register_endpoint("ctrl/coordinator",
+                        [&](const Envelope&) { ++delivered; });
+  engine.schedule_at(0.5, "s", [&] {
+    bus.send("ctrl/hb/s0", "ctrl/coordinator", "renew");
+  });
+  engine.schedule_at(1.5, "s", [&] {
+    bus.send("ctrl/hb/s0", "ctrl/coordinator", "renew");
+  });
+  engine.schedule_at(2.5, "s", [&] {
+    bus.send("ctrl/hb/s0", "ctrl/coordinator", "renew");
+  });
+  engine.run_until();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(bus.stats().partition_dropped, 1u);
+}
+
 TEST_F(FaultBusFixture, InjectedFaultsEmitObserveOnlyTraceEvents) {
   obs::Recorder recorder(engine);
   bus.set_recorder(&recorder);

@@ -5,7 +5,14 @@
 //                         [--checkpoint-every R] [--dags K] [--repro PATH]
 //                         [--net-windows W] [--net-partitions P]
 //                         [--inject-divergence] [--no-minimize]
+//   sphinx_chaos failover [--runs N] [--seed S] [--shards H] [--dags K]
 //   sphinx_chaos replay --repro PATH
+//
+// `failover` runs N seeded multi-scheduler failover pairs (scheduler
+// crash + client<->server partition during shard handoff vs the same
+// seed uninterrupted) and demands every pair pass the failover
+// differential oracle: adoption must be byte-invisible to the
+// scheduling layer.  Same report determinism contract as `campaign`.
 //
 // `campaign` sweeps N seeded chaos runs (randomized outage schedules,
 // lossy-wire windows + client<->server partitions, and
@@ -25,6 +32,7 @@
 #include <string>
 
 #include "chaos/campaign.hpp"
+#include "chaos/failover.hpp"
 
 namespace {
 
@@ -48,8 +56,59 @@ int usage() {
       "                             [--repro PATH]\n"
       "                             [--net-windows W] [--net-partitions P]\n"
       "                             [--inject-divergence] [--no-minimize]\n"
+      "       sphinx_chaos failover [--runs N] [--seed S] [--shards H]\n"
+      "                             [--dags K]\n"
       "       sphinx_chaos replay --repro PATH\n");
   return 2;
+}
+
+int run_failover(int argc, char** argv) {
+  int runs = 1;
+  sphinx::chaos::FailoverConfig base;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (arg == "--runs" && value != nullptr) {
+      runs = std::atoi(value);
+      ++i;
+    } else if (arg == "--seed" && value != nullptr) {
+      base.seed = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--shards" && value != nullptr) {
+      base.shards = static_cast<std::size_t>(std::atoi(value));
+      ++i;
+    } else if (arg == "--dags" && value != nullptr) {
+      base.dag_count = static_cast<std::size_t>(std::atoi(value));
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+
+  int failures = 0;
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  std::printf("sphinx_chaos failover: runs=%d shards=%zu dags=%zu\n", runs,
+              base.shards, base.dag_count);
+  for (int k = 0; k < runs; ++k) {
+    sphinx::chaos::FailoverConfig config = base;
+    config.seed = base.seed + static_cast<std::uint64_t>(k);
+    const sphinx::chaos::FailoverRunResult result =
+        sphinx::chaos::run_failover_pair(config);
+    if (!result.ok()) ++failures;
+    digest ^= result.digest;
+    std::printf(
+        "  seed=%llu adoptions=%zu expirations=%zu records=%zu "
+        "stopped_at=%.3f digest=%016llx %s",
+        static_cast<unsigned long long>(result.seed), result.adoptions,
+        result.expirations, result.journal_records, result.stopped_at,
+        static_cast<unsigned long long>(result.digest),
+        result.ok() ? "ok" : "FAIL");
+    if (!result.ok()) std::printf(" (%s)", result.violation().c_str());
+    std::printf("\n");
+  }
+  std::printf("sphinx_chaos failover: failures=%d digest=%016llx\n", failures,
+              static_cast<unsigned long long>(digest));
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -57,6 +116,7 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "failover") return run_failover(argc, argv);
 
   sphinx::chaos::CampaignConfig config;
   std::string repro_path = "chaos_repro.json";

@@ -17,8 +17,11 @@ echo "== sphinx-lint =="
 # The full static pass: the 7 hygiene/determinism regex rules plus the
 # declaration-aware analyzer rules (ordered-escape taint, rng stream
 # discipline, derived-state, observe-only) over everything we compile.
+# src/ctrl (the lease/failover control plane) is named explicitly: it is
+# already inside src/, but the control plane must never regress on the
+# determinism rules, so the gate stays loud about covering it.
 ./build/relwithdebinfo/tools/sphinx_lint/sphinx_lint \
-  --root . src tests bench examples tools
+  --root . src src/ctrl tests bench examples tools
 
 echo "== rng stream registry gate =="
 # docs/rng_streams.md is generated from the seeds.stream() literals the
@@ -82,6 +85,23 @@ mkdir -p "$chaos_dir"
   --repro "$chaos_dir/chaos_repro.json" > "$chaos_dir/report_b.txt"
 diff "$chaos_dir/report_a.txt" "$chaos_dir/report_b.txt"
 echo "chaos gate: campaign green and byte-identical"
+
+echo "== failover smoke gate =="
+# A 2-shard failover campaign: one scheduler is fail-stop killed while a
+# client<->server partition covers the handoff, and a surviving peer
+# adopts the dead shard from its checkpoint + journal suffix.  Every pair
+# must pass the failover differential oracle (adoption byte-invisible to
+# the scheduling layer), and two invocations must print byte-identical
+# reports.
+failover_dir=build/relwithdebinfo/failover
+rm -rf "$failover_dir"
+mkdir -p "$failover_dir"
+./build/relwithdebinfo/tools/chaos/sphinx_chaos failover --runs 3 --seed 7 \
+  > "$failover_dir/report_a.txt"
+./build/relwithdebinfo/tools/chaos/sphinx_chaos failover --runs 3 --seed 7 \
+  > "$failover_dir/report_b.txt"
+diff "$failover_dir/report_a.txt" "$failover_dir/report_b.txt"
+echo "failover gate: adoption green and byte-identical"
 
 echo "== sweep-cost benchmark =="
 # The sweep must cost O(changed work): the 10,000-idle-DAG case should
