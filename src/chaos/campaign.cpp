@@ -58,6 +58,7 @@ RunArtifacts run_once(const ChaosRunConfig& config,
   exp::TenantOptions options;
   options.algorithm = config.algorithm;
   options.checkpoint_every_records = config.checkpoint_every;
+  options.speculate = config.speculate;
   // Single tenant: multiple tenants sweep at identical timestamps, and a
   // crash+recovery would reorder equal-time events across tenants --
   // byte-equality only holds within one tenant's event stream.
@@ -143,6 +144,7 @@ RunArtifacts run_once(const ChaosRunConfig& config,
       tenant.server->warehouse().journal().next_seq());
   artifacts.journal_live_records = tenant.server->warehouse().journal().size();
   artifacts.trace_jsonl = scenario.recorder().trace().to_jsonl();
+  artifacts.speculations = tenant.server->stats().speculations;
   artifacts.invariant_violation = crash_failure;
   if (artifacts.invariant_violation.empty()) {
     try {
@@ -155,7 +157,118 @@ RunArtifacts run_once(const ChaosRunConfig& config,
   return artifacts;
 }
 
+/// One straggler-probe arm: the outage schedule and lossy-wire windows
+/// apply as in run_once, but there are no server crashes -- the A/B
+/// isolates the defense, and crash coverage lives in `campaign
+/// --speculate`.
+StragglerArmResult run_straggler_arm(const StragglerProbeConfig& config,
+                                     const ChaosSchedule& schedule,
+                                     bool speculate) {
+  exp::ScenarioConfig scenario_config;
+  scenario_config.seed = config.seed;
+  scenario_config.site_failures = false;
+  scenario_config.background_load = false;
+  scenario_config.outage_schedules = schedule.outages;
+  for (const NetFaultWindow& window : schedule.net_windows) {
+    rpc::LinkFaultRule rule;
+    rule.start = window.at;
+    rule.end = window.at + window.duration;
+    if (window.partition) {
+      rule.from_prefix = "sphinx-client";
+      rule.to_prefix = "sphinx-server";
+      rule.partition = true;
+    } else {
+      rule.loss = window.loss;
+      rule.duplicate = window.duplicate;
+      rule.reorder = window.reorder;
+      rule.reorder_spike = window.reorder_spike;
+    }
+    scenario_config.network_faults.rules.push_back(rule);
+  }
+  exp::Scenario scenario(scenario_config);
+
+  exp::TenantOptions options;
+  options.algorithm = config.algorithm;
+  options.job_timeout = config.job_timeout;
+  options.speculate = speculate;
+  scenario.add_tenant("straggler", options);
+
+  workflow::WorkloadConfig workload;
+  workload.jobs_per_dag = config.jobs_per_dag;
+  auto generator = scenario.make_generator("straggler", workload);
+  const std::vector<workflow::Dag> dags =
+      generator.generate_batch("straggler", config.dag_count);
+
+  scenario.start();
+  for (std::size_t k = 0; k < dags.size(); ++k) {
+    const workflow::Dag& dag = dags[k];
+    scenario.engine().schedule_at(
+        kFirstSubmitAt + static_cast<double>(k) * kSubmitSpacing,
+        "submit:" + dag.name(),
+        [&scenario, &dag] { scenario.tenants()[0].client->submit(dag); });
+  }
+  scenario.run(config.horizon);
+
+  const exp::Tenant& tenant = scenario.tenants()[0];
+  StragglerArmResult arm;
+  arm.speculate = speculate;
+  arm.dags_total = tenant.client->dag_outcomes().size();
+  arm.dags_finished = tenant.client->dags_finished();
+  for (const core::DagOutcome& outcome : tenant.client->dag_outcomes()) {
+    if (outcome.done()) arm.dag_completions.push_back(outcome.completion_time());
+  }
+  arm.timeouts = tenant.client->tracker_stats().timeouts;
+  arm.speculations = tenant.server->stats().speculations;
+  arm.won_primary = tenant.server->stats().speculations_won_primary;
+  arm.won_spec = tenant.server->stats().speculations_won_spec;
+  arm.stale_skips = tenant.server->stats().detector_stale_skips;
+  arm.digest = fnv1a(scenario.recorder().trace().to_jsonl(),
+                     fnv1a(tenant.server->warehouse().journal().serialize()));
+  return arm;
+}
+
 }  // namespace
+
+ScheduleConfig straggler_schedule_defaults() {
+  ScheduleConfig schedule;
+  // Long-tail grid: mostly black-hole and degraded outages, across
+  // enough sites that every run has several compromised ones.  The span
+  // is compressed to the workload's active window -- the probe's DAGs
+  // are in flight for the first hour at most, and an outage that starts
+  // after the last job finished measures nothing.  Outages last longer
+  // than the tracker timeout, so without the defense a trapped job's
+  // only escape is the timeout.  No server crashes -- this schedule
+  // measures the defense, not recovery.
+  schedule.span = minutes(45);
+  schedule.outages = 14;
+  schedule.mean_duration = minutes(50);
+  schedule.min_duration = minutes(10);
+  schedule.weight_down = 0.2;
+  schedule.weight_black_hole = 1.0;
+  schedule.weight_degraded = 1.0;
+  schedule.bursts = 1;
+  schedule.burst_sites = 3;
+  schedule.crashes = 0;
+  schedule.mid_ckpt_crashes = 0;
+  // One mild lossy window; no partitions (a severed control link stalls
+  // both arms identically and only blurs the tail-latency signal).
+  schedule.net_windows = 1;
+  schedule.net_loss = 0.03;
+  schedule.net_duplicate = 0.02;
+  schedule.net_reorder = 0.03;
+  schedule.net_partitions = 0;
+  return schedule;
+}
+
+StragglerProbeResult run_straggler_probe(const StragglerProbeConfig& config) {
+  const ChaosSchedule schedule =
+      synthesize(config.seed, config.schedule, exp::Scenario::site_names());
+  StragglerProbeResult result;
+  result.seed = config.seed;
+  result.off = run_straggler_arm(config, schedule, false);
+  result.on = run_straggler_arm(config, schedule, true);
+  return result;
+}
 
 ChaosSchedule synthesize_schedule(const ChaosRunConfig& config) {
   return synthesize(config.seed, config.schedule, exp::Scenario::site_names());
@@ -174,6 +287,7 @@ ChaosRunResult run_chaos_pair(const ChaosRunConfig& config,
   result.invariants = check_run_invariants(chaotic);
   result.differential = check_differential(chaotic, baseline);
   result.digest = fnv1a(chaotic.trace_jsonl, fnv1a(chaotic.journal_text));
+  result.speculations = chaotic.speculations;
   result.journal_records = chaotic.journal_records;
   result.journal_live_records = chaotic.journal_live_records;
   return result;
@@ -236,6 +350,8 @@ std::string to_json(const ReproCase& repro) {
   out += repro.config.background_load ? "true" : "false";
   out += ",\"checkpoint_every\":" +
          std::to_string(repro.config.checkpoint_every);
+  out += ",\"speculate\":";
+  out += repro.config.speculate ? "true" : "false";
   out += ",\"inject_divergence\":";
   out += repro.config.inject_divergence ? "true" : "false";
   out += "},\"violation\":\"" + obs::json_escape(repro.violation) + "\"";
@@ -274,6 +390,7 @@ Expected<ReproCase> repro_from_json(const std::string& text) {
   repro.config.checkpoint_every = static_cast<std::size_t>(
       number("checkpoint_every",
              static_cast<double>(repro.config.checkpoint_every)));
+  repro.config.speculate = flag("speculate");
   repro.config.inject_divergence = flag("inject_divergence");
   if (const JsonValue* algorithm = config->find("algorithm")) {
     if (!algorithm->is_string()) return bad("algorithm: string");

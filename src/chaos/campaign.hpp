@@ -44,6 +44,11 @@ struct ChaosRunConfig {
   /// for the legacy full-replay configuration (mid-checkpoint crash
   /// points then never fire and block any later points in the chain).
   std::size_t checkpoint_every = 64;
+  /// Straggler defense: race speculative replicas against detected
+  /// stragglers (ServerConfig::speculate).  Chaos campaigns with this on
+  /// prove the races stay journal-replayable under crashes and lossy
+  /// wires.
+  bool speculate = false;
   /// Test hook: perturb the warehouse right after each recovery so the
   /// differential oracle genuinely fails (exercises minimize + repro).
   bool inject_divergence = false;
@@ -57,6 +62,9 @@ struct ChaosRunResult {
   OracleReport differential;  ///< chaotic vs baseline
   std::uint64_t digest = 0;   ///< FNV over the chaotic run's artifacts
   std::size_t crashes_executed = 0;
+  /// Speculative replicas the chaotic run launched (straggler defense;
+  /// 0 unless the run had ChaosRunConfig::speculate on).
+  std::size_t speculations = 0;
   /// Chaotic run's total journal records ever appended (next_seq) --
   /// crash thresholds are expressed in this unit.
   std::size_t journal_records = 0;
@@ -113,6 +121,52 @@ struct CampaignResult {
 };
 
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Straggler-defense A/B probe: one degraded-heavy outage schedule, two
+/// runs sharing seed + schedule -- speculation OFF vs ON.  The arms see
+/// byte-identical grids, workloads and fault draws, so every difference
+/// in tail latency is the defense's doing.
+struct StragglerProbeConfig {
+  std::uint64_t seed = 1;
+  /// Synthesis knobs; start from straggler_schedule_defaults().
+  ScheduleConfig schedule;
+  int dag_count = 6;
+  int jobs_per_dag = 6;
+  core::Algorithm algorithm = core::Algorithm::kCompletionTime;
+  SimTime horizon = hours(24);
+  Duration job_timeout = minutes(20);
+};
+
+/// One arm (speculation off or on) of the probe.
+struct StragglerArmResult {
+  bool speculate = false;
+  std::size_t dags_total = 0;
+  std::size_t dags_finished = 0;
+  /// Completion time of every finished DAG, submission order.
+  std::vector<double> dag_completions;
+  std::size_t timeouts = 0;      ///< tracker-initiated cancellations
+  std::size_t speculations = 0;  ///< replicas launched (ON arm only)
+  std::size_t won_primary = 0;
+  std::size_t won_spec = 0;
+  std::size_t stale_skips = 0;   ///< detector declined: monitoring stale
+  std::uint64_t digest = 0;      ///< FNV over trace + journal (determinism)
+};
+
+struct StragglerProbeResult {
+  std::uint64_t seed = 0;
+  StragglerArmResult off;
+  StragglerArmResult on;
+};
+
+/// The degraded-heavy synthesis knobs the straggler gate uses: long
+/// black-hole/degraded outages across several sites, no server crashes,
+/// a mild lossy-wire window, no partitions.
+[[nodiscard]] ScheduleConfig straggler_schedule_defaults();
+
+/// Runs both arms on the synthesized schedule.  Deterministic: same
+/// config in, byte-identical result out.
+[[nodiscard]] StragglerProbeResult run_straggler_probe(
+    const StragglerProbeConfig& config);
 
 /// `chaos_repro.json` round-trip.
 [[nodiscard]] std::string to_json(const ReproCase& repro);

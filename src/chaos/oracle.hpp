@@ -32,6 +32,8 @@ struct RunArtifacts {
   std::size_t journal_live_records = 0;
   std::size_t dags_total = 0;
   std::size_t dags_finished = 0;
+  /// Speculative replicas the server launched (straggler defense).
+  std::size_t speculations = 0;
   SimTime stopped_at = 0.0;
   /// First warehouse/engine invariant violation caught during the run
   /// ("" when clean).

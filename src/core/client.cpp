@@ -24,6 +24,11 @@ SphinxClient::SphinxClient(rpc::MessageBus& bus, submit::CondorG& gateway,
       [this](const std::vector<XrValue>& params, const rpc::Proxy&) {
         return handle_dag_done(params);
       });
+  service_->register_method(
+      "sphinx_client.cancel_attempt",
+      [this](const std::vector<XrValue>& params, const rpc::Proxy&) {
+        return handle_cancel_attempt(params);
+      });
   rpc_ = std::make_unique<rpc::ClarensClient>(bus_, config_.endpoint + "/out",
                                               std::move(proxy));
 }
@@ -71,6 +76,12 @@ Expected<XrValue> SphinxClient::handle_execute_plan(
   if (recorder_ != nullptr) {
     recorder_->count(config_.endpoint, "tracker.plans_received");
   }
+  if (plan->speculative) {
+    ++tracker_.speculative_plans;
+    if (recorder_ != nullptr) {
+      recorder_->count(config_.endpoint, "tracker.speculative_plans");
+    }
+  }
 
   // Build the submit file from the server's decision.
   submit::SubmitRequest request;
@@ -81,6 +92,7 @@ Expected<XrValue> SphinxClient::handle_execute_plan(
   request.site = plan->site;
   request.priority = plan->batch_priority;
   request.compute_time = plan->compute_time;
+  request.attempt = plan->attempt;
   for (const PlannedInput& input : plan->inputs) {
     request.inputs.push_back(
         submit::StagedInput{input.lfn, input.source, input.bytes});
@@ -93,25 +105,37 @@ Expected<XrValue> SphinxClient::handle_execute_plan(
   tracked.plan = *plan;
   tracked.submitted_at = now;
   const JobId job = plan->job;
-  // (Re)insert: a replanned job replaces its dead predecessor entry, so a
-  // resubmission starts with a *fresh* extensions budget -- the previous
-  // attempt's used-up extensions must not count against the new attempt
-  // (Figure 8's timeout counts depend on this).
-  if (const auto it = tracked_.find(job); it != tracked_.end()) {
+  const int attempt = plan->attempt;
+  const Key key{job.value(), attempt};
+  // (Re)insert: each attempt gets its own entry, so a resubmission starts
+  // with a *fresh* extensions budget -- the previous attempt's used-up
+  // extensions must not count against the new attempt (Figure 8's timeout
+  // counts depend on this).  A speculative plan coexists with the still
+  // racing primary attempt instead of replacing it.
+  if (const auto it = tracked_.find(key); it != tracked_.end()) {
     bus_.engine().cancel(it->second.timeout);
-    tracked_.erase(it);
+    erase_tracked(key);
   }
-  auto& slot = tracked_.emplace(job, std::move(tracked)).first->second;
+  if (plan->speculative) {
+    ++racing_now_;
+    // Cross-layer contract: the server enforces its speculation budgets
+    // *before* sending a plan; more concurrent racers than the client
+    // budget means that enforcement is broken.
+    SPHINX_ASSERT(racing_now_ <= config_.speculation_budget,
+                  "speculation budget exceeded at the client");
+  }
+  auto& slot = tracked_.emplace(key, std::move(tracked)).first->second;
   slot.timeout = bus_.engine().schedule_in(
       config_.job_timeout, config_.endpoint + ":timeout",
-      [this, job] { on_timeout(job); });
+      [this, job, attempt] { on_timeout(job, attempt); });
 
   ++tracker_.submissions;
   const bool accepted = gateway_.submit(
       request,
       [this](const submit::GatewayEvent& event) { on_gateway_event(event); });
   if (accepted) {
-    report(TrackerReport{job, ReportKind::kSubmitted, plan->site, now, 0, 0, 0});
+    report(TrackerReport{job, ReportKind::kSubmitted, plan->site, now, 0, 0, 0,
+                         attempt});
   }
   // If not accepted, the kFailed gateway event already ran on_gateway_event
   // and requested replanning.
@@ -152,26 +176,78 @@ void SphinxClient::finish_tracking(Tracked& tracked) {
   bus_.engine().cancel(tracked.timeout);
 }
 
+void SphinxClient::erase_tracked(Key key) {
+  const auto it = tracked_.find(key);
+  if (it == tracked_.end()) return;
+  if (it->second.plan.speculative) {
+    SPHINX_ASSERT(racing_now_ > 0, "racing counter underflow");
+    --racing_now_;
+  }
+  tracked_.erase(it);
+}
+
+Expected<XrValue> SphinxClient::handle_cancel_attempt(
+    const std::vector<XrValue>& params) {
+  if (params.size() != 2 || !params[0].is_int() || !params[1].is_int()) {
+    return make_error("bad_request", "expected [job_id, attempt]");
+  }
+  const JobId job(static_cast<std::uint64_t>(params[0].as_int()));
+  const int attempt = static_cast<int>(params[1].as_int());
+  const Key key{job.value(), attempt};
+  // Idempotent: the loser attempt may already be gone (it completed or
+  // failed before the cancel arrived, or this is a retransmission).  The
+  // server has already settled the race either way.
+  const auto it = tracked_.find(key);
+  if (it == tracked_.end() || it->second.terminal) return XrValue(true);
+  Tracked& tracked = it->second;
+  finish_tracking(tracked);
+  ++tracker_.race_cancels;
+  if (recorder_ != nullptr) {
+    recorder_->count(config_.endpoint, "tracker.race_cancels");
+  }
+  gateway_.cancel(job, attempt);
+  // No report: the server initiated this cancellation when it settled the
+  // race and has already retired the attempt.
+  erase_tracked(key);
+  return XrValue(true);
+}
+
 void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
-  const auto it = tracked_.find(event.job);
+  const Key key{event.job.value(), event.attempt};
+  const auto it = tracked_.find(key);
   if (it == tracked_.end()) return;
   Tracked& tracked = it->second;
   if (tracked.terminal) return;
   const SimTime now = bus_.engine().now();
   const SiteId site = tracked.plan.site;
+  const int attempt = tracked.plan.attempt;
 
   switch (event.state) {
     case submit::GatewayJobState::kRunning: {
       tracked.started_at = now;
-      TrackerReport r{event.job, ReportKind::kRunning, site, now, 0, 0, 0};
+      TrackerReport r{event.job, ReportKind::kRunning, site, now, 0, 0, 0,
+                      attempt};
       r.idle_time = now - tracked.submitted_at;
       report(r);
       return;
     }
     case submit::GatewayJobState::kCompleted: {
       finish_tracking(tracked);
+      // First-completion-wins arbitration: when the sibling attempt of a
+      // speculation race already completed, this one is the loser whose
+      // cancel lost the race to its own completion.  Swallow it -- no
+      // stats, no report -- the job is already done.
+      if (!completed_jobs_.insert(event.job.value()).second) {
+        ++tracker_.duplicate_completions;
+        if (recorder_ != nullptr) {
+          recorder_->count(config_.endpoint, "tracker.duplicate_completions");
+        }
+        erase_tracked(key);
+        return;
+      }
       ++tracker_.completions;
-      TrackerReport r{event.job, ReportKind::kCompleted, site, now, 0, 0, 0};
+      TrackerReport r{event.job, ReportKind::kCompleted, site, now, 0, 0, 0,
+                      attempt};
       r.completion_time = now - tracked.submitted_at;
       if (tracked.started_at < kNever) {
         r.execution_time = now - tracked.started_at;
@@ -196,7 +272,7 @@ void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
                            r.completion_time);
       }
       report(r);
-      tracked_.erase(event.job);  // terminal: drop the tracker entry
+      erase_tracked(key);  // terminal: drop the tracker entry
       return;
     }
     case submit::GatewayJobState::kHeld:
@@ -206,24 +282,26 @@ void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
       // to the remote sites on which the held jobs are located").
       finish_tracking(tracked);
       ++tracker_.held_or_failed;
-      gateway_.cancel(event.job);
-      TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0};
+      gateway_.cancel(event.job, attempt);
+      TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0,
+                      attempt};
       r.completion_time = now - tracked.submitted_at;  // censored
       if (recorder_ != nullptr) {
         recorder_->count(config_.endpoint, "tracker.held_or_failed");
       }
       report(r);
-      tracked_.erase(event.job);  // terminal: drop the tracker entry
+      erase_tracked(key);  // terminal: drop the tracker entry
       return;
     }
     case submit::GatewayJobState::kRemoved: {
       if (!tracked.terminal) {
         // Removed by someone other than our timeout path: treat as held.
         finish_tracking(tracked);
-        TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0};
+        TrackerReport r{event.job, ReportKind::kHeld, site, now, 0, 0, 0,
+                        attempt};
         r.completion_time = now - tracked.submitted_at;  // censored
         report(r);
-        tracked_.erase(event.job);
+        erase_tracked(key);
       }
       // Terminal entries are left for the initiating path (on_timeout or
       // the held branch above) to erase -- it still holds a reference.
@@ -234,19 +312,20 @@ void SphinxClient::on_gateway_event(const submit::GatewayEvent& event) {
   }
 }
 
-void SphinxClient::on_timeout(JobId job) {
-  const auto it = tracked_.find(job);
+void SphinxClient::on_timeout(JobId job, int attempt) {
+  const Key key{job.value(), attempt};
+  const auto it = tracked_.find(key);
   if (it == tracked_.end() || it->second.terminal) return;
   Tracked& tracked = it->second;
   // Progress check before killing: a job visibly staging or computing on
   // a responsive site is slow, not lost.  Grant it another period (up to
   // the configured budget) instead of cancelling and re-staging it
   // somewhere else.
-  const auto state = gateway_.state_of(job);
+  const auto state = gateway_.state_of(job, attempt);
   const bool progressing =
       state.has_value() && (*state == submit::GatewayJobState::kStaging ||
                             *state == submit::GatewayJobState::kRunning);
-  if (progressing && gateway_.site_responsive(job) &&
+  if (progressing && gateway_.site_responsive(job, attempt) &&
       tracked.extensions < config_.max_timeout_extensions) {
     ++tracked.extensions;
     ++tracker_.extensions;
@@ -255,7 +334,7 @@ void SphinxClient::on_timeout(JobId job) {
     // extensions never accumulate drift against the submission time.
     tracked.timeout = bus_.engine().schedule_in(
         config_.job_timeout, config_.endpoint + ":timeout",
-        [this, job] { on_timeout(job); });
+        [this, job, attempt] { on_timeout(job, attempt); });
     if (recorder_ != nullptr) {
       recorder_->event(obs::TraceKind::kTrackerExtension, config_.endpoint,
                        "job:" + std::to_string(job.value()),
@@ -276,16 +355,16 @@ void SphinxClient::on_timeout(JobId job) {
                      static_cast<double>(tracked.extensions));
     recorder_->count(config_.endpoint, "tracker.timeouts");
   }
-  gateway_.cancel(job);  // condor_rm (or forced removal if site is dead)
+  gateway_.cancel(job, attempt);  // condor_rm (or forced removal)
   TrackerReport r{job, ReportKind::kCancelled, tracked.plan.site,
-                  bus_.engine().now(), 0, 0, 0};
+                  bus_.engine().now(), 0, 0, 0, attempt};
   // The attempt had been outstanding for the full timeout: report that as
   // a censored (lower-bound) completion-time observation.
   r.completion_time = bus_.engine().now() - tracked.submitted_at;
   report(r);
   // Terminal: drop the entry.  The replacement plan (if the server
   // replans) re-inserts a fresh one with a zeroed extensions budget.
-  tracked_.erase(job);
+  erase_tracked(key);
 }
 
 void SphinxClient::report(const TrackerReport& r) {

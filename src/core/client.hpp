@@ -11,11 +11,13 @@
 /// requesting replanning -- the mechanism behind every fault-tolerance
 /// result in the paper (Figures 2 and 8).
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -43,6 +45,11 @@ struct ClientConfig {
   /// it elsewhere makes congestion worse.
   Duration job_timeout = minutes(30);
   int max_timeout_extensions = 3;
+  /// Straggler defense: upper bound on speculative attempts this client
+  /// will track concurrently.  The server's own per-DAG/global budgets
+  /// are tighter; this is the cross-layer contract check -- exceeding it
+  /// means the server's budget enforcement is broken.
+  std::size_t speculation_budget = 8;
 };
 
 /// Completion record for one DAG (client-side timing).
@@ -77,6 +84,14 @@ struct TrackerStats {
   /// Re-delivered dag_done notifications; the recorded finish time of
   /// the first delivery is kept.
   std::size_t duplicate_dag_done = 0;
+  /// Straggler defense: speculative (racing) plans accepted.
+  std::size_t speculative_plans = 0;
+  /// cancel_attempt requests that found a live attempt to kill (the
+  /// loser of a first-completion-wins race).
+  std::size_t race_cancels = 0;
+  /// Completions of a racing attempt observed after the sibling already
+  /// completed; arbitrated away (no stats, no report).
+  std::size_t duplicate_completions = 0;
 };
 
 class SphinxClient {
@@ -156,21 +171,33 @@ class SphinxClient {
     bool terminal = false;
   };
 
+  /// Tracker entries are keyed per (job, attempt): a speculation race has
+  /// two live attempts of one JobId at once.
+  using Key = std::pair<std::uint64_t, int>;
+
   Expected<rpc::XrValue> handle_execute_plan(
       const std::vector<rpc::XrValue>& params);
   Expected<rpc::XrValue> handle_dag_done(
       const std::vector<rpc::XrValue>& params);
+  Expected<rpc::XrValue> handle_cancel_attempt(
+      const std::vector<rpc::XrValue>& params);
   void on_gateway_event(const submit::GatewayEvent& event);
-  void on_timeout(JobId job);
+  void on_timeout(JobId job, int attempt);
   void report(const TrackerReport& report);
   void finish_tracking(Tracked& tracked);
+  void erase_tracked(Key key);
 
   rpc::MessageBus& bus_;
   submit::CondorG& gateway_;
   ClientConfig config_;
   std::unique_ptr<rpc::ClarensService> service_;
   std::unique_ptr<rpc::ClarensClient> rpc_;
-  std::unordered_map<JobId, Tracked> tracked_;
+  std::map<Key, Tracked> tracked_;
+  /// Jobs whose first completion has already been observed; a sibling
+  /// attempt completing later is the race loser and is arbitrated away.
+  std::unordered_set<std::uint64_t> completed_jobs_;
+  /// Speculative attempts currently tracked, for the budget contract.
+  std::size_t racing_now_ = 0;  // sphinx-lint: derived(handle_execute_plan, erase_tracked)
   /// Every (job, attempt) accepted for submission, for the duplicate-plan
   /// guard.  Legitimate replans always carry a fresh attempt number, so
   /// a repeat pair can only be a duplicate delivery.

@@ -153,6 +153,7 @@ XrValue encode_plan(const ExecutionPlan& plan) {
   root.emplace("persist_output", XrValue(plan.persist_output));
   root.emplace("persistent_site", XrValue(plan.persistent_site.value()));
   root.emplace("batch_priority", XrValue(plan.batch_priority));
+  root.emplace("speculative", XrValue(plan.speculative));
   XrValue::Array inputs;
   for (const PlannedInput& input : plan.inputs) {
     XrValue::Struct i;
@@ -205,6 +206,9 @@ Expected<ExecutionPlan> decode_plan(const XrValue& value) {
   if (value.has("batch_priority")) {
     plan.batch_priority = value.at("batch_priority").as_double();
   }
+  if (value.has("speculative") && value.at("speculative").is_bool()) {
+    plan.speculative = value.at("speculative").as_bool();
+  }
   for (const XrValue& iv : value.at("inputs").as_array()) {
     auto lfn = need_string(iv, "lfn");
     if (!lfn) return Unexpected<Error>{lfn.error()};
@@ -227,6 +231,7 @@ XrValue encode_report(const TrackerReport& report) {
   root.emplace("completion_time", XrValue(report.completion_time));
   root.emplace("execution_time", XrValue(report.execution_time));
   root.emplace("idle_time", XrValue(report.idle_time));
+  root.emplace("attempt", XrValue(static_cast<std::int64_t>(report.attempt)));
   return XrValue(std::move(root));
 }
 
@@ -256,6 +261,9 @@ Expected<TrackerReport> decode_report(const XrValue& value) {
   report.completion_time = *completion;
   report.execution_time = *execution;
   report.idle_time = *idle;
+  if (value.has("attempt") && value.at("attempt").is_int()) {
+    report.attempt = static_cast<int>(value.at("attempt").as_int());
+  }
   return report;
 }
 

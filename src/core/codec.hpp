@@ -41,6 +41,9 @@ struct ExecutionPlan {
   /// QoS: within-VO batch priority forwarded to the site (bounded nudge
   /// derived from the request's priority and deadline).
   double batch_priority = 0.0;
+  /// Straggler defense: this plan replicates a still-live earlier attempt
+  /// and races it (first completion wins) instead of replacing it.
+  bool speculative = false;
 };
 
 /// What the tracker tells the server about a job (section 3.3).
@@ -62,6 +65,11 @@ struct TrackerReport {
   Duration completion_time = 0.0;  ///< submit -> complete (kCompleted)
   Duration execution_time = 0.0;   ///< run start -> complete (kCompleted)
   Duration idle_time = 0.0;        ///< submit -> run start
+  /// Which (job, attempt) this report describes.  0 = unknown (legacy
+  /// payloads); the server then attributes it to the job's live attempt.
+  /// Required for speculation: two attempts race concurrently and the
+  /// arbitration rules key off which one reported.
+  int attempt = 0;
 };
 
 /// DAG <-> XML-RPC value.

@@ -56,6 +56,36 @@ struct ServerConfig {
   /// trigger.  With both triggers off the journal grows unboundedly and
   /// recovery replays the full history -- the pre-checkpointing default.
   Duration checkpoint_period = 0.0;
+
+  // --- straggler defense (speculative replication) ----------------------
+  /// Master switch.  Off, the detector never runs and the tracker's
+  /// timeout-cancel-replan loop is the only slow-site defense.
+  bool speculate = false;
+  /// A job is a straggler when its elapsed time since planning exceeds
+  /// speculation_multiplier x the q-th percentile of its (site, class)
+  /// runtime-sample distribution.
+  double speculation_percentile = 0.95;
+  double speculation_multiplier = 2.0;
+  /// Floor on the straggler threshold: never speculate before a job has
+  /// been outstanding at least this long, whatever the percentile says
+  /// (tiny-class histograms would otherwise replicate healthy jobs).
+  Duration speculation_min_elapsed = minutes(5);
+  /// Decline to classify when the (site, class) sample ring -- falling
+  /// back to the class's all-site ring for cold sites -- holds fewer
+  /// samples than this.
+  std::size_t speculation_min_samples = 3;
+  /// Detector cadence: scan the in-flight jobs at most once per this many
+  /// sim-seconds (checked at sweep boundaries; the scan is O(outstanding)).
+  Duration speculation_check_period = minutes(2);
+  /// Monitor staleness guard: when the freshest monitoring snapshot for a
+  /// job's site is older than this, the detector declines to classify the
+  /// job (a dark site's jobs all look like stragglers; the tracker
+  /// timeout owns that failure mode).  Counted as detector.stale_skips.
+  Duration speculation_stale_after = minutes(45);
+  /// Fan-out budgets: maximum concurrently racing speculations per DAG
+  /// and per server.  Both contract-checked after every detector pass.
+  std::size_t speculation_max_per_dag = 2;
+  std::size_t speculation_max_global = 8;
 };
 
 /// Counters for experiments and diagnostics.
@@ -70,6 +100,12 @@ struct ServerStats {
   /// retransmitted submit_dag that escaped the RPC dedup cache, e.g.
   /// after a crash wiped it).
   std::size_t duplicate_dags = 0;
+  // Straggler defense (speculate = true).
+  std::size_t speculations = 0;           ///< races launched
+  std::size_t speculations_won_primary = 0;  ///< original attempt finished first
+  std::size_t speculations_won_spec = 0;     ///< replica finished first
+  std::size_t speculation_cancels = 0;    ///< loser-cancel RPCs issued
+  std::size_t detector_stale_skips = 0;   ///< classifications declined (stale)
 };
 
 }  // namespace sphinx::core

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/straggler.hpp"
+
 namespace sphinx::core {
 
 MessageHandler::MessageHandler(DataWarehouse& warehouse,
@@ -25,6 +27,61 @@ bool MessageHandler::accept_dag(const workflow::Dag& dag,
   return true;
 }
 
+namespace {
+
+/// Whether a report's attempt number names the job's live attempt.  The
+/// job row tracks one attempt; while a race is open its primary attempt
+/// is live too, and after kSpecDead (the replica died, the job row kept
+/// the replica's burnt attempt number) the surviving primary still
+/// reports under its own.  Attempt 0 is a legacy payload: attributed to
+/// whatever is live.
+[[nodiscard]] bool matches_live(int attempt, const JobRecord& job,
+                                const std::optional<SpeculationRecord>& race) {
+  if (attempt <= 0 || attempt == job.attempt) return true;
+  if (!race.has_value()) return false;
+  if (race->state == SpeculationState::kRacing) {
+    return attempt == race->primary_attempt;
+  }
+  return race->state == SpeculationState::kSpecDead &&
+         race->spec_attempt == job.attempt &&
+         attempt == race->primary_attempt;
+}
+
+}  // namespace
+
+void MessageHandler::settle_race(const JobRecord& job,
+                                 const SpeculationRecord& race,
+                                 SpeculationState final_state,
+                                 const TrackerReport& report) {
+  warehouse_.resolve_speculation(job.id, final_state);
+  // Loser bookkeeping: the retired attempt had been outstanding on its
+  // site since it was planned/launched; fold that in as a censored
+  // duration so the reliability filter (cancelled > completed) still
+  // sees black holes that only ever lose races.
+  const bool primary_retired = final_state == SpeculationState::kSpecWon ||
+                               final_state == SpeculationState::kPrimaryDead;
+  const SiteId loser_site =
+      primary_retired ? race.primary_site : race.spec_site;
+  const Duration censored = primary_retired
+                                ? report.at - race.primary_planned_at
+                                : report.at - race.launched_at;
+  warehouse_.record_cancellation(loser_site, censored);
+  if (config_.use_policy) {
+    if (const auto dag = warehouse_.dag(job.dag); dag.has_value()) {
+      warehouse_.refund_quota(dag->user, loser_site, "cpu_seconds",
+                              job.compute_time);
+      warehouse_.refund_quota(dag->user, loser_site, "disk_bytes",
+                              job.output_bytes);
+    }
+  }
+  if (final_state == SpeculationState::kPrimaryWon) {
+    ++stats_.speculations_won_primary;
+  } else if (final_state == SpeculationState::kSpecWon) {
+    ++stats_.speculations_won_spec;
+  }
+  if (on_speculation_resolved_) on_speculation_resolved_(race, final_state);
+}
+
 StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
   ++stats_.reports_processed;
 
@@ -33,15 +90,22 @@ StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
     return make_error("unknown_job",
                       "no job " + std::to_string(report.job.value()));
   }
+  // The open race, if any; resolved races still matter to matches_live.
+  const auto racing = warehouse_.active_speculation(report.job);
+  const auto latest = racing.has_value()
+                          ? racing
+                          : warehouse_.latest_speculation(report.job);
 
   switch (report.kind) {
     case ReportKind::kSubmitted:
+      if (!matches_live(report.attempt, *job, latest)) break;
       if (job->state == JobState::kPlanned) {
         warehouse_.set_job_state(job->id, JobState::kSubmitted,
                                  "report:submitted");
       }
       break;
     case ReportKind::kRunning:
+      if (!matches_live(report.attempt, *job, latest)) break;
       if (job->state == JobState::kSubmitted ||
           job->state == JobState::kPlanned) {
         warehouse_.set_job_state(job->id, JobState::kRunning,
@@ -54,11 +118,31 @@ StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
         // count the site's statistics and re-run the DAG finish check.
         break;
       }
+      // First completion wins, whichever attempt it came from.  A
+      // completion needs no live-attempt guard: every attempt reports at
+      // most one terminal event, so a completion from a retired attempt
+      // can only be the race loser finishing before its cancel landed --
+      // the client's own arbitration already swallowed it.
+      if (racing.has_value()) {
+        settle_race(*job, *racing,
+                    report.attempt == racing->spec_attempt
+                        ? SpeculationState::kSpecWon
+                        : SpeculationState::kPrimaryWon,
+                    report);
+      }
       warehouse_.set_job_state(job->id, JobState::kCompleted,
                                "report:completed");
       // Feedback: fold the completion time into the site's EWMA (the
       // prediction module's knowledge base, eq. 3).
       warehouse_.record_completion(report.site, report.completion_time);
+      // The straggler detector learns (site, class) runtime percentiles
+      // from genuine completions.  Journaled, so only paid when the
+      // defense is on.
+      if (config_.speculate) {
+        warehouse_.record_runtime_sample(report.site,
+                                         job_class_of(job->compute_time),
+                                         report.completion_time);
+      }
       if (on_job_completed_) on_job_completed_(job->dag);
       break;
     }
@@ -71,6 +155,26 @@ StatusOrError MessageHandler::apply_report(const TrackerReport& report) {
         // it would double-refund quota and skew the site's statistics.
         break;
       }
+      if (racing.has_value() && report.attempt == racing->primary_attempt &&
+          report.attempt != job->attempt) {
+        // The suspected straggler died mid-race (tracker timeout or site
+        // hold).  The replica keeps running as the job's only attempt;
+        // no replan -- settling the race *is* the recovery.
+        settle_race(*job, *racing, SpeculationState::kPrimaryDead, report);
+        break;
+      }
+      if (racing.has_value() && report.attempt == racing->spec_attempt) {
+        // The replica died mid-race.  The primary keeps running; the job
+        // row is retargeted back at it (keeping the replica's burnt
+        // attempt number -- see resolve_speculation).
+        settle_race(*job, *racing, SpeculationState::kSpecDead, report);
+        break;
+      }
+      // Any other report against an open race is stale (a retired
+      // generation) or attempt-less and ambiguous; the race paths above
+      // own every properly attributed death.
+      if (racing.has_value()) break;
+      if (!matches_live(report.attempt, *job, latest)) break;
       // The tracker killed or observed the death of this attempt.  Return
       // the reserved quota and queue the job for replanning.
       warehouse_.set_job_state(job->id,

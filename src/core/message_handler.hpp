@@ -32,8 +32,20 @@ class MessageHandler {
   /// not own).
   using JobCompletedHook = std::function<void(DagId)>;
 
+  /// Invoked when a tracker report settles a speculation race, with the
+  /// race as it was while racing and its final state.  The composite
+  /// server turns this into traces, counters and -- for kPrimaryWon /
+  /// kSpecWon -- the loser-cancel RPC to the client (which needs the
+  /// outgoing channel this module does not own).
+  using SpeculationResolvedHook =
+      std::function<void(const SpeculationRecord&, SpeculationState)>;
+
   MessageHandler(DataWarehouse& warehouse, const ServerConfig& config,
                  ServerStats& stats, JobCompletedHook on_job_completed);
+
+  void set_on_speculation_resolved(SpeculationResolvedHook hook) {
+    on_speculation_resolved_ = std::move(hook);
+  }
 
   /// Stores an incoming DAG in the warehouse (state: received).  Returns
   /// false (and touches nothing) when the DAG id is already stored -- a
@@ -55,10 +67,18 @@ class MessageHandler {
                  double limit);
 
  private:
+  /// Settles an open race against a terminal report of one of its two
+  /// attempts: resolves the speculation row, books the loser's censored
+  /// duration into the site statistics, refunds the loser's quota, and
+  /// fires the resolution hook.
+  void settle_race(const JobRecord& job, const SpeculationRecord& race,
+                   SpeculationState final_state, const TrackerReport& report);
+
   DataWarehouse& warehouse_;
   const ServerConfig& config_;
   ServerStats& stats_;
   JobCompletedHook on_job_completed_;
+  SpeculationResolvedHook on_speculation_resolved_;
 };
 
 }  // namespace sphinx::core

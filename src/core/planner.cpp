@@ -161,4 +161,66 @@ bool Planner::plan_job(const DagRecord& dag, const JobRecord& job, SimTime now,
   return true;
 }
 
+std::optional<ExecutionPlan> Planner::plan_speculative(const DagRecord& dag,
+                                                       const JobRecord& job,
+                                                       SimTime now) {
+  SPHINX_ASSERT(job.state == JobState::kSubmitted ||
+                    job.state == JobState::kRunning,
+                "speculation replicates a live attempt");
+  const auto inputs = warehouse_.job_inputs(job.id);
+  const auto located = rls_.locate_bulk(inputs);
+  for (const auto& replicas : located) {
+    if (replicas.empty()) return std::nullopt;  // inputs lost since planning
+  }
+
+  // Same strategy, same immutable snapshot -- minus the site the suspect
+  // attempt already occupies.  Racing two replicas on one site would only
+  // double the load that made the first one slow.
+  PlanningContext context;
+  context.now = now;
+  context.sites = feasible_sites(dag, job);
+  std::erase_if(context.sites,
+                [&](const CandidateSite& s) { return s.id == job.site; });
+  const auto site = algorithm_->select(context);
+  if (!site.has_value()) return std::nullopt;
+
+  ExecutionPlan plan;
+  plan.job = job.id;
+  plan.dag = dag.id;
+  plan.job_name = job.name;
+  plan.site = *site;
+  plan.compute_time = job.compute_time;
+  plan.output = job.output;
+  plan.output_bytes = job.output_bytes;
+  plan.speculative = true;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto choice = data::select_replica(located[i], *site, transfers_);
+    SPHINX_ASSERT(choice.has_value(), "located input lost its replicas");
+    plan.inputs.push_back(PlannedInput{inputs[i], choice->replica.site,
+                                       choice->replica.size_bytes});
+  }
+  if (config_.use_qos_ordering) {
+    plan.batch_priority = std::clamp(dag.priority / 10.0, -0.4, 0.4) +
+                          (dag.deadline < kNever ? 0.5 : 0.0);
+  }
+  if (config_.persistent_site.valid() &&
+      warehouse_.job_children(job.id).empty()) {
+    plan.persist_output = true;
+    plan.persistent_site = config_.persistent_site;
+  }
+
+  warehouse_.speculate_job(job.id, *site, now);
+  plan.attempt = job.attempt + 1;  // the replica's fresh attempt number
+  if (config_.use_policy) {
+    // The replica reserves its own quota; the loser's share is refunded
+    // when the race settles.
+    warehouse_.consume_quota(dag.user, *site, "cpu_seconds",
+                             job.compute_time);
+    warehouse_.consume_quota(dag.user, *site, "disk_bytes",
+                             job.output_bytes);
+  }
+  ++stats_.plans_sent;
+  return plan;
+}
+
 }  // namespace sphinx::core

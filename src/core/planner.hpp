@@ -47,6 +47,15 @@ class Planner {
   /// Plans every ready job of a planning-state DAG.
   [[nodiscard]] Outcome plan_dag(const DagRecord& dag, SimTime now);
 
+  /// Straggler defense: plans a speculative replica of a still-live
+  /// (kSubmitted/kRunning) job onto the best feasible site *other than*
+  /// the one the suspected straggler runs on, through the same strategy
+  /// interface as regular planning.  Persists the race in the warehouse
+  /// (speculate_job) and returns the plan for the server to deliver;
+  /// nullopt when no alternative feasible site exists right now.
+  [[nodiscard]] std::optional<ExecutionPlan> plan_speculative(
+      const DagRecord& dag, const JobRecord& job, SimTime now);
+
  private:
   /// Plans one job; returns false when no feasible site exists right now.
   bool plan_job(const DagRecord& dag, const JobRecord& job, SimTime now,

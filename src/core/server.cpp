@@ -1,7 +1,11 @@
 #include "core/server.hpp"
 
+#include "common/contracts.hpp"
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <unordered_map>
 
 namespace sphinx::core {
 
@@ -33,9 +37,22 @@ SphinxServer::SphinxServer(rpc::MessageBus& bus,
   message_handler_ = std::make_unique<MessageHandler>(
       *warehouse_, config_, stats_,
       [this](DagId dag) { maybe_finish_dag(dag); });
+  message_handler_->set_on_speculation_resolved(
+      [this](const SpeculationRecord& race, SpeculationState final_state) {
+        on_speculation_resolved(race, final_state);
+      });
   reducer_ = std::make_unique<DagReducer>(*warehouse_, rls, stats_);
   planner_ = std::make_unique<Planner>(*warehouse_, std::move(catalog), rls,
                                        transfers, monitoring, config_, stats_);
+  detector_ =
+      std::make_unique<StragglerDetector>(*warehouse_, monitoring, config_);
+  // The detector cursor is journaled soft state like the strategy
+  // cursors: a recovered server resumes the crashed instance's cadence.
+  if (const std::string stored =
+          warehouse_->scheduler_state("speculation.last_check");
+      !stored.empty()) {
+    last_speculation_check_ = std::strtod(stored.c_str(), nullptr);
+  }
 
   rpc::AuthzPolicy policy;
   for (const std::string& vo : config_.allowed_vos) policy.allow_vo("*", vo);
@@ -393,6 +410,11 @@ void SphinxServer::sweep() {
     if (outcome.jobs_left_unplanned) warehouse_->mark_dag_dirty(dag.id);
   }
 
+  // Straggler defense: after regular planning, scan the in-flight jobs
+  // for stragglers and race replicas against them (its own cadence; a
+  // no-op when speculation is off).
+  maybe_speculate();
+
   if (recorder_ != nullptr && !drained.empty()) {
     recorder_->event(obs::TraceKind::kSweepEnd, config_.endpoint, "", "",
                      static_cast<double>(stats_.plans_sent - plans_before));
@@ -416,6 +438,124 @@ void SphinxServer::sweep() {
   // Chaos fail-stop point: crashes happen at event boundaries, after the
   // sweep committed its journal records, never mid-transaction.
   maybe_crash();
+}
+
+void SphinxServer::maybe_speculate() {
+  if (!config_.speculate) return;
+  const SimTime now = bus_.engine().now();
+  if (now < last_speculation_check_ + config_.speculation_check_period) {
+    return;
+  }
+  last_speculation_check_ = now;
+  // Round-trip-exact persistence: the recovered server must compare the
+  // identical cursor value or its cadence drifts off the baseline's.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", now);
+  warehouse_->set_scheduler_state("speculation.last_check", buf);
+
+  const auto racing = warehouse_->racing_speculations();
+  std::size_t global = racing.size();
+  std::unordered_map<std::uint64_t, std::size_t> per_dag;
+  for (const SpeculationRecord& r : racing) ++per_dag[r.dag.value()];
+
+  for (const JobState state : {JobState::kSubmitted, JobState::kRunning}) {
+    if (global >= config_.speculation_max_global) break;
+    for (const JobRecord& job : warehouse_->jobs_in_state(state)) {
+      if (global >= config_.speculation_max_global) break;
+      // A job already racing is tracked by its replica attempt; never
+      // stack a second replica on it.
+      if (warehouse_->active_speculation(job.id).has_value()) continue;
+      const StragglerVerdict verdict = detector_->classify(job, now);
+      if (verdict == StragglerVerdict::kStaleMonitor) {
+        ++stats_.detector_stale_skips;
+        if (recorder_ != nullptr) {
+          recorder_->count(config_.endpoint, "detector.stale_skips");
+        }
+        continue;
+      }
+      if (verdict != StragglerVerdict::kStraggler) continue;
+      if (per_dag[job.dag.value()] >= config_.speculation_max_per_dag) {
+        continue;
+      }
+      const auto dag = warehouse_->dag(job.dag);
+      SPHINX_ASSERT(dag.has_value(), "straggler's dag vanished");
+      const auto plan = planner_->plan_speculative(*dag, job, now);
+      if (!plan.has_value()) continue;  // no alternative feasible site
+      ++global;
+      ++per_dag[job.dag.value()];
+      ++stats_.speculations;
+      if (recorder_ != nullptr) {
+        recorder_->event(obs::TraceKind::kSpeculationLaunched,
+                         config_.endpoint,
+                         "job:" + std::to_string(job.id.value()),
+                         "site:" + std::to_string(job.site.value()) + "->" +
+                             std::to_string(plan->site.value()),
+                         static_cast<double>(plan->attempt));
+        recorder_->count(config_.endpoint, "server.speculations");
+      }
+      send_plan(dag->client, *plan);
+    }
+  }
+
+  // Fan-out budget contract: a detector pass never leaves more open
+  // races than the budgets allow.
+  const bool budgets_respected = [&] {
+    const auto open = warehouse_->racing_speculations();
+    if (open.size() > config_.speculation_max_global) return false;
+    std::unordered_map<std::uint64_t, std::size_t> by_dag;
+    for (const SpeculationRecord& r : open) {
+      if (++by_dag[r.dag.value()] > config_.speculation_max_per_dag) {
+        return false;
+      }
+    }
+    return true;
+  }();
+  SPHINX_POSTCONDITION(budgets_respected,
+                       "speculation fan-out budgets respected after detector pass");
+}
+
+void SphinxServer::on_speculation_resolved(const SpeculationRecord& race,
+                                           SpeculationState final_state) {
+  const bool primary_won = final_state == SpeculationState::kPrimaryWon;
+  const bool won = primary_won || final_state == SpeculationState::kSpecWon;
+  const int retired_attempt =
+      (final_state == SpeculationState::kSpecWon ||
+       final_state == SpeculationState::kPrimaryDead)
+          ? race.primary_attempt
+          : race.spec_attempt;
+  if (recorder_ != nullptr) {
+    if (won) {
+      recorder_->event(obs::TraceKind::kSpeculationWon, config_.endpoint,
+                       "job:" + std::to_string(race.job.value()),
+                       primary_won ? "primary" : "spec",
+                       static_cast<double>(primary_won ? race.primary_attempt
+                                                       : race.spec_attempt));
+      recorder_->count(config_.endpoint,
+                       primary_won ? "server.speculations_won_primary"
+                                   : "server.speculations_won_spec");
+    }
+    recorder_->event(
+        obs::TraceKind::kSpeculationCancelled, config_.endpoint,
+        "job:" + std::to_string(race.job.value()),
+        won ? "loser-cancel"
+            : (final_state == SpeculationState::kPrimaryDead ? "primary_dead"
+                                                             : "spec_dead"),
+        static_cast<double>(retired_attempt));
+  }
+  if (!won) return;  // the dead side's tracker entry is already gone
+  // First completion won: tell the client to kill the loser attempt.
+  // Idempotent on the client, journaled in the outbox like every
+  // server -> client call, so a crash cannot lose the cancel.
+  ++stats_.speculation_cancels;
+  if (recorder_ != nullptr) {
+    recorder_->count(config_.endpoint, "server.speculation_cancels");
+  }
+  if (const auto dag = warehouse_->dag(race.dag); dag.has_value()) {
+    out_->call(dag->client, "sphinx_client.cancel_attempt",
+               {XrValue(race.job.value()),
+                XrValue(static_cast<std::int64_t>(retired_attempt))},
+               [](auto) {});
+  }
 }
 
 void SphinxServer::send_plan(const std::string& client,

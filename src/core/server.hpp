@@ -33,6 +33,7 @@
 #include "core/message_handler.hpp"
 #include "core/planner.hpp"
 #include "core/state.hpp"
+#include "core/straggler.hpp"
 #include "core/warehouse.hpp"
 #include "data/gridftp.hpp"
 #include "data/rls.hpp"
@@ -146,6 +147,15 @@ class SphinxServer {
 
   void maybe_finish_dag(DagId dag_id);
   void send_plan(const std::string& client, const ExecutionPlan& plan);
+  /// Straggler-defense detector pass (speculate = true, at most once per
+  /// speculation_check_period): classifies the in-flight jobs and plans
+  /// a speculative replica for each flagged straggler, within the
+  /// per-DAG and global fan-out budgets.
+  void maybe_speculate();
+  /// MessageHandler hook: a tracker report settled a race.  Emits traces
+  /// and counters and, when one attempt won, the loser-cancel RPC.
+  void on_speculation_resolved(const SpeculationRecord& race,
+                               SpeculationState final_state);
   /// Fires the armed crash hook when the journal crossed the threshold.
   void maybe_crash();
   /// End-of-sweep checkpoint policy: publishes an image and compacts the
@@ -162,6 +172,7 @@ class SphinxServer {
   std::unique_ptr<MessageHandler> message_handler_;
   std::unique_ptr<DagReducer> reducer_;
   std::unique_ptr<Planner> planner_;
+  std::unique_ptr<StragglerDetector> detector_;
   std::unique_ptr<rpc::ClarensService> service_;
   std::unique_ptr<rpc::ClarensClient> out_;  ///< for server -> client calls
   std::unique_ptr<sim::PeriodicProcess> control_;
@@ -174,6 +185,11 @@ class SphinxServer {
   /// baseline run (the differential oracle compares their traces).
   std::uint64_t last_checkpoint_seq_ = 0;  // sphinx-lint: derived(maybe_checkpoint, SphinxServer)
   SimTime last_checkpoint_at_ = 0.0;  // sphinx-lint: derived(maybe_checkpoint, SphinxServer)
+  /// Detector-cadence cursor, persisted to scheduler_state on every pass
+  /// so a recovered server's next detector pass lands exactly where the
+  /// crashed instance's would have (the differential oracle compares
+  /// speculation launch times byte-for-byte).
+  SimTime last_speculation_check_ = 0.0;  // sphinx-lint: derived(maybe_speculate, SphinxServer)
   obs::Recorder* recorder_ = nullptr;
   Logger log_{"sphinx-server"};
 };

@@ -70,6 +70,26 @@ bool is_legal_transition(JobState from, JobState to) noexcept {
   return false;
 }
 
+const char* to_string(SpeculationState state) noexcept {
+  switch (state) {
+    case SpeculationState::kRacing: return "racing";
+    case SpeculationState::kPrimaryWon: return "primary_won";
+    case SpeculationState::kSpecWon: return "spec_won";
+    case SpeculationState::kPrimaryDead: return "primary_dead";
+    case SpeculationState::kSpecDead: return "spec_dead";
+  }
+  return "?";
+}
+
+SpeculationState speculation_state_from(std::string_view text) {
+  if (text == "racing") return SpeculationState::kRacing;
+  if (text == "primary_won") return SpeculationState::kPrimaryWon;
+  if (text == "spec_won") return SpeculationState::kSpecWon;
+  if (text == "primary_dead") return SpeculationState::kPrimaryDead;
+  if (text == "spec_dead") return SpeculationState::kSpecDead;
+  throw AssertionError("unknown speculation state: " + std::string(text));
+}
+
 const char* to_string(Algorithm algorithm) noexcept {
   switch (algorithm) {
     case Algorithm::kRoundRobin: return "round-robin";

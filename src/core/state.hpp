@@ -60,6 +60,22 @@ enum class JobState {
   return static_cast<int>(to) >= static_cast<int>(from);
 }
 
+/// Lifecycle of one speculative replication race (straggler defense).
+/// A race starts kRacing with two live attempts -- the original
+/// ("primary") and the replica ("spec") -- and resolves exactly once:
+/// either side completing wins the job, either side dying mid-race
+/// leaves the survivor carrying the job alone.
+enum class SpeculationState {
+  kRacing,       ///< both attempts live; first completion wins
+  kPrimaryWon,   ///< original attempt completed; replica cancelled
+  kSpecWon,      ///< replica completed; original attempt cancelled
+  kPrimaryDead,  ///< original died mid-race; replica carries the job
+  kSpecDead,     ///< replica died mid-race; original carries the job
+};
+
+[[nodiscard]] const char* to_string(SpeculationState state) noexcept;
+[[nodiscard]] SpeculationState speculation_state_from(std::string_view text);
+
 /// Scheduling strategies evaluated in the paper (section 4.1).
 enum class Algorithm {
   kRoundRobin,

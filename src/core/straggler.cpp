@@ -1,0 +1,78 @@
+#include "core/straggler.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace sphinx::core {
+
+const char* to_string(StragglerVerdict verdict) noexcept {
+  switch (verdict) {
+    case StragglerVerdict::kHealthy: return "healthy";
+    case StragglerVerdict::kStraggler: return "straggler";
+    case StragglerVerdict::kTooYoung: return "too-young";
+    case StragglerVerdict::kNoData: return "no-data";
+    case StragglerVerdict::kStaleMonitor: return "stale-monitor";
+  }
+  return "?";
+}
+
+int job_class_of(Duration compute_time) noexcept {
+  // Bucket k holds compute times in (2^(k-1), 2^k] seconds; everything
+  // at or below one second shares bucket 0.
+  int cls = 0;
+  double edge = 1.0;
+  while (edge < compute_time && cls < 62) {
+    edge *= 2.0;
+    ++cls;
+  }
+  return cls;
+}
+
+StragglerDetector::StragglerDetector(
+    const DataWarehouse& warehouse,
+    const monitor::MonitoringService* monitoring, const ServerConfig& config)
+    : warehouse_(warehouse), monitoring_(monitoring), config_(config) {}
+
+std::optional<Duration> StragglerDetector::threshold(SiteId site,
+                                                     int job_class) const {
+  std::vector<double> samples = warehouse_.runtime_samples(site, job_class);
+  if (samples.size() < config_.speculation_min_samples) {
+    // Cold-site fallback: a site that never completed anything in this
+    // class (a fresh site -- or a black hole) is judged against the
+    // class's cross-site distribution instead of escaping judgement.
+    samples = warehouse_.runtime_samples_all_sites(job_class);
+  }
+  if (samples.size() < config_.speculation_min_samples) return std::nullopt;
+  const double p =
+      percentile(std::move(samples), config_.speculation_percentile);
+  return std::max(config_.speculation_multiplier * p,
+                  config_.speculation_min_elapsed);
+}
+
+StragglerVerdict StragglerDetector::classify(const JobRecord& job,
+                                             SimTime now) const {
+  if (job.planned_at >= kNever) return StragglerVerdict::kTooYoung;
+  const Duration elapsed = now - job.planned_at;
+  if (elapsed < config_.speculation_min_elapsed) {
+    return StragglerVerdict::kTooYoung;
+  }
+  // Staleness guard: judging a site on monitoring data older than the
+  // threshold (or on none at all) conflates "slow job" with "dark site".
+  // A deployment without any monitoring service has nothing to be stale,
+  // so the guard is vacuous there.
+  if (monitoring_ != nullptr) {
+    const Duration age = monitoring_->age(job.site, now);
+    if (age > config_.speculation_stale_after) {
+      return StragglerVerdict::kStaleMonitor;
+    }
+  }
+  const auto limit = threshold(job.site, job_class_of(job.compute_time));
+  if (!limit.has_value()) return StragglerVerdict::kNoData;
+  return elapsed > *limit ? StragglerVerdict::kStraggler
+                          : StragglerVerdict::kHealthy;
+}
+
+}  // namespace sphinx::core

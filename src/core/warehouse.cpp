@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <unordered_map>
 
 #include "common/contracts.hpp"
@@ -16,6 +17,10 @@ namespace {
 // EWMA weight for completion-time tracking: recent behaviour dominates on
 // a dynamic grid, but not so sharply that one outlier flips the ranking.
 constexpr double kEwmaAlpha = 0.3;
+// Straggler detector sample rings: runtime observations retained per
+// (site, job-class) key.  Bounded so the journal and the percentile scan
+// both stay O(1) per key while the distribution still adapts.
+constexpr std::size_t kMaxRuntimeSamples = 32;
 }  // namespace
 
 DataWarehouse::DataWarehouse() : DataWarehouse(true) {}
@@ -82,6 +87,25 @@ void DataWarehouse::create_schema() {
                                {"payload", ValueType::kText},
                                {"attempt", ValueType::kInt},
                                {"last_sent_at", ValueType::kReal}}});
+  // Straggler defense.  Speculation races are scheduler state proper --
+  // recovery must re-arm an open race exactly, so the rows ride the
+  // journal like jobs do.  The runtime-sample rings feed the detector's
+  // per-(site, class) percentiles; journaling them keeps a recovered
+  // detector's decisions byte-identical to the crashed instance's.
+  db_.create_table("speculations",
+                   db::Schema{{indexed("job_id", ValueType::kInt),
+                               {"dag_id", ValueType::kInt},
+                               {"primary_site", ValueType::kInt},
+                               {"primary_attempt", ValueType::kInt},
+                               {"primary_planned_at", ValueType::kReal},
+                               {"spec_site", ValueType::kInt},
+                               {"spec_attempt", ValueType::kInt},
+                               indexed("state", ValueType::kText),
+                               {"launched_at", ValueType::kReal}}});
+  db_.create_table("runtime_samples",
+                   db::Schema{{indexed("site", ValueType::kInt),
+                               indexed("class", ValueType::kInt),
+                               {"runtime", ValueType::kReal}}});
   // One-row drain ledger.  The dirty queue itself is derived state, but
   // *when* each sweep cleared it is history only the journal carries:
   // rebuild_work_state() replays the enqueue rules over the journal and
@@ -196,6 +220,20 @@ void DataWarehouse::rebuild_work_state() {
           static_cast<std::uint64_t>(row.cells[job_dag_col].as_int()));
     }
   });
+  // Open speculation races: the job row tracks the replica attempt, so
+  // the original attempt's outstanding unit lives on the racing row.
+  {
+    const db::Table& specs = db_.table("speculations");
+    const std::size_t spec_state_col = specs.schema().index_of("state");
+    const std::size_t spec_primary_col =
+        specs.schema().index_of("primary_site");
+    const std::string racing = to_string(SpeculationState::kRacing);
+    specs.for_each([&](const db::Row& row) {
+      if (row.cells[spec_state_col].as_text() != racing) return;
+      ++outstanding_[SiteId(
+          static_cast<std::uint64_t>(row.cells[spec_primary_col].as_int()))];
+    });
+  }
 
   // The dirty queue is history, not state: "job completed, DAG queued,
   // sweep pending" and "job completed, sweep already ran" leave
@@ -373,6 +411,22 @@ JobRecord DataWarehouse::decode_job(const db::Row& row) {
   rec.output = row.cells[6].as_text();
   rec.output_bytes = row.cells[7].as_real();
   rec.attempt = static_cast<int>(row.cells[8].as_int());
+  rec.planned_at = row.cells[9].as_real();
+  return rec;
+}
+
+SpeculationRecord DataWarehouse::decode_speculation(const db::Row& row) {
+  SpeculationRecord rec;
+  rec.job = JobId(static_cast<std::uint64_t>(row.cells[0].as_int()));
+  rec.dag = DagId(static_cast<std::uint64_t>(row.cells[1].as_int()));
+  rec.primary_site =
+      SiteId(static_cast<std::uint64_t>(row.cells[2].as_int()));
+  rec.primary_attempt = static_cast<int>(row.cells[3].as_int());
+  rec.primary_planned_at = row.cells[4].as_real();
+  rec.spec_site = SiteId(static_cast<std::uint64_t>(row.cells[5].as_int()));
+  rec.spec_attempt = static_cast<int>(row.cells[6].as_int());
+  rec.state = speculation_state_from(row.cells[7].as_text());
+  rec.launched_at = row.cells[8].as_real();
   return rec;
 }
 
@@ -538,6 +592,17 @@ DataWarehouse::scan_outstanding_by_site() const {
       ++out[SiteId(static_cast<std::uint64_t>(row.cells[site_col].as_int()))];
     }
   });
+  // Racing speculations hold the primary attempt's unit (the job row
+  // only counts the replica).
+  const db::Table& specs = db_.table("speculations");
+  const std::size_t spec_state_col = specs.schema().index_of("state");
+  const std::size_t spec_primary_col = specs.schema().index_of("primary_site");
+  const std::string racing = to_string(SpeculationState::kRacing);
+  specs.for_each([&](const db::Row& row) {
+    if (row.cells[spec_state_col].as_text() != racing) return;
+    ++out[SiteId(
+        static_cast<std::uint64_t>(row.cells[spec_primary_col].as_int()))];
+  });
   return out;
 }
 
@@ -662,6 +727,170 @@ void DataWarehouse::record_cancellation(SiteId site,
 bool DataWarehouse::site_available(SiteId site) const {
   const SiteStats stats = site_stats(site);
   return stats.cancelled <= stats.completed;
+}
+
+// --- straggler defense ------------------------------------------------------
+
+void DataWarehouse::record_runtime_sample(SiteId site, int job_class,
+                                          Duration runtime) {
+  SPHINX_PRECONDITION(runtime >= 0 && !std::isnan(runtime),
+                      "runtime sample must be a non-negative duration");
+  db::Table& table = db_.table("runtime_samples");
+  const std::size_t class_col = table.schema().index_of("class");
+  // Ring bound: evict the oldest sample of this (site, class) key first.
+  // find_by yields insertion order, so the first class match is oldest.
+  std::size_t held = 0;
+  db::RowId oldest = db::kInvalidRow;
+  for (const db::RowId id : table.find_by("site", Value(site.value()))) {
+    const db::Row* row = table.find(id);
+    if (static_cast<int>(row->cells[class_col].as_int()) != job_class) continue;
+    ++held;
+    if (oldest == db::kInvalidRow) oldest = id;
+  }
+  if (held >= kMaxRuntimeSamples) table.erase(oldest);
+  table.insert({Value(site.value()), Value(std::int64_t{job_class}),
+                Value(runtime)});
+}
+
+std::vector<double> DataWarehouse::runtime_samples(SiteId site,
+                                                   int job_class) const {
+  const db::Table& table = db_.table("runtime_samples");
+  const std::size_t class_col = table.schema().index_of("class");
+  std::vector<double> out;
+  for (const db::RowId id : table.find_by("site", Value(site.value()))) {
+    const db::Row* row = table.find(id);
+    if (static_cast<int>(row->cells[class_col].as_int()) != job_class) continue;
+    out.push_back(row->cells[2].as_real());
+  }
+  return out;
+}
+
+std::vector<double> DataWarehouse::runtime_samples_all_sites(
+    int job_class) const {
+  const db::Table& table = db_.table("runtime_samples");
+  std::vector<double> out;
+  for (const db::RowId id :
+       table.find_by("class", Value(std::int64_t{job_class}))) {
+    out.push_back(table.find(id)->cells[2].as_real());
+  }
+  return out;
+}
+
+void DataWarehouse::speculate_job(JobId id, SiteId spec_site, SimTime at) {
+  db::Table& jobs = db_.table("jobs");
+  const db::Row* row = jobs.find_first("job_id", Value(id.value()));
+  SPHINX_PRECONDITION(row != nullptr, "speculate_job: unknown job");
+  const JobState state = job_state_from(row->cells[3].as_text());
+  SPHINX_PRECONDITION(
+      state == JobState::kSubmitted || state == JobState::kRunning,
+      "only a submitted/running job can be speculatively replicated");
+  const SiteId primary_site(
+      static_cast<std::uint64_t>(row->cells[4].as_int()));
+  SPHINX_PRECONDITION(primary_site != spec_site,
+                      "replica must race on a different site");
+  SPHINX_PRECONDITION(!active_speculation(id).has_value(),
+                      "job already has an open race");
+  const std::int64_t primary_attempt = row->cells[8].as_int();
+  const double primary_planned_at = row->cells[9].as_real();
+  const Value dag_key = row->cells[1];
+  const db::RowId row_id = row->id;
+
+  db_.table("speculations")
+      .insert({Value(id.value()), dag_key, Value(primary_site.value()),
+               Value(primary_attempt), Value(primary_planned_at),
+               Value(spec_site.value()), Value(primary_attempt + 1),
+               Value(to_string(SpeculationState::kRacing)), Value(at)});
+  // Retarget the job row at the replica.  Direct writes: the automaton
+  // forbids kSubmitted/kRunning -> kPlanned for a single attempt, but
+  // here the original attempt stays live on the racing row.
+  jobs.update(row_id, "state", Value(to_string(JobState::kPlanned)));
+  jobs.update(row_id, "site", Value(spec_site.value()));
+  jobs.update(row_id, "attempt", Value(primary_attempt + 1));
+  jobs.update(row_id, "planned_at", Value(at));
+  // The primary's unit moved onto the racing row; the replica's is new.
+  ++outstanding_[spec_site];
+
+  if (recorder_ != nullptr) {
+    recorder_->event(obs::TraceKind::kJobTransition, recorder_source_,
+                     "job:" + std::to_string(id.value()),
+                     std::string(to_string(state)) + "->planned (speculate)",
+                     static_cast<double>(primary_attempt + 1));
+  }
+}
+
+std::optional<SpeculationRecord> DataWarehouse::active_speculation(
+    JobId id) const {
+  const db::Table& table = db_.table("speculations");
+  for (const db::RowId row_id : table.find_by("job_id", Value(id.value()))) {
+    SpeculationRecord rec = decode_speculation(*table.find(row_id));
+    if (rec.state == SpeculationState::kRacing) return rec;
+  }
+  return std::nullopt;
+}
+
+std::optional<SpeculationRecord> DataWarehouse::latest_speculation(
+    JobId id) const {
+  const db::Table& table = db_.table("speculations");
+  std::optional<SpeculationRecord> latest;
+  // find_by yields insertion order; the last row is the newest race.
+  for (const db::RowId row_id : table.find_by("job_id", Value(id.value()))) {
+    latest = decode_speculation(*table.find(row_id));
+  }
+  return latest;
+}
+
+std::vector<SpeculationRecord> DataWarehouse::racing_speculations() const {
+  const db::Table& table = db_.table("speculations");
+  std::vector<SpeculationRecord> out;
+  for (const db::RowId row_id : table.find_by(
+           "state", Value(to_string(SpeculationState::kRacing)))) {
+    out.push_back(decode_speculation(*table.find(row_id)));
+  }
+  return out;
+}
+
+void DataWarehouse::resolve_speculation(JobId id,
+                                        SpeculationState final_state) {
+  SPHINX_PRECONDITION(final_state != SpeculationState::kRacing,
+                      "a race resolves to a terminal state");
+  db::Table& table = db_.table("speculations");
+  const db::Row* racing_row = nullptr;
+  for (const db::RowId row_id : table.find_by("job_id", Value(id.value()))) {
+    const db::Row* row = table.find(row_id);
+    if (speculation_state_from(row->cells[7].as_text()) ==
+        SpeculationState::kRacing) {
+      racing_row = row;
+      break;
+    }
+  }
+  SPHINX_PRECONDITION(racing_row != nullptr,
+                      "resolve_speculation: job has no open race");
+  const SpeculationRecord rec = decode_speculation(*racing_row);
+  table.update(racing_row->id, "state", Value(to_string(final_state)));
+
+  const auto retire = [this](SiteId site) {
+    const auto it = outstanding_.find(site);
+    SPHINX_ASSERT(it != outstanding_.end() && it->second > 0,
+                  "outstanding counter underflow");
+    if (--it->second == 0) outstanding_.erase(it);
+  };
+  if (final_state == SpeculationState::kSpecDead) {
+    // Replica died: hand the job row back to the surviving primary.  The
+    // attempt column stays at the replica's number -- reusing the burnt
+    // one would collide with the client's (job, attempt) duplicate guard
+    // on the next replan.
+    db::Table& jobs = db_.table("jobs");
+    const db::Row* job_row = jobs.find_first("job_id", Value(id.value()));
+    SPHINX_ASSERT(job_row != nullptr, "resolve_speculation: unknown job");
+    SPHINX_ASSERT(job_row->cells[8].as_int() == rec.spec_attempt,
+                  "racing job row must still track the replica attempt");
+    jobs.update(job_row->id, "site", Value(rec.primary_site.value()));
+    // The primary's unit transfers from the racing row to the job row;
+    // net change is the replica's retirement.
+    retire(rec.spec_site);
+  } else {
+    retire(rec.primary_site);
+  }
 }
 
 // --- RPC outbox -------------------------------------------------------------
@@ -858,6 +1087,50 @@ void DataWarehouse::check_invariants() const {
     SPHINX_INVARIANT(row.cells[4].as_real() >= 0,
                      "quota usage went negative");
   });
+
+  // Speculation races: rows parse, attempts are consecutive, the two
+  // sites differ, at most one race per job is open, and an open race's
+  // job row still tracks the replica attempt.
+  std::unordered_set<std::uint64_t> racing_jobs;
+  db_.table("speculations").for_each([&](const db::Row& row) {
+    SpeculationRecord rec;
+    try {
+      rec = decode_speculation(row);
+    } catch (const AssertionError& e) {
+      SPHINX_INVARIANT(false, std::string("speculation row does not parse: ") +
+                                  e.what());
+    }
+    SPHINX_INVARIANT(rec.primary_attempt >= 1,
+                     "race opened on a never-planned attempt");
+    SPHINX_INVARIANT(rec.spec_attempt == rec.primary_attempt + 1,
+                     "replica attempt must directly succeed the primary");
+    SPHINX_INVARIANT(rec.primary_site != rec.spec_site,
+                     "race must span two sites");
+    if (rec.state != SpeculationState::kRacing) return;
+    SPHINX_INVARIANT(racing_jobs.insert(rec.job.value()).second,
+                     "job holds two open races");
+    const std::optional<JobRecord> job_rec = job(rec.job);
+    SPHINX_INVARIANT(job_rec.has_value(), "open race names a missing job");
+    SPHINX_INVARIANT(is_outstanding(job_rec->state),
+                     "open race on a job that is not outstanding");
+    SPHINX_INVARIANT(
+        job_rec->attempt == rec.spec_attempt && job_rec->site == rec.spec_site,
+        "racing job row must track the replica attempt");
+  });
+
+  // Runtime sample rings: non-negative values, ring bound respected.
+  {
+    std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> ring_sizes;
+    db_.table("runtime_samples").for_each([&](const db::Row& row) {
+      SPHINX_INVARIANT(row.cells[2].as_real() >= 0,
+                       "runtime sample went negative");
+      ++ring_sizes[{row.cells[0].as_int(), row.cells[1].as_int()}];
+    });
+    for (const auto& [key, size] : ring_sizes) {
+      SPHINX_INVARIANT(size <= kMaxRuntimeSamples,
+                       "runtime sample ring exceeded its bound");
+    }
+  }
 
   // Derived work state mirrors the tables: the live counters must equal a
   // fresh scan, and every queued dirty row names a live, unfinished DAG.

@@ -73,6 +73,23 @@ struct JobRecord {
   data::Lfn output;
   double output_bytes = 0.0;
   int attempt = 0;
+  SimTime planned_at = kNever;  ///< when the live attempt was planned
+};
+
+/// One speculative replication race (straggler defense).  While kRacing
+/// the job's own row tracks the replica ("spec") attempt and this row
+/// remembers the original ("primary") attempt; resolution retires one
+/// side (see SpeculationState).
+struct SpeculationRecord {
+  JobId job;
+  DagId dag;
+  SiteId primary_site;
+  int primary_attempt = 0;
+  SimTime primary_planned_at = 0.0;  ///< for censored-duration bookkeeping
+  SiteId spec_site;
+  int spec_attempt = 0;
+  SpeculationState state = SpeculationState::kRacing;
+  SimTime launched_at = 0.0;
 };
 
 /// One in-flight outbound RPC call persisted for crash recovery.
@@ -213,6 +230,51 @@ class DataWarehouse {
   /// completed jobs (section 4, "Importance of feedback information").
   [[nodiscard]] bool site_available(SiteId site) const;
 
+  // --- straggler defense (speculative replication) ----------------------
+  /// Records one completed attempt's runtime into the (site, job-class)
+  /// sample ring the straggler detector learns percentiles from.  Rings
+  /// are journaled (the detector's decisions must replay exactly on
+  /// recovery) and bounded to kMaxRuntimeSamples per key: the oldest
+  /// sample is evicted first.
+  void record_runtime_sample(SiteId site, int job_class, Duration runtime);
+  /// The (site, job-class) ring, oldest sample first.
+  [[nodiscard]] std::vector<double> runtime_samples(SiteId site,
+                                                    int job_class) const;
+  /// The class's samples across every site (cold-site fallback: a site
+  /// that never completed anything -- e.g. a black hole -- still gets a
+  /// baseline to be judged against).
+  [[nodiscard]] std::vector<double> runtime_samples_all_sites(
+      int job_class) const;
+
+  /// Opens a race: inserts a kRacing speculation row remembering the
+  /// job's current ("primary") attempt and retargets the job row at the
+  /// replica -- site = spec_site, attempt + 1, state back to kPlanned so
+  /// the normal submitted/running reports of the replica apply.  This is
+  /// a deliberate automaton regression (kSubmitted/kRunning -> kPlanned
+  /// is illegal for single attempts), so it bypasses set_job_state under
+  /// its own contract: job outstanding at a different site, no race
+  /// already open.  Counters: the racing row carries the primary site's
+  /// outstanding unit, the job row the replica's.
+  void speculate_job(JobId id, SiteId spec_site, SimTime at);
+  /// The job's open race, if any.
+  [[nodiscard]] std::optional<SpeculationRecord> active_speculation(
+      JobId id) const;
+  /// The job's most recent race in any state (arbitration needs resolved
+  /// races too: after kSpecDead the surviving primary reports under its
+  /// own attempt number while the job row keeps the replica's).
+  [[nodiscard]] std::optional<SpeculationRecord> latest_speculation(
+      JobId id) const;
+  /// Every open race, in launch order.
+  [[nodiscard]] std::vector<SpeculationRecord> racing_speculations() const;
+  /// Closes the job's open race.  kPrimaryWon/kSpecWon/kPrimaryDead
+  /// retire the primary's outstanding unit (the job row keeps tracking
+  /// the replica until set_job_state completes or cancels it);
+  /// kSpecDead retargets the job row back at the primary site -- the
+  /// attempt number stays at the replica's so a later replan can never
+  /// reuse a burnt (job, attempt) pair against the client's duplicate
+  /// guard -- and retires the replica's unit.
+  void resolve_speculation(JobId id, SpeculationState final_state);
+
   // --- quotas (policy) --------------------------------------------------
   void set_quota(UserId user, SiteId site, const std::string& resource,
                  double limit);
@@ -281,6 +343,7 @@ class DataWarehouse {
   void rebuild_work_state();
   [[nodiscard]] static JobRecord decode_job(const db::Row& row);
   [[nodiscard]] static DagRecord decode_dag(const db::Row& row);
+  [[nodiscard]] static SpeculationRecord decode_speculation(const db::Row& row);
   [[nodiscard]] db::RowId site_stats_row(SiteId site) const;
   db::RowId quota_row(UserId user, SiteId site,
                       const std::string& resource) const;
@@ -294,7 +357,7 @@ class DataWarehouse {
   std::set<db::RowId> dirty_rows_;  // sphinx-lint: derived(rebuild_work_state, insert_dag, set_dag_state, set_dag_finished, set_job_state, mark_dag_dirty, drain_dirty_dags)
   /// Live outstanding-jobs-per-site counters (zero entries erased so the
   /// map compares equal to a fresh scan).  Derived state like the queue.
-  std::unordered_map<SiteId, std::int64_t> outstanding_;  // sphinx-lint: derived(rebuild_work_state, set_job_state, set_job_planned)
+  std::unordered_map<SiteId, std::int64_t> outstanding_;  // sphinx-lint: derived(rebuild_work_state, set_job_state, set_job_planned, speculate_job, resolve_speculation)
   /// Last published checkpoint image.  Written only when a checkpoint is
   /// published or carried across recovery -- any other write would let
   /// the image drift from the journal sequence it anchors.

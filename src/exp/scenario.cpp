@@ -183,6 +183,7 @@ Tenant& Scenario::add_tenant(const std::string& label,
   server_config.checkpoint_every_records = options.checkpoint_every_records;
   server_config.checkpoint_period = options.checkpoint_period;
   server_config.sweep_phase = options.sweep_phase;
+  server_config.speculate = options.speculate;
   tenant.server = std::make_unique<core::SphinxServer>(
       bus_, catalog(), rls_, transfers_, &monitoring_, server_config);
   tenant.server->set_recorder(&recorder_);

@@ -98,6 +98,9 @@ struct TenantOptions {
   /// deployments stagger phases so no two shards sweep at the same
   /// engine timestamp.
   Duration sweep_phase = 0.0;
+  /// Straggler defense (ServerConfig::speculate): race speculative
+  /// replicas against detected stragglers, first completion wins.
+  bool speculate = false;
 };
 
 class Scenario {

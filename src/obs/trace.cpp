@@ -33,6 +33,9 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kLeaseExpired: return "lease_expired";
     case TraceKind::kLeaseFenced: return "lease_fenced";
     case TraceKind::kShardAdopted: return "shard_adopted";
+    case TraceKind::kSpeculationLaunched: return "speculation_launched";
+    case TraceKind::kSpeculationWon: return "speculation_won";
+    case TraceKind::kSpeculationCancelled: return "speculation_cancelled";
   }
   return "unknown";
 }

@@ -53,6 +53,13 @@ enum class TraceKind {
                      ///< value = stale epoch presented
   kShardAdopted,     ///< surviving peer adopted a dead shard; detail =
                      ///< "old_owner->new_owner", value = new epoch
+  kSpeculationLaunched,  ///< straggler detector replicated a job; detail =
+                         ///< "site:<primary>-><spec>", value = spec attempt
+  kSpeculationWon,       ///< a race resolved by completion; detail =
+                         ///< "primary"/"spec", value = winning attempt
+  kSpeculationCancelled, ///< losing/dead attempt retired; detail = reason
+                         ///< ("loser-cancel", "primary_dead", "spec_dead"),
+                         ///< value = retired attempt
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

@@ -44,17 +44,36 @@ ClassAd CondorG::make_ad(const SubmitRequest& request,
   return ad;
 }
 
+std::map<CondorG::Key, CondorG::Record>::iterator CondorG::find_latest(
+    JobId job) {
+  auto it = records_.lower_bound(Key{job.value() + 1, 0});
+  if (it == records_.begin()) return records_.end();
+  --it;
+  return it->first.first == job.value() ? it : records_.end();
+}
+
+std::map<CondorG::Key, CondorG::Record>::const_iterator CondorG::find_latest(
+    JobId job) const {
+  auto it = records_.lower_bound(Key{job.value() + 1, 0});
+  if (it == records_.begin()) return records_.end();
+  --it;
+  return it->first.first == job.value() ? it : records_.end();
+}
+
 bool CondorG::submit(const SubmitRequest& request, GatewayCallback callback) {
   SPHINX_ASSERT(request.job.valid(), "submit needs a valid job id");
-  // Replanned jobs are resubmitted under the same JobId; the previous
-  // attempt must be terminal by then.
-  if (const auto it = records_.find(request.job); it != records_.end()) {
+  // Replanned jobs are resubmitted under the same JobId (with a fresh
+  // attempt number); a resubmission of the *same* attempt must be terminal
+  // by then.  Distinct attempts of one job may be live concurrently — that
+  // is exactly the speculation race.
+  const Key key{request.job.value(), request.attempt};
+  if (const auto it = records_.find(key); it != records_.end()) {
     const GatewayJobState s = it->second.state;
     SPHINX_ASSERT(s == GatewayJobState::kCompleted ||
                       s == GatewayJobState::kRemoved ||
                       s == GatewayJobState::kFailed ||
                       s == GatewayJobState::kHeld,
-                  "job already active on this gateway");
+                  "job attempt already active on this gateway");
     records_.erase(it);
   }
   ++total_;
@@ -72,17 +91,15 @@ bool CondorG::submit(const SubmitRequest& request, GatewayCallback callback) {
   remote.vo = request.vo;
   remote.priority = request.priority;
   remote.compute_time = request.compute_time;
-  const JobId job_id = request.job;
-  remote.stage = [this, job_id](std::function<void()> done) {
-    stage_inputs(job_id, std::move(done));
+  remote.stage = [this, key](std::function<void()> done) {
+    stage_inputs(key, std::move(done));
   };
 
-  const JobId job = request.job;
-  auto& stored = records_.emplace(job, std::move(record)).first->second;
+  auto& stored = records_.emplace(key, std::move(record)).first->second;
 
   const auto submission = site.submit(
-      std::move(remote), [this, job](const grid::JobEvent& event) {
-        const auto it = records_.find(job);
+      std::move(remote), [this, key](const grid::JobEvent& event) {
+        const auto it = records_.find(key);
         if (it == records_.end()) return;
         Record& rec = it->second;
         switch (event.state) {
@@ -116,8 +133,8 @@ bool CondorG::submit(const SubmitRequest& request, GatewayCallback callback) {
   return true;
 }
 
-void CondorG::stage_inputs(JobId job, std::function<void()> done) {
-  const auto it = records_.find(job);
+void CondorG::stage_inputs(Key key, std::function<void()> done) {
+  const auto it = records_.find(key);
   if (it == records_.end()) {
     done();  // not ours (defensive); nothing to stage
     return;
@@ -133,9 +150,9 @@ void CondorG::stage_inputs(JobId job, std::function<void()> done) {
   const SiteId dst = rec.site;
   auto advance = std::make_shared<std::function<void(std::size_t)>>();
   std::weak_ptr<std::function<void(std::size_t)>> weak = advance;
-  *advance = [this, job, dst, weak,
+  *advance = [this, key, dst, weak,
               done = std::move(done)](std::size_t index) {
-    const auto rec_it = records_.find(job);
+    const auto rec_it = records_.find(key);
     if (rec_it == records_.end()) return;  // removed meanwhile
     Record& r = rec_it->second;
     if (index >= r.request.inputs.size()) {
@@ -147,8 +164,8 @@ void CondorG::stage_inputs(JobId job, std::function<void()> done) {
     const StagedInput& input = r.request.inputs[index];
     const TransferId tid = transfers_.transfer(
         input.source, dst, input.bytes,
-        [this, job, index, weak](TransferId id, Duration) {
-          const auto rec_it2 = records_.find(job);
+        [this, key, index, weak](TransferId id, Duration) {
+          const auto rec_it2 = records_.find(key);
           if (rec_it2 != records_.end()) {
             auto& active = rec_it2->second.active_transfers;
             std::erase(active, id);
@@ -178,12 +195,19 @@ void CondorG::on_completed(Record& record) {
 void CondorG::relay(Record& record, GatewayJobState state, SimTime at) {
   record.state = state;
   if (record.callback) {
-    record.callback(GatewayEvent{record.request.job, state, at});
+    record.callback(
+        GatewayEvent{record.request.job, state, at, record.request.attempt});
   }
 }
 
 bool CondorG::cancel(JobId job) {
-  const auto it = records_.find(job);
+  const auto it = find_latest(job);
+  if (it == records_.end()) return false;
+  return cancel(job, it->first.second);
+}
+
+bool CondorG::cancel(JobId job, int attempt) {
+  const auto it = records_.find(Key{job.value(), attempt});
   if (it == records_.end()) return false;
   Record& rec = it->second;
   if (rec.state == GatewayJobState::kCompleted ||
@@ -206,7 +230,14 @@ bool CondorG::cancel(JobId job) {
 }
 
 std::optional<GatewayJobState> CondorG::state_of(JobId job) const {
-  const auto it = records_.find(job);
+  const auto it = find_latest(job);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+std::optional<GatewayJobState> CondorG::state_of(JobId job,
+                                                 int attempt) const {
+  const auto it = records_.find(Key{job.value(), attempt});
   if (it == records_.end()) return std::nullopt;
   return it->second.state;
 }
@@ -252,14 +283,20 @@ void CondorG::replicate(const data::Lfn& lfn, SiteId destination,
 }
 
 bool CondorG::site_responsive(JobId job) const {
-  const auto it = records_.find(job);
+  const auto it = find_latest(job);
+  if (it == records_.end()) return false;
+  return grid_.site(it->second.site).query().has_value();
+}
+
+bool CondorG::site_responsive(JobId job, int attempt) const {
+  const auto it = records_.find(Key{job.value(), attempt});
   if (it == records_.end()) return false;
   return grid_.site(it->second.site).query().has_value();
 }
 
 GatewayQueue CondorG::queue() const {
   GatewayQueue q;
-  for (const auto& [job, rec] : records_) {
+  for (const auto& [key, rec] : records_) {
     switch (rec.state) {
       case GatewayJobState::kSubmitted:
       case GatewayJobState::kIdle: ++q.idle; break;
@@ -275,7 +312,7 @@ GatewayQueue CondorG::queue() const {
 }
 
 const ClassAd* CondorG::submit_ad(JobId job) const {
-  const auto it = records_.find(job);
+  const auto it = find_latest(job);
   return it == records_.end() ? nullptr : &it->second.ad;
 }
 

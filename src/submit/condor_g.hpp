@@ -10,9 +10,10 @@
 /// tracker).
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -44,6 +45,10 @@ struct SubmitRequest {
   data::Lfn output;
   double output_bytes = 0.0;
   bool register_output = true;      ///< publish output to RLS on success
+  /// Which attempt of the job this submission carries.  Speculation races
+  /// two attempts of the same JobId through the same gateway, so the
+  /// gateway tracks submissions per (job, attempt).
+  int attempt = 1;
 };
 
 /// Gateway-level view of a submission.
@@ -65,6 +70,7 @@ struct GatewayEvent {
   JobId job;
   GatewayJobState state = GatewayJobState::kSubmitted;
   SimTime at = 0.0;
+  int attempt = 1;  ///< which attempt of the job the event describes
 };
 
 using GatewayCallback = std::function<void(const GatewayEvent&)>;
@@ -93,15 +99,22 @@ class CondorG {
 
   /// condor_rm: cancels a job (kills in-flight stage-in transfers too).
   /// Returns false if the job is unknown, terminal, or the site is down.
+  /// The JobId-only form targets the latest attempt; the qualified form
+  /// cancels one specific attempt of a racing pair.
   bool cancel(JobId job);
+  bool cancel(JobId job, int attempt);
 
-  /// Per-job state, if the gateway knows the job.
+  /// Per-job state, if the gateway knows the job.  JobId-only forms
+  /// resolve the latest attempt.
   [[nodiscard]] std::optional<GatewayJobState> state_of(JobId job) const;
+  [[nodiscard]] std::optional<GatewayJobState> state_of(JobId job,
+                                                        int attempt) const;
 
   /// True when the gatekeeper of the job's execution site still answers
   /// status queries (condor_q against the remote jobmanager).  False for
   /// unknown jobs or down sites.
   [[nodiscard]] bool site_responsive(JobId job) const;
+  [[nodiscard]] bool site_responsive(JobId job, int attempt) const;
 
   /// Third-party replication (globus-url-copy style): copies an existing
   /// replica to `destination`, stores it there and registers it in the
@@ -134,18 +147,26 @@ class CondorG {
     std::shared_ptr<std::function<void(std::size_t)>> stage_chain;
   };
 
+  /// Submissions are tracked per (job, attempt); an ordered map keeps the
+  /// attempts of one job contiguous so "latest attempt" is a range scan.
+  using Key = std::pair<std::uint64_t, int>;
+
   void relay(Record& record, GatewayJobState state, SimTime at);
   [[nodiscard]] static ClassAd make_ad(const SubmitRequest& request,
                                        const std::string& site_name);
-  void stage_inputs(JobId job, std::function<void()> done);
+  void stage_inputs(Key key, std::function<void()> done);
   void on_completed(Record& record);
+  /// Latest-attempt record of a job, or records_.end() if unknown.
+  [[nodiscard]] std::map<Key, Record>::iterator find_latest(JobId job);
+  [[nodiscard]] std::map<Key, Record>::const_iterator find_latest(
+      JobId job) const;
 
   grid::Grid& grid_;
   data::TransferService& transfers_;
   data::ReplicaLocationService& rls_;
   data::StorageFabric* storage_;  ///< optional
   std::string name_;
-  std::unordered_map<JobId, Record> records_;
+  std::map<Key, Record> records_;
   std::size_t total_ = 0;
 };
 

@@ -103,6 +103,24 @@ mkdir -p "$failover_dir"
 diff "$failover_dir/report_a.txt" "$failover_dir/report_b.txt"
 echo "failover gate: adoption green and byte-identical"
 
+echo "== straggler-defense smoke gate =="
+# The speculative-replication A/B: each run executes one degraded-heavy
+# outage schedule (long black-hole/degraded windows) twice with the same
+# seed -- speculation OFF then ON.  The tool itself asserts the win
+# condition (pooled p99 DAG completion improves, tracker timeouts do not
+# increase) and exports the pooled numbers to BENCH_straggler.json; the
+# diff proves the whole defense -- detector, race arbitration,
+# loser-cancel -- is deterministic.
+straggler_dir=build/relwithdebinfo/straggler
+rm -rf "$straggler_dir"
+mkdir -p "$straggler_dir"
+./build/relwithdebinfo/tools/chaos/sphinx_chaos straggler --runs 6 \
+  --seed 975 --json BENCH_straggler.json > "$straggler_dir/report_a.txt"
+./build/relwithdebinfo/tools/chaos/sphinx_chaos straggler --runs 6 \
+  --seed 975 --json BENCH_straggler.json > "$straggler_dir/report_b.txt"
+diff "$straggler_dir/report_a.txt" "$straggler_dir/report_b.txt"
+echo "straggler gate: p99/timeouts improved, report byte-identical"
+
 echo "== sweep-cost benchmark =="
 # The sweep must cost O(changed work): the 10,000-idle-DAG case should
 # stay within ~2x of the 100-DAG case.  Results land in BENCH_sweep.json.

@@ -4,7 +4,7 @@
 //   sphinx_record [--seed N] [--dags K] [--trace PATH] [--metrics PATH]
 //                 [--loss P] [--duplicate P] [--reorder P]
 //                 [--partition-at T] [--partition-duration D]
-//                 [--checkpoint-every R]
+//                 [--checkpoint-every R] [--speculate]
 //
 // Same seed -> byte-identical outputs; tools/check.sh runs this twice
 // and diffs the files as the determinism gate, and again with --loss /
@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   double partition_at = -1.0;
   double partition_duration = 60.0;
   std::size_t checkpoint_every = 0;
+  bool speculate = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,6 +66,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--checkpoint-every" && value != nullptr) {
       checkpoint_every = static_cast<std::size_t>(std::atoi(value));
       ++i;
+    } else if (arg == "--speculate") {
+      speculate = true;
     } else {
       std::fprintf(stderr,
                    "usage: sphinx_record [--seed N] [--dags K] "
@@ -73,7 +76,8 @@ int main(int argc, char** argv) {
                    "[--reorder P]\n"
                    "                     [--partition-at T] "
                    "[--partition-duration D]\n"
-                   "                     [--checkpoint-every R]\n");
+                   "                     [--checkpoint-every R] "
+                   "[--speculate]\n");
       return 2;
     }
   }
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
   no_feedback.use_feedback = false;
   with_feedback.checkpoint_every_records = checkpoint_every;
   no_feedback.checkpoint_every_records = checkpoint_every;
+  with_feedback.speculate = speculate;
+  no_feedback.speculate = speculate;
   exp::Experiment experiment(config);
   const auto results = experiment.run(
       {{"feedback", with_feedback}, {"no-feedback", no_feedback}});
